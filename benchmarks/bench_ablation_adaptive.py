@@ -1,0 +1,29 @@
+"""ABL-A4 — redistribution during execution (§3.2 extension).
+
+§3.2 says dynamic information serves "to make decisions about
+redistribution of the application during execution"; the HPDC'96
+prototype scheduled once.  This benchmark runs the extension: a
+deterministic mid-run load-regime flip, one-shot AppLeS vs the adaptive
+runner that re-plans every 25 iterations and migrates when the predicted
+gain beats the migration cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_adaptive_ablation
+
+
+def bench_ablation_adaptive(benchmark, report):
+    result = benchmark.pedantic(run_adaptive_ablation, rounds=1, iterations=1)
+    report(
+        "ablation_adaptive",
+        result.table().render()
+        + f"\n\nadaptive improvement: {result.improvement:.2f}x "
+        f"({result.reschedules} redistribution(s), "
+        f"{result.migration_s:.1f} s migrating)",
+    )
+
+    assert result.reschedules >= 1
+    assert result.adaptive_s < result.oneshot_s
+    # Migration cost must be a small fraction of what it saves.
+    assert result.migration_s < 0.25 * (result.oneshot_s - result.adaptive_s)

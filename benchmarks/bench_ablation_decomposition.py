@@ -1,0 +1,24 @@
+"""ABL-A7 — strip vs generalised-block decompositions (§5's deferral).
+
+The paper's Jacobi2D user restricted planning to strip decompositions,
+deferring non-strip layouts as too non-linear to predict.  This benchmark
+runs the full blueprint with both the strip planner and the
+generalised-block planner and executes the winners; the expected result
+is that strips are competitive on this testbed — the deferral cost
+little — while the block machinery exists for topologies where it would
+not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_decomposition_ablation
+
+
+def bench_ablation_decomposition(benchmark, report):
+    result = benchmark.pedantic(run_decomposition_ablation, rounds=1, iterations=1)
+    report("ablation_decomposition", result.table().render())
+
+    # The generalised-block plan must be a legitimate alternative (finite,
+    # grid covered) and strips must hold their own.
+    assert result.blocked_s > 0
+    assert result.strip_competitive

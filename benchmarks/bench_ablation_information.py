@@ -1,0 +1,26 @@
+"""ABL-A2 — the value of dynamic information (§3.2, §3.6).
+
+The same AppLeS planner run with three information sources — nominal
+capability, NWS forecasts, and the simulator's ground truth at schedule
+time — quantifies how much of AppLeS's advantage comes from *information*
+rather than from the planning algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_information_ablation
+
+
+def bench_ablation_information(benchmark, report):
+    result = benchmark.pedantic(
+        run_information_ablation,
+        kwargs={"n": 1600, "iterations": 60},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_information", result.table().render())
+
+    # Forecasts beat nominal information...
+    assert result.nws_s < result.nominal_s
+    # ...and recover most of the oracle's advantage.
+    assert result.nws_s < 2.0 * result.oracle_s

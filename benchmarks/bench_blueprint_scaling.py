@@ -1,0 +1,35 @@
+"""Blueprint cost — "consider more options ... at machine speeds" (§5).
+
+The AppLeS pitch is that the agent does what a careful user does, but at
+machine speeds over many more candidates.  This benchmark actually times
+the blueprint (Resource Selector over all subsets + planning + estimation
++ choice) on the Figure 2 pool, using pytest-benchmark's statistics —
+the one benchmark here where wall-clock of *our code* (not simulated
+time) is the measurement.
+"""
+
+from __future__ import annotations
+
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import sdsc_pcl_testbed
+
+
+def bench_blueprint_scaling(benchmark, report):
+    testbed = sdsc_pcl_testbed(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    problem = JacobiProblem(n=2000, iterations=100)
+    agent = make_jacobi_agent(testbed, problem, nws)
+
+    decision = benchmark(agent.schedule)
+
+    report(
+        "blueprint_scaling",
+        f"blueprint over {decision.candidates_considered} candidate resource "
+        f"sets ({decision.candidates_feasible} feasible) on an 8-machine pool\n"
+        + decision.explain(top=5),
+    )
+    assert decision.candidates_considered == 255
+    assert decision.best.decomposition == "apples-strip"

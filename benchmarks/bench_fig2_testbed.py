@@ -1,0 +1,48 @@
+"""FIG2 — the SDSC/PCL system configuration (paper Figure 2).
+
+Builds the simulated replica of the testbed, validates its structure, and
+prints the resource inventory: hosts with nominal speed / memory / mean
+deliverable availability, and links with nominal bandwidth.  The benchmark
+measures construction + full-pairs routing, the operation every scheduling
+experiment performs first.
+"""
+
+from __future__ import annotations
+
+from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.util.tables import Table
+
+
+def _build_and_route():
+    testbed = sdsc_pcl_testbed(seed=1996)
+    for a in testbed.host_names:
+        for b in testbed.host_names:
+            testbed.topology.route(a, b)
+    return testbed
+
+
+def bench_fig2_testbed(benchmark, report):
+    testbed = benchmark(_build_and_route)
+
+    hosts = Table(
+        ["host", "site", "arch", "MFLOP/s", "memory MB", "mean avail (10 min)"],
+        title="FIG2 — SDSC/PCL testbed host inventory",
+    )
+    for host in testbed.hosts():
+        hosts.add(
+            host.name, host.site, host.arch, host.speed_mflops,
+            host.memory.capacity_mb, host.load.mean_availability(0.0, 600.0),
+        )
+    links = Table(
+        ["link", "Mbit/s", "latency (ms)", "shared"],
+        title="FIG2 — network inventory",
+    )
+    for link in testbed.topology.links.values():
+        links.add(link.name, link.bandwidth_mbit, link.latency_s * 1e3, link.is_shared)
+    report("fig2_testbed", hosts.render() + "\n\n" + links.render())
+
+    # Structural checks (Figure 2 geography).
+    assert len(testbed.host_names) == 8
+    assert testbed.topology.same_segment("sparc2", "sparc10")
+    assert testbed.topology.same_segment("alpha1", "alpha4")
+    assert "wan" in [l.name for l in testbed.topology.route("rs6000a", "alpha2")]

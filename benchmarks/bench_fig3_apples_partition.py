@@ -1,0 +1,31 @@
+"""FIG3 — the AppLeS partitioning of Jacobi2D on the SDSC/PCL network.
+
+Regenerates the paper's Figure 3: the non-intuitive strip partition the
+AppLeS agent derives for n = 2000 from NWS forecasts (contrast with the
+Figure 4 static partition in ``bench_fig4_static_strip``).  The benchmark
+measures the full blueprint — resource selection over all 255 subsets,
+planning, estimation and choice — i.e. the paper's "consider more options
+... at machine speeds".
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig34
+
+
+def bench_fig3_apples_partition(benchmark, report):
+    result = benchmark.pedantic(run_fig34, kwargs={"n": 2000}, rounds=1, iterations=1)
+
+    text = (
+        result.table().render()
+        + "\n\n"
+        + result.ascii_partition("apples")
+        + "\n\npredicted execution: "
+        + f"AppLeS {result.apples_predicted_s:.2f}s vs static {result.static_predicted_s:.2f}s"
+    )
+    report("fig3_apples_partition", text)
+
+    assert sum(result.apples_rows.values()) == 2000
+    # The AppLeS partition concentrates work on deliverable machines
+    # instead of spreading it nominally.
+    assert len(result.apples_rows) < len(result.static_rows)

@@ -1,0 +1,48 @@
+"""FIG4 — the non-uniform compile-time strip partition for n = 2000.
+
+Regenerates the paper's Figure 4: strip heights proportional to nominal
+CPU speed, "calculated statically at compile time, and parameterized by
+(non-uniform) CPU speeds and bandwidth for the workstation network".  The
+benchmark measures the static planning path alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.jacobi.apples import StaticStripPlanner
+from repro.jacobi.grid import JacobiProblem, jacobi_hat
+from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.util.tables import Table
+
+
+def _plan_static():
+    testbed = sdsc_pcl_testbed(seed=1996)
+    problem = JacobiProblem(n=2000, iterations=100)
+    info = InformationPool(
+        pool=ResourcePool(testbed.topology), hat=jacobi_hat(problem)
+    )
+    schedule = StaticStripPlanner(problem).plan(testbed.host_names, info)
+    return testbed, schedule
+
+
+def bench_fig4_static_strip(benchmark, report):
+    testbed, schedule = benchmark(_plan_static)
+    partition = schedule.metadata["partition"]
+
+    table = Table(
+        ["machine", "nominal MFLOP/s", "rows", "fraction of grid"],
+        title="FIG4 — non-uniform static strip partition of Jacobi2D, n=2000",
+    )
+    for strip in partition.strips:
+        speed = testbed.topology.host(strip.machine).speed_mflops
+        table.add(strip.machine, speed, strip.row_count, strip.row_count / 2000)
+    report("fig4_static_strip", table.render())
+
+    rows = {s.machine: s.row_count for s in partition.strips}
+    # Strip heights track nominal speed (45:30:20:8 MFLOP/s ordering).
+    assert rows["alpha1"] > rows["rs6000a"] > rows["sparc10"] > rows["sparc2"]
+    assert sum(rows.values()) == 2000
+    # Every machine participates — the compile-time scheduler has no load
+    # information with which to exclude anything.
+    assert len(rows) == 8

@@ -1,0 +1,57 @@
+"""FIG5 — Jacobi2D execution-time averages: AppLeS vs Strip vs Blocked.
+
+Regenerates the paper's Figure 5 protocol at full scale: problem sizes
+1000–2000, the three schedules executed back-to-back under the same
+simulated conditions, repeated and averaged.  The paper reports AppLeS
+ahead of both compile-time schedules "by factors of 2-8"; the assertion
+checks that band (with slack for the simulated substrate).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig5
+from repro.experiments.fig5 import DEFAULT_SIZES
+from repro.util.ascii_plot import line_chart
+
+
+def bench_fig5_exec_time(benchmark, report):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={"sizes": DEFAULT_SIZES, "iterations": 60, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    lo, hi = result.ratio_range
+    chart = line_chart(
+        [r.n for r in result.rows],
+        {
+            "AppLeS": [r.apples_s for r in result.rows],
+            "Strip": [r.strip_s for r in result.rows],
+            "Blocked": [r.blocked_s for r in result.rows],
+        },
+        title="Figure 5 — execution time (s) vs problem size",
+    )
+    report(
+        "fig5_exec_time",
+        result.table().render()
+        + f"\n\nbaseline/AppLeS ratio range: {lo:.2f}x – {hi:.2f}x "
+        "(paper: 2x – 8x)\n\n" + chart,
+        data={
+            "experiment": "fig5",
+            "iterations": result.iterations,
+            "repeats": result.repeats,
+            "rows": [
+                {"n": r.n, "apples_s": r.apples_s, "strip_s": r.strip_s,
+                 "blocked_s": r.blocked_s, "strip_ratio": r.strip_ratio,
+                 "blocked_ratio": r.blocked_ratio}
+                for r in result.rows
+            ],
+            "ratio_range": [lo, hi],
+        },
+    )
+
+    for row in result.rows:
+        assert row.apples_s < row.strip_s
+        assert row.apples_s < row.blocked_s
+    assert lo > 1.5
+    assert hi < 12.0

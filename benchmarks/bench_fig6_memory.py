@@ -1,0 +1,61 @@
+"""FIG6 — Jacobi2D when memory is accounted for.
+
+Regenerates the paper's Figure 6: two unloaded SP-2 nodes join the pool;
+AppLeS uses only the SP-2 pair until real memory is exceeded at
+3700×3700, then "locates available memory elsewhere in the resource pool
+... without disturbing the performance trajectory", while the HPF
+Uniform/Blocked partition on the SP-2 spills and collapses.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig6
+from repro.experiments.fig6 import DEFAULT_SIZES_FIG6
+from repro.util.ascii_plot import line_chart
+
+
+def bench_fig6_memory(benchmark, report):
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={"sizes": DEFAULT_SIZES_FIG6, "iterations": 30},
+        rounds=1,
+        iterations=1,
+    )
+    chart = line_chart(
+        [r.n for r in result.rows],
+        {
+            "AppLeS": [r.apples_s for r in result.rows],
+            "Blocked(SP2)": [r.blocked_sp2_s for r in result.rows],
+        },
+        title="Figure 6 — execution time (s, log scale) vs problem size",
+        logy=True,
+    )
+    report(
+        "fig6_memory",
+        result.table().render() + "\n\n" + chart,
+        data={
+            "experiment": "fig6",
+            "crossover_n": result.crossover_n,
+            "iterations": result.iterations,
+            "rows": [
+                {"n": r.n, "apples_s": r.apples_s,
+                 "blocked_sp2_s": r.blocked_sp2_s,
+                 "apples_machines": list(r.apples_machines),
+                 "blocked_spills": r.blocked_spills}
+                for r in result.rows
+            ],
+        },
+    )
+
+    below = [r for r in result.rows if r.n < result.crossover_n]
+    above = [r for r in result.rows if r.n > result.crossover_n]
+    # Below the crossover: AppLeS == blocked-on-SP2 (it picked the same
+    # resources).
+    for row in below:
+        assert row.apples_uses_only_sp2, f"n={row.n}"
+        assert abs(row.apples_s - row.blocked_sp2_s) / row.blocked_sp2_s < 0.15
+    # Above: blocked thrashes, AppLeS integrates remote memory smoothly.
+    for row in above:
+        assert row.blocked_spills
+        assert not row.apples_uses_only_sp2
+        assert row.blocked_sp2_s > 2.0 * row.apples_s, f"n={row.n}"

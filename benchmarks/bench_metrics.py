@@ -1,0 +1,31 @@
+"""METRIC-A6 — distinct users optimise distinct metrics (§3.1).
+
+"Distinct users will attempt to optimize their usage of same metacomputing
+resources for different performance criteria at the same time.  For
+individual applications, the best scheduling strategy will optimize the
+user's own performance metric."
+
+The same Jacobi2D job scheduled by three users (execution time, monetary
+cost, fixed-size speedup) must produce metric-appropriate — and for the
+cost user, different — schedules from the same framework.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_metrics_comparison
+
+
+def bench_metrics(benchmark, report):
+    result = benchmark.pedantic(run_metrics_comparison, rounds=1, iterations=1)
+    report("metrics", result.table().render())
+
+    assert result.schedules_differ
+    # The cost user's schedule must actually be cheapest; the time user's
+    # must actually be fastest.
+    assert result.costs["cost"] == min(result.costs.values())
+    assert result.times["execution_time"] == min(result.times.values())
+    # Fixed-size speedup is a monotone transform of time: same schedule.
+    assert (
+        result.schedules["speedup"].resource_set
+        == result.schedules["execution_time"].resource_set
+    )

@@ -1,0 +1,29 @@
+"""NILE-T1 — the Site Manager's skim-vs-remote decision (§2.1).
+
+"The cost of skimming is compared with a prediction of the reduction in
+cost of event analysis when the data is local."  The benchmark sweeps
+skim fractions and expected repeat counts over a tape-resident pass2
+dataset and checks the decision structure: local runs are cheaper than
+remote runs, decisions are monotone in the repeat count, and the
+crossover the manager predicts separates the decisions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_nile_skim
+
+
+def bench_nile_skim(benchmark, report):
+    result = benchmark.pedantic(
+        run_nile_skim,
+        kwargs={"nevents": 500_000, "runs": (1, 2, 5, 10, 50)},
+        rounds=1,
+        iterations=1,
+    )
+    report("nile_skim", result.table().render())
+
+    assert result.decisions_monotone_in_runs
+    for _, _, decision in result.decisions:
+        assert decision.local_run_s < decision.remote_run_s
+    # At 50 repeats skimming a 20% working set must pay.
+    assert result.decision_for(0.2, 50).skim

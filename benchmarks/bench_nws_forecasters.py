@@ -1,0 +1,30 @@
+"""NWS-A1 — forecaster quality across load families (§3.6).
+
+"A schedule is only as good as the accuracy of its underlying
+predictions."  Scores every NWS forecaster and the adaptive ensemble on
+AR(1), Markov and spiky availability traces.  The expected structure: no
+single predictor wins everywhere; the ensemble stays near the per-family
+winner.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_nws_comparison
+
+
+def bench_nws_forecasters(benchmark, report):
+    result = benchmark.pedantic(
+        run_nws_comparison, kwargs={"nsamples": 600}, rounds=1, iterations=1
+    )
+    lines = [result.table().render(), ""]
+    for process in sorted(result.mse):
+        lines.append(
+            f"best for {process}: {result.best_for(process)} "
+            f"(ensemble regret {result.ensemble_regret(process):.2f}x)"
+        )
+    report("nws_forecasters", "\n".join(lines))
+
+    winners = {result.best_for(p) for p in result.mse}
+    assert len(winners) >= 2, "one predictor should not win every family"
+    for process in result.mse:
+        assert result.ensemble_regret(process) < 1.6

@@ -1,0 +1,44 @@
+"""REACT-T3 — the dual Log-D phase (§2.3 extension).
+
+"Another version of the application directs the C90 to calculate a second
+set of Log-D iterations instead of stopping ... This second phase ...
+would have no interprocessor communication since ... both machines have a
+full set of LHSFs stored in their respective memories."
+
+Compares computing two Log-D sets by (a) running the whole pipeline twice
+and (b) the dual-phase version: pipeline once, then both machines
+propagate concurrently with zero communication.
+"""
+
+from __future__ import annotations
+
+from repro.react.dual_phase import compare_versions, simulate_dual_phase
+from repro.react.pipeline import simulate_pipeline
+from repro.react.tasks import ReactProblem
+from repro.sim.testbeds import casa_testbed
+
+
+def bench_react_dual_phase(benchmark, report):
+    testbed = casa_testbed()
+    problem = ReactProblem()
+
+    def run():
+        table = compare_versions(
+            testbed.topology, problem, "c90", "paragon", 10, extra_logd_passes=1
+        )
+        dual = simulate_dual_phase(
+            testbed.topology, problem, "c90", "paragon", 10, 1
+        )
+        repeated = simulate_pipeline(
+            testbed.topology,
+            ReactProblem(**{**problem.__dict__, "passes": 2}),
+            "c90", "paragon", 10,
+        )
+        return table, dual, repeated
+
+    table, dual, repeated = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("react_dual_phase", table.render())
+
+    assert dual.total_s < repeated.makespan_s
+    # Both machines carry Log-D work in the extra phase, Paragon more.
+    assert 0.0 < dual.lhsf_share < dual.logd_share

@@ -1,0 +1,31 @@
+"""REACT-T2 — the pipeline-size tradeoff (§2.3).
+
+"Too small a pipeline size means that Log-D computations will stop while
+they wait for more LHSF data.  Too large a pipeline size implies a
+buffering performance cost on the Log-D end."  The sweep over the
+admissible 5–20 surface-function range must show an interior optimum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_react
+
+
+def bench_react_pipeline_sweep(benchmark, report):
+    result = benchmark.pedantic(run_react, rounds=1, iterations=1)
+    best_k = min(result.sweep, key=lambda pair: pair[1].makespan_s)[0]
+    report(
+        "react_pipeline_sweep",
+        result.sweep_table().render()
+        + f"\n\nbest simulated pipeline size: {best_k} "
+        + f"(AppLeS model chose {result.chosen_pipeline_size})",
+    )
+
+    assert result.sweep_is_convexish
+    # The analytic model's choice lands within a couple of units of the
+    # simulated optimum.
+    assert abs(best_k - result.chosen_pipeline_size) <= 3
+    # Small pipelines stall the consumer more than large ones do.
+    stall_small = result.sweep[0][1].consumer_stall_s
+    stall_large = result.sweep[-1][1].consumer_stall_s
+    assert stall_small >= stall_large

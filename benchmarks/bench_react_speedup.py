@@ -1,0 +1,34 @@
+"""REACT-T1 — the §2.3 3D-REACT timing claims.
+
+"The execution time for the entire code on either one dedicated CPU of
+the C90 or 64 nodes of the Delta or Paragon alone is in excess of 16
+hours (wall clock time).  The execution time for the code on the
+distributed platform is just under 5 hours."
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_react
+
+
+def bench_react_speedup(benchmark, report):
+    result = benchmark.pedantic(run_react, rounds=1, iterations=1)
+    report(
+        "react_speedup",
+        result.timing_table().render()
+        + f"\n\nspeedup over best single site: {result.speedup:.2f}x",
+        data={
+            "experiment": "react_t1",
+            "c90_alone_h": result.c90_alone_s / 3600,
+            "paragon_alone_h": result.paragon_alone_s / 3600,
+            "distributed_h": result.distributed_s / 3600,
+            "pipeline_size": result.chosen_pipeline_size,
+            "speedup": result.speedup,
+        },
+    )
+
+    assert result.c90_alone_s >= 16 * 3600
+    assert result.paragon_alone_s >= 16 * 3600
+    assert result.distributed_s < 5 * 3600
+    assert result.chosen_lhsf_host == "c90"
+    assert result.chosen_logd_host == "paragon"

@@ -1,0 +1,66 @@
+"""WAIT-A9 — the §3.2 wait-or-run decision.
+
+"The user must determine whether to wait until the resources will be
+available or to execute the application with lesser performance on the
+resources currently available ... by estimating the sum of the wait time
+and the dedicated time and comparing it with a prediction of the slowdown
+the application will experience on non-dedicated resources."
+
+The benchmark sweeps the queue wait for a dedicated SP-2 reservation
+against running immediately on the loaded Figure 2 workstations, and
+reports the crossover wait at which the decision flips.
+"""
+
+from __future__ import annotations
+
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.core.wait_or_run import Reservation, decide_wait_or_run
+from repro.jacobi.apples import JacobiPlanner
+from repro.jacobi.grid import JacobiProblem, jacobi_hat
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import sdsc_pcl_with_sp2
+from repro.util.tables import Table
+
+
+def bench_wait_or_run(benchmark, report):
+    testbed = sdsc_pcl_with_sp2(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    problem = JacobiProblem(n=3000, iterations=200)
+    info = InformationPool(
+        pool=ResourcePool(testbed.topology, nws), hat=jacobi_hat(problem)
+    )
+    planner = JacobiPlanner(problem)
+    shared = [m for m in testbed.host_names if not m.startswith("sp2")]
+    waits = (0.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+
+    def sweep():
+        return [
+            (w, decide_wait_or_run(
+                info, planner, Reservation(("sp2-1", "sp2-2"), w), shared
+            ))
+            for w in waits
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["queue wait (s)", "run now (s)", "wait total (s)", "decision"],
+        title="WAIT-A9 — wait for the dedicated SP-2 pair, or run now on "
+              "loaded workstations? (Jacobi2D n=3000, 200 iterations)",
+    )
+    for w, d in rows:
+        table.add(w, d.run_now_s, d.wait_total_s, "WAIT" if d.wait else "run now")
+    flips = [w for w, d in rows if not d.wait]
+    crossover = min(flips) if flips else float("inf")
+    report(
+        "wait_or_run",
+        table.render() + f"\n\ndecision flips to 'run now' at wait >= {crossover:g} s",
+    )
+
+    # The decision must flip exactly once, from WAIT to run-now.
+    decisions = [d.wait for _, d in rows]
+    assert decisions[0] is True
+    assert decisions[-1] is False
+    assert decisions == sorted(decisions, reverse=True)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: schedule Jacobi2D with an AppLeS agent in ~30 lines.
+
+Builds the paper's Figure 2 testbed, starts a Network Weather Service,
+lets the AppLeS agent derive a schedule, and compares it against the
+compile-time HPF blocked schedule by executing both on the simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.jacobi import BlockedPlanner, JacobiProblem, make_jacobi_agent
+from repro.jacobi.runtime import simulated_execution
+from repro.nws import NetworkWeatherService
+from repro.sim import sdsc_pcl_testbed
+
+
+def main() -> None:
+    # 1. The metacomputer: 8 non-dedicated workstations across two sites.
+    testbed = sdsc_pcl_testbed(seed=1996)
+
+    # 2. The Network Weather Service: sensors + adaptive forecasters.
+    nws = NetworkWeatherService.for_testbed(testbed)
+    nws.warmup(600.0)  # ten simulated minutes of measurements
+
+    # 3. The application and its AppLeS agent.
+    problem = JacobiProblem(n=1500, iterations=80)
+    agent = make_jacobi_agent(testbed, problem, nws)
+
+    # 4. Run the blueprint: select resources, plan, estimate, choose.
+    decision = agent.schedule()
+    print(f"candidate resource sets considered: {decision.candidates_considered}")
+    print(decision.best.describe())
+    print()
+
+    # 5. Execute the chosen schedule on the simulated metacomputer, next to
+    #    the compile-time baseline a careful user might have written.
+    apples = simulated_execution(testbed.topology, decision.best, t0=600.0)
+    blocked_schedule = BlockedPlanner(problem).plan(testbed.host_names, agent.info)
+    blocked = simulated_execution(testbed.topology, blocked_schedule, t0=600.0)
+
+    print(f"AppLeS schedule : {apples.total_time:8.2f} s "
+          f"({len(decision.best.resource_set)} machines)")
+    print(f"HPF blocked     : {blocked.total_time:8.2f} s (8 machines)")
+    print(f"speedup         : {blocked.total_time / apples.total_time:8.2f} x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The Network Weather Service up close.
+
+Watches one loaded host of the Figure 2 testbed: its true availability,
+the NWS sensors' measurements, the adaptive ensemble's one-step forecasts
+(with which member is currently winning), and the forecast-error estimate
+that AppLeS's risk model consumes.  Ends with the forecaster leaderboard.
+
+Run:  python examples/weather_forecasting.py
+"""
+
+from __future__ import annotations
+
+from repro.nws import NetworkWeatherService
+from repro.sim import sdsc_pcl_testbed
+
+
+def main() -> None:
+    testbed = sdsc_pcl_testbed(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed)
+    host = "alpha2"  # AR(1) load around 55% availability
+    truth = testbed.topology.host(host).load
+
+    print(f"watching {host} (non-dedicated DEC Alpha at SDSC)")
+    print(f"{'time':>6s}  {'truth':>6s}  {'forecast':>8s}  {'err est':>7s}  method")
+    for minute in range(2, 31, 2):
+        t = minute * 60.0
+        nws.advance_to(t)
+        f = nws.cpu_forecast(host)
+        print(f"{minute:>4d}m  {truth.availability(t):6.3f}  "
+              f"{f.value:8.3f}  {f.error:7.3f}  {f.method}")
+    print()
+
+    sensor = nws.cpu_sensors[host]
+    print("forecaster leaderboard (discounted MSE, best first):")
+    for name, mse in sensor.ensemble.leaderboard():
+        print(f"  {name:<18s} {mse:.5f}")
+    print()
+
+    a, b = "sparc2", "alpha1"
+    print(f"network forecast {a} -> {b}:")
+    print(f"  predicted bottleneck bandwidth: "
+          f"{nws.path_bandwidth_forecast(a, b) / 1e3:.1f} KB/s")
+    print(f"  actual at this instant       : "
+          f"{testbed.topology.path_bandwidth(a, b, nws.now) / 1e3:.1f} KB/s")
+    print(f"  1 MB transfer forecast       : "
+          f"{nws.transfer_time_forecast(a, b, 1e6):.2f} s")
+
+
+if __name__ == "__main__":
+    main()

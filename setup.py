@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` requires ``wheel`` for PEP 517
+editable builds; this shim lets ``python setup.py develop`` work offline.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

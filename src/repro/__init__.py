@@ -1,0 +1,58 @@
+"""AppLeS: application-level scheduling for metacomputing systems.
+
+A full reproduction of Berman & Wolski, *Scheduling from the Perspective
+of the Application* (HPDC 1996): the AppLeS agent architecture
+(:mod:`repro.core`), the Network Weather Service it draws forecasts from
+(:mod:`repro.nws`), a simulated heterogeneous metacomputer standing in for
+the 1996 SDSC/PCL testbed (:mod:`repro.sim`), and the paper's three
+applications — Jacobi2D (:mod:`repro.jacobi`), 3D-REACT
+(:mod:`repro.react`) and CLEO/NILE event analysis (:mod:`repro.nile`).
+
+Quickstart
+----------
+>>> from repro.sim import sdsc_pcl_testbed
+>>> from repro.nws import NetworkWeatherService
+>>> from repro.jacobi import JacobiProblem, make_jacobi_agent
+>>> testbed = sdsc_pcl_testbed(seed=1996)
+>>> nws = NetworkWeatherService.for_testbed(testbed)
+>>> nws.warmup(600.0)
+>>> agent = make_jacobi_agent(testbed, JacobiProblem(n=1000), nws)
+>>> decision = agent.schedule()
+>>> decision.best.decomposition
+'apples-strip'
+"""
+
+from repro.core.coordinator import AppLeSAgent, ScheduleDecision
+from repro.core.hat import HeterogeneousApplicationTemplate
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.core.schedule import Allocation, Schedule
+from repro.core.userspec import UserSpecification
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import (
+    Testbed,
+    casa_testbed,
+    nile_testbed,
+    sdsc_pcl_testbed,
+    sdsc_pcl_with_sp2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppLeSAgent",
+    "ScheduleDecision",
+    "HeterogeneousApplicationTemplate",
+    "InformationPool",
+    "ResourcePool",
+    "Schedule",
+    "Allocation",
+    "UserSpecification",
+    "NetworkWeatherService",
+    "Testbed",
+    "sdsc_pcl_testbed",
+    "sdsc_pcl_with_sp2",
+    "casa_testbed",
+    "nile_testbed",
+    "__version__",
+]

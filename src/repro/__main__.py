@@ -1,0 +1,7 @@
+"""``python -m repro`` — run the paper's experiments from the shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

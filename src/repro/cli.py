@@ -1,0 +1,225 @@
+"""Command-line interface: run any of the paper's experiments.
+
+Usage::
+
+    python -m repro <experiment> [options]
+
+Experiments
+-----------
+``fig34``      Figures 3 & 4: the AppLeS and static partitions side by side.
+``fig5``       Figure 5: AppLeS vs Strip vs Blocked execution times.
+``fig6``       Figure 6: memory-aware scheduling with the SP-2 pair.
+``react``      §2.3: single-site vs pipelined 3D-REACT + pipeline sweep.
+``nile``       §2.1: the Site Manager's skim-vs-remote decision sweep.
+``nws``        §3.6: forecaster-quality comparison across load families.
+``info``       ABL-A2: nominal vs NWS vs oracle information.
+``selection``  ABL-A3: subset selection vs use-everything vs best single.
+``adaptive``   ABL-A4: one-shot vs adaptive rescheduling (extension).
+``multiapp``   MULTI-A5: two applications sharing the metacomputer (extension).
+``metrics``    METRIC-A6: three user metrics, three schedules (§3.1).
+``decomposition``  ABL-A7: strip vs generalised-block planning (extension).
+``all``        Everything above, in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments import (
+    run_adaptive_ablation,
+    run_decomposition_ablation,
+    run_fig5,
+    run_fig6,
+    run_fig34,
+    run_information_ablation,
+    run_metrics_comparison,
+    run_multiapp,
+    run_nile_skim,
+    run_nws_comparison,
+    run_react,
+    run_selection_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _sizes(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(",") if x)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sizes must be comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _cmd_fig34(args: argparse.Namespace) -> str:
+    result = run_fig34(n=args.n, seed=args.seed)
+    return result.table().render() + "\n\n" + result.ascii_partition("apples")
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    result = run_fig5(
+        sizes=args.sizes, iterations=args.iterations, repeats=args.repeats,
+        seed=args.seed,
+    )
+    lo, hi = result.ratio_range
+    return (
+        result.table().render()
+        + f"\n\nbaseline/AppLeS ratio range: {lo:.2f}x – {hi:.2f}x (paper: 2x – 8x)"
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    result = run_fig6(sizes=args.sizes, iterations=args.iterations, seed=args.seed)
+    return result.table().render()
+
+
+def _cmd_react(args: argparse.Namespace) -> str:
+    result = run_react(seed=args.seed)
+    return (
+        result.timing_table().render()
+        + f"\n\nspeedup over best single site: {result.speedup:.2f}x\n\n"
+        + result.sweep_table().render()
+    )
+
+
+def _cmd_nile(args: argparse.Namespace) -> str:
+    result = run_nile_skim(nevents=args.events, seed=args.seed)
+    return result.table().render()
+
+
+def _cmd_nws(args: argparse.Namespace) -> str:
+    result = run_nws_comparison(nsamples=args.samples, seed=args.seed)
+    lines = [result.table().render(), ""]
+    for process in sorted(result.mse):
+        lines.append(
+            f"best for {process}: {result.best_for(process)} "
+            f"(ensemble regret {result.ensemble_regret(process):.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_info(args: argparse.Namespace) -> str:
+    return run_information_ablation(n=args.n, seed=args.seed).table().render()
+
+
+def _cmd_selection(args: argparse.Namespace) -> str:
+    return run_selection_ablation(n=args.n, seed=args.seed).table().render()
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> str:
+    result = run_adaptive_ablation(n=args.n)
+    return (
+        result.table().render()
+        + f"\n\nadaptive improvement: {result.improvement:.2f}x"
+    )
+
+
+def _cmd_multiapp(args: argparse.Namespace) -> str:
+    result = run_multiapp(n=args.n, seed=args.seed)
+    return (
+        result.table().render()
+        + f"\n\naware speedup over oblivious: {result.improvement:.2f}x"
+    )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    return run_metrics_comparison(n=args.n, seed=args.seed).table().render()
+
+
+def _cmd_decomposition(args: argparse.Namespace) -> str:
+    return run_decomposition_ablation(n=args.n, seed=args.seed).table().render()
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig34": _cmd_fig34,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "react": _cmd_react,
+    "nile": _cmd_nile,
+    "nws": _cmd_nws,
+    "info": _cmd_info,
+    "selection": _cmd_selection,
+    "adaptive": _cmd_adaptive,
+    "multiapp": _cmd_multiapp,
+    "metrics": _cmd_metrics,
+    "decomposition": _cmd_decomposition,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the experiments of Berman & Wolski, HPDC 1996.",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    def common(p: argparse.ArgumentParser, n_default: int | None = None) -> None:
+        p.add_argument("--seed", type=int, default=1996,
+                       help="testbed load seed (default 1996)")
+        if n_default is not None:
+            p.add_argument("--n", type=int, default=n_default,
+                           help=f"problem edge length (default {n_default})")
+
+    p = sub.add_parser("fig34", help="Figures 3 & 4: the two partitions")
+    common(p, n_default=2000)
+
+    p = sub.add_parser("fig5", help="Figure 5: execution-time comparison")
+    common(p)
+    p.add_argument("--sizes", type=_sizes,
+                   default=(1000, 1200, 1400, 1600, 1800, 2000),
+                   help="comma-separated problem sizes")
+    p.add_argument("--iterations", type=int, default=60)
+    p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser("fig6", help="Figure 6: memory-aware scheduling")
+    common(p)
+    p.add_argument("--sizes", type=_sizes,
+                   default=(1000, 2000, 3000, 3500, 3700, 3900, 4200, 4600))
+    p.add_argument("--iterations", type=int, default=30)
+
+    p = sub.add_parser("react", help="3D-REACT timings and pipeline sweep")
+    common(p)
+
+    p = sub.add_parser("nile", help="NILE skim-vs-remote decisions")
+    common(p)
+    p.add_argument("--events", type=int, default=500_000)
+
+    p = sub.add_parser("nws", help="forecaster-quality comparison")
+    common(p)
+    p.add_argument("--samples", type=int, default=600)
+
+    for name, n_default, help_text in (
+        ("info", 1600, "information ablation (nominal/NWS/oracle)"),
+        ("selection", 1600, "resource-selection ablation"),
+        ("adaptive", 1200, "adaptive rescheduling vs one-shot"),
+        ("multiapp", 1600, "two applications sharing the metacomputer"),
+        ("metrics", 1600, "three user metrics, three schedules"),
+        ("decomposition", 1600, "strip vs generalised-block planning"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p, n_default=n_default)
+
+    sub.add_parser("all", help="run every experiment in order")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in _COMMANDS:
+            print(f"\n===== {name} =====")
+            sub_args = parser.parse_args([name])
+            print(_COMMANDS[name](sub_args))
+        return 0
+    print(_COMMANDS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Actuators.
+
+"The Actuator implements the 'best' schedule on the target resource
+management system(s)" (§4.1).  AppLeS agents are *not* resource managers —
+the paper's prototype actuated through KeLP over PVM; ours actuates onto
+the simulator (and, for Jacobi2D, onto the in-process numeric runtime).
+The protocol is deliberately tiny so applications can slot in their own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.core.infopool import InformationPool
+from repro.core.schedule import Schedule
+
+__all__ = ["Actuator", "RecordingActuator"]
+
+
+class Actuator(Protocol):
+    """Protocol: carry out a schedule, returning an application-defined result."""
+
+    def actuate(self, schedule: Schedule, info: InformationPool, t0: float) -> Any:
+        """Implement ``schedule`` starting at simulated time ``t0``."""
+        ...
+
+
+class RecordingActuator:
+    """A no-op actuator that records what it was asked to do.
+
+    Useful in tests and in planning-only experiments where the caller
+    executes the schedule itself.
+    """
+
+    def __init__(self) -> None:
+        self.actuated: list[tuple[float, Schedule]] = []
+
+    def actuate(self, schedule: Schedule, info: InformationPool, t0: float) -> Schedule:
+        self.actuated.append((t0, schedule))
+        return schedule
+
+    @property
+    def last_schedule(self) -> Schedule:
+        """The most recently actuated schedule."""
+        if not self.actuated:
+            raise IndexError("nothing actuated yet")
+        return self.actuated[-1][1]

@@ -1,0 +1,184 @@
+"""The Coordinator — the single active agent of an AppLeS (§4.1–4.2).
+
+The Coordinator runs the scheduling *blueprint* the paper gives for the
+Jacobi2D prototype (§5):
+
+1. Select candidate resource sets ``S_i`` (Resource Selector).
+2. For each ``S_i``: plan a schedule (Planner) and estimate its cost
+   (Performance Estimator).
+3. Choose the resource set and schedule with the best predicted value of
+   the user's performance metric.
+4. Actuate the selected schedule (Actuator).
+
+Everything the Coordinator knows comes from the shared Information Pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.actuator import Actuator, RecordingActuator
+from repro.core.estimator import PerformanceEstimator, make_estimator
+from repro.core.infopool import InformationPool
+from repro.core.planner import Planner
+from repro.core.schedule import Schedule
+from repro.core.selector import ResourceSelector
+
+__all__ = ["AppLeSAgent", "ScheduleDecision", "CandidateEvaluation"]
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One (resource set, schedule, objective) row from the blueprint loop."""
+
+    resource_set: tuple[str, ...]
+    schedule: Schedule | None
+    objective: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the Planner produced a schedule for this set."""
+        return self.schedule is not None
+
+
+@dataclass
+class ScheduleDecision:
+    """The Coordinator's outcome.
+
+    Attributes
+    ----------
+    best:
+        The chosen schedule.
+    best_objective:
+        Its objective value (lower is better).
+    evaluations:
+        Every candidate considered, in evaluation order — the paper's
+        "consider more options ... at machine speeds" made observable.
+    metric:
+        Name of the user's performance metric.
+    """
+
+    best: Schedule
+    best_objective: float
+    evaluations: list[CandidateEvaluation] = field(default_factory=list)
+    metric: str = "execution_time"
+
+    @property
+    def candidates_considered(self) -> int:
+        """Number of resource sets evaluated."""
+        return len(self.evaluations)
+
+    @property
+    def candidates_feasible(self) -> int:
+        """Number that produced a feasible schedule."""
+        return sum(1 for e in self.evaluations if e.feasible)
+
+    def ranked(self, top: int = 5) -> list[CandidateEvaluation]:
+        """The best ``top`` feasible candidates, best first."""
+        feasible = [e for e in self.evaluations if e.feasible]
+        feasible.sort(key=lambda e: e.objective)
+        return feasible[: max(0, top)]
+
+    def explain(self, top: int = 5) -> str:
+        """Human-readable account of the decision.
+
+        Shows the winning schedule and the runners-up with their predicted
+        objectives — the paper's "consider more options ... at machine
+        speeds" made inspectable, so a user can see *why* the agent chose
+        what it chose.
+        """
+        lines = [
+            f"Considered {self.candidates_considered} candidate resource sets "
+            f"({self.candidates_feasible} feasible) under metric "
+            f"{self.metric!r}.",
+            "",
+            "Chosen schedule:",
+            self.best.describe(),
+            "",
+            f"Top {top} candidates by predicted objective:",
+        ]
+        for rank, ev in enumerate(self.ranked(top), start=1):
+            marker = " <- chosen" if ev.schedule is self.best else ""
+            lines.append(
+                f"  {rank}. objective={ev.objective:.6g}  "
+                f"machines={','.join(ev.resource_set)}{marker}"
+            )
+        return "\n".join(lines)
+
+
+class AppLeSAgent:
+    """An application-level scheduling agent.
+
+    Parameters
+    ----------
+    info:
+        The Information Pool (resources + NWS + HAT + US + models).
+    planner:
+        The application's Planner.
+    selector:
+        Resource Selector (defaults to exhaustive-up-to-12 enumeration).
+    estimator:
+        Performance Estimator; by default built from the User
+        Specification's ``performance_metric``.
+    actuator:
+        Actuator; defaults to a :class:`~repro.core.actuator.RecordingActuator`.
+    """
+
+    def __init__(
+        self,
+        info: InformationPool,
+        planner: Planner,
+        selector: ResourceSelector | None = None,
+        estimator: PerformanceEstimator | None = None,
+        actuator: Actuator | None = None,
+    ) -> None:
+        self.info = info
+        self.planner = planner
+        self.selector = selector if selector is not None else ResourceSelector()
+        if estimator is None:
+            estimator = make_estimator(info.userspec.performance_metric)
+        self.estimator = estimator
+        self.actuator = actuator if actuator is not None else RecordingActuator()
+
+    def schedule(self) -> ScheduleDecision:
+        """Run blueprint steps 1–3: select, plan, estimate, choose.
+
+        Raises ``RuntimeError`` when no candidate resource set yields a
+        feasible schedule (e.g. the User Specification filtered everything
+        out).
+        """
+        candidate_sets = self.selector.candidate_sets(self.info)
+        if not candidate_sets:
+            raise RuntimeError(
+                "Resource Selector produced no candidate sets "
+                "(User Specification too restrictive?)"
+            )
+        evaluations: list[CandidateEvaluation] = []
+        best: Schedule | None = None
+        best_obj = float("inf")
+        for rset in candidate_sets:
+            sched = self.planner.plan(rset, self.info)
+            if sched is None:
+                evaluations.append(CandidateEvaluation(rset, None, float("inf")))
+                continue
+            obj = self.estimator.objective(sched, self.info)
+            evaluations.append(CandidateEvaluation(rset, sched, obj))
+            if obj < best_obj:
+                best, best_obj = sched, obj
+        if best is None:
+            raise RuntimeError(
+                f"no feasible schedule across {len(candidate_sets)} candidate resource sets"
+            )
+        return ScheduleDecision(
+            best=best,
+            best_objective=best_obj,
+            evaluations=evaluations,
+            metric=self.info.userspec.performance_metric,
+        )
+
+    def run(self, t0: float = 0.0) -> tuple[ScheduleDecision, Any]:
+        """Blueprint steps 1–4: schedule, then actuate the winner at ``t0``."""
+        decision = self.schedule()
+        result = self.actuator.actuate(decision.best, self.info, t0)
+        return decision, result

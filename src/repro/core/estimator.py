@@ -1,0 +1,126 @@
+"""Performance Estimators.
+
+"The Performance Estimator generates a performance estimate for candidate
+schedules according to the user's performance metric" (§4.1).  §3.1 lists
+the common criteria — execution time, speedup, cost — and stresses that
+*distinct users optimise the same resources for different metrics at the
+same time*.  Every estimator here returns an **objective to minimise** so
+the Coordinator can compare candidates uniformly; the human-readable value
+of the metric is available separately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.infopool import InformationPool
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "PerformanceEstimator",
+    "ExecutionTimeEstimator",
+    "SpeedupEstimator",
+    "CostEstimator",
+    "make_estimator",
+]
+
+
+class PerformanceEstimator(Protocol):
+    """Protocol: score a candidate schedule (lower objective = better)."""
+
+    def objective(self, schedule: Schedule, info: InformationPool) -> float:
+        """The quantity the Coordinator minimises."""
+        ...
+
+    def metric_value(self, schedule: Schedule, info: InformationPool) -> float:
+        """The user-facing value of the metric (e.g. actual speedup)."""
+        ...
+
+
+class ExecutionTimeEstimator:
+    """Minimise predicted execution time — the Jacobi2D paper metric (§5)."""
+
+    name = "execution_time"
+
+    def objective(self, schedule: Schedule, info: InformationPool) -> float:
+        return schedule.predicted_time
+
+    def metric_value(self, schedule: Schedule, info: InformationPool) -> float:
+        return schedule.predicted_time
+
+
+class SpeedupEstimator:
+    """Maximise predicted speedup over the best single-machine run (§3.1).
+
+    ``baseline`` supplies the single-machine reference time; by default it
+    is computed lazily as the best predicted time over all singleton
+    resource sets using a caller-provided planner.
+    """
+
+    name = "speedup"
+
+    def __init__(self, baseline: float | Callable[[InformationPool], float]) -> None:
+        self._baseline = baseline
+        self._cached: float | None = None
+
+    def _baseline_time(self, info: InformationPool) -> float:
+        if self._cached is None:
+            self._cached = (
+                self._baseline(info) if callable(self._baseline) else float(self._baseline)
+            )
+            if self._cached <= 0:
+                raise ValueError("speedup baseline must be positive")
+        return self._cached
+
+    def objective(self, schedule: Schedule, info: InformationPool) -> float:
+        # Maximising speedup == minimising time/baseline.
+        return schedule.predicted_time / self._baseline_time(info)
+
+    def metric_value(self, schedule: Schedule, info: InformationPool) -> float:
+        if schedule.predicted_time <= 0:
+            return float("inf")
+        return self._baseline_time(info) / schedule.predicted_time
+
+
+class CostEstimator:
+    """Minimise monetary cost of cycles (§3.1's "cost of execution cycles").
+
+    Cost = predicted time × sum of the per-second rates of the machines
+    used (from the User Specifications); machines without a listed rate are
+    free.  ``time_weight`` blends execution time back in so ties break
+    toward faster schedules.
+    """
+
+    name = "cost"
+
+    def __init__(self, time_weight: float = 0.0) -> None:
+        if time_weight < 0:
+            raise ValueError("time_weight must be >= 0")
+        self.time_weight = time_weight
+
+    def _cost(self, schedule: Schedule, info: InformationPool) -> float:
+        rates = info.userspec.cost_per_cpu_second
+        rate_sum = sum(rates.get(m, 0.0) for m in schedule.resource_set)
+        return schedule.predicted_time * rate_sum
+
+    def objective(self, schedule: Schedule, info: InformationPool) -> float:
+        return self._cost(schedule, info) + self.time_weight * schedule.predicted_time
+
+    def metric_value(self, schedule: Schedule, info: InformationPool) -> float:
+        return self._cost(schedule, info)
+
+
+def make_estimator(metric: str, **kwargs) -> PerformanceEstimator:
+    """Factory mapping a User Specification metric name to an estimator.
+
+    ``speedup`` requires a ``baseline`` keyword (seconds, or a callable).
+    """
+    if metric == "execution_time":
+        return ExecutionTimeEstimator()
+    if metric == "speedup":
+        if "baseline" not in kwargs:
+            raise ValueError("speedup estimator requires a baseline")
+        return SpeedupEstimator(kwargs["baseline"])
+    if metric == "cost":
+        return CostEstimator(kwargs.get("time_weight", 0.0))
+    raise ValueError(f"unknown performance metric {metric!r}")

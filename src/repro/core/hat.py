@@ -1,0 +1,192 @@
+"""The Heterogeneous Application Template (HAT).
+
+"The HAT is an interface in which the user provides specific information
+about the structure, characteristics and current implementations of the
+application and its tasks" (§4.1).  Following §3.4, the template carries
+three categories of attributes:
+
+- **task-specific implementation characteristics** —
+  :class:`TaskCharacteristics`: computational paradigm, work and memory per
+  unit, per-architecture implementations;
+- **inter-task communication characteristics** —
+  :class:`CommunicationCharacteristics`: data format, pipeline size,
+  regularity/frequency;
+- **application structure information** — :class:`StructureInfo`:
+  problem size, iteration pattern, I/O.
+
+The template is deliberately declarative: planners read it, they never
+write it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_in, check_nonnegative, check_positive
+
+__all__ = [
+    "TaskCharacteristics",
+    "CommunicationCharacteristics",
+    "StructureInfo",
+    "HeterogeneousApplicationTemplate",
+]
+
+#: Computational paradigms the framework understands.
+PARADIGMS = ("data-parallel", "task-parallel", "pipeline", "master-worker")
+
+#: Communication patterns the framework understands.
+COMM_PATTERNS = ("stencil", "pipeline", "none", "gather", "all-to-all")
+
+
+@dataclass(frozen=True)
+class TaskCharacteristics:
+    """Implementation characteristics of one application task.
+
+    Parameters
+    ----------
+    name:
+        Task name (e.g. ``"jacobi-sweep"``, ``"LHSF"``).
+    flop_per_unit:
+        Floating-point operations per work unit (e.g. per grid point, per
+        surface function, per event) in MFLOP.
+    bytes_per_unit:
+        Memory bytes per resident work unit.
+    implementations:
+        Mapping architecture tag → relative efficiency of this task's
+        implementation on that architecture (1.0 = delivers the host's full
+        nominal rate).  3D-REACT's vectorised Log-D on the C90 vs. the
+        message-passing Log-D on the Paragon is the motivating example
+        (§2.3); an architecture absent from the map cannot run the task.
+        An *empty* map means a portable implementation that runs anywhere
+        at efficiency 1.0.
+    divisible:
+        True when the task's work can be split across machines
+        (data-parallel); False for atomic placement (task-parallel).
+    """
+
+    name: str
+    flop_per_unit: float
+    bytes_per_unit: float = 0.0
+    implementations: dict[str, float] = field(default_factory=dict)
+    divisible: bool = True
+
+    def __post_init__(self) -> None:
+        check_nonnegative("flop_per_unit", self.flop_per_unit)
+        check_nonnegative("bytes_per_unit", self.bytes_per_unit)
+        for arch, eff in self.implementations.items():
+            if not (0.0 < eff <= 1.5):
+                raise ValueError(
+                    f"implementation efficiency for {arch!r} must be in (0, 1.5], got {eff}"
+                )
+
+    def efficiency_on(self, arch: str) -> float:
+        """Relative efficiency on ``arch``; 0.0 if the task cannot run there."""
+        if not self.implementations:
+            return 1.0
+        return self.implementations.get(arch, 0.0)
+
+    def can_run_on(self, arch: str) -> bool:
+        """Whether an implementation exists for ``arch``."""
+        return self.efficiency_on(arch) > 0.0
+
+
+@dataclass(frozen=True)
+class CommunicationCharacteristics:
+    """Inter-task communication characteristics.
+
+    Parameters
+    ----------
+    pattern:
+        One of :data:`COMM_PATTERNS`.
+    bytes_per_border_unit:
+        For stencil patterns: bytes exchanged per border unit per step.
+    pipeline_unit_bytes:
+        For pipeline patterns: bytes transferred per pipeline unit.
+    pipeline_size_range:
+        (min, max) admissible pipeline sizes in work units — 3D-REACT's
+        "5 to 20 surface functions per subdomain" (§2.3).
+    conversion_overhead:
+        Fractional cost of data-format conversion when the endpoints have
+        different architectures (the Cray→Delta float conversion of §2.3).
+    frequency_per_iteration:
+        Messages per step per neighbour.
+    """
+
+    pattern: str = "none"
+    bytes_per_border_unit: float = 0.0
+    pipeline_unit_bytes: float = 0.0
+    pipeline_size_range: tuple[int, int] = (1, 1)
+    conversion_overhead: float = 0.0
+    frequency_per_iteration: int = 1
+
+    def __post_init__(self) -> None:
+        check_in("pattern", self.pattern, COMM_PATTERNS)
+        check_nonnegative("bytes_per_border_unit", self.bytes_per_border_unit)
+        check_nonnegative("pipeline_unit_bytes", self.pipeline_unit_bytes)
+        check_nonnegative("conversion_overhead", self.conversion_overhead)
+        lo, hi = self.pipeline_size_range
+        if lo < 1 or hi < lo:
+            raise ValueError(
+                f"pipeline_size_range must satisfy 1 <= lo <= hi, got {self.pipeline_size_range}"
+            )
+        if self.frequency_per_iteration < 0:
+            raise ValueError("frequency_per_iteration must be >= 0")
+
+
+@dataclass(frozen=True)
+class StructureInfo:
+    """Application structure information.
+
+    Parameters
+    ----------
+    total_units:
+        Total work units (grid points, surface functions, events).
+    iterations:
+        Steps the application will run (1 for single-pass codes).
+    io_bytes:
+        Input/output volume moved at start/end.
+    unifying_structure:
+        Free-form tag for the data structure tying tasks together
+        (``"2d-grid"``, ``"event-stream"``, ``"subdomain-pipeline"``).
+    """
+
+    total_units: float
+    iterations: int = 1
+    io_bytes: float = 0.0
+    unifying_structure: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("total_units", self.total_units)
+        check_positive("iterations", self.iterations)
+        check_nonnegative("io_bytes", self.io_bytes)
+
+
+@dataclass(frozen=True)
+class HeterogeneousApplicationTemplate:
+    """The complete HAT handed to an AppLeS agent."""
+
+    name: str
+    paradigm: str
+    tasks: tuple[TaskCharacteristics, ...]
+    communication: CommunicationCharacteristics
+    structure: StructureInfo
+
+    def __post_init__(self) -> None:
+        check_in("paradigm", self.paradigm, PARADIGMS)
+        if not self.tasks:
+            raise ValueError("HAT must declare at least one task")
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names in HAT: {names}")
+
+    def task(self, name: str) -> TaskCharacteristics:
+        """Look up a task by name."""
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"HAT {self.name!r} has no task {name!r}")
+
+    @property
+    def total_flop(self) -> float:
+        """Total MFLOP over all tasks for one pass over all units."""
+        return self.structure.total_units * sum(t.flop_per_unit for t in self.tasks)

@@ -1,0 +1,65 @@
+"""The Information Pool.
+
+"Application-specific, system-specific, and dynamic information used by
+these subsystems constitute an Information Pool which all subsystems
+share" (§4.1).  Four sources feed it: the Network Weather Service (via the
+:class:`~repro.core.resources.ResourcePool`), the HAT, the Models, and the
+User Specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.hat import HeterogeneousApplicationTemplate
+from repro.core.resources import ResourcePool
+from repro.core.userspec import UserSpecification
+
+__all__ = ["InformationPool"]
+
+
+@dataclass
+class InformationPool:
+    """Shared state for one AppLeS agent's subsystems.
+
+    Attributes
+    ----------
+    pool:
+        The resource pool (wraps the topology and, when present, the NWS —
+        the *dynamic* information source).
+    hat:
+        The Heterogeneous Application Template (*application-specific*).
+    userspec:
+        The User Specifications (*user-specific* — the ingredient the paper
+        singles out as distinguishing AppLeS from Mars et al., §4.2).
+    models:
+        Named performance models registered by the application (e.g. the
+        Jacobi strip cost model, the 3D-REACT pipeline model).  Planners and
+        Estimators look their models up here so experiments can swap them.
+    """
+
+    pool: ResourcePool
+    hat: HeterogeneousApplicationTemplate
+    userspec: UserSpecification = field(default_factory=UserSpecification)
+    models: dict[str, Any] = field(default_factory=dict)
+
+    def register_model(self, name: str, model: Any) -> None:
+        """Add or replace a named performance model."""
+        if not name:
+            raise ValueError("model name must be non-empty")
+        self.models[name] = model
+
+    def model(self, name: str) -> Any:
+        """Look up a model registered by the application."""
+        try:
+            return self.models[name]
+        except KeyError:
+            raise KeyError(
+                f"no model {name!r} registered (have: {sorted(self.models)})"
+            ) from None
+
+    @property
+    def has_dynamic_information(self) -> bool:
+        """True when an NWS feeds this pool (§3.2's dynamic system state)."""
+        return self.pool.nws is not None

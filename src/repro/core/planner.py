@@ -1,0 +1,236 @@
+"""Planners: resource set → candidate schedule.
+
+"The Planner generates a description of a resource-dependent schedule from
+a given resource combination" (§4.1).  Each application ships its own
+planner; this module provides the protocol plus the workhorse they share:
+:func:`balance_divisible_work`, which balances *time* (not work) across
+heterogeneous machines — the essence of the AppLeS Jacobi2D partitioner
+("AppLeS seeks to balance time directly", §5).
+
+The balancing problem: machines ``i`` process work at predicted rate
+``r_i`` (units/second) and pay a fixed per-step cost ``c_i`` (seconds,
+typically communication).  Find non-negative allocations ``A_i`` summing to
+``U`` that minimise ``max_i (A_i / r_i + c_i)``.  At the optimum every
+machine with ``A_i > 0`` finishes at the same instant ``T``, so
+``A_i = r_i (T - c_i)``; machines whose fixed cost exceeds ``T`` get
+nothing (dropping them is *resource selection falling out of planning*).
+Capacity limits (real memory) clamp allocations and the remainder
+re-balances over the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.infopool import InformationPool
+from repro.core.schedule import Schedule
+from repro.util.validation import check_positive
+
+__all__ = ["Planner", "BalanceResult", "balance_divisible_work", "TimeBalancedPlanner"]
+
+
+class Planner(Protocol):
+    """Protocol all application planners implement."""
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        """Produce a candidate schedule for ``resource_set``.
+
+        Returns None when no feasible schedule exists on this set (e.g. a
+        required task has no implementation on any member architecture).
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """Outcome of :func:`balance_divisible_work`.
+
+    Attributes
+    ----------
+    allocations:
+        Work units per input machine (0.0 for dropped machines), aligned
+        with the input order.
+    makespan:
+        The common finish time ``T`` of the loaded machines.
+    dropped:
+        Indices whose fixed cost made them useless at the optimum.
+    saturated:
+        Indices clamped at their capacity.
+    """
+
+    allocations: list[float]
+    makespan: float
+    dropped: tuple[int, ...]
+    saturated: tuple[int, ...]
+
+
+def balance_divisible_work(
+    rates: Sequence[float],
+    fixed_costs: Sequence[float],
+    total_units: float,
+    capacities: Sequence[float] | None = None,
+) -> BalanceResult | None:
+    """Time-balance ``total_units`` of divisible work across machines.
+
+    Parameters
+    ----------
+    rates:
+        Predicted processing rates ``r_i`` in units/second (must be > 0; a
+        machine predicted to deliver nothing should be excluded upstream).
+    fixed_costs:
+        Per-step fixed costs ``c_i`` in seconds (communication, startup).
+    total_units:
+        Work to distribute, ``U > 0``.
+    capacities:
+        Optional per-machine maximum units (e.g. what fits in real memory).
+        ``None`` entries mean unbounded.
+
+    Returns
+    -------
+    BalanceResult, or None when the capacities cannot hold ``U``.
+    """
+    n = len(rates)
+    if n == 0:
+        return None
+    if len(fixed_costs) != n:
+        raise ValueError("rates and fixed_costs length mismatch")
+    check_positive("total_units", total_units)
+    rates = [float(r) for r in rates]
+    fixed_costs = [float(c) for c in fixed_costs]
+    for i, r in enumerate(rates):
+        if r <= 0:
+            raise ValueError(f"rate[{i}] must be > 0, got {r}")
+        if fixed_costs[i] < 0:
+            raise ValueError(f"fixed_costs[{i}] must be >= 0, got {fixed_costs[i]}")
+    caps = [None] * n if capacities is None else [
+        None if c is None else float(c) for c in capacities
+    ]
+
+    alloc = [0.0] * n
+    active = set(range(n))
+    saturated: set[int] = set()
+    remaining = float(total_units)
+
+    # Each pass either drops a machine, saturates a machine, or terminates;
+    # at most 2n passes.
+    for _ in range(2 * n + 1):
+        if not active:
+            return None  # capacity exhausted before all work placed
+        rate_sum = sum(rates[i] for i in active)
+        weighted_cost = sum(rates[i] * fixed_costs[i] for i in active)
+        t = (remaining + weighted_cost) / rate_sum
+        # Drop machines whose fixed cost alone exceeds the balanced time.
+        useless = [i for i in active if fixed_costs[i] >= t]
+        if useless:
+            # Drop only the single worst offender per pass: removing one can
+            # change T for the rest.
+            worst = max(useless, key=lambda i: fixed_costs[i])
+            active.discard(worst)
+            continue
+        trial = {i: rates[i] * (t - fixed_costs[i]) for i in active}
+        over = [
+            i for i in active
+            if caps[i] is not None and trial[i] > caps[i] + 1e-9  # type: ignore[operator]
+        ]
+        if over:
+            # Saturate the most-over machine and re-balance the remainder.
+            worst = max(over, key=lambda i: trial[i] - caps[i])  # type: ignore[operator]
+            alloc[worst] = float(caps[worst])  # type: ignore[arg-type]
+            remaining -= alloc[worst]
+            saturated.add(worst)
+            active.discard(worst)
+            if remaining <= 1e-12:
+                # Capacities consumed everything; ensure nothing negative.
+                remaining = 0.0
+                break
+            continue
+        for i in active:
+            alloc[i] = trial[i]
+        remaining = 0.0
+        break
+    else:  # pragma: no cover - loop bound is structural
+        raise RuntimeError("balance_divisible_work failed to converge")
+
+    if remaining > 1e-9:
+        return None
+
+    dropped = tuple(
+        i for i in range(n) if alloc[i] == 0.0 and i not in saturated
+    )
+    makespan = max(
+        (alloc[i] / rates[i] + fixed_costs[i]) for i in range(n) if alloc[i] > 0
+    ) if any(a > 0 for a in alloc) else 0.0
+    return BalanceResult(
+        allocations=alloc,
+        makespan=makespan,
+        dropped=dropped,
+        saturated=tuple(sorted(saturated)),
+    )
+
+
+class TimeBalancedPlanner:
+    """Generic planner for single-task divisible (data-parallel) applications.
+
+    Rates come from the Information Pool's dynamic speed forecasts scaled by
+    the task's per-architecture efficiency; fixed costs default to zero
+    (no coupling).  Applications with real communication structure subclass
+    or wrap this — see :class:`repro.jacobi.apples.JacobiPlanner`.
+    """
+
+    def __init__(self, task_name: str | None = None) -> None:
+        self.task_name = task_name
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        from repro.core.schedule import Allocation  # local to avoid cycle at import
+
+        machines = list(resource_set)
+        if not machines:
+            return None
+        task = (
+            info.hat.task(self.task_name)
+            if self.task_name is not None
+            else info.hat.tasks[0]
+        )
+        rates: list[float] = []
+        usable: list[str] = []
+        caps: list[float | None] = []
+        for name in machines:
+            m = info.pool.machine_info(name)
+            eff = task.efficiency_on(m.arch)
+            if eff <= 0.0:
+                continue
+            speed = info.pool.predicted_speed(name) * eff
+            if speed <= 0.0 or task.flop_per_unit <= 0.0:
+                continue
+            rates.append(speed / task.flop_per_unit)
+            usable.append(name)
+            if task.bytes_per_unit > 0:
+                caps.append(m.memory_available_mb * 1e6 / task.bytes_per_unit)
+            else:
+                caps.append(None)
+        if not usable:
+            return None
+        total = info.hat.structure.total_units
+        result = balance_divisible_work(rates, [0.0] * len(usable), total, caps)
+        if result is None:
+            return None
+        allocations = [
+            Allocation(
+                machine=name,
+                task=task.name,
+                work_units=units,
+                footprint_mb=units * task.bytes_per_unit / 1e6,
+            )
+            for name, units in zip(usable, result.allocations)
+            if units > 0.0
+        ]
+        if not allocations:
+            return None
+        predicted = result.makespan * info.hat.structure.iterations
+        return Schedule(
+            allocations=allocations,
+            predicted_time=predicted,
+            decomposition="divisible",
+            metadata={"per_step_time": result.makespan},
+        )

@@ -1,0 +1,119 @@
+"""Schedule data model.
+
+A :class:`Schedule` is the Planner's output and the Estimator's and
+Actuator's input: which machines participate, how much work each carries,
+what each exchanges with whom, and the prediction that justified choosing
+it.  Schedules are plain data — they can be printed, compared and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.validation import check_nonnegative
+
+__all__ = ["Allocation", "Schedule"]
+
+
+@dataclass
+class Allocation:
+    """One machine's share of the application.
+
+    Parameters
+    ----------
+    machine:
+        Machine name.
+    task:
+        Which HAT task this allocation executes.
+    work_units:
+        Work units assigned (grid points, surface functions, events).
+    footprint_mb:
+        Resident working set implied by the assignment.
+    comm_bytes:
+        Peer machine → bytes exchanged per step.
+    """
+
+    machine: str
+    task: str
+    work_units: float
+    footprint_mb: float = 0.0
+    comm_bytes: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_nonnegative("work_units", self.work_units)
+        check_nonnegative("footprint_mb", self.footprint_mb)
+        for peer, nbytes in self.comm_bytes.items():
+            check_nonnegative(f"comm_bytes[{peer!r}]", nbytes)
+
+
+@dataclass
+class Schedule:
+    """A complete candidate schedule.
+
+    Attributes
+    ----------
+    allocations:
+        Per-machine allocations (order is meaningful for strip
+        decompositions: allocations appear in strip order).
+    predicted_time:
+        The Planner/Estimator's predicted execution time in seconds.
+    resource_set:
+        The machine names the schedule uses.
+    decomposition:
+        Family tag (``"strip"``, ``"blocked"``, ``"pipeline"``, ...).
+    metadata:
+        Planner-specific extras (e.g. pipeline size, per-machine predicted
+        step times) surfaced in reports.
+    """
+
+    allocations: list[Allocation]
+    predicted_time: float
+    decomposition: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.allocations:
+            raise ValueError("a schedule needs at least one allocation")
+        names = [a.machine for a in self.allocations]
+        # Task-parallel schedules may place two tasks on one machine, so
+        # (machine, task) must be unique rather than machine alone.
+        keys = [(a.machine, a.task) for a in self.allocations]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate (machine, task) in schedule: {keys}")
+        check_nonnegative("predicted_time", self.predicted_time)
+        self._machines = names
+
+    @property
+    def resource_set(self) -> tuple[str, ...]:
+        """Machines used, deduplicated, in allocation order."""
+        seen: dict[str, None] = {}
+        for a in self.allocations:
+            seen.setdefault(a.machine, None)
+        return tuple(seen)
+
+    @property
+    def total_work_units(self) -> float:
+        """Sum of allocated work units."""
+        return sum(a.work_units for a in self.allocations)
+
+    def allocation_for(self, machine: str, task: str | None = None) -> Allocation:
+        """Find the allocation of ``machine`` (optionally for a given task)."""
+        for a in self.allocations:
+            if a.machine == machine and (task is None or a.task == task):
+                return a
+        raise KeyError(f"no allocation for machine {machine!r} task {task!r}")
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"Schedule[{self.decomposition or 'generic'}] "
+            f"predicted={self.predicted_time:.4g}s machines={len(self.resource_set)}"
+        ]
+        for a in self.allocations:
+            comm = sum(a.comm_bytes.values())
+            lines.append(
+                f"  {a.machine:<10s} task={a.task:<12s} units={a.work_units:<12.6g} "
+                f"mem={a.footprint_mb:.3g}MB comm={comm:.3g}B"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""User Specifications (US).
+
+"User Specifications provide information on the user's criteria for
+performance, execution constraints, preferences for implementation, login
+information, etc." (§4.1).  §3.5 stresses that user preferences "act as a
+filter over the possible resources and implementations": the CLEO/NILE
+researchers required a CORBA ORB on every processor; the 3D-REACT
+developers wanted the CASA platform specifically.
+
+This module is pure data plus the filter predicate; the Resource Selector
+applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resources import MachineInfo
+from repro.util.validation import check_in
+
+__all__ = ["UserSpecification", "PERFORMANCE_METRICS"]
+
+#: Performance criteria the Estimator knows how to optimise (§3.1).
+PERFORMANCE_METRICS = ("execution_time", "speedup", "cost")
+
+
+@dataclass
+class UserSpecification:
+    """Constraints and preferences the user imposes on scheduling.
+
+    Parameters
+    ----------
+    accessible_machines:
+        Machines the user holds logins on; ``None`` means all machines in
+        the pool.
+    excluded_machines:
+        Machines to never use (overrides accessibility).
+    required_capabilities:
+        Capability strings every selected machine must offer
+        (e.g. ``{"corba-orb"}`` for NILE).
+    preferred_sites:
+        Sites to favour when ranking candidate sets (a soft preference:
+        candidate sets drawn from preferred sites are tried first).
+    performance_metric:
+        One of :data:`PERFORMANCE_METRICS`.
+    decomposition_preference:
+        Decomposition families the Planner may consider; the paper's
+        Jacobi2D user specified "only strip decompositions should be
+        considered" (§5).
+    max_machines:
+        Upper bound on machines in a schedule (None = unlimited).
+    cost_per_cpu_second:
+        Mapping machine name → monetary cost rate, used by the cost metric;
+        machines absent from the map cost 0.
+    logins:
+        Informational mapping machine → login id (carried, never
+        interpreted — the Actuator of a real deployment would use it).
+    """
+
+    accessible_machines: frozenset[str] | None = None
+    excluded_machines: frozenset[str] = frozenset()
+    required_capabilities: frozenset[str] = frozenset()
+    preferred_sites: tuple[str, ...] = ()
+    performance_metric: str = "execution_time"
+    decomposition_preference: tuple[str, ...] = ("strip",)
+    max_machines: int | None = None
+    cost_per_cpu_second: dict[str, float] = field(default_factory=dict)
+    logins: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_in("performance_metric", self.performance_metric, PERFORMANCE_METRICS)
+        if self.accessible_machines is not None:
+            self.accessible_machines = frozenset(self.accessible_machines)
+        self.excluded_machines = frozenset(self.excluded_machines)
+        self.required_capabilities = frozenset(self.required_capabilities)
+        if self.max_machines is not None and self.max_machines < 1:
+            raise ValueError(f"max_machines must be >= 1, got {self.max_machines}")
+
+    def permits(self, machine: MachineInfo) -> bool:
+        """The §3.5 filter: may this machine appear in any schedule?"""
+        if machine.name in self.excluded_machines:
+            return False
+        if (
+            self.accessible_machines is not None
+            and machine.name not in self.accessible_machines
+        ):
+            return False
+        if not self.required_capabilities <= machine.capabilities:
+            return False
+        return True
+
+    def site_preference_rank(self, site: str) -> int:
+        """Rank of ``site`` in the preference list (lower = more preferred;
+        unlisted sites rank after all listed ones)."""
+        try:
+            return self.preferred_sites.index(site)
+        except ValueError:
+            return len(self.preferred_sites)

@@ -1,0 +1,136 @@
+"""The wait-or-run decision (§3.2).
+
+"When dedicated resources are considered, the user must determine whether
+to wait until the resources will be available or to execute the
+application with lesser performance on the resources currently available.
+Users make these decisions all the time by estimating the sum of the wait
+time and the dedicated time and comparing it with a prediction of the
+slowdown the application will experience on non-dedicated resources."
+
+:func:`decide_wait_or_run` formalises exactly that comparison using the
+same Planner/Information Pool machinery as everything else: the
+"run now" branch plans on the currently accessible (shared) machines with
+live forecasts; the "wait" branch plans on the reservation's dedicated
+machines at full availability, delayed by the queue wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.infopool import InformationPool
+from repro.core.planner import Planner
+from repro.core.resources import ResourcePool
+from repro.core.schedule import Schedule
+from repro.util.validation import check_nonnegative
+
+__all__ = ["Reservation", "WaitOrRunDecision", "decide_wait_or_run"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A promise of dedicated machines after a queue wait.
+
+    Parameters
+    ----------
+    machines:
+        Machines that will be dedicated to the application.
+    wait_s:
+        Expected queue wait before they become available (the batch
+        system's estimate — e.g. the 17 dedicated C90/Paragon hours the
+        3D-REACT team had to book).
+    """
+
+    machines: tuple[str, ...]
+    wait_s: float
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ValueError("a reservation needs at least one machine")
+        check_nonnegative("wait_s", self.wait_s)
+
+
+@dataclass(frozen=True)
+class WaitOrRunDecision:
+    """The comparison's outcome.
+
+    Attributes
+    ----------
+    wait:
+        True when queueing for the dedicated resources is predicted to
+        finish sooner.
+    run_now_s:
+        Predicted completion time running immediately on shared resources
+        (execution only — it starts now).
+    wait_total_s:
+        Queue wait plus predicted dedicated execution.
+    now_schedule / dedicated_schedule:
+        The plans behind each branch (either may be None if that branch
+        is infeasible; an infeasible branch loses automatically).
+    """
+
+    wait: bool
+    run_now_s: float
+    wait_total_s: float
+    now_schedule: Schedule | None
+    dedicated_schedule: Schedule | None
+
+    @property
+    def advantage_s(self) -> float:
+        """How many seconds the chosen branch saves over the other."""
+        return abs(self.run_now_s - self.wait_total_s)
+
+
+def decide_wait_or_run(
+    info: InformationPool,
+    planner: Planner,
+    reservation: Reservation,
+    shared_machines: Sequence[str] | None = None,
+) -> WaitOrRunDecision:
+    """Run the §3.2 comparison.
+
+    Parameters
+    ----------
+    info:
+        The Information Pool (its NWS feeds the "run now" branch).
+    planner:
+        The application's planner, used for both branches.
+    reservation:
+        The dedicated offer.
+    shared_machines:
+        Machines accessible right now; defaults to every machine the User
+        Specification permits.
+    """
+    # Branch 1: run now on shared resources, with live forecasts.
+    if shared_machines is None:
+        shared_machines = [
+            m.name for m in info.pool.machines() if info.userspec.permits(m)
+        ]
+    now_schedule = planner.plan(list(shared_machines), info) if shared_machines else None
+    run_now = now_schedule.predicted_time if now_schedule is not None else float("inf")
+
+    # Branch 2: wait, then run on dedicated machines at full availability.
+    # A nominal pool models dedication: availability 1, no forecast error.
+    dedicated_info = InformationPool(
+        pool=ResourcePool(info.pool.topology, nws=None),
+        hat=info.hat,
+        userspec=info.userspec,
+        models=info.models,
+    )
+    dedicated_schedule = planner.plan(list(reservation.machines), dedicated_info)
+    wait_total = (
+        reservation.wait_s + dedicated_schedule.predicted_time
+        if dedicated_schedule is not None
+        else float("inf")
+    )
+
+    if run_now == float("inf") and wait_total == float("inf"):
+        raise RuntimeError("neither branch of wait-or-run is feasible")
+    return WaitOrRunDecision(
+        wait=wait_total < run_now,
+        run_now_s=run_now,
+        wait_total_s=wait_total,
+        now_schedule=now_schedule,
+        dedicated_schedule=dedicated_schedule,
+    )

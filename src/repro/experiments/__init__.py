@@ -1,0 +1,72 @@
+"""Experiment drivers reproducing the paper's figures and claims.
+
+Each module implements one evaluation artifact end-to-end (build testbed →
+warm NWS → schedule → execute on the simulator → tabulate), so the
+benchmark harness, the examples and the integration tests all run the
+*same* code:
+
+- :mod:`repro.experiments.fig34` — Figures 3 & 4 (partition geometry),
+- :mod:`repro.experiments.fig5` — Figure 5 (AppLeS vs Strip vs Blocked),
+- :mod:`repro.experiments.fig6` — Figure 6 (memory-aware scheduling),
+- :mod:`repro.experiments.react_exp` — the §2.3 3D-REACT claims,
+- :mod:`repro.experiments.nile_exp` — the §2.1 skim-vs-remote decision,
+- :mod:`repro.experiments.nws_exp` — forecaster-quality ablation (§3.6),
+- :mod:`repro.experiments.ablation` — information/selection ablations.
+"""
+
+from repro.experiments.ablation import (
+    InformationAblationResult,
+    run_information_ablation,
+    run_selection_ablation,
+)
+from repro.experiments.adaptive_exp import (
+    AdaptiveAblationResult,
+    regime_change_testbed,
+    run_adaptive_ablation,
+)
+from repro.experiments.decomposition_exp import (
+    DecompositionResult,
+    run_decomposition_ablation,
+)
+from repro.experiments.fig34 import Fig34Result, run_fig34
+from repro.experiments.fig5 import Fig5Result, Fig5Row, run_fig5
+from repro.experiments.fig6 import Fig6Result, Fig6Row, run_fig6
+from repro.experiments.metrics_exp import MetricsResult, run_metrics_comparison
+from repro.experiments.multiapp_exp import (
+    MultiAppResult,
+    make_injectable,
+    run_multiapp,
+)
+from repro.experiments.nile_exp import NileSkimResult, run_nile_skim
+from repro.experiments.nws_exp import NwsForecastResult, run_nws_comparison
+from repro.experiments.react_exp import ReactResult, run_react
+
+__all__ = [
+    "run_adaptive_ablation",
+    "AdaptiveAblationResult",
+    "regime_change_testbed",
+    "run_fig34",
+    "run_decomposition_ablation",
+    "DecompositionResult",
+    "Fig34Result",
+    "run_fig5",
+    "Fig5Row",
+    "Fig5Result",
+    "run_fig6",
+    "Fig6Row",
+    "Fig6Result",
+    "run_react",
+    "ReactResult",
+    "run_nile_skim",
+    "run_multiapp",
+    "run_metrics_comparison",
+    "MetricsResult",
+    "MultiAppResult",
+    "make_injectable",
+    "NileSkimResult",
+    "run_nws_comparison",
+    "NwsForecastResult",
+    "run_information_ablation",
+    "InformationAblationResult",
+    "run_selection_ablation",
+]

@@ -1,0 +1,174 @@
+"""Design ablations: what each ingredient of AppLeS is worth.
+
+Two ablations called out in DESIGN.md:
+
+- **ABL-A2 (information)** — the same planner run with three information
+  regimes: *nominal* (no NWS; the compile-time information a careful user
+  has), *NWS* (forecasts; what AppLeS uses), and *oracle* (the simulator's
+  exact availability at schedule time; an upper bound on what measurement
+  could provide).  §3.2/§3.6 argue dynamic prediction is the heart of the
+  approach — this quantifies it.
+- **ABL-A3 (selection)** — the value of choosing a resource *subset*:
+  AppLeS full selection vs being forced to use every feasible machine vs
+  the best single machine.  §5 notes minimal execution time is *not*
+  achieved through maximal resource utilisation; this measures that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.core.selector import ResourceSelector
+from repro.jacobi.apples import JacobiPlanner, make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem, jacobi_hat
+from repro.jacobi.runtime import simulated_execution
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.util.tables import Table
+
+__all__ = [
+    "OraclePool",
+    "InformationAblationResult",
+    "run_information_ablation",
+    "SelectionAblationResult",
+    "run_selection_ablation",
+]
+
+
+class OraclePool(ResourcePool):
+    """A resource pool that predicts with the simulator's ground truth.
+
+    Predictions use the exact availability at a fixed instant ``t_oracle``
+    (the moment the schedule will start).  Still not clairvoyant — load
+    changes *during* the run remain unseen — which is exactly the best any
+    measurement system could do.
+    """
+
+    def __init__(self, topology, t_oracle: float) -> None:
+        super().__init__(topology, nws=None)
+        self.t_oracle = float(t_oracle)
+
+    def predicted_availability(self, name: str) -> float:
+        return self.topology.host(name).availability(self.t_oracle)
+
+    def predicted_speed(self, name: str) -> float:
+        host = self.topology.host(name)
+        return host.speed_mflops * host.availability(self.t_oracle)
+
+    def predicted_bandwidth(self, a: str, b: str, flows: int = 1) -> float:
+        if a == b:
+            return float("inf")
+        return self.topology.path_bandwidth(a, b, self.t_oracle, flows)
+
+
+@dataclass
+class InformationAblationResult:
+    """Execution times under the three information regimes."""
+
+    n: int
+    nominal_s: float
+    nws_s: float
+    oracle_s: float
+
+    def table(self) -> Table:
+        t = Table(
+            ["information", "execution (s)", "vs oracle"],
+            title=f"ABL-A2 — value of dynamic information (Jacobi2D n={self.n})",
+        )
+        for name, value in (
+            ("nominal (static user)", self.nominal_s),
+            ("NWS forecasts (AppLeS)", self.nws_s),
+            ("oracle (truth at t0)", self.oracle_s),
+        ):
+            t.add(name, value, value / self.oracle_s)
+        return t
+
+
+def run_information_ablation(
+    n: int = 1600,
+    iterations: int = 60,
+    seed: int = 1996,
+    warmup_s: float = 600.0,
+) -> InformationAblationResult:
+    """Run ABL-A2: same planner, three information sources, same window."""
+    testbed = sdsc_pcl_testbed(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.warmup(warmup_s)
+    problem = JacobiProblem(n=n, iterations=iterations)
+
+    def run_with(pool: ResourcePool) -> float:
+        info = InformationPool(pool=pool, hat=jacobi_hat(problem))
+        from repro.core.coordinator import AppLeSAgent
+
+        agent = AppLeSAgent(
+            info, planner=JacobiPlanner(problem), selector=ResourceSelector()
+        )
+        sched = agent.schedule().best
+        return simulated_execution(testbed.topology, sched, warmup_s).total_time
+
+    nominal = run_with(ResourcePool(testbed.topology, nws=None))
+    with_nws = run_with(ResourcePool(testbed.topology, nws))
+    oracle = run_with(OraclePool(testbed.topology, warmup_s))
+    return InformationAblationResult(
+        n=n, nominal_s=nominal, nws_s=with_nws, oracle_s=oracle
+    )
+
+
+@dataclass
+class SelectionAblationResult:
+    """Execution times under the three selection regimes."""
+
+    n: int
+    apples_s: float
+    apples_machines: int
+    all_machines_s: float
+    best_single_s: float
+
+    def table(self) -> Table:
+        t = Table(
+            ["selection", "machines", "execution (s)"],
+            title=f"ABL-A3 — value of resource selection (Jacobi2D n={self.n})",
+        )
+        t.add("AppLeS subset selection", self.apples_machines, self.apples_s)
+        t.add("use every machine", 8, self.all_machines_s)
+        t.add("best single machine", 1, self.best_single_s)
+        return t
+
+
+def run_selection_ablation(
+    n: int = 1600,
+    iterations: int = 60,
+    seed: int = 1996,
+    warmup_s: float = 600.0,
+) -> SelectionAblationResult:
+    """Run ABL-A3 with NWS information throughout (isolating selection)."""
+    testbed = sdsc_pcl_testbed(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.warmup(warmup_s)
+    problem = JacobiProblem(n=n, iterations=iterations)
+
+    agent = make_jacobi_agent(testbed, problem, nws)
+    full = agent.schedule().best
+    apples_time = simulated_execution(testbed.topology, full, warmup_s).total_time
+
+    planner = JacobiPlanner(problem)
+    everything = planner.plan(testbed.host_names, agent.info)
+    all_time = simulated_execution(testbed.topology, everything, warmup_s).total_time
+
+    best_single = float("inf")
+    for name in testbed.host_names:
+        sched = planner.plan([name], agent.info)
+        if sched is None:
+            continue
+        t = simulated_execution(testbed.topology, sched, warmup_s).total_time
+        best_single = min(best_single, t)
+
+    return SelectionAblationResult(
+        n=n,
+        apples_s=apples_time,
+        apples_machines=len(full.resource_set),
+        all_machines_s=all_time,
+        best_single_s=best_single,
+    )

@@ -1,0 +1,138 @@
+"""ABL-A4: redistribution during execution (§3.2 extension).
+
+A testbed whose load *regime changes mid-run* is where one-shot scheduling
+breaks: machines that looked excellent at schedule time degrade, and the
+initial partition keeps feeding them.  This experiment builds a scripted
+regime-change metacomputer (deterministic trace loads: group A fast then
+slow, group B slow then fast), runs the same problem with one-shot AppLeS
+and with the adaptive runner, and reports times and redistribution events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jacobi.adaptive import AdaptiveJacobiRunner
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.runtime import simulated_execution
+from repro.nws.service import NetworkWeatherService
+from repro.sim.host import Host
+from repro.sim.link import SharedSegment
+from repro.sim.load import TraceLoad
+from repro.sim.memory import MemoryModel
+from repro.sim.testbeds import Testbed
+from repro.sim.topology import Topology
+from repro.util.tables import Table
+
+__all__ = ["regime_change_testbed", "AdaptiveAblationResult", "run_adaptive_ablation"]
+
+
+def regime_change_testbed(
+    flip_at_s: float = 300.0, dt: float = 5.0, epochs: int = 400
+) -> Testbed:
+    """Six hosts on one fast segment; availability regimes flip at ``flip_at_s``.
+
+    Group A (3 hosts) runs at 0.95 before the flip and 0.25 after; group B
+    mirrors it.  Deterministic, so the experiment isolates the scheduling
+    question from load randomness.
+    """
+    flip_epoch = int(flip_at_s / dt)
+    if flip_epoch <= 0 or flip_epoch >= epochs:
+        raise ValueError("flip must fall inside the trace")
+    a_trace = [0.95] * flip_epoch + [0.25] * (epochs - flip_epoch)
+    b_trace = [0.25] * flip_epoch + [0.95] * (epochs - flip_epoch)
+
+    topo = Topology()
+    members = []
+    for i in range(3):
+        name = f"groupA{i}"
+        topo.add_host(Host(
+            name, speed_mflops=40.0, memory=MemoryModel(128.0, 8.0),
+            load=TraceLoad(a_trace, dt=dt), site="LAB", arch="alpha",
+        ))
+        members.append(name)
+    for i in range(3):
+        name = f"groupB{i}"
+        topo.add_host(Host(
+            name, speed_mflops=40.0, memory=MemoryModel(128.0, 8.0),
+            load=TraceLoad(b_trace, dt=dt), site="LAB", arch="alpha",
+        ))
+        members.append(name)
+    lan = SharedSegment("lan", bandwidth_mbit=100.0, latency_s=0.0005,
+                        mac_efficiency=0.9)
+    topo.attach_segment(lan, members)
+    return Testbed(
+        topology=topo,
+        name="regime-change",
+        segments={"lan": members},
+        notes=f"Deterministic regime flip at t={flip_at_s:g}s.",
+    )
+
+
+@dataclass
+class AdaptiveAblationResult:
+    """One-shot vs adaptive under a mid-run regime change."""
+
+    n: int
+    iterations: int
+    oneshot_s: float
+    adaptive_s: float
+    reschedules: int
+    migration_s: float
+
+    @property
+    def improvement(self) -> float:
+        """One-shot time over adaptive time."""
+        return self.oneshot_s / self.adaptive_s
+
+    def table(self) -> Table:
+        t = Table(
+            ["strategy", "execution (s)", "reschedules", "migration (s)"],
+            title=(
+                f"ABL-A4 — redistribution during execution "
+                f"(Jacobi2D n={self.n}, regime flip mid-run)"
+            ),
+        )
+        t.add("one-shot AppLeS", self.oneshot_s, 0, 0.0)
+        t.add("adaptive AppLeS", self.adaptive_s, self.reschedules, self.migration_s)
+        return t
+
+
+def run_adaptive_ablation(
+    n: int = 1200,
+    iterations: int = 400,
+    warmup_s: float = 120.0,
+    flip_at_s: float = 130.0,
+    check_every: int = 25,
+) -> AdaptiveAblationResult:
+    """Run ABL-A4 on the regime-change testbed.
+
+    The run starts before the flip, so the one-shot schedule is built from
+    (correct!) forecasts that group A is fast — and then the world changes.
+    """
+    # Two independent testbed instances so the one-shot and adaptive runs
+    # see identical load traces without sharing NWS state.
+    problem = JacobiProblem(n=n, iterations=iterations)
+
+    tb1 = regime_change_testbed(flip_at_s=flip_at_s)
+    nws1 = NetworkWeatherService.for_testbed(tb1, seed=3)
+    nws1.warmup(warmup_s)
+    agent = make_jacobi_agent(tb1, problem, nws1)
+    oneshot_sched = agent.schedule().best
+    oneshot = simulated_execution(tb1.topology, oneshot_sched, warmup_s)
+
+    tb2 = regime_change_testbed(flip_at_s=flip_at_s)
+    nws2 = NetworkWeatherService.for_testbed(tb2, seed=3)
+    nws2.warmup(warmup_s)
+    runner = AdaptiveJacobiRunner(tb2, problem, nws2, check_every=check_every)
+    adaptive = runner.run(t0=warmup_s)
+
+    return AdaptiveAblationResult(
+        n=n,
+        iterations=iterations,
+        oneshot_s=oneshot.total_time,
+        adaptive_s=adaptive.total_time,
+        reschedules=adaptive.reschedule_count,
+        migration_s=adaptive.migration_time,
+    )

@@ -1,0 +1,89 @@
+"""Figures 3 & 4: the partitions themselves.
+
+Figure 3 shows the "non-intuitive" AppLeS strip partition of Jacobi2D on
+the SDSC/PCL network — strip heights reflecting *deliverable* rather than
+nominal performance; Figure 4 shows the non-uniform compile-time strip for
+n = 2000×2000, "parameterized by (non-uniform) CPU speeds and bandwidth".
+
+The driver emits both partitions side by side so the contrast the paper
+draws (§5) is directly visible: machines the static partition trusts
+(nominally fast but loaded) shrink or vanish in the AppLeS partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jacobi.apples import StaticStripPlanner, make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.util.tables import Table
+
+__all__ = ["Fig34Result", "run_fig34"]
+
+
+@dataclass
+class Fig34Result:
+    """Row fractions of the AppLeS (Fig. 3) and static (Fig. 4) partitions."""
+
+    n: int
+    apples_rows: dict[str, int]
+    static_rows: dict[str, int]
+    apples_predicted_s: float
+    static_predicted_s: float
+
+    def table(self) -> Table:
+        t = Table(
+            ["machine", "Fig3 AppLeS rows", "Fig3 frac",
+             "Fig4 static rows", "Fig4 frac"],
+            title=f"Figures 3 & 4 — Jacobi2D strip partitions, n={self.n}",
+        )
+        machines = sorted(
+            set(self.apples_rows) | set(self.static_rows),
+            key=lambda m: -self.static_rows.get(m, 0),
+        )
+        for m in machines:
+            a = self.apples_rows.get(m, 0)
+            s = self.static_rows.get(m, 0)
+            t.add(m, a, a / self.n, s, s / self.n)
+        return t
+
+    def ascii_partition(self, which: str = "apples", width: int = 48) -> str:
+        """A Figure 3/4-style picture: horizontal bands labelled by machine."""
+        rows = self.apples_rows if which == "apples" else self.static_rows
+        lines = [f"{which} partition of {self.n}x{self.n}:"]
+        for machine, count in rows.items():
+            band = max(1, round(count / self.n * 12))
+            for i in range(band):
+                label = f" {machine} ({count} rows)" if i == band // 2 else ""
+                lines.append("|" + "-" * width + "|" + label)
+        return "\n".join(lines)
+
+
+def run_fig34(
+    n: int = 2000,
+    iterations: int = 100,
+    seed: int = 1996,
+    warmup_s: float = 600.0,
+) -> Fig34Result:
+    """Produce the Figure 3 (AppLeS) and Figure 4 (static) partitions."""
+    testbed = sdsc_pcl_testbed(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.warmup(warmup_s)
+    problem = JacobiProblem(n=n, iterations=iterations)
+
+    agent = make_jacobi_agent(testbed, problem, nws)
+    apples_sched = agent.schedule().best
+    apples_part = apples_sched.metadata["partition"]
+
+    static_sched = StaticStripPlanner(problem).plan(testbed.host_names, agent.info)
+    static_part = static_sched.metadata["partition"]
+
+    return Fig34Result(
+        n=n,
+        apples_rows={s.machine: s.row_count for s in apples_part.strips},
+        static_rows={s.machine: s.row_count for s in static_part.strips},
+        apples_predicted_s=apples_sched.predicted_time,
+        static_predicted_s=static_sched.predicted_time,
+    )

@@ -1,0 +1,149 @@
+"""Figure 5: execution-time averages for Jacobi2D.
+
+The paper executed "the AppLeS partition, the Non-uniform Strip partition,
+and an HPF Uniform/Blocked partition back-to-back multiple times and
+reported the averages, hoping that each partition would enjoy similar
+conditions", for problem sizes 1000×1000 – 2000×2000, and found AppLeS
+ahead "by factors of 2-8".
+
+This driver reproduces the protocol on the simulated Figure 2 testbed:
+for each problem size and each repeat, the three schedules are executed
+back-to-back starting from the same simulated instant (each scheduler
+re-plans from its own information source at that instant), and per-size
+averages are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jacobi.apples import (
+    BlockedPlanner,
+    StaticStripPlanner,
+    make_jacobi_agent,
+)
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.runtime import simulated_execution
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.util.tables import Table
+
+__all__ = ["Fig5Row", "Fig5Result", "run_fig5", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (1000, 1200, 1400, 1600, 1800, 2000)
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """Averaged measurements for one problem size."""
+
+    n: int
+    apples_s: float
+    strip_s: float
+    blocked_s: float
+
+    @property
+    def strip_ratio(self) -> float:
+        """Non-uniform Strip time over AppLeS time."""
+        return self.strip_s / self.apples_s
+
+    @property
+    def blocked_ratio(self) -> float:
+        """HPF Uniform/Blocked time over AppLeS time."""
+        return self.blocked_s / self.apples_s
+
+
+@dataclass
+class Fig5Result:
+    """All rows plus reporting helpers."""
+
+    rows: list[Fig5Row] = field(default_factory=list)
+    iterations: int = 0
+    repeats: int = 0
+
+    def table(self) -> Table:
+        """Render the figure's series as a table."""
+        t = Table(
+            ["n", "AppLeS_s", "Strip_s", "Blocked_s", "Strip/AppLeS", "Blocked/AppLeS"],
+            title=(
+                "Figure 5 — Jacobi2D execution time averages "
+                f"({self.iterations} iterations, {self.repeats} repeats)"
+            ),
+        )
+        for r in self.rows:
+            t.add(r.n, r.apples_s, r.strip_s, r.blocked_s,
+                  r.strip_ratio, r.blocked_ratio)
+        return t
+
+    @property
+    def ratio_range(self) -> tuple[float, float]:
+        """(min, max) of all baseline/AppLeS ratios — the paper's 2–8 band."""
+        ratios = [r.strip_ratio for r in self.rows] + [
+            r.blocked_ratio for r in self.rows
+        ]
+        return (min(ratios), max(ratios))
+
+
+def run_fig5(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    iterations: int = 60,
+    repeats: int = 3,
+    seed: int = 1996,
+    warmup_s: float = 600.0,
+    gap_s: float = 400.0,
+) -> Fig5Result:
+    """Run the Figure 5 experiment.
+
+    Parameters
+    ----------
+    sizes:
+        Problem edge lengths.
+    iterations:
+        Jacobi sweeps per run.
+    repeats:
+        Back-to-back repetitions averaged per size (each starts at a
+        different simulated instant, i.e. under different load).
+    seed:
+        Testbed load seed.
+    warmup_s:
+        NWS warm-up before the first schedule.
+    gap_s:
+        Simulated-time spacing between repeats.
+    """
+    testbed = sdsc_pcl_testbed(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.warmup(warmup_s)
+
+    result = Fig5Result(iterations=iterations, repeats=repeats)
+    t0 = warmup_s
+    for n in sizes:
+        problem = JacobiProblem(n=n, iterations=iterations)
+        sums = {"apples": 0.0, "strip": 0.0, "blocked": 0.0}
+        for rep in range(repeats):
+            start = t0 + rep * gap_s
+            nws.advance_to(start)
+            agent = make_jacobi_agent(testbed, problem, nws)
+            apples_sched = agent.schedule().best
+            info = agent.info
+            strip_sched = StaticStripPlanner(problem).plan(testbed.host_names, info)
+            blocked_sched = BlockedPlanner(problem).plan(testbed.host_names, info)
+            # Back-to-back under the same starting conditions.
+            sums["apples"] += simulated_execution(
+                testbed.topology, apples_sched, start
+            ).total_time
+            sums["strip"] += simulated_execution(
+                testbed.topology, strip_sched, start
+            ).total_time
+            sums["blocked"] += simulated_execution(
+                testbed.topology, blocked_sched, start
+            ).total_time
+        result.rows.append(
+            Fig5Row(
+                n=n,
+                apples_s=sums["apples"] / repeats,
+                strip_s=sums["strip"] / repeats,
+                blocked_s=sums["blocked"] / repeats,
+            )
+        )
+        t0 += repeats * gap_s
+    return result

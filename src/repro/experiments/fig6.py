@@ -1,0 +1,112 @@
+"""Figure 6: execution time when memory is accounted for.
+
+The paper added "two unloaded SP-2 processors to the resource pool ...
+Due to the lack of contention for the SP-2 resources, the best partition
+in this environment uses only SP-2 resources until their real memory is
+exceeded.  AppLeS identifies the SP-2 resources as the best partition
+until problem size 3700×3700 is reached.  At this point, the AppLeS
+scheduler locates available memory elsewhere in the resource pool ...
+In contrast, the HPF Uniform/Blocked partition performs well up to
+3700×3700 but then spills from memory causing a dramatic reduction in
+performance."
+
+This driver sweeps problem sizes across the calibrated crossover and
+reports, per size, the AppLeS time, the Blocked-on-SP2 time, and which
+machines AppLeS used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jacobi.apples import BlockedPlanner, make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.runtime import simulated_execution
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import sdsc_pcl_with_sp2
+from repro.util.tables import Table
+
+__all__ = ["Fig6Row", "Fig6Result", "run_fig6", "DEFAULT_SIZES_FIG6"]
+
+DEFAULT_SIZES_FIG6 = (1000, 2000, 3000, 3500, 3700, 3900, 4200, 4600)
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """Measurements for one problem size."""
+
+    n: int
+    apples_s: float
+    blocked_sp2_s: float
+    apples_machines: tuple[str, ...]
+    blocked_spills: bool
+
+    @property
+    def apples_uses_only_sp2(self) -> bool:
+        """Whether the AppLeS schedule stayed on the SP-2 pair."""
+        return all(m.startswith("sp2") for m in self.apples_machines)
+
+
+@dataclass
+class Fig6Result:
+    """All rows plus reporting helpers."""
+
+    rows: list[Fig6Row] = field(default_factory=list)
+    crossover_n: int = 3700
+    iterations: int = 0
+
+    def table(self) -> Table:
+        t = Table(
+            ["n", "AppLeS_s", "Blocked(SP2)_s", "Blocked/AppLeS",
+             "AppLeS machines", "blocked spills"],
+            title=(
+                "Figure 6 — Jacobi2D with memory accounted "
+                f"(crossover calibrated at n={self.crossover_n}, "
+                f"{self.iterations} iterations)"
+            ),
+        )
+        for r in self.rows:
+            t.add(
+                r.n, r.apples_s, r.blocked_sp2_s,
+                r.blocked_sp2_s / r.apples_s,
+                "sp2 only" if r.apples_uses_only_sp2
+                else f"{len(r.apples_machines)} hosts",
+                r.blocked_spills,
+            )
+        return t
+
+
+def run_fig6(
+    sizes: tuple[int, ...] = DEFAULT_SIZES_FIG6,
+    iterations: int = 30,
+    seed: int = 1996,
+    crossover_n: int = 3700,
+    warmup_s: float = 600.0,
+) -> Fig6Result:
+    """Run the Figure 6 experiment on the SP-2-augmented testbed."""
+    testbed = sdsc_pcl_with_sp2(seed=seed, crossover_n=crossover_n)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.warmup(warmup_s)
+    sp2_pair = ["sp2-1", "sp2-2"]
+    sp2_capacity_mb = testbed.topology.host("sp2-1").memory.available_mb
+
+    result = Fig6Result(crossover_n=crossover_n, iterations=iterations)
+    for n in sizes:
+        problem = JacobiProblem(n=n, iterations=iterations)
+        agent = make_jacobi_agent(testbed, problem, nws)
+        apples_sched = agent.schedule().best
+        apples = simulated_execution(testbed.topology, apples_sched, warmup_s)
+
+        blocked_sched = BlockedPlanner(problem).plan(sp2_pair, agent.info)
+        blocked = simulated_execution(testbed.topology, blocked_sched, warmup_s)
+        per_node_mb = problem.footprint_mb(problem.total_points / 2)
+        result.rows.append(
+            Fig6Row(
+                n=n,
+                apples_s=apples.total_time,
+                blocked_sp2_s=blocked.total_time,
+                apples_machines=apples_sched.resource_set,
+                blocked_spills=per_node_mb > sp2_capacity_mb,
+            )
+        )
+    return result

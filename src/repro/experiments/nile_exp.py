@@ -1,0 +1,101 @@
+"""NILE-T1: the Site Manager's skim-vs-remote decision (§2.1).
+
+"The cost of skimming is compared with a prediction of the reduction in
+cost of event analysis when the data is local."  The driver sweeps the
+number of expected repeat analyses and reports the predicted costs, the
+crossover point, and the decision, for several skim fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resources import ResourcePool
+from repro.nile.analysis import AnalysisProgram, HistogramAnalysis
+from repro.nile.events import PASS2, EventBatch
+from repro.nile.site_manager import SiteManager, SkimDecision
+from repro.nile.storage import TAPE, StoredDataset
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import nile_testbed
+from repro.util.tables import Table
+
+__all__ = ["NileSkimResult", "run_nile_skim"]
+
+
+@dataclass
+class NileSkimResult:
+    """Decisions across (skim fraction, expected runs) combinations."""
+
+    nevents: int
+    decisions: list[tuple[float, int, SkimDecision]] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            ["skim frac", "expected runs", "skim cost (s)", "remote run (s)",
+             "local run (s)", "crossover", "skim?"],
+            title=(
+                f"NILE-T1 — Site Manager skim-vs-remote decision "
+                f"({self.nevents} pass2 events on remote tape)"
+            ),
+        )
+        for frac, runs, d in self.decisions:
+            t.add(frac, runs, d.skim_cost_s, d.remote_run_s, d.local_run_s,
+                  d.crossover_runs, d.skim)
+        return t
+
+    def decision_for(self, frac: float, runs: int) -> SkimDecision:
+        """Look up one decision."""
+        for f, r, d in self.decisions:
+            if f == frac and r == runs:
+                return d
+        raise KeyError(f"no decision for frac={frac}, runs={runs}")
+
+    @property
+    def decisions_monotone_in_runs(self) -> bool:
+        """Once skimming pays at r runs, it must also pay at r' > r."""
+        by_frac: dict[float, list[tuple[int, bool]]] = {}
+        for f, r, d in self.decisions:
+            by_frac.setdefault(f, []).append((r, d.skim))
+        for rows in by_frac.values():
+            rows.sort()
+            seen_true = False
+            for _, skim in rows:
+                if seen_true and not skim:
+                    return False
+                seen_true = seen_true or skim
+        return True
+
+
+def run_nile_skim(
+    nevents: int = 500_000,
+    program: AnalysisProgram | None = None,
+    skim_fractions: tuple[float, ...] = (0.05, 0.2, 1.0),
+    runs: tuple[int, ...] = (1, 2, 5, 10, 50),
+    seed: int = 1996,
+    warmup_s: float = 600.0,
+) -> NileSkimResult:
+    """Run the skim-decision sweep on the NILE testbed.
+
+    The dataset lives on tape at site 0; the analysing physicist sits at
+    site 1 (so both remote access and skims cross a WAN).
+    """
+    program = program if program is not None else HistogramAnalysis()
+    testbed = nile_testbed(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.warmup(warmup_s)
+    pool = ResourcePool(testbed.topology, nws)
+    dataset = StoredDataset(
+        "run4-pass2", EventBatch(nevents, PASS2, seed=seed), TAPE,
+        host="site0-alpha0",
+    )
+    manager = SiteManager(site="site1", pool=pool)
+    manager.register(dataset)
+
+    result = NileSkimResult(nevents=nevents)
+    for frac in skim_fractions:
+        for r in runs:
+            decision = manager.decide_skim(
+                dataset, program, expected_runs=r, skim_fraction=frac
+            )
+            result.decisions.append((frac, r, decision))
+    return result

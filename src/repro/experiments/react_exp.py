@@ -1,0 +1,108 @@
+"""The 3D-REACT evaluation (§2.3).
+
+Two artifacts:
+
+- **REACT-T1** — the timing claims: "The execution time for the entire
+  code on either one dedicated CPU of the C90 or 64 nodes of the Delta or
+  Paragon alone is in excess of 16 hours (wall clock time).  The execution
+  time for the code on the distributed platform is just under 5 hours."
+- **REACT-T2** — the pipeline-size tradeoff: "Too small a pipeline size
+  means that Log-D computations will stop while they wait for more LHSF
+  data.  Too large a pipeline size implies a buffering performance cost."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.react.apples import make_react_agent
+from repro.react.pipeline import PipelineResult, simulate_pipeline, simulate_single_site
+from repro.react.tasks import ReactProblem
+from repro.sim.testbeds import casa_testbed
+from repro.util.tables import Table
+
+__all__ = ["ReactResult", "run_react"]
+
+
+@dataclass
+class ReactResult:
+    """Everything the two REACT artifacts report."""
+
+    c90_alone_s: float
+    paragon_alone_s: float
+    distributed_s: float
+    chosen_pipeline_size: int
+    chosen_lhsf_host: str
+    chosen_logd_host: str
+    predicted_s: float
+    sweep: list[tuple[int, PipelineResult]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Best single-site time over distributed time."""
+        return min(self.c90_alone_s, self.paragon_alone_s) / self.distributed_s
+
+    def timing_table(self) -> Table:
+        t = Table(
+            ["configuration", "wall clock (h)"],
+            title="REACT-T1 — 3D-REACT execution time (paper: >16 h alone, <5 h distributed)",
+        )
+        t.add("C90 alone", self.c90_alone_s / 3600)
+        t.add("Paragon alone", self.paragon_alone_s / 3600)
+        t.add(
+            f"distributed ({self.chosen_lhsf_host}->{self.chosen_logd_host}, "
+            f"k={self.chosen_pipeline_size})",
+            self.distributed_s / 3600,
+        )
+        return t
+
+    def sweep_table(self) -> Table:
+        t = Table(
+            ["pipeline size", "makespan (h)", "consumer stall (s)"],
+            title="REACT-T2 — makespan vs pipeline size (stall vs buffering tradeoff)",
+        )
+        for k, res in self.sweep:
+            t.add(k, res.makespan_s / 3600, res.consumer_stall_s)
+        return t
+
+    @property
+    def sweep_is_convexish(self) -> bool:
+        """Whether the sweep has an interior minimum (not at either end)."""
+        times = [res.makespan_s for _, res in self.sweep]
+        best = times.index(min(times))
+        return 0 < best < len(times) - 1
+
+
+def run_react(problem: ReactProblem | None = None, seed: int = 1996) -> ReactResult:
+    """Run the full 3D-REACT evaluation on the CASA testbed."""
+    problem = problem if problem is not None else ReactProblem()
+    testbed = casa_testbed(seed=seed)
+    topo = testbed.topology
+
+    c90 = simulate_single_site(topo, problem, "c90")
+    paragon = simulate_single_site(topo, problem, "paragon")
+
+    agent = make_react_agent(testbed, problem)
+    best = agent.schedule().best
+    lhsf_host = best.metadata["lhsf_host"]
+    logd_host = best.metadata["logd_host"]
+    k = best.metadata["pipeline_size"]
+
+    distributed = simulate_pipeline(topo, problem, lhsf_host, logd_host, k)
+
+    lo, hi = problem.pipeline_range
+    sweep = [
+        (size, simulate_pipeline(topo, problem, lhsf_host, logd_host, size))
+        for size in range(lo, hi + 1)
+    ]
+
+    return ReactResult(
+        c90_alone_s=c90,
+        paragon_alone_s=paragon,
+        distributed_s=distributed.makespan_s,
+        chosen_pipeline_size=k,
+        chosen_lhsf_host=lhsf_host,
+        chosen_logd_host=logd_host,
+        predicted_s=best.predicted_time,
+        sweep=sweep,
+    )

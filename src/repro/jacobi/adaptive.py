@@ -1,0 +1,203 @@
+"""Adaptive rescheduling: work redistribution during execution.
+
+§3.2: "dynamic and predictive information can be used to determine both a
+potentially performance-efficient initial schedule, and *to make decisions
+about redistribution of the application during execution*."  The HPDC'96
+prototype scheduled once; this module implements the redistribution half
+the paper sketches, as an extension.
+
+The :class:`AdaptiveJacobiRunner` executes a schedule in chunks of
+``check_every`` iterations.  After each chunk it advances the NWS to the
+current simulated time, re-runs the full AppLeS blueprint, and compares:
+
+- the predicted time to finish the *remaining* iterations on the current
+  partition (re-costed with fresh forecasts), against
+- the new schedule's predicted remaining time **plus** the cost of
+  migrating grid rows between machines.
+
+Redistribution happens only when the predicted gain exceeds the migration
+cost by ``min_gain_fraction`` — the same predicted-performance yardstick
+the rest of AppLeS uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resources import ResourcePool
+from repro.core.schedule import Schedule
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.cost import StripCostModel
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.partition import StripPartition
+from repro.jacobi.runtime import assignments_from_schedule
+from repro.nws.service import NetworkWeatherService
+from repro.sim.execution import simulate_iterations
+from repro.sim.testbeds import Testbed
+from repro.util.validation import check_positive
+
+__all__ = ["RescheduleEvent", "AdaptiveResult", "AdaptiveJacobiRunner",
+           "migration_cost_s"]
+
+
+@dataclass(frozen=True)
+class RescheduleEvent:
+    """One accepted redistribution."""
+
+    time: float
+    after_iteration: int
+    old_machines: tuple[str, ...]
+    new_machines: tuple[str, ...]
+    migration_s: float
+    predicted_gain_s: float
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive run."""
+
+    total_time: float
+    iterations: int
+    reschedules: list[RescheduleEvent] = field(default_factory=list)
+    chunks: int = 0
+
+    @property
+    def reschedule_count(self) -> int:
+        """Number of accepted redistributions."""
+        return len(self.reschedules)
+
+    @property
+    def migration_time(self) -> float:
+        """Total seconds spent migrating data."""
+        return sum(e.migration_s for e in self.reschedules)
+
+
+def migration_cost_s(
+    pool: ResourcePool,
+    old: StripPartition,
+    new: StripPartition,
+    bytes_per_point: float,
+) -> float:
+    """Predicted seconds to repartition from ``old`` to ``new``.
+
+    Conservative model: every machine that loses area ships those points
+    to the *nearest gaining* machine (by predicted transfer time), and the
+    shipments are charged sequentially — an upper bound on a pipelined
+    redistribution, which keeps the runner honest about migration cost.
+    """
+    old_areas = old.areas()
+    new_areas = new.areas()
+    machines = set(old_areas) | set(new_areas)
+    donors = {
+        m: old_areas.get(m, 0) - new_areas.get(m, 0)
+        for m in machines
+        if old_areas.get(m, 0) > new_areas.get(m, 0)
+    }
+    gainers = [m for m in machines if new_areas.get(m, 0) > old_areas.get(m, 0)]
+    if not donors or not gainers:
+        return 0.0
+    total = 0.0
+    for donor, points in donors.items():
+        nbytes = points * bytes_per_point
+        best = min(
+            pool.predicted_transfer_time(donor, g, nbytes) for g in gainers
+        )
+        total += best
+    return total
+
+
+class AdaptiveJacobiRunner:
+    """Execute Jacobi2D with periodic NWS-driven redistribution.
+
+    Parameters
+    ----------
+    testbed:
+        The metacomputer.
+    problem:
+        The Jacobi2D instance (its ``iterations`` is the total run length).
+    nws:
+        The Network Weather Service; advanced as simulated time passes.
+    check_every:
+        Iterations between rescheduling checks.
+    min_gain_fraction:
+        Accept a redistribution only if
+        ``old_remaining - (new_remaining + migration) >
+        min_gain_fraction * old_remaining``.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        problem: JacobiProblem,
+        nws: NetworkWeatherService,
+        check_every: int = 25,
+        min_gain_fraction: float = 0.1,
+        **agent_kwargs,
+    ) -> None:
+        check_positive("check_every", check_every)
+        if not (0.0 <= min_gain_fraction < 1.0):
+            raise ValueError("min_gain_fraction must be in [0, 1)")
+        self.testbed = testbed
+        self.problem = problem
+        self.nws = nws
+        self.check_every = int(check_every)
+        self.min_gain_fraction = min_gain_fraction
+        self.agent = make_jacobi_agent(testbed, problem, nws, **agent_kwargs)
+
+    def _remaining_prediction(self, schedule: Schedule, remaining: int) -> float:
+        """Predicted seconds for ``remaining`` iterations of ``schedule``
+        under *current* forecasts."""
+        model = StripCostModel(self.agent.info.pool, self.problem)
+        partition = schedule.metadata["partition"]
+        return model.step_time(partition) * remaining
+
+    def run(self, t0: float = 0.0) -> AdaptiveResult:
+        """Run all iterations, rescheduling when prediction says it pays."""
+        self.nws.advance_to(t0)
+        schedule = self.agent.schedule().best
+        t = float(t0)
+        done = 0
+        result = AdaptiveResult(total_time=0.0, iterations=self.problem.iterations)
+
+        while done < self.problem.iterations:
+            chunk = min(self.check_every, self.problem.iterations - done)
+            res = simulate_iterations(
+                self.testbed.topology,
+                assignments_from_schedule(schedule),
+                iterations=chunk,
+                t0=t,
+            )
+            t += res.total_time
+            done += chunk
+            result.chunks += 1
+            if done >= self.problem.iterations:
+                break
+
+            self.nws.advance_to(t)
+            candidate = self.agent.schedule().best
+            remaining = self.problem.iterations - done
+            keep_pred = self._remaining_prediction(schedule, remaining)
+            move_pred = self._remaining_prediction(candidate, remaining)
+            migration = migration_cost_s(
+                self.agent.info.pool,
+                schedule.metadata["partition"],
+                candidate.metadata["partition"],
+                self.problem.bytes_per_point,
+            )
+            gain = keep_pred - (move_pred + migration)
+            if gain > self.min_gain_fraction * keep_pred:
+                result.reschedules.append(
+                    RescheduleEvent(
+                        time=t,
+                        after_iteration=done,
+                        old_machines=schedule.resource_set,
+                        new_machines=candidate.resource_set,
+                        migration_s=migration,
+                        predicted_gain_s=gain,
+                    )
+                )
+                t += migration  # pay for the data movement
+                schedule = candidate
+
+        result.total_time = t - t0
+        return result

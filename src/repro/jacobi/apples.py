@@ -1,0 +1,482 @@
+"""The Jacobi2D AppLeS agent and its compile-time rivals.
+
+Four planners, matching the schedulers compared in Figures 3–6:
+
+- :class:`JacobiPlanner` — the AppLeS strip planner: time-balanced areas
+  from NWS forecasts, memory-capacity aware, locality-ordered strips.
+  "AppLeS seeks to balance time directly using dynamic and more precise
+  information about CPU speed, current and predicted machine and network
+  loads ..., memory availability, etc." (§5)
+- :class:`StaticStripPlanner` — the Figure 4 baseline: non-uniform strips
+  from *nominal* CPU speed and bandwidth, fixed at compile time.
+- :class:`UniformStripPlanner` — equal strips (the naive hand schedule).
+- :class:`BlockedPlanner` — the HPF Uniform/Blocked baseline: equal 2-D
+  tiles over all machines, no dynamic information, no memory model.
+
+All planners emit :class:`~repro.core.schedule.Schedule` objects whose
+metadata carries the concrete partition geometry, so the runtime can both
+execute the numerics and charge simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.coordinator import AppLeSAgent
+from repro.core.infopool import InformationPool
+from repro.core.planner import balance_divisible_work
+from repro.core.resources import ResourcePool
+from repro.core.schedule import Allocation, Schedule
+from repro.core.selector import ResourceSelector
+from repro.core.userspec import UserSpecification
+from repro.jacobi.cost import StripCostModel
+from repro.jacobi.grid import JacobiProblem, jacobi_hat
+from repro.jacobi.partition import (
+    BlockPartition,
+    StripPartition,
+    apples_strip,
+    blocked_partition,
+    generalized_block_partition,
+    nonuniform_strip,
+    uniform_strip,
+)
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import Testbed
+
+__all__ = [
+    "locality_order",
+    "ApplesBlockedPlanner",
+    "PreferencePlanner",
+    "JacobiPlanner",
+    "StaticStripPlanner",
+    "UniformStripPlanner",
+    "BlockedPlanner",
+    "make_jacobi_agent",
+    "schedule_from_strip_partition",
+]
+
+# Planner-internal iteration bound (membership can change at most once per
+# machine).
+_MAX_REPLAN = 32
+
+
+def locality_order(pool: ResourcePool, machines: Sequence[str]) -> list[str]:
+    """Order machines so strip neighbours are network-close.
+
+    Grouping by ``(site, arch, name)`` places machines sharing a segment
+    next to each other in every canned testbed, minimising the number of
+    borders that cross slow links — the strip-ordering half of the
+    application-specific locality notion of §3.3.
+    """
+    return sorted(
+        machines,
+        key=lambda m: (
+            pool.machine_info(m).site,
+            pool.machine_info(m).arch,
+            m,
+        ),
+    )
+
+
+def schedule_from_strip_partition(
+    partition: StripPartition,
+    problem: JacobiProblem,
+    model: StripCostModel,
+    decomposition: str,
+) -> Schedule:
+    """Wrap a concrete strip partition as a Schedule (prediction from ``model``)."""
+    exchange = problem.border_exchange_bytes()
+    allocations = []
+    for strip in partition.strips:
+        comm = {nbr: exchange for nbr in partition.neighbors(strip.machine)}
+        area = strip.row_count * partition.n
+        allocations.append(
+            Allocation(
+                machine=strip.machine,
+                task="sweep",
+                work_units=float(area),
+                footprint_mb=problem.footprint_mb(area),
+                comm_bytes=comm,
+            )
+        )
+    return Schedule(
+        allocations=allocations,
+        predicted_time=model.execution_time(partition),
+        decomposition=decomposition,
+        metadata={"partition": partition, "problem": problem},
+    )
+
+
+class JacobiPlanner:
+    """The AppLeS Jacobi2D strip planner (§5 blueprint step 2).
+
+    For a candidate resource set: order machines by locality, predict each
+    machine's point rate (NWS availability × nominal speed) and border
+    cost, then balance *time* across the set, honouring real-memory
+    capacities.  Machines that the balance drops (their border cost
+    exceeds the balanced step time) are removed and the plan re-derived —
+    the planner performs fine-grained resource selection of its own, which
+    is why AppLeS sometimes schedules on a strict subset of a candidate
+    set.
+    """
+
+    def __init__(
+        self,
+        problem: JacobiProblem,
+        account_memory: bool = True,
+        conservatism_sigmas: float = 1.0,
+        risk_aversion: float = 2.0,
+    ) -> None:
+        self.problem = problem
+        self.account_memory = account_memory
+        if conservatism_sigmas < 0 or risk_aversion < 0:
+            raise ValueError("conservatism_sigmas and risk_aversion must be >= 0")
+        # How many forecast-error sigmas to discount each machine's rate by
+        # when sizing its share (robust allocation) ...
+        self.conservatism_sigmas = conservatism_sigmas
+        # ... and how strongly candidate schedules are penalised for using
+        # volatile machines when *predicting* their time (robust selection).
+        # A barrier step is the max over members, so a set's exposure is its
+        # worst member's relative forecast error.
+        self.risk_aversion = risk_aversion
+
+    def _risk(self, machines: Sequence[str], info: InformationPool) -> float:
+        worst = 0.0
+        for m in machines:
+            avail = info.pool.predicted_availability(m)
+            err = info.pool.predicted_availability_error(m)
+            if avail > 0:
+                worst = max(worst, err / max(avail, 0.05))
+        return worst
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        model = StripCostModel(
+            info.pool, self.problem, self.account_memory,
+            conservatism_sigmas=self.conservatism_sigmas,
+        )
+        order = locality_order(info.pool, list(resource_set))
+        order = [m for m in order if model.point_rate(m) > 0.0]
+        if not order:
+            return None
+        total = float(self.problem.total_points)
+
+        for _ in range(_MAX_REPLAN):
+            rates = [model.point_rate(m) for m in order]
+            costs = model.comm_costs(order)
+            # A machine reachable only over a dead link shows an infinite
+            # border cost; drop it and re-derive (its neighbours' costs
+            # change) rather than letting the balance collapse.
+            if any(c == float("inf") for c in costs):
+                if len(order) == 1:
+                    return None
+                worst = max(range(len(order)), key=lambda i: costs[i])
+                order.pop(worst)
+                continue
+            caps = (
+                [model.capacity_points(m) for m in order]
+                if self.account_memory
+                else None
+            )
+            result = balance_divisible_work(rates, costs, total, caps)
+            if result is None:
+                return None
+            kept = [m for m, a in zip(order, result.allocations) if a > 0.0]
+            if not kept:
+                return None
+            if kept == order:
+                areas = result.allocations
+                break
+            order = kept  # membership changed; neighbour costs change too
+        else:  # pragma: no cover - structurally bounded
+            raise RuntimeError("Jacobi planner failed to converge")
+
+        max_rows = (
+            [int(model.capacity_points(m) // self.problem.n) for m in order]
+            if self.account_memory
+            else None
+        )
+        partition = apples_strip(self.problem.n, order, areas, max_rows)
+        schedule = schedule_from_strip_partition(
+            partition, self.problem, model, "apples-strip"
+        )
+        schedule.predicted_time *= 1.0 + self.risk_aversion * self._risk(
+            partition.machines, info
+        )
+        return schedule
+
+
+class _NominalMixin:
+    """Shared helper: a nominal (NWS-free) view of the same topology.
+
+    The compile-time baselines must not see dynamic information even when
+    the experiment's Information Pool carries an NWS; they re-wrap the
+    topology without it.
+    """
+
+    @staticmethod
+    def nominal_pool(info: InformationPool) -> ResourcePool:
+        return ResourcePool(info.pool.topology, nws=None)
+
+
+class StaticStripPlanner(_NominalMixin):
+    """The Figure 4 baseline: non-uniform strips from nominal capability.
+
+    Strip heights proportional to nominal MFLOP/s ("parameterized by
+    (non-uniform) CPU speeds and bandwidth for the workstation network",
+    §5); all machines of the resource set participate; computed once at
+    compile time, blind to load, contention and memory.
+    """
+
+    def __init__(self, problem: JacobiProblem) -> None:
+        self.problem = problem
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        nominal = self.nominal_pool(info)
+        model = StripCostModel(nominal, self.problem, account_memory=False)
+        order = locality_order(nominal, list(resource_set))
+        if not order:
+            return None
+        weights = [nominal.machine_info(m).speed_mflops for m in order]
+        partition = nonuniform_strip(self.problem.n, order, weights)
+        return schedule_from_strip_partition(partition, self.problem, model, "static-strip")
+
+
+class UniformStripPlanner(_NominalMixin):
+    """Equal strips over all machines of the set — the naive hand schedule."""
+
+    def __init__(self, problem: JacobiProblem) -> None:
+        self.problem = problem
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        nominal = self.nominal_pool(info)
+        model = StripCostModel(nominal, self.problem, account_memory=False)
+        order = locality_order(nominal, list(resource_set))
+        if not order:
+            return None
+        if len(order) > self.problem.n:
+            return None
+        partition = uniform_strip(self.problem.n, order)
+        return schedule_from_strip_partition(partition, self.problem, model, "uniform-strip")
+
+
+class BlockedPlanner(_NominalMixin):
+    """The HPF Uniform/Blocked baseline (Figures 5 and 6).
+
+    Equal 2-D tiles over every machine in the set; "a reasonable choice for
+    the user who is trying to optimize the performance of Jacobi2D at
+    compile time" — and exactly the schedule that spills memory in
+    Figure 6, because HPF's distribution directives carry no memory model.
+    """
+
+    def __init__(self, problem: JacobiProblem) -> None:
+        self.problem = problem
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        nominal = self.nominal_pool(info)
+        order = locality_order(nominal, list(resource_set))
+        if not order:
+            return None
+        if len(order) > self.problem.n:
+            return None
+        partition = blocked_partition(self.problem.n, order)
+        predicted = self._predict(partition, nominal)
+        allocations = self._allocations(partition)
+        return Schedule(
+            allocations=allocations,
+            predicted_time=predicted,
+            decomposition="hpf-blocked",
+            metadata={"partition": partition, "problem": self.problem},
+        )
+
+    def _allocations(self, partition: BlockPartition) -> list[Allocation]:
+        out = []
+        per_point = self.problem.border_bytes_per_point
+        for i in range(partition.pr):
+            for j in range(partition.pc):
+                blk = partition.block_at(i, j)
+                comm: dict[str, float] = {}
+                for nbr in partition.neighbors(i, j):
+                    shared = (
+                        blk.col_count
+                        if nbr.row_start != blk.row_start
+                        else blk.row_count
+                    )
+                    comm[nbr.machine] = comm.get(nbr.machine, 0.0) + 2.0 * shared * per_point
+                out.append(
+                    Allocation(
+                        machine=blk.machine,
+                        task="sweep",
+                        work_units=float(blk.area),
+                        footprint_mb=self.problem.footprint_mb(blk.area),
+                        comm_bytes=comm,
+                    )
+                )
+        return out
+
+    def _predict(self, partition: BlockPartition, nominal: ResourcePool) -> float:
+        """Nominal prediction: max over tiles of compute + border time."""
+        per_point = self.problem.border_bytes_per_point
+        worst = 0.0
+        for i in range(partition.pr):
+            for j in range(partition.pc):
+                blk = partition.block_at(i, j)
+                speed = nominal.machine_info(blk.machine).speed_mflops
+                compute = (
+                    blk.area * self.problem.flop_per_point / speed if speed > 0 else float("inf")
+                )
+                comm = 0.0
+                for nbr in partition.neighbors(i, j):
+                    shared = (
+                        blk.col_count if nbr.row_start != blk.row_start else blk.row_count
+                    )
+                    comm += nominal.predicted_transfer_time(
+                        blk.machine, nbr.machine, 2.0 * shared * per_point
+                    )
+                worst = max(worst, compute + comm + self.problem.sync_overhead_s)
+        return worst * self.problem.iterations
+
+
+class ApplesBlockedPlanner(BlockedPlanner):
+    """AppLeS planning over *generalised* block decompositions.
+
+    The paper's user "specified that only strip decompositions should be
+    considered during the planning of the schedule" because non-strip
+    predictions were considered too non-linear (§5).  This planner is the
+    deferred alternative: a heterogeneous block distribution whose tile
+    areas track NWS-forecast deliverable rates, predicted with the same
+    per-tile ``area·P + C`` model.  The decomposition ablation compares it
+    against the strip planner.
+    """
+
+    def __init__(
+        self,
+        problem: JacobiProblem,
+        conservatism_sigmas: float = 1.0,
+        risk_aversion: float = 2.0,
+    ) -> None:
+        super().__init__(problem)
+        if conservatism_sigmas < 0 or risk_aversion < 0:
+            raise ValueError("conservatism_sigmas and risk_aversion must be >= 0")
+        self.conservatism_sigmas = conservatism_sigmas
+        self.risk_aversion = risk_aversion
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        machines = locality_order(info.pool, list(resource_set))
+        rates = [
+            info.pool.predicted_speed_conservative(m, self.conservatism_sigmas)
+            for m in machines
+        ]
+        usable = [(m, r) for m, r in zip(machines, rates) if r > 0.0]
+        if not usable:
+            return None
+        machines = [m for m, _ in usable]
+        rates = [r for _, r in usable]
+        if len(machines) > self.problem.n:
+            return None
+        partition = generalized_block_partition(self.problem.n, machines, rates)
+        predicted = self._predict_dynamic(partition, info)
+        worst_risk = 0.0
+        for m in machines:
+            avail = info.pool.predicted_availability(m)
+            err = info.pool.predicted_availability_error(m)
+            if avail > 0:
+                worst_risk = max(worst_risk, err / max(avail, 0.05))
+        predicted *= 1.0 + self.risk_aversion * worst_risk
+        return Schedule(
+            allocations=self._allocations(partition),
+            predicted_time=predicted,
+            decomposition="apples-blocked",
+            metadata={"partition": partition, "problem": self.problem},
+        )
+
+    def _predict_dynamic(self, partition: BlockPartition, info: InformationPool) -> float:
+        """Per-tile ``area·P_i + C_i`` with forecast rates and bandwidths."""
+        per_point = self.problem.border_bytes_per_point
+        worst = 0.0
+        for i in range(partition.pr):
+            for j in range(partition.pc):
+                blk = partition.block_at(i, j)
+                speed = info.pool.predicted_speed_conservative(
+                    blk.machine, self.conservatism_sigmas
+                )
+                if speed <= 0:
+                    return float("inf")
+                compute = blk.area * self.problem.flop_per_point / speed
+                comm = 0.0
+                for nbr in partition.neighbors(i, j):
+                    shared = (
+                        blk.col_count if nbr.row_start != blk.row_start else blk.row_count
+                    )
+                    comm += info.pool.predicted_transfer_time(
+                        blk.machine, nbr.machine, 2.0 * shared * per_point
+                    )
+                worst = max(worst, compute + comm + self.problem.sync_overhead_s)
+        return worst * self.problem.iterations
+
+
+class PreferencePlanner:
+    """Dispatch on the User Specification's decomposition preference.
+
+    The paper's user "specified that only strip decompositions should be
+    considered" (§5) — the preference lives in the User Specification and
+    the Planner honours it.  With several admissible families, each is
+    planned and the best-predicted schedule wins.
+    """
+
+    def __init__(self, planners: dict[str, "Planner"]) -> None:  # noqa: F821
+        if not planners:
+            raise ValueError("need at least one family planner")
+        self.planners = dict(planners)
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+        families = info.userspec.decomposition_preference or tuple(self.planners)
+        best: Schedule | None = None
+        for family in families:
+            planner = self.planners.get(family)
+            if planner is None:
+                continue
+            sched = planner.plan(resource_set, info)
+            if sched is None:
+                continue
+            if best is None or sched.predicted_time < best.predicted_time:
+                best = sched
+        return best
+
+
+def make_jacobi_agent(
+    testbed: Testbed,
+    problem: JacobiProblem,
+    nws: NetworkWeatherService | None = None,
+    userspec: UserSpecification | None = None,
+    selector: ResourceSelector | None = None,
+    account_memory: bool = True,
+) -> AppLeSAgent:
+    """Assemble the complete Jacobi2D AppLeS agent for a testbed.
+
+    The User Specification's ``decomposition_preference`` selects the
+    planning family: the default ``("strip",)`` reproduces the paper's
+    §5 restriction; ``("strip", "blocked")`` lets the agent weigh the
+    generalised-block planner as well.  With ``nws=None`` the agent plans
+    from nominal information only — the information ablation of the
+    benchmarks.
+    """
+    pool = ResourcePool(testbed.topology, nws)
+    info = InformationPool(
+        pool=pool,
+        hat=jacobi_hat(problem),
+        userspec=userspec if userspec is not None else UserSpecification(),
+    )
+    families = {
+        "strip": JacobiPlanner(problem, account_memory=account_memory),
+        "blocked": ApplesBlockedPlanner(problem),
+    }
+    unknown = [f for f in info.userspec.decomposition_preference
+               if f not in families]
+    if unknown:
+        raise ValueError(
+            f"unknown decomposition preference(s) {unknown}; "
+            f"available: {sorted(families)}"
+        )
+    planner = PreferencePlanner(families)
+    info.register_model("jacobi-strip-cost", StripCostModel(pool, problem, account_memory))
+    return AppLeSAgent(info, planner=planner, selector=selector)

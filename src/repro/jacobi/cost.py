@@ -1,0 +1,150 @@
+"""The paper's Jacobi2D cost model (§5):
+
+    ``T_i = A_i * P_i + C_i``
+
+where ``T_i`` is the time for machine *i* to compute its region, ``A_i``
+the area of the region, ``P_i`` the time to compute a single point
+locally, and ``C_i`` the time to send and receive its strip borders.
+
+:class:`StripCostModel` evaluates the model from whatever information
+source the scheduler has: NWS forecasts (the AppLeS agent), nominal
+capability (the compile-time baselines), or instantaneous simulator truth
+(oracle ablations).  Keeping one implementation parameterised by the
+information source makes the ablation benchmarks an apples-to-apples
+comparison of *information*, not of code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.resources import ResourcePool
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.partition import StripPartition
+
+__all__ = ["strip_comm_seconds", "StripCostModel"]
+
+
+def strip_comm_seconds(
+    pool: ResourcePool,
+    order: Sequence[str],
+    problem: JacobiProblem,
+) -> list[float]:
+    """Predicted border-exchange seconds ``C_i`` for machines in strip order.
+
+    Machine *i* exchanges a full border row each way with each neighbour in
+    the strip ordering (1 border at the ends, 2 inside).  Bandwidths come
+    from the pool's prediction interface, so the same function serves both
+    NWS-informed and nominal planners.
+    """
+    order = list(order)
+    exchange = problem.border_exchange_bytes()
+    costs = []
+    for idx, machine in enumerate(order):
+        c = 0.0
+        for nbr_idx in (idx - 1, idx + 1):
+            if 0 <= nbr_idx < len(order):
+                c += pool.predicted_transfer_time(machine, order[nbr_idx], exchange)
+        costs.append(c)
+    return costs
+
+
+class StripCostModel:
+    """Evaluate ``T_i = A_i * P_i + C_i`` for strip partitions.
+
+    Parameters
+    ----------
+    pool:
+        Information source.  With an NWS attached, ``P_i`` and ``C_i`` use
+        forecasts; without one, they use nominal capability.
+    problem:
+        The Jacobi2D instance.
+    account_memory:
+        When True, a machine whose area spills its real memory has its
+        ``P_i`` inflated by the host paging model — used to *predict* the
+        cost of memory-oblivious schedules.
+    """
+
+    def __init__(
+        self,
+        pool: ResourcePool,
+        problem: JacobiProblem,
+        account_memory: bool = True,
+        conservatism_sigmas: float = 1.0,
+        sync_overhead_s: float | None = None,
+    ) -> None:
+        self.pool = pool
+        self.problem = problem
+        self.account_memory = account_memory
+        if conservatism_sigmas < 0:
+            raise ValueError("conservatism_sigmas must be >= 0")
+        self.conservatism_sigmas = conservatism_sigmas
+        # Per-machine per-iteration runtime overhead (KeLP region setup,
+        # barrier arrival); defaults to the problem's figure so the model
+        # predicts what the runtime actually charges.
+        self.sync_overhead_s = (
+            problem.sync_overhead_s if sync_overhead_s is None else sync_overhead_s
+        )
+        if self.sync_overhead_s < 0:
+            raise ValueError("sync_overhead_s must be >= 0")
+
+    # -- model terms ------------------------------------------------------
+    def point_rate(self, machine: str) -> float:
+        """``1 / P_i``: predicted points/second for ``machine`` (in-core).
+
+        Uses the conservative (error-discounted) speed: a barrier step
+        waits for every member, so members are budgeted at a pessimistic
+        availability quantile rather than the mean forecast.
+        """
+        speed = self.pool.predicted_speed_conservative(
+            machine, self.conservatism_sigmas
+        )
+        if speed <= 0.0:
+            return 0.0
+        return speed / self.problem.flop_per_point
+
+    def point_time(self, machine: str, area: float = 0.0) -> float:
+        """``P_i``: predicted seconds/point, optionally memory-adjusted."""
+        rate = self.point_rate(machine)
+        if rate <= 0.0:
+            return float("inf")
+        p = 1.0 / rate
+        if self.account_memory and area > 0.0:
+            host = self.pool.topology.host(machine)
+            p *= host.memory.slowdown(self.problem.footprint_mb(area))
+        return p
+
+    def capacity_points(self, machine: str) -> float:
+        """Points that fit in ``machine``'s available real memory."""
+        info = self.pool.machine_info(machine)
+        return info.memory_available_mb * 1e6 / self.problem.bytes_per_point
+
+    def comm_costs(self, order: Sequence[str]) -> list[float]:
+        """``C_i`` per machine for the given strip order.
+
+        Includes the per-participant sync overhead, so growing the machine
+        set has a cost the balancer can weigh against the added rate.
+        """
+        costs = strip_comm_seconds(self.pool, order, self.problem)
+        return [c + self.sync_overhead_s for c in costs]
+
+    # -- whole-partition predictions --------------------------------------
+    def machine_time(self, partition: StripPartition, machine: str) -> float:
+        """``T_i`` for one machine of a concrete partition."""
+        area = float(partition.area(machine))
+        order = partition.machines
+        idx = order.index(machine)
+        exchange = self.problem.border_exchange_bytes()
+        c = 0.0
+        for nbr_idx in (idx - 1, idx + 1):
+            if 0 <= nbr_idx < len(order):
+                c += self.pool.predicted_transfer_time(machine, order[nbr_idx], exchange)
+        return area * self.point_time(machine, area) + c + self.sync_overhead_s
+
+    def step_time(self, partition: StripPartition) -> float:
+        """Predicted sweep time: ``max_i T_i``."""
+        return max(self.machine_time(partition, m) for m in partition.machines)
+
+    def execution_time(self, partition: StripPartition) -> float:
+        """Predicted total time: step time × iterations."""
+        return self.step_time(partition) * self.problem.iterations

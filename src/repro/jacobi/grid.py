@@ -1,0 +1,126 @@
+"""Jacobi2D problem definition.
+
+The computation: variable coefficients on an N×N grid, "updated at each
+iteration as the average of a five point stencil" (§5).  A five-point
+update costs 4 additions + 1 multiply = 5 flops per point; the working set
+is two double-precision arrays (read and write copies), 16 bytes per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["JacobiProblem", "jacobi_hat"]
+
+#: MFLOP per grid point per iteration (4 adds + 1 multiply).
+FLOP_PER_POINT_MFLOP = 5.0e-6
+
+#: Resident bytes per grid point (two float64 arrays).
+BYTES_PER_POINT = 16.0
+
+#: Bytes per point of a border row, each way (one float64 value).
+BORDER_BYTES_PER_POINT = 8.0
+
+
+@dataclass(frozen=True)
+class JacobiProblem:
+    """An N×N Jacobi2D problem instance.
+
+    Parameters
+    ----------
+    n:
+        Grid edge length.
+    iterations:
+        Sweeps to run.
+    flop_per_point:
+        MFLOP per point per sweep (default: the 5-flop stencil).
+    bytes_per_point:
+        Resident working-set bytes per point (default: 16, two arrays).
+    border_bytes_per_point:
+        Bytes exchanged per border point per direction per sweep.
+    sync_overhead_s:
+        Per-machine per-sweep runtime overhead (ghost-region setup and
+        barrier arrival in the KeLP-like runtime).  Charged both by the
+        cost model and by the simulated execution, so every scheduler pays
+        it and marginal machines must earn their keep.
+    """
+
+    n: int
+    iterations: int = 100
+    flop_per_point: float = FLOP_PER_POINT_MFLOP
+    bytes_per_point: float = BYTES_PER_POINT
+    border_bytes_per_point: float = BORDER_BYTES_PER_POINT
+    sync_overhead_s: float = 0.008
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_positive("iterations", self.iterations)
+        check_positive("flop_per_point", self.flop_per_point)
+        check_positive("bytes_per_point", self.bytes_per_point)
+        check_positive("border_bytes_per_point", self.border_bytes_per_point)
+        if self.sync_overhead_s < 0:
+            raise ValueError("sync_overhead_s must be >= 0")
+
+    @property
+    def total_points(self) -> int:
+        """N²."""
+        return self.n * self.n
+
+    def footprint_mb(self, points: float) -> float:
+        """Resident megabytes for ``points`` grid points (MB = 10^6 B)."""
+        if points < 0:
+            raise ValueError(f"points must be >= 0, got {points}")
+        return points * self.bytes_per_point / 1e6
+
+    def work_mflop(self, points: float) -> float:
+        """MFLOP per sweep for ``points`` grid points."""
+        if points < 0:
+            raise ValueError(f"points must be >= 0, got {points}")
+        return points * self.flop_per_point
+
+    def border_exchange_bytes(self) -> float:
+        """Bytes exchanged between two adjacent strips per sweep.
+
+        Each neighbour pair trades one full border row each way:
+        ``2 * n * border_bytes_per_point``.
+        """
+        return 2.0 * self.n * self.border_bytes_per_point
+
+
+def jacobi_hat(problem: JacobiProblem) -> HeterogeneousApplicationTemplate:
+    """Build the Heterogeneous Application Template for a Jacobi2D instance.
+
+    The sweep task is portable (empty implementation map → every
+    architecture at efficiency 1.0), divisible, with a stencil
+    communication pattern.
+    """
+    return HeterogeneousApplicationTemplate(
+        name=f"jacobi2d-{problem.n}",
+        paradigm="data-parallel",
+        tasks=(
+            TaskCharacteristics(
+                name="sweep",
+                flop_per_unit=problem.flop_per_point,
+                bytes_per_unit=problem.bytes_per_point,
+                divisible=True,
+            ),
+        ),
+        communication=CommunicationCharacteristics(
+            pattern="stencil",
+            bytes_per_border_unit=problem.border_bytes_per_point,
+            frequency_per_iteration=1,
+        ),
+        structure=StructureInfo(
+            total_units=float(problem.total_points),
+            iterations=problem.iterations,
+            unifying_structure="2d-grid",
+        ),
+    )

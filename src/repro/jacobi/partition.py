@@ -1,0 +1,458 @@
+"""Partition geometry for Jacobi2D.
+
+Three families, matching the paper's comparison (Figure 5):
+
+- **strip** partitions (:class:`StripPartition`) — contiguous row bands;
+  uniform (:func:`uniform_strip`), non-uniform compile-time
+  (:func:`nonuniform_strip`, Figure 4), and AppLeS time-balanced
+  (:func:`apples_strip`, Figure 3);
+- **blocked** partitions (:class:`BlockPartition`) — the HPF
+  uniform/blocked baseline: a 2-D processor grid of equal tiles.
+
+Partitions are pure geometry: machine names attached to index ranges.
+Costs live in :mod:`repro.jacobi.cost`; numerics in
+:mod:`repro.jacobi.runtime`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "Strip",
+    "StripPartition",
+    "Block",
+    "BlockPartition",
+    "uniform_strip",
+    "nonuniform_strip",
+    "apples_strip",
+    "blocked_partition",
+    "largest_remainder_rows",
+]
+
+
+@dataclass(frozen=True)
+class Strip:
+    """A contiguous band of rows assigned to one machine."""
+
+    machine: str
+    row_start: int
+    row_count: int
+
+    def __post_init__(self) -> None:
+        if self.row_start < 0 or self.row_count <= 0:
+            raise ValueError(
+                f"invalid strip: start={self.row_start}, count={self.row_count}"
+            )
+
+    @property
+    def row_end(self) -> int:
+        """One past the last row."""
+        return self.row_start + self.row_count
+
+
+@dataclass(frozen=True)
+class StripPartition:
+    """A full-coverage row decomposition of an n×n grid."""
+
+    n: int
+    strips: tuple[Strip, ...]
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if not self.strips:
+            raise ValueError("partition needs at least one strip")
+        expected = 0
+        for s in self.strips:
+            if s.row_start != expected:
+                raise ValueError(
+                    f"strips must tile rows contiguously: expected start {expected}, "
+                    f"got {s.row_start} for {s.machine!r}"
+                )
+            expected = s.row_end
+        if expected != self.n:
+            raise ValueError(f"strips cover {expected} rows, grid has {self.n}")
+        machines = [s.machine for s in self.strips]
+        if len(set(machines)) != len(machines):
+            raise ValueError(f"machine appears in two strips: {machines}")
+
+    @property
+    def machines(self) -> tuple[str, ...]:
+        """Machines in strip order (top to bottom)."""
+        return tuple(s.machine for s in self.strips)
+
+    def area(self, machine: str) -> int:
+        """Points assigned to ``machine``."""
+        return self.strip_for(machine).row_count * self.n
+
+    def areas(self) -> dict[str, int]:
+        """Points per machine."""
+        return {s.machine: s.row_count * self.n for s in self.strips}
+
+    def strip_for(self, machine: str) -> Strip:
+        """The strip owned by ``machine``."""
+        for s in self.strips:
+            if s.machine == machine:
+                return s
+        raise KeyError(f"no strip for machine {machine!r}")
+
+    def neighbors(self, machine: str) -> list[str]:
+        """Machines sharing a border with ``machine`` (0, 1 or 2 of them)."""
+        idx = self.machines.index(machine)
+        out = []
+        if idx > 0:
+            out.append(self.strips[idx - 1].machine)
+        if idx < len(self.strips) - 1:
+            out.append(self.strips[idx + 1].machine)
+        return out
+
+    def border_count(self, machine: str) -> int:
+        """Number of borders ``machine`` exchanges per sweep (0–2)."""
+        return len(self.neighbors(machine))
+
+
+@dataclass(frozen=True)
+class Block:
+    """A rectangular tile assigned to one machine."""
+
+    machine: str
+    row_start: int
+    row_count: int
+    col_start: int
+    col_count: int
+
+    def __post_init__(self) -> None:
+        if min(self.row_start, self.col_start) < 0 or min(self.row_count, self.col_count) <= 0:
+            raise ValueError(f"invalid block geometry for {self.machine!r}")
+
+    @property
+    def area(self) -> int:
+        """Points in the tile."""
+        return self.row_count * self.col_count
+
+    @property
+    def row_end(self) -> int:
+        return self.row_start + self.row_count
+
+    @property
+    def col_end(self) -> int:
+        return self.col_start + self.col_count
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """A pr×pc tiling of an n×n grid (the HPF BLOCK,BLOCK distribution)."""
+
+    n: int
+    pr: int
+    pc: int
+    blocks: tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        if self.pr < 1 or self.pc < 1:
+            raise ValueError("processor grid must be at least 1x1")
+        if len(self.blocks) != self.pr * self.pc:
+            raise ValueError(
+                f"expected {self.pr * self.pc} blocks, got {len(self.blocks)}"
+            )
+        total = sum(b.area for b in self.blocks)
+        if total != self.n * self.n:
+            raise ValueError(f"blocks cover {total} points, grid has {self.n * self.n}")
+
+    @property
+    def machines(self) -> tuple[str, ...]:
+        """Machines in row-major tile order."""
+        return tuple(b.machine for b in self.blocks)
+
+    def block_at(self, i: int, j: int) -> Block:
+        """The tile at processor-grid coordinates ``(i, j)``."""
+        if not (0 <= i < self.pr and 0 <= j < self.pc):
+            raise IndexError(f"({i}, {j}) outside {self.pr}x{self.pc} grid")
+        return self.blocks[i * self.pc + j]
+
+    def neighbors(self, i: int, j: int) -> list[Block]:
+        """The 4-neighbour tiles of ``(i, j)`` that exist."""
+        out = []
+        for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            ni, nj = i + di, j + dj
+            if 0 <= ni < self.pr and 0 <= nj < self.pc:
+                out.append(self.block_at(ni, nj))
+        return out
+
+    def border_points(self, i: int, j: int) -> int:
+        """Border length (points) tile ``(i, j)`` exchanges per sweep."""
+        blk = self.block_at(i, j)
+        total = 0
+        if i > 0:
+            total += blk.col_count
+        if i < self.pr - 1:
+            total += blk.col_count
+        if j > 0:
+            total += blk.row_count
+        if j < self.pc - 1:
+            total += blk.row_count
+        return total
+
+
+def largest_remainder_rows(n: int, weights: Sequence[float]) -> list[int]:
+    """Apportion ``n`` rows to weights by the largest-remainder method.
+
+    Zero-weight entries receive zero rows; positive weights receive at
+    least one row when enough rows exist.  Deterministic tie-break by
+    index.  Raises if no positive weight exists or if there are more
+    positive weights than rows.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    w = [max(0.0, float(x)) for x in weights]
+    total = sum(w)
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    positive = [i for i, x in enumerate(w) if x > 0]
+    if len(positive) > n:
+        raise ValueError(f"{len(positive)} machines but only {n} rows")
+    quotas = [n * x / total for x in w]
+    rows = [int(math.floor(q)) for q in quotas]
+    # Guarantee one row per positive-weight machine before distributing
+    # remainders (a machine in the partition must own at least one row).
+    for i in positive:
+        if rows[i] == 0:
+            rows[i] = 1
+    deficit = n - sum(rows)
+    if deficit < 0:
+        # Rounding plus the one-row floor overshot: trim from the largest.
+        order = sorted(positive, key=lambda i: rows[i], reverse=True)
+        k = 0
+        while deficit < 0:
+            i = order[k % len(order)]
+            if rows[i] > 1:
+                rows[i] -= 1
+                deficit += 1
+            k += 1
+    else:
+        remainders = sorted(
+            positive, key=lambda i: (quotas[i] - math.floor(quotas[i])), reverse=True
+        )
+        k = 0
+        while deficit > 0:
+            rows[remainders[k % len(remainders)]] += 1
+            deficit -= 1
+            k += 1
+    assert sum(rows) == n
+    return rows
+
+
+def _strips_from_rows(n: int, machines: Sequence[str], rows: Sequence[int]) -> StripPartition:
+    strips = []
+    start = 0
+    for machine, count in zip(machines, rows):
+        if count <= 0:
+            continue
+        strips.append(Strip(machine=machine, row_start=start, row_count=count))
+        start += count
+    return StripPartition(n=n, strips=tuple(strips))
+
+
+def uniform_strip(n: int, machines: Sequence[str]) -> StripPartition:
+    """Equal-height strips, one per machine, in the given order."""
+    machines = list(machines)
+    if not machines:
+        raise ValueError("need at least one machine")
+    rows = largest_remainder_rows(n, [1.0] * len(machines))
+    return _strips_from_rows(n, machines, rows)
+
+
+def nonuniform_strip(
+    n: int, machines: Sequence[str], weights: Sequence[float]
+) -> StripPartition:
+    """Compile-time non-uniform strips (Figure 4).
+
+    Strip heights proportional to ``weights`` — in the paper, "parameterized
+    by (non-uniform) CPU speeds and bandwidth for the workstation network",
+    i.e. *nominal* capability, computed statically with no dynamic load
+    information.
+    """
+    machines = list(machines)
+    if len(machines) != len(weights):
+        raise ValueError("machines and weights length mismatch")
+    rows = largest_remainder_rows(n, weights)
+    return _strips_from_rows(n, machines, rows)
+
+
+def apples_strip(
+    n: int,
+    machines: Sequence[str],
+    areas: Sequence[float],
+    max_rows: Sequence[int | None] | None = None,
+) -> StripPartition:
+    """Materialise an AppLeS time-balanced allocation as integer strips.
+
+    ``areas`` are the planner's fractional point counts per machine (in
+    strip order); rows are apportioned by largest remainder.  Machines
+    whose area rounds to zero are dropped from the partition.
+
+    ``max_rows`` optionally caps each machine's row count (the integer
+    image of a memory capacity): rounding overflow is shifted to machines
+    with slack, so a capacity honoured by the fractional plan is still
+    honoured after integerisation.
+    """
+    machines = list(machines)
+    if len(machines) != len(areas):
+        raise ValueError("machines and areas length mismatch")
+    kept_idx = [i for i, a in enumerate(areas) if a > 0.0]
+    if not kept_idx:
+        raise ValueError("all areas are zero")
+    kept_machines = [machines[i] for i in kept_idx]
+    rows = largest_remainder_rows(n, [areas[i] for i in kept_idx])
+    if max_rows is not None:
+        if len(max_rows) != len(machines):
+            raise ValueError("machines and max_rows length mismatch")
+        caps = [max_rows[i] for i in kept_idx]
+        # Shift rounding overflow from capped machines to ones with slack.
+        for j, cap in enumerate(caps):
+            if cap is not None and rows[j] > cap:
+                overflow = rows[j] - int(cap)
+                rows[j] = int(cap)
+                receivers = sorted(
+                    (i for i in range(len(rows)) if i != j),
+                    key=lambda i: (
+                        math.inf if caps[i] is None else caps[i] - rows[i]
+                    ),
+                    reverse=True,
+                )
+                for i in receivers:
+                    if overflow == 0:
+                        break
+                    slack = (
+                        overflow
+                        if caps[i] is None
+                        else max(0, min(overflow, int(caps[i]) - rows[i]))
+                    )
+                    rows[i] += slack
+                    overflow -= slack
+                if overflow > 0:
+                    raise ValueError(
+                        "row capacities cannot absorb rounding overflow"
+                    )
+    return _strips_from_rows(n, kept_machines, rows)
+
+
+def generalized_block_partition(
+    n: int, machines: Sequence[str], rates: Sequence[float], sweeps: int = 8
+) -> BlockPartition:
+    """A heterogeneous (generalised) block distribution.
+
+    The paper's Jacobi2D user restricted planning to strips "due to the
+    non-linearity (and hence complexity) of developing predictions for
+    non-strip data decompositions" (§5); this implements the non-strip
+    case they deferred.  Machines are arranged on a pr×pc grid and the
+    row heights ``h_i`` / column widths ``w_j`` are fit by alternating
+    normalisation so tile areas ``h_i · w_j`` track machine rates: the
+    classic generalised block distribution.  Columns stay aligned across
+    rows, so the five-point ghost exchange of
+    :func:`repro.jacobi.runtime.execute_block_partition` applies
+    unchanged.
+
+    Machines are snake-ordered by rate before placement so each row group
+    carries a similar aggregate rate, which is what makes the alternating
+    fit converge to a useful layout.
+    """
+    machines = list(machines)
+    if len(machines) != len(rates):
+        raise ValueError("machines and rates length mismatch")
+    if not machines:
+        raise ValueError("need at least one machine")
+    if any(r <= 0 for r in rates):
+        raise ValueError("rates must be positive")
+    if sweeps < 1:
+        raise ValueError("sweeps must be >= 1")
+    p = len(machines)
+    pr = 1
+    for d in range(1, int(math.isqrt(p)) + 1):
+        if p % d == 0:
+            pr = d
+    pc = p // pr
+
+    # Snake placement by descending rate balances row aggregates.
+    order = sorted(range(p), key=lambda i: rates[i], reverse=True)
+    grid_idx = [[0] * pc for _ in range(pr)]
+    k = 0
+    for i in range(pr):
+        cols = range(pc) if i % 2 == 0 else range(pc - 1, -1, -1)
+        for j in cols:
+            grid_idx[i][j] = order[k]
+            k += 1
+    rate_grid = [[float(rates[grid_idx[i][j]]) for j in range(pc)] for i in range(pr)]
+
+    # Alternating fit: h_i ∝ row aggregate, w_j ∝ column aggregate under h.
+    h = [1.0 / pr] * pr
+    w = [1.0 / pc] * pc
+    for _ in range(sweeps):
+        row_tot = [sum(rate_grid[i]) for i in range(pr)]
+        total = sum(row_tot)
+        h = [rt / total for rt in row_tot]
+        col_tot = [sum(rate_grid[i][j] for i in range(pr)) for j in range(pc)]
+        total = sum(col_tot)
+        w = [ct / total for ct in col_tot]
+
+    row_sizes = largest_remainder_rows(n, h)
+    col_sizes = largest_remainder_rows(n, w)
+    blocks = []
+    r0 = 0
+    for i in range(pr):
+        c0 = 0
+        for j in range(pc):
+            blocks.append(
+                Block(
+                    machine=machines[grid_idx[i][j]],
+                    row_start=r0,
+                    row_count=row_sizes[i],
+                    col_start=c0,
+                    col_count=col_sizes[j],
+                )
+            )
+            c0 += col_sizes[j]
+        r0 += row_sizes[i]
+    return BlockPartition(n=n, pr=pr, pc=pc, blocks=tuple(blocks))
+
+
+def blocked_partition(n: int, machines: Sequence[str]) -> BlockPartition:
+    """The HPF Uniform/Blocked baseline: a near-square pr×pc grid of equal tiles.
+
+    ``pr`` is the largest divisor of ``len(machines)`` not exceeding its
+    square root, so 8 machines give a 2×4 grid, 4 give 2×2, primes give
+    1×p (degenerating to uniform strips, as HPF does).
+    """
+    machines = list(machines)
+    p = len(machines)
+    if p < 1:
+        raise ValueError("need at least one machine")
+    pr = 1
+    for d in range(1, int(math.isqrt(p)) + 1):
+        if p % d == 0:
+            pr = d
+    pc = p // pr
+    row_sizes = largest_remainder_rows(n, [1.0] * pr)
+    col_sizes = largest_remainder_rows(n, [1.0] * pc)
+    blocks = []
+    r0 = 0
+    idx = 0
+    for i in range(pr):
+        c0 = 0
+        for j in range(pc):
+            blocks.append(
+                Block(
+                    machine=machines[idx],
+                    row_start=r0,
+                    row_count=row_sizes[i],
+                    col_start=c0,
+                    col_count=col_sizes[j],
+                )
+            )
+            c0 += col_sizes[j]
+            idx += 1
+        r0 += row_sizes[i]
+    return BlockPartition(n=n, pr=pr, pc=pc, blocks=tuple(blocks))

@@ -1,0 +1,226 @@
+"""KeLP-like runtime for partitioned Jacobi2D.
+
+The paper actuated its schedules with KeLP, "an object-oriented run-time
+facility for adaptive grid problems" (§5).  This module plays that role
+twice over:
+
+- **numerically** — :func:`execute_strip_partition` and
+  :func:`execute_block_partition` run the sweep on per-machine subarrays
+  with explicit ghost-cell exchange, and must reproduce the reference
+  solver bit-for-bit (the integration tests assert this for every
+  partitioner);
+- **in simulated time** — :func:`assignments_from_schedule` and
+  :func:`simulated_execution` charge the schedule's compute and
+  communication against the metacomputer simulator, which is how the
+  Figure 5/6 execution-time curves are produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.partition import BlockPartition, StripPartition
+from repro.sim.execution import IterationResult, WorkAssignment, simulate_iterations
+from repro.sim.topology import Topology
+
+__all__ = [
+    "execute_strip_partition",
+    "execute_block_partition",
+    "assignments_from_schedule",
+    "simulated_execution",
+]
+
+
+def execute_strip_partition(
+    grid: np.ndarray, partition: StripPartition, iterations: int
+) -> np.ndarray:
+    """Run ``iterations`` sweeps over per-strip subarrays with ghost rows.
+
+    Each strip holds its rows plus one ghost row per interior border; every
+    iteration exchanges border rows, then updates locally.  Returns the
+    reassembled global grid.
+    """
+    n = partition.n
+    if grid.shape != (n, n):
+        raise ValueError(f"grid shape {grid.shape} does not match partition n={n}")
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+
+    # locals[i] carries rows [lo_i, hi_i) of the global grid where lo/hi
+    # include ghost rows when a neighbouring strip exists.
+    locals_: list[np.ndarray] = []
+    bounds: list[tuple[int, int]] = []
+    for idx, strip in enumerate(partition.strips):
+        lo = strip.row_start - (1 if idx > 0 else 0)
+        hi = strip.row_end + (1 if idx < len(partition.strips) - 1 else 0)
+        locals_.append(grid[lo:hi].copy())
+        bounds.append((lo, hi))
+
+    for _ in range(int(iterations)):
+        # Ghost exchange: my first/last *owned* row goes to my neighbours.
+        for idx, strip in enumerate(partition.strips):
+            lo, _hi = bounds[idx]
+            if idx > 0:
+                # Receive the last owned row of strip idx-1 into my top ghost.
+                up = partition.strips[idx - 1]
+                up_lo, _ = bounds[idx - 1]
+                locals_[idx][0] = locals_[idx - 1][up.row_end - 1 - up_lo]
+            if idx < len(partition.strips) - 1:
+                down = partition.strips[idx + 1]
+                down_lo, _ = bounds[idx + 1]
+                locals_[idx][-1] = locals_[idx + 1][down.row_start - down_lo]
+        # Local update: owned rows that are interior rows of the global grid.
+        for idx, strip in enumerate(partition.strips):
+            lo, _hi = bounds[idx]
+            local = locals_[idx]
+            new = local.copy()
+            r0 = max(strip.row_start, 1) - lo
+            r1 = min(strip.row_end, n - 1) - lo
+            if r1 > r0:
+                new[r0:r1, 1:-1] = 0.25 * (
+                    local[r0 - 1 : r1 - 1, 1:-1]
+                    + local[r0 + 1 : r1 + 1, 1:-1]
+                    + local[r0:r1, :-2]
+                    + local[r0:r1, 2:]
+                )
+            locals_[idx] = new
+
+    out = np.empty_like(grid)
+    for idx, strip in enumerate(partition.strips):
+        lo, _hi = bounds[idx]
+        out[strip.row_start : strip.row_end] = locals_[idx][
+            strip.row_start - lo : strip.row_end - lo
+        ]
+    return out
+
+
+def execute_block_partition(
+    grid: np.ndarray, partition: BlockPartition, iterations: int
+) -> np.ndarray:
+    """Run sweeps over 2-D tiles with four-sided ghost exchange.
+
+    The five-point stencil needs edge ghosts only (no corners).  Returns
+    the reassembled global grid.
+    """
+    n = partition.n
+    if grid.shape != (n, n):
+        raise ValueError(f"grid shape {grid.shape} does not match partition n={n}")
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+
+    # Per tile: the local array spans the tile plus 1-cell halo clipped to
+    # the grid; (i, j) indexes the processor grid.
+    tiles: dict[tuple[int, int], np.ndarray] = {}
+    spans: dict[tuple[int, int], tuple[int, int, int, int]] = {}
+    for i in range(partition.pr):
+        for j in range(partition.pc):
+            blk = partition.block_at(i, j)
+            r_lo = max(blk.row_start - 1, 0)
+            r_hi = min(blk.row_end + 1, n)
+            c_lo = max(blk.col_start - 1, 0)
+            c_hi = min(blk.col_end + 1, n)
+            tiles[(i, j)] = grid[r_lo:r_hi, c_lo:c_hi].copy()
+            spans[(i, j)] = (r_lo, r_hi, c_lo, c_hi)
+
+    def owned_view(i: int, j: int, arr: np.ndarray) -> np.ndarray:
+        blk = partition.block_at(i, j)
+        r_lo, _, c_lo, _ = spans[(i, j)]
+        return arr[
+            blk.row_start - r_lo : blk.row_end - r_lo,
+            blk.col_start - c_lo : blk.col_end - c_lo,
+        ]
+
+    for _ in range(int(iterations)):
+        # Ghost exchange along the four directions.
+        for i in range(partition.pr):
+            for j in range(partition.pc):
+                blk = partition.block_at(i, j)
+                r_lo, _, c_lo, _ = spans[(i, j)]
+                local = tiles[(i, j)]
+                if i > 0:
+                    src = owned_view(i - 1, j, tiles[(i - 1, j)])[-1]
+                    local[blk.row_start - 1 - r_lo,
+                          blk.col_start - c_lo : blk.col_end - c_lo] = src
+                if i < partition.pr - 1:
+                    src = owned_view(i + 1, j, tiles[(i + 1, j)])[0]
+                    local[blk.row_end - r_lo,
+                          blk.col_start - c_lo : blk.col_end - c_lo] = src
+                if j > 0:
+                    src = owned_view(i, j - 1, tiles[(i, j - 1)])[:, -1]
+                    local[blk.row_start - r_lo : blk.row_end - r_lo,
+                          blk.col_start - 1 - c_lo] = src
+                if j < partition.pc - 1:
+                    src = owned_view(i, j + 1, tiles[(i, j + 1)])[:, 0]
+                    local[blk.row_start - r_lo : blk.row_end - r_lo,
+                          blk.col_end - c_lo] = src
+        # Local update.
+        for i in range(partition.pr):
+            for j in range(partition.pc):
+                blk = partition.block_at(i, j)
+                r_lo, _, c_lo, _ = spans[(i, j)]
+                local = tiles[(i, j)]
+                new = local.copy()
+                ur0 = max(blk.row_start, 1) - r_lo
+                ur1 = min(blk.row_end, n - 1) - r_lo
+                uc0 = max(blk.col_start, 1) - c_lo
+                uc1 = min(blk.col_end, n - 1) - c_lo
+                if ur1 > ur0 and uc1 > uc0:
+                    new[ur0:ur1, uc0:uc1] = 0.25 * (
+                        local[ur0 - 1 : ur1 - 1, uc0:uc1]
+                        + local[ur0 + 1 : ur1 + 1, uc0:uc1]
+                        + local[ur0:ur1, uc0 - 1 : uc1 - 1]
+                        + local[ur0:ur1, uc0 + 1 : uc1 + 1]
+                    )
+                tiles[(i, j)] = new
+
+    out = np.empty_like(grid)
+    for i in range(partition.pr):
+        for j in range(partition.pc):
+            blk = partition.block_at(i, j)
+            out[blk.row_start : blk.row_end, blk.col_start : blk.col_end] = owned_view(
+                i, j, tiles[(i, j)]
+            )
+    return out
+
+
+def assignments_from_schedule(schedule: Schedule) -> list[WorkAssignment]:
+    """Convert a Jacobi schedule into simulator work assignments.
+
+    Requires the schedule metadata to carry its ``problem`` (all Jacobi
+    planners set it).
+    """
+    problem = schedule.metadata.get("problem")
+    if not isinstance(problem, JacobiProblem):
+        raise ValueError("schedule metadata lacks a JacobiProblem under 'problem'")
+    return [
+        WorkAssignment(
+            host=a.machine,
+            work_mflop=problem.work_mflop(a.work_units),
+            comm_bytes=dict(a.comm_bytes),
+            footprint_mb=a.footprint_mb,
+            overhead_s=problem.sync_overhead_s,
+        )
+        for a in schedule.allocations
+    ]
+
+
+def simulated_execution(
+    topology: Topology, schedule: Schedule, t0: float = 0.0
+) -> IterationResult:
+    """Charge a Jacobi schedule against the simulator.
+
+    Runs ``problem.iterations`` barrier steps starting at ``t0`` and
+    returns the :class:`~repro.sim.execution.IterationResult` — the
+    "measured" execution time of the Figure 5/6 experiments.
+    """
+    problem = schedule.metadata.get("problem")
+    if not isinstance(problem, JacobiProblem):
+        raise ValueError("schedule metadata lacks a JacobiProblem under 'problem'")
+    return simulate_iterations(
+        topology,
+        assignments_from_schedule(schedule),
+        iterations=problem.iterations,
+        t0=t0,
+    )

@@ -1,0 +1,105 @@
+"""Vectorised reference Jacobi solver.
+
+The numerical ground truth for the partitioned runtime
+(:mod:`repro.jacobi.runtime`): whatever decomposition a scheduler chooses,
+the partitioned sweep must produce *bit-identical* grids to this solver —
+that equivalence is what the integration tests assert.
+
+The update is the classic five-point Jacobi relaxation for Poisson's
+equation: interior points become the average of their four neighbours plus
+a source term; boundary values are held fixed (Dirichlet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jacobi_step", "jacobi_reference", "make_test_grid", "residual_norm", "solve_until"]
+
+
+def jacobi_step(grid: np.ndarray, source: np.ndarray | None = None) -> np.ndarray:
+    """One Jacobi sweep; returns a new grid (boundary copied unchanged).
+
+    ``grid`` must be 2-D with both dimensions >= 3 so an interior exists.
+    """
+    if grid.ndim != 2:
+        raise ValueError(f"grid must be 2-D, got shape {grid.shape}")
+    if min(grid.shape) < 3:
+        raise ValueError(f"grid must be at least 3x3, got {grid.shape}")
+    out = grid.copy()
+    interior = 0.25 * (
+        grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+    )
+    if source is not None:
+        if source.shape != grid.shape:
+            raise ValueError("source shape must match grid shape")
+        interior = interior + source[1:-1, 1:-1]
+    out[1:-1, 1:-1] = interior
+    return out
+
+
+def jacobi_reference(
+    grid: np.ndarray, iterations: int, source: np.ndarray | None = None
+) -> np.ndarray:
+    """Run ``iterations`` sweeps from ``grid``; the input is not modified."""
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    current = grid.copy()
+    for _ in range(int(iterations)):
+        current = jacobi_step(current, source)
+    return current
+
+
+def make_test_grid(n: int, seed: int = 0, hot_edge: float = 100.0) -> np.ndarray:
+    """A reproducible N×N test problem: random interior, one hot boundary.
+
+    Models the heat-flow problems the paper cites as Jacobi2D's home turf.
+    """
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    rng = np.random.default_rng(seed)
+    grid = rng.uniform(0.0, 1.0, size=(n, n))
+    grid[0, :] = hot_edge
+    grid[-1, :] = 0.0
+    grid[:, 0] = 0.0
+    grid[:, -1] = 0.0
+    return grid
+
+
+def solve_until(
+    grid: np.ndarray,
+    tolerance: float = 1e-6,
+    max_iterations: int = 100_000,
+    source: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
+    """Relax until the per-sweep RMS update drops below ``tolerance``.
+
+    The variable-iteration interface real Poisson users want (the
+    fixed-iteration runs of the figures are a benchmarking convention).
+    Returns ``(converged_grid, sweeps_taken)``; raises ``RuntimeError``
+    if ``max_iterations`` sweeps do not converge.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    current = grid.copy()
+    for sweep in range(1, int(max_iterations) + 1):
+        nxt = jacobi_step(current, source)
+        delta = nxt[1:-1, 1:-1] - current[1:-1, 1:-1]
+        current = nxt
+        if float(np.sqrt(np.mean(delta**2))) < tolerance:
+            return current, sweep
+    raise RuntimeError(
+        f"Jacobi did not reach tolerance {tolerance:g} in {max_iterations} sweeps"
+    )
+
+
+def residual_norm(grid: np.ndarray) -> float:
+    """RMS difference between a grid and one further sweep of it.
+
+    Approaches 0 as the relaxation converges; used by convergence tests.
+    """
+    nxt = jacobi_step(grid)
+    diff = nxt[1:-1, 1:-1] - grid[1:-1, 1:-1]
+    return float(np.sqrt(np.mean(diff**2)))

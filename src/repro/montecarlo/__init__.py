@@ -1,0 +1,35 @@
+"""Detector-acceptance Monte Carlo: a master–worker AppLeS application.
+
+§2.1 mentions that "Monte carlo simulations of the experiment may be run
+to correct the data for detector acceptance and inefficiencies as well as
+to verify the model."  This subpackage implements that workload as the
+fourth application of the reproduction — and as the worked example of
+docs/TUTORIAL.md, because it shows how *little* an application must bring
+to the framework when its structure is simple:
+
+- a problem definition and HAT (:mod:`repro.montecarlo.problem`),
+- real numerics (:mod:`repro.montecarlo.simulation`): seeded event
+  generation, a toy detector-acceptance model, mergeable counters,
+- an agent factory reusing the generic
+  :class:`~repro.core.planner.TimeBalancedPlanner` (independent samples
+  need no custom planner at all), and an actuator that runs the samples
+  and charges simulated time (:mod:`repro.montecarlo.apples`).
+"""
+
+from repro.montecarlo.apples import MonteCarloActuator, make_montecarlo_agent
+from repro.montecarlo.problem import MonteCarloProblem, montecarlo_hat
+from repro.montecarlo.simulation import (
+    AcceptanceResult,
+    run_acceptance_batch,
+    true_acceptance,
+)
+
+__all__ = [
+    "MonteCarloProblem",
+    "montecarlo_hat",
+    "AcceptanceResult",
+    "run_acceptance_batch",
+    "true_acceptance",
+    "MonteCarloActuator",
+    "make_montecarlo_agent",
+]

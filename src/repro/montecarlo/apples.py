@@ -1,0 +1,100 @@
+"""Agent assembly and actuation for the Monte Carlo application.
+
+The planner is the stock :class:`~repro.core.planner.TimeBalancedPlanner`
+(independent samples, no coupling — the generic balancer is exactly
+right), so all this module adds is the actuator: run each machine's share
+numerically, merge the counters, and charge the simulated metacomputer
+for the compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actuator import Actuator
+from repro.core.coordinator import AppLeSAgent
+from repro.core.infopool import InformationPool
+from repro.core.planner import TimeBalancedPlanner
+from repro.core.resources import ResourcePool
+from repro.core.schedule import Schedule
+from repro.core.selector import ResourceSelector
+from repro.core.userspec import UserSpecification
+from repro.montecarlo.problem import MonteCarloProblem, montecarlo_hat
+from repro.montecarlo.simulation import AcceptanceResult, run_acceptance_batch
+from repro.nws.service import NetworkWeatherService
+from repro.sim.execution import WorkAssignment, simulate_iterations
+from repro.sim.testbeds import Testbed
+
+__all__ = ["MonteCarloRun", "MonteCarloActuator", "make_montecarlo_agent"]
+
+
+@dataclass(frozen=True)
+class MonteCarloRun:
+    """What actuation returns: physics + timing."""
+
+    result: AcceptanceResult
+    elapsed_s: float
+    shares: dict[str, int]
+
+
+class MonteCarloActuator:
+    """Run the schedule's shares for real and charge simulated time."""
+
+    def __init__(self, testbed: Testbed, problem: MonteCarloProblem) -> None:
+        self.testbed = testbed
+        self.problem = problem
+
+    def actuate(self, schedule: Schedule, info: InformationPool, t0: float) -> MonteCarloRun:
+        shares: dict[str, int] = {}
+        remaining = self.problem.samples
+        for alloc in schedule.allocations:
+            count = min(int(round(alloc.work_units)), remaining)
+            if count > 0:
+                shares[alloc.machine] = count
+                remaining -= count
+        if remaining > 0 and shares:
+            # Rounding remainder lands on the largest share.
+            biggest = max(shares, key=shares.get)  # type: ignore[arg-type]
+            shares[biggest] += remaining
+
+        merged = AcceptanceResult(0, 0)
+        for idx, (_machine, count) in enumerate(sorted(shares.items())):
+            merged = merged.merge(
+                run_acceptance_batch(count, self.problem.seed, share_index=idx)
+            )
+
+        assignments = [
+            WorkAssignment(host=m, work_mflop=c * self.problem.flop_per_sample)
+            for m, c in shares.items()
+        ]
+        timing = simulate_iterations(
+            self.testbed.topology, assignments, iterations=1, t0=t0
+        )
+        return MonteCarloRun(
+            result=merged, elapsed_s=timing.total_time, shares=shares
+        )
+
+
+def make_montecarlo_agent(
+    testbed: Testbed,
+    problem: MonteCarloProblem,
+    nws: NetworkWeatherService | None = None,
+    userspec: UserSpecification | None = None,
+) -> AppLeSAgent:
+    """Assemble the Monte Carlo AppLeS agent.
+
+    Everything is stock framework: generic planner, default estimator from
+    the User Specification, exhaustive selector, plus the numeric actuator.
+    """
+    pool = ResourcePool(testbed.topology, nws)
+    info = InformationPool(
+        pool=pool,
+        hat=montecarlo_hat(problem),
+        userspec=userspec if userspec is not None else UserSpecification(),
+    )
+    return AppLeSAgent(
+        info,
+        planner=TimeBalancedPlanner(task_name="simulate"),
+        selector=ResourceSelector(),
+        actuator=MonteCarloActuator(testbed, problem),
+    )

@@ -1,0 +1,66 @@
+"""Problem definition for the detector-acceptance Monte Carlo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["MonteCarloProblem", "montecarlo_hat"]
+
+
+@dataclass(frozen=True)
+class MonteCarloProblem:
+    """A detector-acceptance estimation run.
+
+    Parameters
+    ----------
+    samples:
+        Monte Carlo events to throw.
+    flop_per_sample:
+        MFLOP per simulated event (generation + toy detector transport).
+    seed:
+        Generation seed; worker shares are derived sub-streams, so the
+        merged estimate is independent of how the samples are split.
+    """
+
+    samples: int = 1_000_000
+    flop_per_sample: float = 2.0e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("samples", self.samples)
+        check_positive("flop_per_sample", self.flop_per_sample)
+
+
+def montecarlo_hat(problem: MonteCarloProblem) -> HeterogeneousApplicationTemplate:
+    """The HAT: one divisible, communication-free, portable task.
+
+    Master–worker Monte Carlo is the simplest possible HAT — which is the
+    point of the tutorial: the framework supplies selection, balancing,
+    estimation and actuation; the application supplies three numbers and
+    the numerics.
+    """
+    return HeterogeneousApplicationTemplate(
+        name=f"mc-acceptance-{problem.samples}",
+        paradigm="master-worker",
+        tasks=(
+            TaskCharacteristics(
+                name="simulate",
+                flop_per_unit=problem.flop_per_sample,
+                divisible=True,
+            ),
+        ),
+        communication=CommunicationCharacteristics(pattern="gather"),
+        structure=StructureInfo(
+            total_units=float(problem.samples),
+            iterations=1,
+            unifying_structure="sample-stream",
+        ),
+    )

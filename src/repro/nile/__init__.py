@@ -1,0 +1,57 @@
+"""CLEO/NILE: the paper's data-parallel metacomputer application (§2.1).
+
+CLEO physicists analyse collision *events* (8 KB raw records; 20 KB after
+the offline *pass2* reconstruction; a lossily-compressed *roar* format for
+the frequently-accessed fields).  NILE is the scalable infrastructure for
+distributed storage and analysis of that data; its Site Manager mediates
+analysis requests, and "the cost of skimming is compared with a prediction
+of the reduction in cost of event analysis when the data is local".
+
+This subpackage provides the synthetic substitute for the CLEO data and
+the NILE decision structure:
+
+- :mod:`repro.nile.events` — seeded synthetic event batches in the three
+  record formats,
+- :mod:`repro.nile.storage` — disk/tape tiers and stored datasets,
+- :mod:`repro.nile.analysis` — runnable data-parallel analysis programs
+  (histogram, statistics, cull),
+- :mod:`repro.nile.site_manager` — the Site Manager with the
+  skim-vs-remote cost comparison,
+- :mod:`repro.nile.apples` — a data-parallel scheduling agent that places
+  event analysis near the data.
+"""
+
+from repro.nile.analysis import (
+    AnalysisProgram,
+    CullAnalysis,
+    HistogramAnalysis,
+    StatisticsAnalysis,
+)
+from repro.nile.apples import NileAnalysisPlanner, make_nile_agent
+from repro.nile.events import PASS2, RAW, ROAR, EventBatch, RecordFormat
+from repro.nile.runtime import AnalysisRunResult, execute_analysis
+from repro.nile.site_manager import AnalysisCostReport, SiteManager, SkimDecision
+from repro.nile.storage import DISK, TAPE, StorageTier, StoredDataset
+
+__all__ = [
+    "AnalysisRunResult",
+    "execute_analysis",
+    "RecordFormat",
+    "RAW",
+    "PASS2",
+    "ROAR",
+    "EventBatch",
+    "StorageTier",
+    "DISK",
+    "TAPE",
+    "StoredDataset",
+    "AnalysisProgram",
+    "HistogramAnalysis",
+    "StatisticsAnalysis",
+    "CullAnalysis",
+    "SiteManager",
+    "SkimDecision",
+    "AnalysisCostReport",
+    "NileAnalysisPlanner",
+    "make_nile_agent",
+]

@@ -1,0 +1,178 @@
+"""Data-parallel event-analysis programs.
+
+"A physicist may wish to construct a histogram, compute statistics, or
+cull the raw data for physical inspection" (§2.1).  Each program here does
+real NumPy work over event features *and* declares its computational cost
+(MFLOP/event) for the schedulers.  All three are associative: running a
+program over event sub-batches and merging gives exactly the whole-batch
+answer, which is what makes the analysis data-parallel — the integration
+tests assert this merge property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.nile.events import EventBatch
+from repro.util.validation import check_positive
+
+__all__ = [
+    "AnalysisProgram",
+    "HistogramAnalysis",
+    "StatisticsAnalysis",
+    "CullAnalysis",
+]
+
+
+class AnalysisProgram:
+    """Base class: a named analysis with a per-event cost model."""
+
+    #: MFLOP of work per event (drives scheduling); subclasses override.
+    mflop_per_event: float = 1.0e-3
+    name: str = "analysis"
+
+    def run(self, batch: EventBatch) -> Any:
+        """Analyse one batch, returning a mergeable partial result."""
+        raise NotImplementedError
+
+    def merge(self, partials: Sequence[Any]) -> Any:
+        """Combine partial results from sub-batches."""
+        raise NotImplementedError
+
+    def total_mflop(self, nevents: int) -> float:
+        """Work for ``nevents`` events."""
+        if nevents < 0:
+            raise ValueError("nevents must be >= 0")
+        return nevents * self.mflop_per_event
+
+
+@dataclass(frozen=True)
+class _Histogram:
+    """A mergeable histogram partial."""
+
+    counts: np.ndarray
+    edges: np.ndarray
+
+
+class HistogramAnalysis(AnalysisProgram):
+    """Histogram one feature over fixed bin edges."""
+
+    def __init__(
+        self,
+        field: str = "energy_gev",
+        bins: int = 50,
+        lo: float = 9.0,
+        hi: float = 12.0,
+        mflop_per_event: float = 2.0e-3,
+    ) -> None:
+        check_positive("bins", bins)
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        self.field = field
+        self.edges = np.linspace(lo, hi, int(bins) + 1)
+        self.mflop_per_event = check_positive("mflop_per_event", mflop_per_event)
+        self.name = f"histogram({field})"
+
+    def run(self, batch: EventBatch) -> _Histogram:
+        counts, edges = np.histogram(batch.field(self.field), bins=self.edges)
+        return _Histogram(counts=counts.astype(np.int64), edges=edges)
+
+    def merge(self, partials: Sequence[_Histogram]) -> _Histogram:
+        if not partials:
+            raise ValueError("nothing to merge")
+        counts = np.sum([p.counts for p in partials], axis=0)
+        return _Histogram(counts=counts, edges=partials[0].edges)
+
+
+@dataclass(frozen=True)
+class _Moments:
+    """Mergeable count/sum/sum-of-squares for a set of fields."""
+
+    n: int
+    sums: dict[str, float]
+    sumsq: dict[str, float]
+
+    def mean(self, field: str) -> float:
+        return self.sums[field] / self.n if self.n else 0.0
+
+    def std(self, field: str) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean(field)
+        var = max(self.sumsq[field] / self.n - m * m, 0.0)
+        return float(np.sqrt(var))
+
+
+class StatisticsAnalysis(AnalysisProgram):
+    """Mean/std over a set of fields via mergeable moments."""
+
+    def __init__(
+        self,
+        fields: Sequence[str] = ("energy_gev", "charged_multiplicity"),
+        mflop_per_event: float = 1.5e-3,
+    ) -> None:
+        if not fields:
+            raise ValueError("need at least one field")
+        self.fields = tuple(fields)
+        self.mflop_per_event = check_positive("mflop_per_event", mflop_per_event)
+        self.name = f"statistics({','.join(self.fields)})"
+
+    def run(self, batch: EventBatch) -> _Moments:
+        sums = {}
+        sumsq = {}
+        for f in self.fields:
+            arr = np.asarray(batch.field(f), dtype=float)
+            sums[f] = float(arr.sum())
+            sumsq[f] = float((arr * arr).sum())
+        return _Moments(n=batch.nevents, sums=sums, sumsq=sumsq)
+
+    def merge(self, partials: Sequence[_Moments]) -> _Moments:
+        if not partials:
+            raise ValueError("nothing to merge")
+        n = sum(p.n for p in partials)
+        sums = {f: sum(p.sums[f] for p in partials) for f in self.fields}
+        sumsq = {f: sum(p.sumsq[f] for p in partials) for f in self.fields}
+        return _Moments(n=n, sums=sums, sumsq=sumsq)
+
+
+class CullAnalysis(AnalysisProgram):
+    """Select the indices of signal-like events for physical inspection.
+
+    Returns global event indices, so merging across sub-batches needs each
+    partial to be offset by its batch start — :meth:`run_offset` does this
+    for the data-parallel runtime.
+    """
+
+    def __init__(
+        self,
+        energy_window: tuple[float, float] = (10.2, 10.9),
+        min_charged: int = 8,
+        mflop_per_event: float = 1.0e-3,
+    ) -> None:
+        lo, hi = energy_window
+        if hi <= lo:
+            raise ValueError("energy window must be non-empty")
+        self.energy_window = (float(lo), float(hi))
+        self.min_charged = int(min_charged)
+        self.mflop_per_event = check_positive("mflop_per_event", mflop_per_event)
+        self.name = "cull"
+
+    def run(self, batch: EventBatch) -> np.ndarray:
+        return self.run_offset(batch, 0)
+
+    def run_offset(self, batch: EventBatch, offset: int) -> np.ndarray:
+        lo, hi = self.energy_window
+        energy = batch.field("energy_gev")
+        charged = batch.field("charged_multiplicity")
+        mask = (energy >= lo) & (energy <= hi) & (charged >= self.min_charged)
+        if "is_signal" in batch.fmt.fields:
+            mask |= batch.field("is_signal")
+        return np.flatnonzero(mask) + int(offset)
+
+    def merge(self, partials: Sequence[np.ndarray]) -> np.ndarray:
+        if not partials:
+            raise ValueError("nothing to merge")
+        return np.sort(np.concatenate(list(partials)))

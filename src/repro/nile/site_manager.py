@@ -1,0 +1,289 @@
+"""The NILE Site Manager.
+
+"Users interact with the NILE system ... through a Site Manager.  The Site
+Manager contains specific information about some resources and general
+information about other resources through 'proxies'. ... the physicist may
+'skim' the entire data set to create private disk data sets of events for
+further local analysis.  The cost of skimming is compared with a
+prediction of the reduction in cost of event analysis when the data is
+local." (§2.1)
+
+The Site Manager here does all three jobs: it *allocates* a data-parallel
+analysis across the hosts of a site (time-balanced, like every AppLeS
+plan), it *predicts* per-run costs for remote versus skimmed-local data,
+and it *decides* whether skimming pays given how many times the physicist
+expects to re-run the analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.planner import balance_divisible_work
+from repro.core.resources import ResourcePool
+from repro.nile.analysis import AnalysisProgram
+from repro.nile.events import ROAR, RecordFormat
+from repro.nile.storage import DISK, StorageTier, StoredDataset
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["AnalysisCostReport", "SkimDecision", "SiteManager"]
+
+
+@dataclass(frozen=True)
+class AnalysisCostReport:
+    """Predicted cost breakdown for one analysis run at one site."""
+
+    data_access_s: float
+    compute_s: float
+    hosts: tuple[str, ...]
+
+    @property
+    def total_s(self) -> float:
+        """Access + compute (access is not overlapped in this model)."""
+        return self.data_access_s + self.compute_s
+
+
+@dataclass(frozen=True)
+class SkimDecision:
+    """The Site Manager's skim-vs-remote verdict.
+
+    Attributes
+    ----------
+    skim:
+        True when skimming is predicted to pay off.
+    skim_cost_s:
+        One-time cost of creating the private local dataset.
+    remote_run_s / local_run_s:
+        Predicted per-run cost against remote vs skimmed-local data.
+    crossover_runs:
+        Minimum number of repeated analyses at which skimming wins
+        (infinity when local runs are no cheaper).
+    expected_runs:
+        The physicist's estimate the decision used.
+    """
+
+    skim: bool
+    skim_cost_s: float
+    remote_run_s: float
+    local_run_s: float
+    crossover_runs: float
+    expected_runs: int
+
+
+@dataclass
+class SiteManager:
+    """Per-site broker for NILE event analysis.
+
+    Parameters
+    ----------
+    site:
+        Name of the site this manager fronts.
+    pool:
+        Resource pool (topology + optional NWS) — the manager's "specific
+        information" about local resources and "proxies" for remote ones.
+    datasets:
+        Known datasets (local and remote) by name.
+    local_disk:
+        The tier skims land on.
+    """
+
+    site: str
+    pool: ResourcePool
+    datasets: dict[str, StoredDataset] = field(default_factory=dict)
+    local_disk: StorageTier = DISK
+
+    def register(self, dataset: StoredDataset) -> None:
+        """Make a dataset known to this manager."""
+        if dataset.name in self.datasets:
+            raise ValueError(f"duplicate dataset {dataset.name!r}")
+        self.datasets[dataset.name] = dataset
+
+    def local_hosts(self) -> list[str]:
+        """Hosts belonging to this manager's site."""
+        return [
+            m.name for m in self.pool.machines() if m.site == self.site
+        ]
+
+    # -- allocation --------------------------------------------------------
+    def allocate(
+        self, dataset: StoredDataset, program: AnalysisProgram, hosts: list[str] | None = None
+    ) -> dict[str, int]:
+        """Time-balanced split of the dataset's events across site hosts.
+
+        Each host's effective rate folds in the per-event cost of moving
+        its share from the data host (free when co-located), so hosts far
+        from the data naturally receive fewer events.
+        """
+        hosts = hosts if hosts is not None else self.local_hosts()
+        if not hosts:
+            raise RuntimeError(f"site {self.site!r} has no hosts")
+        bytes_per_event = dataset.events.fmt.bytes_per_event
+        rates = []
+        usable = []
+        for h in hosts:
+            speed = self.pool.predicted_speed(h)
+            if speed <= 0:
+                continue
+            per_event = program.mflop_per_event / speed
+            if h != dataset.host:
+                bw = self.pool.predicted_bandwidth(dataset.host, h)
+                if bw <= 0:
+                    continue
+                per_event += bytes_per_event / bw
+            rates.append(1.0 / per_event)
+            usable.append(h)
+        if not usable:
+            raise RuntimeError("no usable hosts for allocation")
+        result = balance_divisible_work(rates, [0.0] * len(usable), dataset.nevents)
+        assert result is not None  # no capacities -> always feasible
+        shares: dict[str, int] = {}
+        assigned = 0
+        for h, units in zip(usable, result.allocations):
+            count = int(round(units))
+            shares[h] = count
+            assigned += count
+        # Rounding drift lands on the fastest host.
+        drift = dataset.nevents - assigned
+        if drift:
+            fastest = max(usable, key=lambda h: self.pool.predicted_speed(h))
+            shares[fastest] += drift
+        return {h: c for h, c in shares.items() if c > 0}
+
+    # -- cost prediction -----------------------------------------------------
+    def predict_run_cost(
+        self, dataset: StoredDataset, program: AnalysisProgram, hosts: list[str] | None = None
+    ) -> AnalysisCostReport:
+        """Predicted cost of one analysis run against ``dataset``.
+
+        Data access: stream the dataset off its tier, plus WAN transfer of
+        the shares consumed away from the data host.  Compute: the
+        balanced makespan across the chosen hosts.
+        """
+        shares = self.allocate(dataset, program, hosts)
+        bytes_per_event = dataset.events.fmt.bytes_per_event
+        access = dataset.read_time()
+        compute = 0.0
+        for h, count in shares.items():
+            speed = self.pool.predicted_speed(h)
+            t = program.total_mflop(count) / speed
+            if h != dataset.host:
+                t += self.pool.predicted_transfer_time(
+                    dataset.host, h, count * bytes_per_event
+                )
+            compute = max(compute, t)
+        return AnalysisCostReport(
+            data_access_s=access, compute_s=compute, hosts=tuple(shares)
+        )
+
+    def predict_skim_cost(
+        self,
+        dataset: StoredDataset,
+        skim_fraction: float,
+        target_host: str,
+        target_format: RecordFormat = ROAR,
+    ) -> float:
+        """One-time cost of skimming ``skim_fraction`` of a dataset to disk
+        at ``target_host``: read the source tier, ship the selected events,
+        write the (possibly re-encoded) records locally."""
+        check_fraction("skim_fraction", skim_fraction)
+        selected = dataset.nevents * skim_fraction
+        read = dataset.read_time()  # a skim scans the whole dataset
+        ship = self.pool.predicted_transfer_time(
+            dataset.host, target_host, selected * dataset.events.fmt.bytes_per_event
+        )
+        write = self.local_disk.write_time(selected * target_format.bytes_per_event)
+        return read + ship + write
+
+    # -- multi-dataset analysis ----------------------------------------------
+    def plan_multi_dataset(
+        self,
+        datasets: list[StoredDataset],
+        program: AnalysisProgram,
+    ) -> dict[str, dict[str, int]]:
+        """Allocate an analysis spanning several datasets at several sites.
+
+        "Distribution is necessary because not enough resources can be made
+        available at any single site to accommodate the quantity of data"
+        (§2.1) — so NILE "implements the program at the data site(s)".
+        Each dataset's events are allocated among the hosts of *its own
+        site* (co-located compute; only partial results travel).  Returns
+        dataset-name → host → event count.
+        """
+        if not datasets:
+            raise ValueError("need at least one dataset")
+        plans: dict[str, dict[str, int]] = {}
+        for ds in datasets:
+            site = self.pool.machine_info(ds.host).site
+            hosts = [m.name for m in self.pool.machines() if m.site == site]
+            if not hosts:
+                raise RuntimeError(f"no hosts at site {site!r} for {ds.name!r}")
+            plans[ds.name] = self.allocate(ds, program, hosts=hosts)
+        return plans
+
+    def predict_multi_dataset_cost(
+        self,
+        datasets: list[StoredDataset],
+        program: AnalysisProgram,
+    ) -> float:
+        """Predicted wall clock of a multi-site analysis.
+
+        Sites proceed concurrently; the answer arrives when the slowest
+        site finishes (partial-result shipping is negligible next to event
+        data and is ignored, as the paper's aggregation-phase framing
+        implies).
+        """
+        worst = 0.0
+        for ds in datasets:
+            site = self.pool.machine_info(ds.host).site
+            hosts = [m.name for m in self.pool.machines() if m.site == site]
+            report = self.predict_run_cost(ds, program, hosts=hosts)
+            worst = max(worst, report.total_s)
+        return worst
+
+    # -- the decision ---------------------------------------------------------
+    def decide_skim(
+        self,
+        dataset: StoredDataset,
+        program: AnalysisProgram,
+        expected_runs: int,
+        skim_fraction: float = 1.0,
+        target_host: str | None = None,
+        target_format: RecordFormat = ROAR,
+    ) -> SkimDecision:
+        """The §2.1 comparison: skim once + analyse locally, or analyse
+        remotely every time.
+
+        ``skim_fraction`` < 1 models physicists who cut the dataset down to
+        their private working set as they skim.
+        """
+        check_positive("expected_runs", expected_runs)
+        if target_host is None:
+            hosts = self.local_hosts()
+            if not hosts:
+                raise RuntimeError(f"site {self.site!r} has no hosts")
+            target_host = max(hosts, key=lambda h: self.pool.predicted_speed(h))
+
+        remote = self.predict_run_cost(dataset, program).total_s
+        skim_cost = self.predict_skim_cost(
+            dataset, skim_fraction, target_host, target_format
+        )
+        nlocal = max(int(dataset.nevents * skim_fraction), 1)
+        local_ds = StoredDataset(
+            name=f"{dataset.name}-skim",
+            events=dataset.events.slice(0, nlocal).to_format(target_format),
+            tier=self.local_disk,
+            host=target_host,
+        )
+        local = self.predict_run_cost(local_ds, program).total_s
+
+        saving = remote - local
+        crossover = skim_cost / saving if saving > 0 else math.inf
+        return SkimDecision(
+            skim=expected_runs >= crossover,
+            skim_cost_s=skim_cost,
+            remote_run_s=remote,
+            local_run_s=local,
+            crossover_runs=crossover,
+            expected_runs=int(expected_runs),
+        )

@@ -1,0 +1,90 @@
+"""Storage tiers and stored datasets.
+
+"The *roar* data is kept on disk while the rest of the data must be kept
+on tape" (§2.1).  Tape is the interesting tier: huge capacity, painful
+mount latency, modest streaming bandwidth — the physical reason skimming
+a working set onto local disk can pay for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nile.events import EventBatch
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["StorageTier", "DISK", "TAPE", "StoredDataset"]
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """A storage class with streaming bandwidth and access latency."""
+
+    name: str
+    bandwidth_mbps: float  # MB/s (10^6 bytes per second)
+    access_latency_s: float
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+        check_nonnegative("access_latency_s", self.access_latency_s)
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` off this tier (one access)."""
+        check_nonnegative("nbytes", nbytes)
+        if nbytes == 0:
+            return 0.0
+        return self.access_latency_s + nbytes / (self.bandwidth_mbps * 1e6)
+
+    def write_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` onto this tier (symmetric model)."""
+        return self.read_time(nbytes)
+
+
+#: Mid-1990s local disk: ~8 MB/s sustained, negligible positioning time at
+#: this granularity.
+DISK = StorageTier("disk", bandwidth_mbps=8.0, access_latency_s=0.02)
+
+#: Robotic tape: minutes of mount/seek, then a few MB/s streaming.
+TAPE = StorageTier("tape", bandwidth_mbps=3.0, access_latency_s=45.0)
+
+
+@dataclass
+class StoredDataset:
+    """An event batch resident on a tier at a host.
+
+    Parameters
+    ----------
+    name:
+        Dataset identifier (e.g. ``"run4-pass2"``).
+    events:
+        The event batch.
+    tier:
+        Where it lives (:data:`DISK` or :data:`TAPE`).
+    host:
+        Name of the host (in the topology) serving this data.
+    """
+
+    name: str
+    events: EventBatch
+    tier: StorageTier
+    host: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dataset name must be non-empty")
+        if not self.host:
+            raise ValueError("dataset host must be non-empty")
+
+    @property
+    def size_bytes(self) -> int:
+        """Stored size."""
+        return self.events.size_bytes
+
+    @property
+    def nevents(self) -> int:
+        """Number of events."""
+        return self.events.nevents
+
+    def read_time(self) -> float:
+        """Seconds to stream the whole dataset off its tier."""
+        return self.tier.read_time(self.size_bytes)

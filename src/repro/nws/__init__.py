@@ -1,0 +1,66 @@
+"""Network Weather Service (NWS) substrate.
+
+The paper's AppLeS agents consume "dynamic information on system state and
+forecasts of resource load for the time frame in which the application will
+be scheduled" from the Network Weather Service (§4.1).  The original NWS
+(Wolski's companion system) measured CPU availability and network
+bandwidth/latency periodically and ran a *family* of cheap forecasters over
+each measurement series, dynamically selecting whichever forecaster had the
+lowest accumulated error.
+
+This subpackage reproduces that design against the simulator:
+
+- :mod:`repro.nws.series` — bounded measurement series,
+- :mod:`repro.nws.forecasters` — the forecaster family,
+- :mod:`repro.nws.ensemble` — the adaptive minimum-error ensemble,
+- :mod:`repro.nws.sensors` — CPU and link sensors over :mod:`repro.sim`,
+- :mod:`repro.nws.service` — the facade AppLeS agents query.
+"""
+
+from repro.nws.ensemble import AdaptiveEnsemble, Forecast
+from repro.nws.evaluation import BacktestResult, backtest_family, evaluate_forecaster
+from repro.nws.host_bench import (
+    BenchmarkCalibratedPool,
+    calibrate_nominal_speed,
+    measure_effective_speed,
+)
+from repro.nws.forecasters import (
+    AdaptiveWindowMean,
+    ARForecaster,
+    ExponentialSmoothing,
+    Forecaster,
+    LastValue,
+    MedianWindow,
+    RunningMean,
+    SlidingWindowMean,
+    TrimmedMeanWindow,
+    default_forecaster_family,
+)
+from repro.nws.sensors import CpuSensor, LinkSensor
+from repro.nws.series import TimeSeries
+from repro.nws.service import NetworkWeatherService
+
+__all__ = [
+    "TimeSeries",
+    "Forecaster",
+    "AdaptiveWindowMean",
+    "LastValue",
+    "RunningMean",
+    "SlidingWindowMean",
+    "MedianWindow",
+    "TrimmedMeanWindow",
+    "ExponentialSmoothing",
+    "ARForecaster",
+    "default_forecaster_family",
+    "AdaptiveEnsemble",
+    "BacktestResult",
+    "backtest_family",
+    "evaluate_forecaster",
+    "BenchmarkCalibratedPool",
+    "calibrate_nominal_speed",
+    "measure_effective_speed",
+    "Forecast",
+    "CpuSensor",
+    "LinkSensor",
+    "NetworkWeatherService",
+]

@@ -1,0 +1,127 @@
+"""Adaptive minimum-error forecaster ensemble.
+
+The distinguishing trick of the Network Weather Service: instead of picking
+one statistical model per resource, run *all* of them, score each by the
+error of its past one-step-ahead predictions, and report the prediction of
+whichever model is currently winning, together with an error estimate.
+"A schedule is only as good as the accuracy of its underlying predictions"
+(§3.6) — the error estimate is what lets a scheduler know how much to trust
+the number.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.nws.forecasters import Forecaster, default_forecaster_family
+
+__all__ = ["Forecast", "AdaptiveEnsemble"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A prediction with provenance.
+
+    Attributes
+    ----------
+    value:
+        The predicted next measurement.
+    error:
+        RMS of the winning forecaster's past one-step errors (0.0 until two
+        predictions have been scored).
+    method:
+        Name of the forecaster that produced the value.
+    observations:
+        Number of measurements behind the prediction.
+    """
+
+    value: float
+    error: float
+    method: str
+    observations: int
+
+
+class AdaptiveEnsemble:
+    """Run a forecaster family in parallel; answer with the current best.
+
+    Scoring uses exponentially-discounted squared error (``decay`` per
+    observation) so the winner can change as the series' character changes —
+    a mean-like predictor wins on stationary stretches, last-value wins on
+    random-walk stretches.
+
+    Parameters
+    ----------
+    members:
+        The forecaster family; defaults to
+        :func:`repro.nws.forecasters.default_forecaster_family`.
+    decay:
+        Error-discount factor in (0, 1]; 1.0 reduces to cumulative MSE.
+    """
+
+    def __init__(self, members: list[Forecaster] | None = None, decay: float = 0.98) -> None:
+        self.members = members if members is not None else default_forecaster_family()
+        if not self.members:
+            raise ValueError("ensemble needs at least one member")
+        names = [m.name for m in self.members]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate forecaster names in ensemble: {names}")
+        if not (0.0 < decay <= 1.0):
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        # Discounted squared-error and weight per member.
+        self._err: dict[str, float] = {n: 0.0 for n in names}
+        self._weight: dict[str, float] = {n: 0.0 for n in names}
+        self._pending: dict[str, float] | None = None
+        self.observations = 0
+
+    def update(self, value: float) -> None:
+        """Score outstanding predictions against ``value``, then refit members."""
+        value = float(value)
+        if self._pending is not None:
+            for name, predicted in self._pending.items():
+                err = (predicted - value) ** 2
+                self._err[name] = self.decay * self._err[name] + err
+                self._weight[name] = self.decay * self._weight[name] + 1.0
+        for member in self.members:
+            member.update(value)
+        self.observations += 1
+        # Stage each member's next prediction for scoring on the next update.
+        self._pending = {m.name: m.forecast() for m in self.members}
+
+    def mse(self, name: str) -> float:
+        """Discounted mean squared error of member ``name`` (inf if unscored)."""
+        if name not in self._err:
+            raise KeyError(f"no forecaster named {name!r}")
+        w = self._weight[name]
+        return self._err[name] / w if w > 0 else math.inf
+
+    def best_member(self) -> Forecaster:
+        """The member with the lowest discounted MSE (first-listed wins ties,
+        so earlier members act as priors before any scoring happens)."""
+        best = self.members[0]
+        best_mse = self.mse(best.name)
+        for member in self.members[1:]:
+            m = self.mse(member.name)
+            if m < best_mse:
+                best, best_mse = member, m
+        return best
+
+    def forecast(self) -> Forecast:
+        """Predict the next measurement using the current best member."""
+        if self.observations == 0:
+            raise RuntimeError("ensemble: forecast requested before any update")
+        best = self.best_member()
+        mse = self.mse(best.name)
+        return Forecast(
+            value=best.forecast(),
+            error=math.sqrt(mse) if math.isfinite(mse) else 0.0,
+            method=best.name,
+            observations=self.observations,
+        )
+
+    def leaderboard(self) -> list[tuple[str, float]]:
+        """All members with their discounted MSE, best first."""
+        rows = [(m.name, self.mse(m.name)) for m in self.members]
+        rows.sort(key=lambda pair: pair[1])
+        return rows

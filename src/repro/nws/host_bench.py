@@ -1,0 +1,108 @@
+"""Benchmark-based prediction sources (§3.6).
+
+"Predictions can come from a variety of sources: application-specific or
+application-independent benchmarks, user directives, statistical analysis,
+sensed or sampled data, analytical models."  The statistical path is
+:mod:`repro.nws.forecasters`; this module is the *benchmark* path: time a
+known quantum of work on a host and infer its deliverable rate directly.
+
+Two uses:
+
+- calibrating a machine whose nominal rating is wrong or unknown
+  (:func:`measure_effective_speed`, :func:`calibrate_nominal_speed`);
+- :class:`BenchmarkCalibratedPool`, a resource pool whose speed
+  predictions come from fresh probe measurements instead of catalogue
+  numbers — the "application-independent benchmark" prediction source as
+  a drop-in for planners.
+"""
+
+from __future__ import annotations
+
+from repro.core.resources import ResourcePool
+from repro.sim.topology import Topology
+from repro.util.validation import check_positive
+
+__all__ = [
+    "measure_effective_speed",
+    "calibrate_nominal_speed",
+    "BenchmarkCalibratedPool",
+]
+
+
+def measure_effective_speed(
+    topology: Topology, host: str, t: float, probe_mflop: float = 10.0
+) -> float:
+    """Time a probe of ``probe_mflop`` on ``host`` at ``t``; return MFLOP/s.
+
+    This is what an actual benchmark process observes: *deliverable*
+    speed, availability and paging included, averaged over the probe's
+    own duration.
+    """
+    check_positive("probe_mflop", probe_mflop)
+    machine = topology.host(host)
+    duration = machine.time_to_compute(probe_mflop, t)
+    if duration <= 0.0:
+        return float("inf")  # pragma: no cover - zero-work guard upstream
+    return probe_mflop / duration
+
+
+def calibrate_nominal_speed(
+    topology: Topology, host: str, t: float, probe_mflop: float = 10.0
+) -> float:
+    """Estimate the host's *nominal* rate by de-loading a probe measurement.
+
+    Divides the measured deliverable rate by the mean availability over
+    the probe window — recovering the catalogue number from observations,
+    the calibration step a deployment would run once per machine.
+    """
+    machine = topology.host(host)
+    measured = measure_effective_speed(topology, host, t, probe_mflop)
+    duration = probe_mflop / measured
+    avail = machine.load.mean_availability(t, t + duration)
+    if avail <= 0.0:
+        raise RuntimeError(f"host {host!r} delivered nothing during the probe")
+    return measured / avail
+
+
+class BenchmarkCalibratedPool(ResourcePool):
+    """A resource pool predicting from fresh probe measurements.
+
+    ``predicted_speed`` runs (or reuses, within ``ttl_s``) a probe on the
+    target host at ``t_now`` — prediction by measurement rather than by
+    forecast.  Accurate exactly at probe time, stale as load shifts; the
+    information ablation uses it as the "benchmark source" point between
+    nominal and NWS.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        t_now: float,
+        probe_mflop: float = 10.0,
+        ttl_s: float = 60.0,
+    ) -> None:
+        super().__init__(topology, nws=None)
+        self.t_now = float(t_now)
+        self.probe_mflop = check_positive("probe_mflop", probe_mflop)
+        self.ttl_s = check_positive("ttl_s", ttl_s)
+        self._cache: dict[str, tuple[float, float]] = {}  # host -> (t, speed)
+
+    def advance(self, t: float) -> None:
+        """Move the pool's clock (probes older than ``ttl_s`` refresh)."""
+        if t < self.t_now:
+            raise ValueError("cannot move the clock backwards")
+        self.t_now = float(t)
+
+    def predicted_speed(self, name: str) -> float:
+        cached = self._cache.get(name)
+        if cached is not None and self.t_now - cached[0] <= self.ttl_s:
+            return cached[1]
+        speed = measure_effective_speed(
+            self.topology, name, self.t_now, self.probe_mflop
+        )
+        self._cache[name] = (self.t_now, speed)
+        return speed
+
+    def predicted_availability(self, name: str) -> float:
+        host = self.topology.host(name)
+        return min(1.0, self.predicted_speed(name) / host.speed_mflops)

@@ -1,0 +1,145 @@
+"""The Network Weather Service facade.
+
+One object owning a sensor per host and per link of a testbed.  Experiment
+loops call :meth:`advance_to` as simulated time passes; AppLeS subsystems
+query :meth:`cpu_forecast`, :meth:`path_bandwidth_forecast` and
+:meth:`path_latency` when planning.  Until a sensor has data, queries fall
+back to *nominal* values — exactly the degradation mode of a real system
+whose monitors have not warmed up.
+"""
+
+from __future__ import annotations
+
+from repro.nws.ensemble import Forecast
+from repro.nws.sensors import CpuSensor, LinkSensor
+from repro.sim.testbeds import Testbed
+from repro.sim.topology import Topology
+from repro.util.rng import RngStream
+from repro.util.validation import check_nonnegative
+
+__all__ = ["NetworkWeatherService"]
+
+
+class NetworkWeatherService:
+    """Sensors + forecasts for every resource in a topology.
+
+    Parameters
+    ----------
+    topology:
+        The metacomputer to monitor.
+    cpu_period / net_period:
+        Sensor sampling periods in simulated seconds.
+    noise_std:
+        Measurement noise for both sensor kinds.
+    seed:
+        Seed for measurement-noise streams.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cpu_period: float = 10.0,
+        net_period: float = 15.0,
+        noise_std: float = 0.02,
+        seed: int = 7,
+    ) -> None:
+        self.topology = topology
+        rng = RngStream(seed, "nws")
+        self.cpu_sensors: dict[str, CpuSensor] = {
+            name: CpuSensor(host, period=cpu_period, noise_std=noise_std,
+                            rng=rng.child(f"cpu:{name}"))
+            for name, host in topology.hosts.items()
+        }
+        self.link_sensors: dict[str, LinkSensor] = {
+            name: LinkSensor(link, period=net_period, noise_std=noise_std,
+                             rng=rng.child(f"net:{name}"))
+            for name, link in topology.links.items()
+        }
+        self.now = 0.0
+
+    @classmethod
+    def for_testbed(cls, testbed: Testbed, **kwargs) -> "NetworkWeatherService":
+        """Construct a service monitoring every resource of ``testbed``."""
+        return cls(testbed.topology, **kwargs)
+
+    # -- time ----------------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Take all sensor measurements due up to simulated time ``t``."""
+        check_nonnegative("t", t)
+        if t < self.now:
+            raise ValueError(f"cannot advance backwards: {t} < {self.now}")
+        for sensor in self.cpu_sensors.values():
+            sensor.advance_to(t)
+        for sensor in self.link_sensors.values():
+            sensor.advance_to(t)
+        self.now = t
+
+    def warmup(self, duration: float) -> None:
+        """Advance sensors by ``duration`` (typically before the first schedule)."""
+        self.advance_to(self.now + check_nonnegative("duration", duration))
+
+    # -- queries ------------------------------------------------------------
+    def cpu_forecast(self, host: str) -> Forecast:
+        """Forecast availability fraction for ``host``.
+
+        Falls back to a nominal (availability 1.0, infinite-uncertainty-free)
+        forecast if the sensor has no data yet.
+        """
+        sensor = self._cpu(host)
+        if not sensor.ready:
+            return Forecast(value=1.0, error=0.0, method="nominal", observations=0)
+        return sensor.forecast()
+
+    def effective_speed_forecast(self, host: str) -> float:
+        """Predicted deliverable MFLOP/s of ``host`` (memory effects excluded)."""
+        h = self.topology.host(host)
+        return h.speed_mflops * max(0.0, min(1.0, self.cpu_forecast(host).value))
+
+    def link_forecast(self, link: str) -> Forecast:
+        """Forecast deliverable-bandwidth fraction for one link."""
+        try:
+            sensor = self.link_sensors[link]
+        except KeyError:
+            raise KeyError(f"no sensor for link {link!r}") from None
+        if not sensor.ready:
+            return Forecast(value=1.0, error=0.0, method="nominal", observations=0)
+        return sensor.forecast()
+
+    def path_bandwidth_forecast(self, a: str, b: str, flows: int = 1) -> float:
+        """Predicted bottleneck bytes/s between hosts ``a`` and ``b``."""
+        links = self.topology.route(a, b)
+        if not links:
+            return float("inf")
+        bws = []
+        for link in links:
+            sensor = self.link_sensors[link.name]
+            if sensor.ready:
+                bws.append(sensor.forecast_bandwidth(flows))
+            else:
+                # Nominal fallback: full availability.
+                nominal = link.deliverable_bandwidth(0.0, flows) / max(
+                    link.load.availability(0.0), 1e-12
+                )
+                bws.append(nominal)
+        return min(bws)
+
+    def path_latency(self, a: str, b: str) -> float:
+        """Route latency (static; the 1996 NWS forecast latency too, but the
+        testbed experiments here are bandwidth-dominated)."""
+        return self.topology.path_latency(a, b)
+
+    def transfer_time_forecast(self, a: str, b: str, nbytes: float, flows: int = 1) -> float:
+        """Predicted seconds to move ``nbytes`` from ``a`` to ``b``."""
+        check_nonnegative("nbytes", nbytes)
+        if a == b:
+            return 0.0
+        bw = self.path_bandwidth_forecast(a, b, flows)
+        if bw <= 0.0:
+            return float("inf")
+        return self.path_latency(a, b) + nbytes / bw
+
+    def _cpu(self, host: str) -> CpuSensor:
+        try:
+            return self.cpu_sensors[host]
+        except KeyError:
+            raise KeyError(f"no sensor for host {host!r}") from None

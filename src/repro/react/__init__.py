@@ -1,0 +1,49 @@
+"""3D-REACT: the paper's task-parallel metacomputer application (§2.2–2.3).
+
+3D-REACT computes quantum-mechanical reaction dynamics for
+H + D₂ → HD + D by solving a six-dimensional Schrödinger equation,
+decomposed into three tasks: local hyperspherical surface functions
+(LHSF), logarithmic-derivative propagation (Log-D), and asymptotic
+analysis (ASY, grouped with Log-D).  The metacomputer implementation
+pipelines subdomains of 5–20 surface functions from the SDSC C90 (whose
+vector LHSF implementation is fast) to the CalTech Delta/Paragon (whose
+parallel Log-D implementation is fast), overlapping computation and
+communication.  The paper reports ≥16 h wall-clock on either machine
+alone versus just under 5 h distributed.
+
+Modules:
+
+- :mod:`repro.react.tasks` — task and problem definitions with
+  per-architecture implementations,
+- :mod:`repro.react.model` — the analytic pipeline performance model the
+  developers used to pick the pipeline size,
+- :mod:`repro.react.pipeline` — event-driven pipeline execution on the
+  simulator,
+- :mod:`repro.react.apples` — the 3D-REACT AppLeS agent (machine-pair and
+  pipeline-size selection).
+"""
+
+from repro.react.apples import ReactPlanner, make_react_agent
+from repro.react.dual_phase import (
+    DualPhaseResult,
+    compare_versions,
+    simulate_dual_phase,
+)
+from repro.react.model import PipelineEstimate, ReactPerformanceModel
+from repro.react.pipeline import PipelineResult, simulate_pipeline, simulate_single_site
+from repro.react.tasks import ReactProblem, react_hat
+
+__all__ = [
+    "DualPhaseResult",
+    "simulate_dual_phase",
+    "compare_versions",
+    "ReactProblem",
+    "react_hat",
+    "ReactPerformanceModel",
+    "PipelineEstimate",
+    "simulate_pipeline",
+    "simulate_single_site",
+    "PipelineResult",
+    "ReactPlanner",
+    "make_react_agent",
+]

@@ -1,0 +1,138 @@
+"""The dual Log-D phase — §2.3's "another version of the application".
+
+"More than one set of LogD derivations can be computed for one set of
+surface functions.  Another version of the application directs the C90 to
+calculate a second set of Log-D iterations instead of stopping after the
+final test for convergence by ASY. ... This second phase in which both
+the Cray and the Paragon are executing Log-D propagations would have no
+interprocessor communication since after the last surface function is
+calculated, both machines have a full set of LHSFs stored in their
+respective memories."
+
+This module implements that version: pass 1 is the ordinary pipeline;
+every subsequent Log-D pass is *time-balanced across both machines* with
+zero communication (each runs its own architecture's Log-D implementation
+over its share of the energy set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.planner import balance_divisible_work
+from repro.react.pipeline import simulate_pipeline
+from repro.react.tasks import ReactProblem, react_hat
+from repro.sim.topology import Topology
+from repro.util.tables import Table
+from repro.util.validation import check_positive
+
+__all__ = ["DualPhaseResult", "simulate_dual_phase", "compare_versions"]
+
+
+@dataclass(frozen=True)
+class DualPhaseResult:
+    """Timing of the dual-phase version.
+
+    Attributes
+    ----------
+    pipeline_s:
+        Pass 1 (LHSF→Log-D pipeline) makespan.
+    extra_phase_s:
+        Per extra Log-D pass: both machines propagating concurrently with
+        no communication.
+    total_s:
+        Pipeline + all extra passes.
+    lhsf_share / logd_share:
+        Fraction of each extra pass's Log-D work placed on the LHSF-side
+        machine vs the Log-D-side machine.
+    """
+
+    pipeline_s: float
+    extra_phase_s: float
+    extra_passes: int
+    total_s: float
+    lhsf_share: float
+    logd_share: float
+
+
+def _logd_rate(topology: Topology, problem: ReactProblem, host: str) -> float:
+    """Deliverable Log-D MFLOP/s of ``host`` for this problem."""
+    hat = react_hat(problem)
+    machine = topology.host(host)
+    eff = hat.task("LogD-ASY").efficiency_on(machine.arch)
+    if eff <= 0.0:
+        raise ValueError(f"no Log-D implementation for architecture {machine.arch!r}")
+    return machine.speed_mflops * eff
+
+
+def simulate_dual_phase(
+    topology: Topology,
+    problem: ReactProblem,
+    lhsf_host: str,
+    logd_host: str,
+    pipeline_size: int,
+    extra_logd_passes: int = 1,
+) -> DualPhaseResult:
+    """Pipeline pass + ``extra_logd_passes`` communication-free Log-D passes.
+
+    Each extra pass's Log-D work is time-balanced across both machines
+    (both hold all LHSFs after pass 1), using each machine's own Log-D
+    implementation efficiency — the C90's vector Log-D next to the
+    Paragon's message-passing one.
+    """
+    check_positive("extra_logd_passes", extra_logd_passes)
+    single_pass = ReactProblem(**{**problem.__dict__, "passes": 1})
+    pipe = simulate_pipeline(
+        topology, single_pass, lhsf_host, logd_host, pipeline_size
+    )
+
+    rate_a = _logd_rate(topology, single_pass, lhsf_host)
+    rate_b = _logd_rate(topology, single_pass, logd_host)
+    total_work = single_pass.total_logd_mflop
+    balance = balance_divisible_work([rate_a, rate_b], [0.0, 0.0], total_work)
+    assert balance is not None  # no capacities involved
+    extra = balance.makespan
+
+    return DualPhaseResult(
+        pipeline_s=pipe.makespan_s,
+        extra_phase_s=extra,
+        extra_passes=int(extra_logd_passes),
+        total_s=pipe.makespan_s + extra * extra_logd_passes,
+        lhsf_share=balance.allocations[0] / total_work,
+        logd_share=balance.allocations[1] / total_work,
+    )
+
+
+def compare_versions(
+    topology: Topology,
+    problem: ReactProblem,
+    lhsf_host: str,
+    logd_host: str,
+    pipeline_size: int,
+    extra_logd_passes: int = 1,
+) -> Table:
+    """The §2.3 comparison: repeat-the-pipeline vs the dual-phase version.
+
+    The baseline for ``1 + k`` total Log-D sets is running the whole
+    pipeline ``1 + k`` times (the original version re-derives the LHSFs);
+    the dual-phase version derives them once and propagates concurrently.
+    """
+    total_passes = 1 + int(extra_logd_passes)
+    repeated = ReactProblem(**{**problem.__dict__, "passes": total_passes})
+    base = simulate_pipeline(topology, repeated, lhsf_host, logd_host, pipeline_size)
+    dual = simulate_dual_phase(
+        topology, problem, lhsf_host, logd_host, pipeline_size, extra_logd_passes
+    )
+
+    t = Table(
+        ["version", "wall clock (h)", "notes"],
+        title=(
+            f"REACT-T3 — {total_passes} Log-D sets: repeated pipeline vs "
+            "dual-phase (§2.3 'another version')"
+        ),
+    )
+    t.add("repeat full pipeline", base.makespan_s / 3600,
+          f"{base.subdomains} subdomains shipped")
+    t.add("dual Log-D phase", dual.total_s / 3600,
+          f"extra pass split {dual.lhsf_share:.0%}/{dual.logd_share:.0%}, no comm")
+    return t

@@ -1,0 +1,167 @@
+"""Analytic performance model for the 3D-REACT pipeline.
+
+"To capture this tradeoff, the developers derived a performance model that
+calculated the correct pipeline size based on the speeds of the endpoint
+machines and the intervening communication link" (§2.3).  This module *is*
+that model: per-subdomain stage times for LHSF, transfer and Log-D, a
+classic three-stage pipeline makespan, and the pipeline-size optimisation
+over the admissible range.
+
+For ``m`` subdomains with stage times ``t_L``, ``t_X``, ``t_D``:
+
+    ``T(k) = t_L + t_X + t_D + (m - 1) * max(t_L, t_X, t_D)``
+
+The tradeoff the paper describes appears as: small ``k`` multiplies the
+per-subdomain startup overheads across many subdomains ("Log-D
+computations will stop while they wait for more LHSF data"); large ``k``
+pays the quadratic buffering cost on the Log-D end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.react.tasks import ReactProblem
+from repro.util.validation import check_positive
+
+__all__ = ["PipelineEstimate", "ReactPerformanceModel"]
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Model output for one candidate configuration.
+
+    Attributes
+    ----------
+    pipeline_size:
+        Surface functions per subdomain.
+    makespan_s:
+        Predicted wall-clock seconds for all passes.
+    stage_lhsf_s / stage_transfer_s / stage_logd_s:
+        Per-subdomain stage times at this pipeline size.
+    bottleneck:
+        Name of the limiting stage.
+    """
+
+    pipeline_size: int
+    makespan_s: float
+    stage_lhsf_s: float
+    stage_transfer_s: float
+    stage_logd_s: float
+
+    @property
+    def bottleneck(self) -> str:
+        stages = {
+            "LHSF": self.stage_lhsf_s,
+            "transfer": self.stage_transfer_s,
+            "LogD": self.stage_logd_s,
+        }
+        return max(stages, key=stages.get)  # type: ignore[arg-type]
+
+
+class ReactPerformanceModel:
+    """The developers' analytic model, parameterised by endpoint rates.
+
+    Parameters
+    ----------
+    problem:
+        The 3D-REACT instance.
+    lhsf_rate_mflops:
+        Deliverable MFLOP/s of the LHSF machine *for LHSF* (nominal rate ×
+        implementation efficiency × availability forecast).
+    logd_rate_mflops:
+        Deliverable MFLOP/s of the Log-D machine for Log-D (+ASY).
+    link_bandwidth_Bps:
+        Deliverable bytes/s of the intervening link.
+    link_latency_s:
+        One-way latency of the link.
+    convert:
+        Whether endpoint architectures differ (applies the conversion
+        overhead to transfers).
+    """
+
+    def __init__(
+        self,
+        problem: ReactProblem,
+        lhsf_rate_mflops: float,
+        logd_rate_mflops: float,
+        link_bandwidth_Bps: float,
+        link_latency_s: float = 0.0,
+        convert: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.lhsf_rate = check_positive("lhsf_rate_mflops", lhsf_rate_mflops)
+        self.logd_rate = check_positive("logd_rate_mflops", logd_rate_mflops)
+        self.link_bandwidth = check_positive("link_bandwidth_Bps", link_bandwidth_Bps)
+        if link_latency_s < 0:
+            raise ValueError("link_latency_s must be >= 0")
+        self.link_latency = link_latency_s
+        self.convert = convert
+
+    # -- per-subdomain stage times ------------------------------------------
+    def lhsf_stage(self, k: int) -> float:
+        """Seconds for LHSF to produce one k-SF subdomain."""
+        p = self.problem
+        return p.subdomain_startup_lhsf_s + k * p.lhsf_mflop_per_sf / self.lhsf_rate
+
+    def transfer_stage(self, k: int) -> float:
+        """Seconds to ship one subdomain, including format conversion."""
+        p = self.problem
+        raw = self.link_latency + k * p.bytes_per_sf / self.link_bandwidth
+        if self.convert:
+            raw *= 1.0 + p.conversion_overhead
+        return raw
+
+    def logd_stage(self, k: int) -> float:
+        """Seconds for Log-D/ASY to consume one subdomain (with buffering cost)."""
+        p = self.problem
+        compute = k * (p.logd_mflop_per_sf + p.asy_mflop_per_sf) / self.logd_rate
+        buffering = p.buffer_cost_s_per_sf_per_k * k * k
+        return p.subdomain_startup_logd_s + compute + buffering
+
+    # -- makespan ------------------------------------------------------------
+    def estimate(self, pipeline_size: int) -> PipelineEstimate:
+        """Predicted makespan at one pipeline size (all passes)."""
+        k = int(pipeline_size)
+        lo, hi = self.problem.pipeline_range
+        if not (lo <= k <= hi):
+            raise ValueError(f"pipeline size {k} outside admissible range [{lo}, {hi}]")
+        m = self.problem.subdomain_count(k)
+        t_l = self.lhsf_stage(k)
+        t_x = self.transfer_stage(k)
+        t_d = self.logd_stage(k)
+        per_pass = t_l + t_x + t_d + (m - 1) * max(t_l, t_x, t_d)
+        return PipelineEstimate(
+            pipeline_size=k,
+            makespan_s=per_pass * self.problem.passes,
+            stage_lhsf_s=t_l,
+            stage_transfer_s=t_x,
+            stage_logd_s=t_d,
+        )
+
+    def sweep(self) -> list[PipelineEstimate]:
+        """Estimates for every admissible pipeline size."""
+        lo, hi = self.problem.pipeline_range
+        return [self.estimate(k) for k in range(lo, hi + 1)]
+
+    def optimal(self) -> PipelineEstimate:
+        """The pipeline size with the smallest predicted makespan."""
+        return min(self.sweep(), key=lambda e: e.makespan_s)
+
+    # -- single-site reference -------------------------------------------------
+    @staticmethod
+    def single_site_time(
+        problem: ReactProblem, lhsf_rate_mflops: float, logd_rate_mflops: float
+    ) -> float:
+        """Wall-clock seconds to run both phases serially on one machine.
+
+        No transfer, no conversion, no pipeline overheads — but both tasks
+        run at the machine's own (asymmetric) efficiencies, which is what
+        makes each single-site run slow.
+        """
+        check_positive("lhsf_rate_mflops", lhsf_rate_mflops)
+        check_positive("logd_rate_mflops", logd_rate_mflops)
+        return problem.passes * (
+            problem.total_lhsf_mflop / lhsf_rate_mflops
+            + problem.total_logd_mflop / logd_rate_mflops
+        )

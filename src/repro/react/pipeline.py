@@ -1,0 +1,209 @@
+"""Event-driven execution of the 3D-REACT pipeline.
+
+Three concurrent processes on the discrete-event engine: the LHSF producer,
+the network shipper, and the Log-D/ASY consumer, coupled by bounded
+queues.  "While the Delta (Paragon) is calculating the first subdomain,
+the C90 can start calculating the second subdomain" (§2.3) — the engine
+realises exactly that overlap, plus the stall ("Log-D computations will
+stop while they wait for more LHSF data") and buffering costs the paper
+describes, so the analytic model in :mod:`repro.react.model` can be
+validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.react.tasks import ReactProblem, react_hat
+from repro.sim.engine import Signal, Simulator
+from repro.sim.topology import Topology
+from repro.util.validation import check_positive
+
+__all__ = ["PipelineResult", "simulate_pipeline", "simulate_single_site"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of a simulated pipeline run.
+
+    Attributes
+    ----------
+    makespan_s:
+        Wall-clock seconds from start to the last subdomain's ASY.
+    subdomains:
+        Number of subdomains that flowed through.
+    producer_busy_s / consumer_busy_s:
+        Seconds each endpoint spent computing (not waiting).
+    consumer_stall_s:
+        Seconds the Log-D end sat idle waiting for LHSF data — the paper's
+        "too small a pipeline size" failure mode, made measurable.
+    """
+
+    makespan_s: float
+    subdomains: int
+    producer_busy_s: float
+    consumer_busy_s: float
+    consumer_stall_s: float
+
+
+class _BoundedQueue:
+    """A bounded FIFO for engine processes (put/get as sub-generators)."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str) -> None:
+        check_positive("capacity", capacity)
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.items: list[object] = []
+        self.not_full = Signal(f"{name}:not_full")
+        self.not_empty = Signal(f"{name}:not_empty")
+
+    def put(self, item: object):
+        """Generator: block until space, then enqueue."""
+        while len(self.items) >= self.capacity:
+            yield self.not_full
+        self.items.append(item)
+        self.not_empty.fire()
+
+    def get(self):
+        """Generator: block until an item exists, then dequeue and return it."""
+        while not self.items:
+            yield self.not_empty
+        item = self.items.pop(0)
+        self.not_full.fire()
+        return item
+
+
+def _task_rates(topology: Topology, problem: ReactProblem, lhsf_host: str, logd_host: str):
+    """Resolve per-host effective rates from the HAT's implementations."""
+    hat = react_hat(problem)
+    lhsf_task = hat.task("LHSF")
+    logd_task = hat.task("LogD-ASY")
+    producer = topology.host(lhsf_host)
+    consumer = topology.host(logd_host)
+    lhsf_eff = lhsf_task.efficiency_on(producer.arch)
+    logd_eff = logd_task.efficiency_on(consumer.arch)
+    if lhsf_eff <= 0.0:
+        raise ValueError(f"no LHSF implementation for architecture {producer.arch!r}")
+    if logd_eff <= 0.0:
+        raise ValueError(f"no Log-D implementation for architecture {consumer.arch!r}")
+    return producer, consumer, lhsf_eff, logd_eff
+
+
+def simulate_pipeline(
+    topology: Topology,
+    problem: ReactProblem,
+    lhsf_host: str,
+    logd_host: str,
+    pipeline_size: int,
+    buffer_capacity: int = 2,
+    t0: float = 0.0,
+) -> PipelineResult:
+    """Run the full pipelined computation on the engine.
+
+    Parameters
+    ----------
+    topology:
+        Metacomputer carrying both hosts and the link between them.
+    problem:
+        The 3D-REACT instance.
+    lhsf_host / logd_host:
+        Machine names for the two task placements.
+    pipeline_size:
+        Surface functions per subdomain (must lie in the problem's range).
+    buffer_capacity:
+        Subdomain slots in each inter-stage queue.
+    t0:
+        Simulated start time.
+    """
+    k = int(pipeline_size)
+    lo, hi = problem.pipeline_range
+    if not (lo <= k <= hi):
+        raise ValueError(f"pipeline size {k} outside admissible range [{lo}, {hi}]")
+    producer, consumer, lhsf_eff, logd_eff = _task_rates(
+        topology, problem, lhsf_host, logd_host
+    )
+    convert = producer.arch != consumer.arch
+
+    # Subdomain sizes: full subdomains of k SFs, one remainder if needed.
+    sizes: list[int] = []
+    remaining = problem.surface_functions
+    while remaining > 0:
+        take = min(k, remaining)
+        sizes.append(take)
+        remaining -= take
+
+    sim = Simulator()
+    sim.now = float(t0)
+    outq = _BoundedQueue(sim, buffer_capacity, "lhsf-out")
+    inq = _BoundedQueue(sim, buffer_capacity, "logd-in")
+
+    stats = {"producer_busy": 0.0, "consumer_busy": 0.0, "consumer_stall": 0.0,
+             "finish": 0.0}
+
+    def producer_proc():
+        for _pass in range(problem.passes):
+            for size in sizes:
+                work = size * problem.lhsf_mflop_per_sf / lhsf_eff
+                dt = producer.time_to_compute(work, sim.now) + problem.subdomain_startup_lhsf_s
+                stats["producer_busy"] += dt
+                yield dt
+                yield from outq.put(size)
+
+    def shipper_proc():
+        total = len(sizes) * problem.passes
+        for _ in range(total):
+            size = yield from outq.get()
+            dt = topology.transfer_time(
+                lhsf_host, logd_host, size * problem.bytes_per_sf, sim.now
+            )
+            if convert:
+                dt *= 1.0 + problem.conversion_overhead
+            yield dt
+            yield from inq.put(size)
+
+    def consumer_proc():
+        total = len(sizes) * problem.passes
+        for _ in range(total):
+            wait_start = sim.now
+            size = yield from inq.get()
+            stats["consumer_stall"] += sim.now - wait_start
+            work = size * (problem.logd_mflop_per_sf + problem.asy_mflop_per_sf) / logd_eff
+            dt = (
+                consumer.time_to_compute(work, sim.now)
+                + problem.subdomain_startup_logd_s
+                + problem.buffer_cost_s_per_sf_per_k * size * size
+            )
+            stats["consumer_busy"] += dt
+            yield dt
+        stats["finish"] = sim.now
+
+    procs = [
+        sim.process(producer_proc(), "lhsf"),
+        sim.process(shipper_proc(), "ship"),
+        sim.process(consumer_proc(), "logd"),
+    ]
+    sim.run_until_done(procs)
+
+    return PipelineResult(
+        makespan_s=stats["finish"] - t0,
+        subdomains=len(sizes) * problem.passes,
+        producer_busy_s=stats["producer_busy"],
+        consumer_busy_s=stats["consumer_busy"],
+        consumer_stall_s=stats["consumer_stall"],
+    )
+
+
+def simulate_single_site(
+    topology: Topology, problem: ReactProblem, host: str, t0: float = 0.0
+) -> float:
+    """Wall-clock seconds to run both phases serially on one machine.
+
+    The single-site reference for the §2.3 comparison: all LHSFs, then all
+    Log-D/ASY, at the host's own implementation efficiencies, no transfer.
+    """
+    producer, consumer, lhsf_eff, logd_eff = _task_rates(topology, problem, host, host)
+    t = float(t0)
+    for _ in range(problem.passes):
+        t += producer.time_to_compute(problem.total_lhsf_mflop / lhsf_eff, t)
+        t += consumer.time_to_compute(problem.total_logd_mflop / logd_eff, t)
+    return t - t0

@@ -1,0 +1,82 @@
+"""Simulated metacomputer substrate.
+
+The paper's experiments ran on the 1996 SDSC/PCL testbed (Figure 2): a
+heterogeneous collection of non-dedicated workstations on shared Ethernet
+segments and an FDDI ring, joined by a gateway.  This subpackage replaces
+that hardware with an explicit simulation:
+
+- :mod:`repro.sim.engine` — a deterministic discrete-event engine,
+- :mod:`repro.sim.load` — stochastic background-load (availability) processes,
+- :mod:`repro.sim.host` — hosts with nominal speed, memory and load,
+- :mod:`repro.sim.memory` — real-memory/paging model,
+- :mod:`repro.sim.link` / :mod:`repro.sim.topology` — links, shared segments
+  and routed paths,
+- :mod:`repro.sim.contention` — time-sharing slowdown model,
+- :mod:`repro.sim.execution` — epoch-based execution of work allocations,
+- :mod:`repro.sim.testbeds` — canned topologies (Figure 2 and variants).
+"""
+
+from repro.sim.contention import availability_from_load, timeshared_slowdown
+from repro.sim.engine import Process, Signal, Simulator
+from repro.sim.execution import IterationResult, WorkAssignment, simulate_iterations
+from repro.sim.host import Host
+from repro.sim.jobs import BackgroundJob, JobWorkload, generate_jobs, make_injectable
+from repro.sim.link import Link, SharedSegment
+from repro.sim.load import (
+    AR1Load,
+    CompositeLoad,
+    ConstantLoad,
+    DynamicCompositeLoad,
+    IntervalLoad,
+    LoadProcess,
+    MarkovLoad,
+    SpikeLoad,
+    TraceLoad,
+)
+from repro.sim.memory import MemoryModel
+from repro.sim.testbeds import (
+    Testbed,
+    casa_testbed,
+    nile_testbed,
+    sdsc_pcl_testbed,
+    sdsc_pcl_with_sp2,
+)
+from repro.sim.topology import Topology
+from repro.sim.trace_io import load_trace, record_trace, save_trace
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "LoadProcess",
+    "ConstantLoad",
+    "AR1Load",
+    "MarkovLoad",
+    "SpikeLoad",
+    "CompositeLoad",
+    "DynamicCompositeLoad",
+    "IntervalLoad",
+    "TraceLoad",
+    "Host",
+    "BackgroundJob",
+    "JobWorkload",
+    "generate_jobs",
+    "make_injectable",
+    "MemoryModel",
+    "Link",
+    "SharedSegment",
+    "Topology",
+    "save_trace",
+    "load_trace",
+    "record_trace",
+    "timeshared_slowdown",
+    "availability_from_load",
+    "WorkAssignment",
+    "IterationResult",
+    "simulate_iterations",
+    "Testbed",
+    "sdsc_pcl_testbed",
+    "sdsc_pcl_with_sp2",
+    "casa_testbed",
+    "nile_testbed",
+]

@@ -1,0 +1,61 @@
+"""Contention / time-sharing slowdown model.
+
+The paper cites Figueira & Berman [7] ("Modeling the effects of contention
+on the performance of heterogeneous applications", HPDC 1996) for a formal
+treatment of slowdown.  The essential model: a CPU-bound process sharing a
+uniprocessor with ``k`` competing CPU-bound processes receives ``1/(k+1)``
+of the machine, i.e. experiences a slowdown of ``k+1``; equivalently a host
+with Unix load average ``q`` delivers availability ``1/(1+q)``.
+
+These conversions are used to parameterise the availability processes in
+:mod:`repro.sim.load` from "number of competing jobs" style descriptions.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_nonnegative
+
+__all__ = [
+    "timeshared_slowdown",
+    "availability_from_load",
+    "load_from_availability",
+    "effective_rate",
+]
+
+
+def timeshared_slowdown(ncompeting: float) -> float:
+    """Slowdown of a CPU-bound task with ``ncompeting`` CPU-bound competitors.
+
+    Round-robin time-sharing gives the task a ``1/(n+1)`` share, so its
+    completion time stretches by ``n+1``.
+    """
+    n = check_nonnegative("ncompeting", ncompeting)
+    return n + 1.0
+
+
+def availability_from_load(load_average: float) -> float:
+    """Deliverable CPU fraction on a host with the given Unix load average."""
+    q = check_nonnegative("load_average", load_average)
+    return 1.0 / (1.0 + q)
+
+
+def load_from_availability(availability: float) -> float:
+    """Inverse of :func:`availability_from_load`."""
+    a = float(availability)
+    if not (0.0 < a <= 1.0):
+        raise ValueError(f"availability must be in (0, 1], got {availability}")
+    return 1.0 / a - 1.0
+
+
+def effective_rate(nominal_rate: float, availability: float) -> float:
+    """Deliverable rate: ``nominal_rate`` scaled by availability.
+
+    Works for both CPU (MFLOP/s) and network (MB/s) resources; the paper's
+    key observation (§3.2) is that from the application's perspective a
+    contended resource simply *is* a slower resource.
+    """
+    r = check_nonnegative("nominal_rate", nominal_rate)
+    a = float(availability)
+    if not (0.0 <= a <= 1.0):
+        raise ValueError(f"availability must be in [0, 1], got {availability}")
+    return r * a

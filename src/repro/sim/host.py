@@ -1,0 +1,130 @@
+"""Simulated hosts.
+
+A host couples a nominal compute rate with an availability process and a
+memory model.  The central method is :meth:`Host.time_to_compute`, which
+integrates work through the piecewise-constant availability trace — so a
+long computation that straddles a load spike really pays for it, exactly
+the effect that punishes schedules built from stale or nominal information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.load import ConstantLoad, LoadProcess
+from repro.sim.memory import MemoryModel
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["Host"]
+
+# Safety valve for the work integrator: more epochs than this in a single
+# computation means the parameters are pathological.
+_MAX_EPOCHS = 5_000_000
+
+
+@dataclass
+class Host:
+    """A machine in the metacomputer.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"alpha1"``.
+    speed_mflops:
+        Nominal (unloaded, in-core) compute rate in MFLOP/s.
+    memory:
+        Real-memory model for this host.
+    load:
+        Availability process; defaults to a dedicated host.
+    dedicated:
+        Informational flag — dedicated hosts conventionally carry a
+        :class:`~repro.sim.load.ConstantLoad` at 1.0.
+    site:
+        Label of the administrative site the host belongs to (e.g. ``"PCL"``
+        or ``"SDSC"``); used for locality grouping.
+    arch:
+        Architecture tag (``"sparc"``, ``"rs6000"``, ``"alpha"``, ``"sp2"``,
+        ``"c90"``, ``"paragon"``); used by User Specifications filters and
+        per-architecture task implementations.
+    capabilities:
+        Arbitrary capability strings (e.g. ``"corba-orb"``, ``"kelp"``)
+        matched against User Specifications requirements (§3.5).
+    """
+
+    name: str
+    speed_mflops: float
+    memory: MemoryModel = field(default_factory=lambda: MemoryModel(128.0))
+    load: LoadProcess = field(default_factory=ConstantLoad)
+    dedicated: bool = False
+    site: str = ""
+    arch: str = ""
+    capabilities: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        check_positive("speed_mflops", self.speed_mflops)
+        if not self.name:
+            raise ValueError("host name must be non-empty")
+        self.capabilities = frozenset(self.capabilities)
+
+    # -- instantaneous quantities -----------------------------------------
+    def availability(self, t: float) -> float:
+        """Deliverable CPU fraction at time ``t``."""
+        return self.load.availability(t)
+
+    def effective_speed(self, t: float, footprint_mb: float = 0.0) -> float:
+        """Deliverable MFLOP/s at time ``t`` for a given working set.
+
+        Availability scales the nominal rate down; a spilled working set
+        divides it further by the paging slowdown.
+        """
+        check_nonnegative("footprint_mb", footprint_mb)
+        rate = self.speed_mflops * self.load.availability(t)
+        return rate / self.memory.slowdown(footprint_mb)
+
+    def seconds_per_mflop(self, t: float, footprint_mb: float = 0.0) -> float:
+        """Reciprocal rate at time ``t`` (inf if the host delivers nothing)."""
+        rate = self.effective_speed(t, footprint_mb)
+        return float("inf") if rate <= 0.0 else 1.0 / rate
+
+    # -- work integration ---------------------------------------------------
+    def time_to_compute(
+        self, work_mflop: float, t0: float = 0.0, footprint_mb: float = 0.0
+    ) -> float:
+        """Seconds to complete ``work_mflop`` starting at ``t0``.
+
+        Integrates through the availability epochs: within an epoch the rate
+        is constant, so the work drains linearly; the remainder carries into
+        the next epoch.  Raises ``RuntimeError`` if availability stays at
+        zero long enough to exceed the epoch safety valve.
+        """
+        work = check_nonnegative("work_mflop", work_mflop)
+        if work == 0.0:
+            return 0.0
+        slowdown = self.memory.slowdown(check_nonnegative("footprint_mb", footprint_mb))
+        dt = self.load.dt
+        t = float(t0)
+        remaining = work
+        for _ in range(_MAX_EPOCHS):
+            rate = self.speed_mflops * self.load.availability(t) / slowdown
+            epoch_end = (self.load.epoch_of(t) + 1) * dt
+            window = epoch_end - t
+            if rate > 0.0 and remaining <= rate * window:
+                return (t + remaining / rate) - t0
+            if rate > 0.0:
+                remaining -= rate * window
+            t = epoch_end
+        raise RuntimeError(
+            f"host {self.name!r}: work integration exceeded {_MAX_EPOCHS} epochs "
+            "(availability pinned near zero?)"
+        )
+
+    def mean_effective_speed(self, t0: float, t1: float, footprint_mb: float = 0.0) -> float:
+        """Average deliverable MFLOP/s over ``[t0, t1]``."""
+        avail = self.load.mean_availability(t0, t1)
+        return self.speed_mflops * avail / self.memory.slowdown(footprint_mb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Host({self.name!r}, {self.speed_mflops:g} MFLOP/s, "
+            f"{self.memory.capacity_mb:g} MB, site={self.site!r})"
+        )

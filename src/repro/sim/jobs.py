@@ -1,0 +1,136 @@
+"""Background job workloads: generative contention.
+
+The testbeds' AR(1)/Markov availability processes model *statistical*
+contention.  This module models it *generatively*: a stream of interfering
+jobs (Poisson arrivals, log-uniform durations, random CPU shares) lands on
+hosts and occupies them through :class:`~repro.sim.load.IntervalLoad` —
+the same mechanism scheduled AppLeS applications use, so generated jobs
+and scheduled applications are indistinguishable to the NWS, exactly as
+§3 describes.
+
+Use :func:`generate_jobs` for a reproducible job list and
+:class:`JobWorkload` to stamp it onto a testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.load import DynamicCompositeLoad, IntervalLoad
+from repro.sim.testbeds import Testbed
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive
+
+__all__ = ["BackgroundJob", "generate_jobs", "JobWorkload", "make_injectable"]
+
+
+def make_injectable(testbed: Testbed) -> dict[str, IntervalLoad]:
+    """Overlay a mutable occupancy process on every host of ``testbed``.
+
+    Returns the per-host :class:`~repro.sim.load.IntervalLoad` injectors;
+    occupancy registered on them is immediately visible to the hosts, the
+    NWS sensors and the execution simulator.  This is the substrate both
+    for generated background jobs (:class:`JobWorkload`) and for modelling
+    scheduled AppLeS applications as contention
+    (:mod:`repro.experiments.multiapp_exp`).
+    """
+    injectors: dict[str, IntervalLoad] = {}
+    for host in testbed.hosts():
+        injector = IntervalLoad(dt=host.load.dt)
+        host.load = DynamicCompositeLoad([host.load, injector], dt=host.load.dt)
+        injectors[host.name] = injector
+    return injectors
+
+
+@dataclass(frozen=True)
+class BackgroundJob:
+    """One interfering job."""
+
+    host: str
+    start: float
+    duration: float
+    level: float  # availability multiplier while the job runs
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def generate_jobs(
+    hosts: list[str],
+    horizon_s: float,
+    seed: int = 0,
+    arrival_rate_per_hour: float = 6.0,
+    min_duration_s: float = 30.0,
+    max_duration_s: float = 1800.0,
+    min_level: float = 0.2,
+    max_level: float = 0.7,
+) -> list[BackgroundJob]:
+    """A reproducible Poisson job stream over ``[0, horizon_s]``.
+
+    Arrivals are Poisson per host; durations are log-uniform between the
+    bounds (short jobs common, long jobs rare); each job's CPU share is
+    uniform in ``[min_level, max_level]`` — the availability multiplier
+    its host suffers while it runs.
+    """
+    if not hosts:
+        raise ValueError("need at least one host")
+    check_positive("horizon_s", horizon_s)
+    check_positive("arrival_rate_per_hour", arrival_rate_per_hour)
+    if not (0.0 < min_duration_s <= max_duration_s):
+        raise ValueError("need 0 < min_duration_s <= max_duration_s")
+    if not (0.0 <= min_level <= max_level <= 1.0):
+        raise ValueError("need 0 <= min_level <= max_level <= 1")
+
+    import math
+
+    rng = RngStream(seed, "jobs")
+    jobs: list[BackgroundJob] = []
+    mean_gap = 3600.0 / arrival_rate_per_hour
+    for host in hosts:
+        stream = rng.child(host)
+        t = stream.exponential(mean_gap)
+        while t < horizon_s:
+            log_lo, log_hi = math.log(min_duration_s), math.log(max_duration_s)
+            duration = math.exp(stream.uniform(log_lo, log_hi))
+            level = stream.uniform(min_level, max_level)
+            jobs.append(BackgroundJob(host=host, start=t, duration=duration,
+                                      level=level))
+            t += stream.exponential(mean_gap)
+    jobs.sort(key=lambda j: j.start)
+    return jobs
+
+
+class JobWorkload:
+    """Stamp a job stream onto a testbed's hosts.
+
+    Wraps each host's load with an injector (via
+    :func:`repro.experiments.multiapp_exp.make_injectable`) and registers
+    every job as an occupancy window.  The workload can report
+    instantaneous and windowed job pressure for diagnostics.
+    """
+
+    def __init__(self, testbed: Testbed, jobs: list[BackgroundJob]) -> None:
+        self.testbed = testbed
+        self.jobs = list(jobs)
+        self.injectors: dict[str, IntervalLoad] = make_injectable(testbed)
+        unknown = {j.host for j in jobs} - set(self.injectors)
+        if unknown:
+            raise KeyError(f"jobs reference unknown hosts: {sorted(unknown)}")
+        for job in self.jobs:
+            self.injectors[job.host].occupy(job.start, job.end, job.level)
+
+    def active_jobs(self, t: float) -> list[BackgroundJob]:
+        """Jobs running at time ``t``."""
+        return [j for j in self.jobs if j.start <= t < j.end]
+
+    def pressure(self, host: str, t: float) -> float:
+        """Product of active job levels on ``host`` at ``t`` (1.0 = idle)."""
+        value = 1.0
+        for job in self.active_jobs(t):
+            if job.host == host:
+                value *= job.level
+        return value
+
+    def __len__(self) -> int:
+        return len(self.jobs)

@@ -1,0 +1,353 @@
+"""Canned testbed topologies.
+
+:func:`sdsc_pcl_testbed` reconstructs the Figure 2 system configuration used
+for the Jacobi2D experiments: a Sparc-2 and a Sparc-10 on one PCL Ethernet
+segment, two RS6000s on another, a gateway to SDSC, and four DEC Alpha
+workstations on a non-dedicated FDDI ring.  :func:`sdsc_pcl_with_sp2` adds
+the two unloaded SP-2 nodes used in the Figure 6 memory experiment.
+:func:`casa_testbed` models the CASA C90↔Paragon pair used by 3D-REACT, and
+:func:`nile_testbed` a multi-site NILE configuration.
+
+Nominal speeds are 1996-plausible MFLOP/s figures; what matters for the
+reproduction is their *relative* magnitudes and the load processes, which
+are chosen so that deliverable performance differs markedly from nominal
+performance — the regime in which application-level scheduling pays off.
+
+Unit conventions: megabyte = 10**6 bytes throughout, matching
+:mod:`repro.sim.link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.host import Host
+from repro.sim.link import Link, SharedSegment
+from repro.sim.load import AR1Load, ConstantLoad, MarkovLoad
+from repro.sim.memory import MemoryModel
+from repro.sim.topology import Topology
+from repro.util.rng import RngStream
+
+__all__ = [
+    "Testbed",
+    "sdsc_pcl_testbed",
+    "sdsc_pcl_with_sp2",
+    "casa_testbed",
+    "nile_testbed",
+    "DEFAULT_EPOCH_S",
+]
+
+#: Default availability-epoch length (seconds) for testbed load processes.
+DEFAULT_EPOCH_S = 5.0
+
+
+@dataclass
+class Testbed:
+    """A topology plus bookkeeping the experiments need.
+
+    Attributes
+    ----------
+    topology:
+        The network with all hosts attached.
+    name:
+        Identifier for reports.
+    segments:
+        Mapping segment-name → member host names (used for locality-aware
+        strip ordering).
+    notes:
+        Free-form description printed by the benchmark harness.
+    """
+
+    topology: Topology
+    name: str
+    segments: dict[str, list[str]] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def host_names(self) -> list[str]:
+        """All host names, in insertion order."""
+        return list(self.topology.hosts)
+
+    def hosts(self) -> list[Host]:
+        """All hosts, in insertion order."""
+        return list(self.topology.hosts.values())
+
+
+def _loads(seed: int, dt: float) -> dict[str, object]:
+    """The standard non-dedicated load mix for the SDSC/PCL testbed."""
+    rng = RngStream(seed, "testbed-load")
+
+    def ar1(name: str, mean: float, sigma: float = 0.07) -> AR1Load:
+        return AR1Load(mean=mean, phi=0.9, sigma=sigma, dt=dt, rng=rng.child(name))
+
+    return {
+        # PCL workstations: old, heavily shared machines.
+        "sparc2": ar1("sparc2", 0.45),
+        "sparc10": MarkovLoad(
+            idle_level=0.9, busy_level=0.3, p_busy=0.12, p_idle=0.25,
+            dt=dt, rng=rng.child("sparc10"),
+        ),
+        "rs6000a": ar1("rs6000a", 0.30),
+        "rs6000b": ar1("rs6000b", 0.70),
+        # SDSC alphas: mixed interactive load.
+        "alpha1": ar1("alpha1", 0.80, 0.05),
+        "alpha2": ar1("alpha2", 0.55),
+        "alpha3": MarkovLoad(
+            idle_level=0.95, busy_level=0.35, p_busy=0.10, p_idle=0.30,
+            dt=dt, rng=rng.child("alpha3"),
+        ),
+        "alpha4": ar1("alpha4", 0.75, 0.05),
+        # Networks.
+        "eth-a": ar1("eth-a", 0.60),
+        "eth-b": ar1("eth-b", 0.65),
+        "fddi": ar1("fddi", 0.85, 0.04),
+        "wan": ar1("wan", 0.50, 0.10),
+    }
+
+
+def sdsc_pcl_testbed(seed: int = 1996, dt: float = DEFAULT_EPOCH_S) -> Testbed:
+    """The Figure 2 SDSC/PCL testbed.
+
+    Eight non-dedicated hosts: ``sparc2`` and ``sparc10`` on PCL Ethernet
+    segment A, ``rs6000a``/``rs6000b`` on segment B, both segments routed
+    through ``pcl-gw`` and a WAN link to ``sdsc-gw``, behind which
+    ``alpha1``–``alpha4`` sit on a shared FDDI ring.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for every load process in the testbed.
+    dt:
+        Availability-epoch length in seconds.
+    """
+    loads = _loads(seed, dt)
+    topo = Topology()
+
+    topo.add_host(Host(
+        "sparc2", speed_mflops=8.0, memory=MemoryModel(32.0, 6.0),
+        load=loads["sparc2"], site="PCL", arch="sparc",
+        capabilities=frozenset({"pvm", "kelp"}),
+    ))
+    topo.add_host(Host(
+        "sparc10", speed_mflops=20.0, memory=MemoryModel(64.0, 8.0),
+        load=loads["sparc10"], site="PCL", arch="sparc",
+        capabilities=frozenset({"pvm", "kelp"}),
+    ))
+    topo.add_host(Host(
+        "rs6000a", speed_mflops=30.0, memory=MemoryModel(128.0, 12.0),
+        load=loads["rs6000a"], site="PCL", arch="rs6000",
+        capabilities=frozenset({"pvm", "kelp"}),
+    ))
+    topo.add_host(Host(
+        "rs6000b", speed_mflops=30.0, memory=MemoryModel(128.0, 12.0),
+        load=loads["rs6000b"], site="PCL", arch="rs6000",
+        capabilities=frozenset({"pvm", "kelp"}),
+    ))
+    for i in range(1, 5):
+        topo.add_host(Host(
+            f"alpha{i}", speed_mflops=45.0, memory=MemoryModel(128.0, 12.0),
+            load=loads[f"alpha{i}"], site="SDSC", arch="alpha",
+            capabilities=frozenset({"pvm", "kelp", "corba-orb"}),
+        ))
+
+    topo.add_node("pcl-gw")
+    topo.add_node("sdsc-gw")
+
+    eth_a = SharedSegment("eth-a", bandwidth_mbit=10.0, latency_s=0.001,
+                          load=loads["eth-a"], mac_efficiency=0.8)
+    eth_b = SharedSegment("eth-b", bandwidth_mbit=10.0, latency_s=0.001,
+                          load=loads["eth-b"], mac_efficiency=0.8)
+    fddi = SharedSegment("fddi", bandwidth_mbit=100.0, latency_s=0.0005,
+                         load=loads["fddi"], mac_efficiency=0.9)
+    wan = Link("wan", bandwidth_mbit=4.0, latency_s=0.004, load=loads["wan"])
+
+    topo.attach_segment(eth_a, ["sparc2", "sparc10", "pcl-gw"])
+    topo.attach_segment(eth_b, ["rs6000a", "rs6000b", "pcl-gw"])
+    topo.attach_segment(fddi, ["alpha1", "alpha2", "alpha3", "alpha4", "sdsc-gw"])
+    topo.connect("pcl-gw", "sdsc-gw", wan)
+
+    return Testbed(
+        topology=topo,
+        name="sdsc-pcl",
+        segments={
+            "eth-a": ["sparc2", "sparc10"],
+            "eth-b": ["rs6000a", "rs6000b"],
+            "fddi": ["alpha1", "alpha2", "alpha3", "alpha4"],
+        },
+        notes=(
+            "Figure 2 configuration: Sparc-2 + Sparc-10 (PCL Ethernet A), "
+            "2x RS6000 (PCL Ethernet B), 4x DEC Alpha (SDSC FDDI), "
+            "gateway-routed WAN between sites; all non-dedicated."
+        ),
+    )
+
+
+def sdsc_pcl_with_sp2(
+    seed: int = 1996,
+    dt: float = DEFAULT_EPOCH_S,
+    sp2_speed_mflops: float = 250.0,
+    sp2_memory_mb: float = 128.0,
+    crossover_n: int = 3700,
+    bytes_per_point: float = 16.0,
+) -> Testbed:
+    """The Figure 6 configuration: Figure 2 plus two unloaded SP-2 nodes.
+
+    The SP-2 nodes are dedicated (no background load) and joined by a fast
+    switch; their OS memory reserve is derived from ``crossover_n`` so that
+    a two-node blocked Jacobi partition spills real memory exactly past a
+    ``crossover_n`` × ``crossover_n`` problem, as the paper reports for
+    3700×3700.
+
+    ``bytes_per_point`` is the Jacobi working-set footprint per grid point
+    (two double-precision arrays → 16 bytes).
+    """
+    tb = sdsc_pcl_testbed(seed=seed, dt=dt)
+    topo = tb.topology
+
+    # Memory available per node so that crossover_n^2 points split two ways
+    # exactly fills both nodes.
+    needed_mb = bytes_per_point * crossover_n * crossover_n / 2 / 1e6
+    if needed_mb >= sp2_memory_mb:
+        raise ValueError(
+            f"crossover_n={crossover_n} needs {needed_mb:.1f} MB/node, which "
+            f"exceeds sp2_memory_mb={sp2_memory_mb}"
+        )
+    reserved = sp2_memory_mb - needed_mb
+
+    for i in (1, 2):
+        topo.add_host(Host(
+            f"sp2-{i}", speed_mflops=sp2_speed_mflops,
+            memory=MemoryModel(sp2_memory_mb, reserved, page_penalty=40.0),
+            load=ConstantLoad(1.0, dt=dt), dedicated=True,
+            site="SDSC", arch="sp2",
+            capabilities=frozenset({"pvm", "kelp", "mpl"}),
+        ))
+
+    switch = Link("sp2-switch", bandwidth_mbit=320.0, latency_s=0.00004,
+                  load=ConstantLoad(1.0, dt=dt))
+    topo.connect("sp2-1", "sp2-2", switch)
+    # Each SP-2 node also reaches the SDSC FDDI ring (shared with the alphas).
+    fddi = topo.links["fddi"]
+    topo.connect("sp2-1", "seg:fddi", Link("sp2-1-fddi", bandwidth_mbit=fddi.bandwidth_mbit,
+                                           latency_s=0.0005, load=fddi.load))
+    topo.connect("sp2-2", "seg:fddi", Link("sp2-2-fddi", bandwidth_mbit=fddi.bandwidth_mbit,
+                                           latency_s=0.0005, load=fddi.load))
+
+    tb.name = "sdsc-pcl+sp2"
+    tb.segments["sp2"] = ["sp2-1", "sp2-2"]
+    tb.notes += (
+        " Plus two dedicated SP-2 nodes on a fast switch; per-node memory "
+        f"calibrated so a 2-node blocked partition spills past n={crossover_n}."
+    )
+    return tb
+
+
+def casa_testbed(
+    seed: int = 1996, dt: float = 60.0, dedicated: bool = True
+) -> Testbed:
+    """The CASA gigabit-testbed pair used by 3D-REACT.
+
+    A Cray C90 CPU at SDSC and a 64-node Intel Paragon partition at CalTech,
+    joined by a HiPPI-SONET link.  With ``dedicated=True`` (the default,
+    matching the paper: "3D-REACT required completely dedicated access ...
+    in order to avoid contention effects") both ends and the link are
+    uncontended.  ``dedicated=False`` models the environment the 3D-REACT
+    AppLeS of §4.2 was designed for: a space-shared Paragon whose partition
+    availability varies and a shared wide-area link — the regime where the
+    agent must consult NWS forecasts instead of assuming full machines.
+
+    Speeds are *aggregate effective* rates for this application; the
+    per-task vector/parallel efficiency asymmetry lives in
+    :mod:`repro.react.tasks`, not here.
+    """
+    rng = RngStream(seed, "casa-load")
+    if dedicated:
+        c90_load: object = ConstantLoad(1.0, dt=dt)
+        paragon_load: object = ConstantLoad(1.0, dt=dt)
+        hippi_load: object = ConstantLoad(1.0, dt=dt)
+    else:
+        # The C90 CPU is still a dedicated queue slot; the Paragon
+        # partition and the WAN are shared.
+        c90_load = ConstantLoad(1.0, dt=dt)
+        paragon_load = AR1Load(mean=0.55, phi=0.92, sigma=0.08, dt=dt,
+                               rng=rng.child("paragon"))
+        hippi_load = AR1Load(mean=0.6, phi=0.9, sigma=0.1, dt=dt,
+                             rng=rng.child("hippi"))
+    topo = Topology()
+    topo.add_host(Host(
+        "c90", speed_mflops=1000.0, memory=MemoryModel(2048.0, 64.0),
+        load=c90_load, dedicated=True, site="SDSC", arch="c90",
+        capabilities=frozenset({"vector"}),
+    ))
+    topo.add_host(Host(
+        "paragon", speed_mflops=3200.0, memory=MemoryModel(4096.0, 128.0),
+        load=paragon_load, dedicated=dedicated, site="CalTech", arch="paragon",
+        capabilities=frozenset({"parallel"}),
+    ))
+    hippi = Link("hippi-sonet", bandwidth_mbit=800.0, latency_s=0.01,
+                 load=hippi_load)
+    topo.connect("c90", "paragon", hippi)
+    return Testbed(
+        topology=topo,
+        name="casa" if dedicated else "casa-contended",
+        segments={"hippi": ["c90", "paragon"]},
+        notes="CASA gigabit testbed: SDSC C90 and CalTech Paragon over HiPPI-SONET."
+        + ("" if dedicated else " Non-dedicated Paragon partition and shared link."),
+    )
+
+
+def nile_testbed(seed: int = 1996, dt: float = 30.0, nsites: int = 3) -> Testbed:
+    """A NILE-style multi-site configuration.
+
+    Each site has a small DEC Alpha farm (dedicated) and a couple of shared
+    workstations; sites are joined by WAN links of differing quality (the
+    paper lists ATM, FDDI and Ethernet interconnects).
+    """
+    if nsites < 1:
+        raise ValueError("nsites must be >= 1")
+    rng = RngStream(seed, "nile-load")
+    topo = Topology()
+    segments: dict[str, list[str]] = {}
+    site_gws: list[str] = []
+    for s in range(nsites):
+        site = f"site{s}"
+        gw = f"{site}-gw"
+        topo.add_node(gw)
+        site_gws.append(gw)
+        members = [gw]
+        for i in range(2):
+            name = f"{site}-alpha{i}"
+            topo.add_host(Host(
+                name, speed_mflops=50.0, memory=MemoryModel(256.0, 16.0),
+                load=ConstantLoad(1.0, dt=dt), dedicated=True, site=site,
+                arch="alpha", capabilities=frozenset({"corba-orb"}),
+            ))
+            members.append(name)
+        for i in range(2):
+            name = f"{site}-ws{i}"
+            topo.add_host(Host(
+                name, speed_mflops=25.0, memory=MemoryModel(96.0, 12.0),
+                load=AR1Load(mean=0.6, phi=0.9, sigma=0.08, dt=dt,
+                             rng=rng.child(name)),
+                site=site, arch="alpha", capabilities=frozenset({"corba-orb"}),
+            ))
+            members.append(name)
+        lan = SharedSegment(f"{site}-lan", bandwidth_mbit=100.0, latency_s=0.0005,
+                            load=AR1Load(mean=0.85, phi=0.9, sigma=0.04, dt=dt,
+                                         rng=rng.child(f"{site}-lan")),
+                            mac_efficiency=0.9)
+        topo.attach_segment(lan, members)
+        segments[f"{site}-lan"] = members[1:]
+    # Chain the sites with WANs of decreasing quality (ATM, then slower).
+    for s in range(nsites - 1):
+        bw = [155.0, 45.0, 10.0][min(s, 2)]
+        wan = Link(f"wan{s}", bandwidth_mbit=bw, latency_s=0.01 * (s + 1),
+                   load=AR1Load(mean=0.6, phi=0.9, sigma=0.08, dt=dt,
+                                rng=rng.child(f"wan{s}")))
+        topo.connect(site_gws[s], site_gws[s + 1], wan)
+    return Testbed(
+        topology=topo,
+        name="nile",
+        segments=segments,
+        notes=f"NILE-style configuration: {nsites} sites, Alpha farms + shared workstations.",
+    )

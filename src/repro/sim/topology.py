@@ -1,0 +1,184 @@
+"""Network topology: hosts, segments and routed paths.
+
+The topology is an undirected multigraph whose vertices are host names plus
+infrastructure nodes (gateways, switches) and whose edges are
+:class:`~repro.sim.link.Link` objects.  Routing minimises hop count with
+latency as a tie-break (Dijkstra on ``(hops, latency)``), which matches the
+flat 1996 testbed where every pair had an obvious single route.
+
+Path metrics follow the usual composition rules: latency adds, bandwidth is
+the bottleneck (minimum deliverable bandwidth along the path).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.sim.host import Host
+from repro.sim.link import Link
+from repro.util.validation import check_nonnegative
+
+__all__ = ["Topology", "RouteError"]
+
+
+class RouteError(KeyError):
+    """Raised when no route exists between two nodes."""
+
+
+class Topology:
+    """An undirected network graph over hosts and infrastructure nodes."""
+
+    def __init__(self) -> None:
+        self.hosts: dict[str, Host] = {}
+        self._nodes: set[str] = set()
+        # adjacency: node -> list of (neighbor, link)
+        self._adj: dict[str, list[tuple[str, Link]]] = {}
+        self.links: dict[str, Link] = {}
+        self._route_cache: dict[tuple[str, str], list[Link]] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Register a host vertex."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        self._add_node(host.name)
+        return host
+
+    def add_node(self, name: str) -> None:
+        """Register an infrastructure vertex (gateway, switch, segment hub)."""
+        self._add_node(name)
+
+    def _add_node(self, name: str) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self._nodes.add(name)
+        self._adj.setdefault(name, [])
+
+    def connect(self, a: str, b: str, link: Link) -> None:
+        """Attach ``a`` and ``b`` with ``link`` (undirected)."""
+        for node in (a, b):
+            if node not in self._nodes:
+                raise KeyError(f"unknown node {node!r}; add hosts/nodes first")
+        if a == b:
+            raise ValueError("cannot connect a node to itself")
+        if link.name in self.links and self.links[link.name] is not link:
+            raise ValueError(f"distinct link reuses name {link.name!r}")
+        self.links[link.name] = link
+        self._adj[a].append((b, link))
+        self._adj[b].append((a, link))
+        self._route_cache.clear()
+
+    def attach_segment(self, link: Link, members: Iterable[str]) -> None:
+        """Model a broadcast segment as a hub node all members connect to.
+
+        Each member reaches the hub over the *same* :class:`Link` object, so
+        segment bandwidth/availability is shared by construction.  The hub
+        vertex is named ``"seg:" + link.name``.
+        """
+        hub = f"seg:{link.name}"
+        self._add_node(hub)
+        members = list(members)
+        if len(members) < 2:
+            raise ValueError("a segment needs at least two members")
+        for m in members:
+            self.connect(m, hub, link)
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def nodes(self) -> set[str]:
+        """All vertex names (hosts + infrastructure)."""
+        return set(self._nodes)
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    def route(self, a: str, b: str) -> list[Link]:
+        """The sequence of links on the route from ``a`` to ``b``.
+
+        Minimises ``(hop count, total latency)``.  A host's route to itself
+        is the empty list (local communication is free).
+        """
+        if a not in self._nodes or b not in self._nodes:
+            missing = a if a not in self._nodes else b
+            raise KeyError(f"unknown node {missing!r}")
+        if a == b:
+            return []
+        cached = self._route_cache.get((a, b))
+        if cached is not None:
+            return cached
+        # Dijkstra on (hops, latency).
+        dist: dict[str, tuple[int, float]] = {a: (0, 0.0)}
+        prev: dict[str, tuple[str, Link]] = {}
+        heap: list[tuple[int, float, str]] = [(0, 0.0, a)]
+        while heap:
+            hops, lat, node = heapq.heappop(heap)
+            if (hops, lat) > dist.get(node, (1 << 30, float("inf"))):
+                continue
+            if node == b:
+                break
+            for nbr, link in self._adj[node]:
+                cand = (hops + 1, lat + link.latency_s)
+                if cand < dist.get(nbr, (1 << 30, float("inf"))):
+                    dist[nbr] = cand
+                    prev[nbr] = (node, link)
+                    heapq.heappush(heap, (cand[0], cand[1], nbr))
+        if b not in dist:
+            raise RouteError(f"no route between {a!r} and {b!r}")
+        path: list[Link] = []
+        node = b
+        while node != a:
+            parent, link = prev[node]
+            path.append(link)
+            node = parent
+        path.reverse()
+        self._route_cache[(a, b)] = path
+        self._route_cache[(b, a)] = list(reversed(path))
+        return path
+
+    def path_latency(self, a: str, b: str) -> float:
+        """Sum of link latencies along the route."""
+        return sum(link.latency_s for link in self.route(a, b))
+
+    def path_bandwidth(self, a: str, b: str, t: float = 0.0, flows: int = 1) -> float:
+        """Bottleneck deliverable bandwidth (bytes/s) along the route at ``t``.
+
+        Returns ``inf`` for local (same-node) communication.
+        """
+        links = self.route(a, b)
+        if not links:
+            return float("inf")
+        return min(link.deliverable_bandwidth(t, flows) for link in links)
+
+    def transfer_time(self, a: str, b: str, nbytes: float, t: float = 0.0, flows: int = 1) -> float:
+        """Seconds to move ``nbytes`` from ``a`` to ``b`` starting at ``t``.
+
+        Store-and-forward effects are ignored (messages here are large
+        relative to per-hop buffers): time = path latency + bytes over the
+        bottleneck bandwidth.  Local transfers are free.
+        """
+        nbytes = check_nonnegative("nbytes", nbytes)
+        links = self.route(a, b)
+        if not links:
+            return 0.0
+        bw = min(link.deliverable_bandwidth(t, flows) for link in links)
+        if bw <= 0.0:
+            return float("inf")
+        return self.path_latency(a, b) + nbytes / bw
+
+    def same_segment(self, a: str, b: str) -> bool:
+        """True if hosts ``a`` and ``b`` share a direct broadcast segment."""
+        hubs_a = {nbr for nbr, _ in self._adj.get(a, ()) if nbr.startswith("seg:")}
+        hubs_b = {nbr for nbr, _ in self._adj.get(b, ()) if nbr.startswith("seg:")}
+        return bool(hubs_a & hubs_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(hosts={len(self.hosts)}, nodes={len(self._nodes)}, "
+            f"links={len(self.links)})"
+        )

@@ -1,0 +1,66 @@
+"""Availability-trace persistence.
+
+Measured load traces are how simulated experiments connect to reality:
+record a trace (from the simulator or, in principle, from real ``uptime``
+sampling), save it, replay it later through
+:class:`~repro.sim.load.TraceLoad` for a fully scripted experiment.
+
+The format is deliberately plain JSON::
+
+    {"dt": 5.0, "name": "alpha1", "values": [0.91, 0.88, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.sim.load import LoadProcess, TraceLoad
+from repro.util.validation import check_positive
+
+__all__ = ["save_trace", "load_trace", "record_trace"]
+
+
+def record_trace(load: LoadProcess, duration_s: float, t0: float = 0.0) -> list[float]:
+    """Sample a load process into a plain epoch-value list.
+
+    Records ``ceil(duration / dt)`` epochs starting at ``t0``.
+    """
+    check_positive("duration_s", duration_s)
+    n = max(1, int(-(-duration_s // load.dt)))
+    return [load.availability(t0 + (k + 0.5) * load.dt) for k in range(n)]
+
+
+def save_trace(
+    path: str | pathlib.Path,
+    values: list[float],
+    dt: float,
+    name: str = "",
+) -> None:
+    """Write a trace to ``path`` as JSON."""
+    check_positive("dt", dt)
+    if not values:
+        raise ValueError("trace must be non-empty")
+    for v in values:
+        if not (0.0 <= v <= 1.0):
+            raise ValueError(f"trace values must be in [0, 1], got {v}")
+    payload = {"dt": float(dt), "name": name, "values": [float(v) for v in values]}
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: str | pathlib.Path) -> TraceLoad:
+    """Read a JSON trace back as a :class:`~repro.sim.load.TraceLoad`.
+
+    Raises ``ValueError`` on malformed files (missing keys, bad ranges).
+    """
+    raw = pathlib.Path(path).read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a JSON trace file: {path}") from exc
+    try:
+        dt = float(payload["dt"])
+        values = [float(v) for v in payload["values"]]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"trace file missing dt/values: {path}") from exc
+    return TraceLoad(values, dt=dt)

@@ -1,0 +1,44 @@
+"""Shared utilities for the AppLeS reproduction.
+
+This subpackage is intentionally dependency-light: seeded random-number
+helpers, summary statistics, ASCII table rendering for benchmark output,
+and argument-validation helpers used across every other subpackage.
+"""
+
+from repro.util.ascii_plot import bar_chart, line_chart
+from repro.util.rng import RngStream, spawn_rng
+from repro.util.stats import (
+    OnlineStats,
+    confidence_interval,
+    geometric_mean,
+    mean_squared_error,
+    summarize,
+)
+from repro.util.tables import Table, format_row, render_table
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "RngStream",
+    "spawn_rng",
+    "OnlineStats",
+    "confidence_interval",
+    "geometric_mean",
+    "mean_squared_error",
+    "summarize",
+    "Table",
+    "format_row",
+    "render_table",
+    "check_fraction",
+    "check_in",
+    "check_nonnegative",
+    "check_positive",
+    "check_type",
+]

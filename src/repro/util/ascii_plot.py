@@ -1,0 +1,96 @@
+"""ASCII charts for benchmark output.
+
+The paper's Figures 5 and 6 are line charts; the benchmark harness prints
+terminal renderings of the same series so the *shape* (who wins, where
+the knee is) is visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bars scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if not labels:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart expects non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{str(label):>{label_w}}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Plot one or more series against shared x on a character grid.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x`` in order);
+    ``logy`` uses a log10 vertical axis — the natural scale for the
+    Figure 6 paging collapse.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch with x")
+    if len(x) < 2:
+        raise ValueError("need at least two x points")
+    markers = "*o+x@%"
+    values = [v for ys in series.values() for v in ys]
+    if logy:
+        if any(v <= 0 for v in values):
+            raise ValueError("logy requires strictly positive values")
+        transform = math.log10
+    else:
+        def transform(v: float) -> float:
+            return v
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = hi - lo or 1.0
+    x_lo, x_hi = min(x), max(x)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_lo) / x_span * (width - 1))
+            row = round((transform(yv) - lo) / span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    top_label = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    bot_label = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    lines.append(f"{top_label:>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{bot_label:>8} ┤" + "".join(grid[-1]))
+    lines.append(" " * 8 + " └" + "─" * width)
+    lines.append(" " * 10 + f"{x_lo:<10.6g}{'':^{max(0, width - 20)}}{x_hi:>10.6g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Summary statistics used by the benchmark harness and the NWS forecasters."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "OnlineStats",
+    "confidence_interval",
+    "geometric_mean",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "summarize",
+]
+
+
+class OnlineStats:
+    """Welford online mean/variance accumulator.
+
+    Used by forecasters and sensors that cannot afford to keep their whole
+    history; numerically stable for long streams.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the accumulator."""
+        x = float(x)
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold many observations."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        """Smallest observation seen (inf when empty)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest observation seen (-inf when empty)."""
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OnlineStats(n={self.count}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+
+def confidence_interval(xs: Sequence[float], level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean of ``xs``.
+
+    Returns ``(lo, hi)``.  With fewer than two samples the interval collapses
+    to the single value.  The z-value is looked up for the common levels and
+    computed from the inverse error function otherwise.
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    if xs.size == 0:
+        raise ValueError("confidence_interval needs at least one sample")
+    m = float(xs.mean())
+    if xs.size < 2:
+        return (m, m)
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if level in z_table:
+        z = z_table[level]
+    else:
+        # Inverse of the standard normal CDF via erfinv.
+        from math import sqrt
+
+        try:
+            from scipy.special import erfinv  # type: ignore
+
+            z = float(sqrt(2.0) * erfinv(level))
+        except Exception:  # pragma: no cover - scipy is installed in CI
+            z = 1.96
+    half = z * float(xs.std(ddof=1)) / math.sqrt(xs.size)
+    return (m - half, m + half)
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    xs = np.asarray(list(xs), dtype=float)
+    if xs.size == 0:
+        raise ValueError("geometric_mean needs at least one sample")
+    if np.any(xs <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.log(xs).mean()))
+
+
+def mean_squared_error(pred: Sequence[float], actual: Sequence[float]) -> float:
+    """MSE between two equal-length sequences."""
+    p = np.asarray(list(pred), dtype=float)
+    a = np.asarray(list(actual), dtype=float)
+    if p.shape != a.shape:
+        raise ValueError("prediction/actual length mismatch")
+    if p.size == 0:
+        raise ValueError("mean_squared_error needs at least one sample")
+    return float(np.mean((p - a) ** 2))
+
+
+def mean_absolute_error(pred: Sequence[float], actual: Sequence[float]) -> float:
+    """MAE between two equal-length sequences."""
+    p = np.asarray(list(pred), dtype=float)
+    a = np.asarray(list(actual), dtype=float)
+    if p.shape != a.shape:
+        raise ValueError("prediction/actual length mismatch")
+    if p.size == 0:
+        raise ValueError("mean_absolute_error needs at least one sample")
+    return float(np.mean(np.abs(p - a)))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample, used in benchmark reports."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    median: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.min:.4g} med={self.median:.4g} max={self.max:.4g}"
+        )
+
+
+def summarize(xs: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``xs``."""
+    arr = np.asarray(list(xs), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize needs at least one sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        median=float(np.median(arr)),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,105 @@
+"""ASCII table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the paper reports; these helpers keep
+that output aligned and diff-friendly without pulling in a formatting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["Table", "format_row", "render_table"]
+
+
+def _fmt(value: Any, precision: int = 4) -> str:
+    """Render one cell: floats get fixed significant digits, rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (value != 0 and abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
+    """Format one row with per-column widths, right-aligning numbers."""
+    out = []
+    for cell, width in zip(cells, widths):
+        text = _fmt(cell)
+        if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+            out.append(text.rjust(width))
+        else:
+            out.append(text.ljust(width))
+    return "  ".join(out).rstrip()
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render a complete table with a rule under the header.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row data; each row must have ``len(headers)`` cells.
+    title:
+        Optional title printed above the table.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers), widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw in rows:
+        lines.append(format_row(list(raw), widths))
+    return "\n".join(lines)
+
+
+class Table:
+    """Accumulating table: add rows as an experiment sweeps, render at the end.
+
+    Examples
+    --------
+    >>> t = Table(["n", "time"], title="demo")
+    >>> t.add(1000, 2.5)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.headers = list(headers)
+        self.title = title
+        self.rows: list[list[Any]] = []
+
+    def add(self, *cells: Any) -> None:
+        """Append one row (must match the header width)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the accumulated rows."""
+        return render_table(self.headers, self.rows, self.title)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the AppLeS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nws import NetworkWeatherService
+from repro.sim import casa_testbed, nile_testbed, sdsc_pcl_testbed, sdsc_pcl_with_sp2
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The Figure 2 SDSC/PCL testbed (session-scoped; loads are cached)."""
+    return sdsc_pcl_testbed(seed=1996)
+
+
+@pytest.fixture(scope="session")
+def testbed_sp2():
+    """The Figure 6 configuration (Figure 2 plus two SP-2 nodes)."""
+    return sdsc_pcl_with_sp2(seed=1996)
+
+
+@pytest.fixture(scope="session")
+def casa():
+    """The CASA C90/Paragon pair."""
+    return casa_testbed()
+
+
+@pytest.fixture(scope="session")
+def nile_bed():
+    """A 3-site NILE-style configuration."""
+    return nile_testbed(seed=1996)
+
+
+@pytest.fixture(scope="session")
+def warmed_nws(testbed):
+    """A Network Weather Service over the SDSC/PCL testbed, warmed 600 s."""
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    return nws
+
+
+@pytest.fixture(scope="session")
+def warmed_nws_sp2(testbed_sp2):
+    """A warmed NWS over the SP-2 configuration."""
+    nws = NetworkWeatherService.for_testbed(testbed_sp2, seed=7)
+    nws.warmup(600.0)
+    return nws

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        names = set(sub.choices)
+        assert {"fig34", "fig5", "fig6", "react", "nile", "nws", "info",
+                "selection", "adaptive", "multiapp", "metrics", "all"} <= names
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sizes_parsing(self):
+        args = build_parser().parse_args(["fig5", "--sizes", "1000,2000"])
+        assert args.sizes == (1000, 2000)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--sizes", "1000,x"])
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["react", "--seed", "7"])
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_fig34_runs(self, capsys):
+        assert main(["fig34", "--n", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 3 & 4" in out
+
+    def test_fig5_small(self, capsys):
+        assert main([
+            "fig5", "--sizes", "1000", "--iterations", "10", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "ratio range" in out
+
+    def test_nile_runs(self, capsys):
+        assert main(["nile", "--events", "50000"]) == 0
+        assert "NILE-T1" in capsys.readouterr().out
+
+    def test_nws_runs(self, capsys):
+        assert main(["nws", "--samples", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "NWS-A1" in out
+        assert "ensemble regret" in out

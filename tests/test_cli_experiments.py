@@ -1,0 +1,36 @@
+"""CLI integration tests for the remaining subcommands (reduced scale)."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestAblationCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--n", "1000"]) == 0
+        assert "ABL-A2" in capsys.readouterr().out
+
+    def test_selection(self, capsys):
+        assert main(["selection", "--n", "1000"]) == 0
+        assert "ABL-A3" in capsys.readouterr().out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "--n", "1000"]) == 0
+        assert "METRIC-A6" in capsys.readouterr().out
+
+    def test_decomposition(self, capsys):
+        assert main(["decomposition", "--n", "1000"]) == 0
+        assert "ABL-A7" in capsys.readouterr().out
+
+    def test_fig6_reduced(self, capsys):
+        assert main([
+            "fig6", "--sizes", "2000,4200", "--iterations", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_react(self, capsys):
+        assert main(["react"]) == 0
+        out = capsys.readouterr().out
+        assert "REACT-T1" in out
+        assert "REACT-T2" in out

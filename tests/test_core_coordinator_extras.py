@@ -1,0 +1,144 @@
+"""Tests for ScheduleDecision.explain/ranked, InformationPool and actuators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actuator import RecordingActuator
+from repro.core.coordinator import AppLeSAgent
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.core.infopool import InformationPool
+from repro.core.planner import TimeBalancedPlanner
+from repro.core.resources import ResourcePool
+from repro.core.userspec import UserSpecification
+from repro.experiments.ablation import OraclePool
+
+
+def _info(testbed, nws=None):
+    hat = HeterogeneousApplicationTemplate(
+        name="toy", paradigm="data-parallel",
+        tasks=(TaskCharacteristics("work", flop_per_unit=1e-3),),
+        communication=CommunicationCharacteristics(),
+        structure=StructureInfo(total_units=1e6, iterations=1),
+    )
+    return InformationPool(pool=ResourcePool(testbed.topology, nws), hat=hat)
+
+
+class TestDecisionExplain:
+    @pytest.fixture(scope="class")
+    def decision(self, testbed):
+        us = UserSpecification(max_machines=3)
+        info = _info(testbed)
+        info.userspec = us
+        return AppLeSAgent(info, planner=TimeBalancedPlanner()).schedule()
+
+    def test_ranked_sorted_and_bounded(self, decision):
+        top = decision.ranked(4)
+        assert len(top) == 4
+        objectives = [e.objective for e in top]
+        assert objectives == sorted(objectives)
+        assert top[0].objective == decision.best_objective
+
+    def test_explain_mentions_chosen(self, decision):
+        text = decision.explain(top=3)
+        assert "Chosen schedule" in text
+        assert "<- chosen" in text
+        assert "metric 'execution_time'" in text
+
+    def test_explain_counts(self, decision):
+        text = decision.explain()
+        assert f"Considered {decision.candidates_considered}" in text
+
+
+class TestInformationPool:
+    def test_model_registry(self, testbed):
+        info = _info(testbed)
+        info.register_model("m", object())
+        assert info.model("m") is info.models["m"]
+
+    def test_missing_model_lists_available(self, testbed):
+        info = _info(testbed)
+        info.register_model("jacobi", 1)
+        with pytest.raises(KeyError, match="jacobi"):
+            info.model("nope")
+
+    def test_empty_name_rejected(self, testbed):
+        info = _info(testbed)
+        with pytest.raises(ValueError):
+            info.register_model("", 1)
+
+    def test_dynamic_flag(self, testbed, warmed_nws):
+        assert not _info(testbed).has_dynamic_information
+        assert _info(testbed, warmed_nws).has_dynamic_information
+
+
+class TestRecordingActuator:
+    def test_records_in_order(self, testbed):
+        info = _info(testbed)
+        act = RecordingActuator()
+        agent = AppLeSAgent(info, planner=TimeBalancedPlanner(), actuator=act)
+        agent.run(t0=1.0)
+        agent.run(t0=2.0)
+        assert [t for t, _ in act.actuated] == [1.0, 2.0]
+        assert act.last_schedule is act.actuated[-1][1]
+
+    def test_empty_raises(self):
+        with pytest.raises(IndexError):
+            RecordingActuator().last_schedule
+
+
+class TestConservativeSpeed:
+    def test_nominal_pool_no_discount(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert pool.predicted_speed_conservative("alpha1", 2.0) == pool.predicted_speed(
+            "alpha1"
+        )
+
+    def test_discount_with_nws(self, testbed, warmed_nws):
+        pool = ResourcePool(testbed.topology, warmed_nws)
+        plain = pool.predicted_speed("rs6000a")
+        careful = pool.predicted_speed_conservative("rs6000a", 1.0)
+        assert careful <= plain
+        assert careful > 0.0
+
+    def test_floor_prevents_vanishing(self, testbed, warmed_nws):
+        pool = ResourcePool(testbed.topology, warmed_nws)
+        # Even absurd conservatism leaves 5% of the forecast.
+        extreme = pool.predicted_speed_conservative("rs6000a", 100.0)
+        avail = pool.predicted_availability("rs6000a")
+        nominal = testbed.topology.host("rs6000a").speed_mflops
+        assert extreme == pytest.approx(nominal * 0.05 * avail)
+
+    def test_negative_sigmas_rejected(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        with pytest.raises(ValueError):
+            pool.predicted_speed_conservative("alpha1", -1.0)
+
+    def test_error_zero_without_nws(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert pool.predicted_availability_error("alpha1") == 0.0
+
+
+class TestOraclePool:
+    def test_truth_at_instant(self, testbed):
+        pool = OraclePool(testbed.topology, t_oracle=500.0)
+        host = testbed.topology.host("rs6000a")
+        assert pool.predicted_availability("rs6000a") == host.availability(500.0)
+        assert pool.predicted_speed("rs6000a") == pytest.approx(
+            host.speed_mflops * host.availability(500.0)
+        )
+
+    def test_bandwidth_truth(self, testbed):
+        pool = OraclePool(testbed.topology, t_oracle=500.0)
+        assert pool.predicted_bandwidth("sparc2", "alpha1") == pytest.approx(
+            testbed.topology.path_bandwidth("sparc2", "alpha1", 500.0)
+        )
+
+    def test_self_bandwidth_infinite(self, testbed):
+        pool = OraclePool(testbed.topology, t_oracle=0.0)
+        assert pool.predicted_bandwidth("alpha1", "alpha1") == float("inf")

@@ -1,0 +1,142 @@
+"""Tests for the HAT and User Specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.core.resources import MachineInfo
+from repro.core.userspec import UserSpecification
+
+
+def _machine(name="m", site="PCL", arch="alpha", caps=()):
+    return MachineInfo(
+        name=name, speed_mflops=50.0, memory_available_mb=100.0,
+        site=site, arch=arch, dedicated=False, capabilities=frozenset(caps),
+    )
+
+
+class TestTaskCharacteristics:
+    def test_portable_task_runs_anywhere(self):
+        t = TaskCharacteristics("sweep", flop_per_unit=1.0)
+        assert t.efficiency_on("anything") == 1.0
+        assert t.can_run_on("sparc")
+
+    def test_specialised_task(self):
+        t = TaskCharacteristics(
+            "lhsf", flop_per_unit=1.0, implementations={"c90": 0.5}
+        )
+        assert t.efficiency_on("c90") == 0.5
+        assert t.efficiency_on("paragon") == 0.0
+        assert not t.can_run_on("paragon")
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            TaskCharacteristics("t", 1.0, implementations={"x": 0.0})
+
+    def test_negative_flop_rejected(self):
+        with pytest.raises(ValueError):
+            TaskCharacteristics("t", -1.0)
+
+
+class TestCommunicationCharacteristics:
+    def test_defaults(self):
+        c = CommunicationCharacteristics()
+        assert c.pattern == "none"
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            CommunicationCharacteristics(pattern="mesh")
+
+    def test_bad_pipeline_range(self):
+        with pytest.raises(ValueError):
+            CommunicationCharacteristics(pattern="pipeline", pipeline_size_range=(5, 3))
+
+
+class TestHAT:
+    def make(self):
+        return HeterogeneousApplicationTemplate(
+            name="app",
+            paradigm="data-parallel",
+            tasks=(
+                TaskCharacteristics("a", 2.0),
+                TaskCharacteristics("b", 3.0),
+            ),
+            communication=CommunicationCharacteristics(pattern="stencil"),
+            structure=StructureInfo(total_units=100.0, iterations=10),
+        )
+
+    def test_task_lookup(self):
+        hat = self.make()
+        assert hat.task("a").flop_per_unit == 2.0
+        with pytest.raises(KeyError):
+            hat.task("zzz")
+
+    def test_total_flop(self):
+        assert self.make().total_flop == pytest.approx(500.0)
+
+    def test_duplicate_task_names_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousApplicationTemplate(
+                name="x", paradigm="pipeline",
+                tasks=(TaskCharacteristics("a", 1.0), TaskCharacteristics("a", 1.0)),
+                communication=CommunicationCharacteristics(),
+                structure=StructureInfo(total_units=1.0),
+            )
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousApplicationTemplate(
+                name="x", paradigm="pipeline", tasks=(),
+                communication=CommunicationCharacteristics(),
+                structure=StructureInfo(total_units=1.0),
+            )
+
+    def test_bad_paradigm_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousApplicationTemplate(
+                name="x", paradigm="quantum",
+                tasks=(TaskCharacteristics("a", 1.0),),
+                communication=CommunicationCharacteristics(),
+                structure=StructureInfo(total_units=1.0),
+            )
+
+
+class TestUserSpecification:
+    def test_default_permits_everything(self):
+        us = UserSpecification()
+        assert us.permits(_machine())
+
+    def test_exclusion_wins(self):
+        us = UserSpecification(
+            accessible_machines=frozenset({"m"}), excluded_machines=frozenset({"m"})
+        )
+        assert not us.permits(_machine("m"))
+
+    def test_accessibility_filter(self):
+        us = UserSpecification(accessible_machines=frozenset({"other"}))
+        assert not us.permits(_machine("m"))
+
+    def test_capability_requirement(self):
+        us = UserSpecification(required_capabilities=frozenset({"corba-orb"}))
+        assert not us.permits(_machine(caps=()))
+        assert us.permits(_machine(caps=("corba-orb", "pvm")))
+
+    def test_site_preference_rank(self):
+        us = UserSpecification(preferred_sites=("SDSC", "PCL"))
+        assert us.site_preference_rank("SDSC") == 0
+        assert us.site_preference_rank("PCL") == 1
+        assert us.site_preference_rank("elsewhere") == 2
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError):
+            UserSpecification(performance_metric="throughput")
+
+    def test_bad_max_machines(self):
+        with pytest.raises(ValueError):
+            UserSpecification(max_machines=0)

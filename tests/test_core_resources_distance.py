@@ -1,0 +1,97 @@
+"""Tests for the resource pool and the logical-distance metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distance import logical_distance, rank_by_distance, set_diameter
+from repro.core.resources import ResourcePool
+
+
+class TestResourcePool:
+    def test_machine_names(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert set(pool.machine_names()) == set(testbed.host_names)
+
+    def test_machine_info_fields(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        info = pool.machine_info("alpha1")
+        assert info.site == "SDSC"
+        assert info.arch == "alpha"
+        assert info.speed_mflops == 45.0
+        assert "corba-orb" in info.capabilities
+
+    def test_nominal_predictions_without_nws(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert pool.predicted_speed("alpha1") == 45.0
+        assert pool.predicted_availability("alpha1") == 1.0
+
+    def test_dynamic_predictions_with_nws(self, testbed, warmed_nws):
+        pool = ResourcePool(testbed.topology, warmed_nws)
+        # Non-dedicated hosts deliver strictly less than nominal.
+        assert pool.predicted_speed("rs6000a") < 30.0
+        assert 0.0 < pool.predicted_availability("rs6000a") < 1.0
+
+    def test_predicted_bandwidth_self_infinite(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert pool.predicted_bandwidth("alpha1", "alpha1") == float("inf")
+
+    def test_predicted_transfer_nominal_vs_dynamic(self, testbed, warmed_nws):
+        nominal = ResourcePool(testbed.topology)
+        dynamic = ResourcePool(testbed.topology, warmed_nws)
+        n_t = nominal.predicted_transfer_time("sparc2", "alpha1", 1e6)
+        d_t = dynamic.predicted_transfer_time("sparc2", "alpha1", 1e6)
+        # The WAN is contended (mean availability ~0.5), so the dynamic
+        # prediction must be slower than nominal.
+        assert d_t > n_t
+
+    def test_unknown_machine_raises(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        with pytest.raises(KeyError):
+            pool.machine_info("nope")
+
+
+class TestLogicalDistance:
+    def test_zero_coupling_flat_world(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert logical_distance(pool, "sparc2", "alpha1", 0.0) == 0.0
+
+    def test_self_distance_zero(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        assert logical_distance(pool, "alpha1", "alpha1", 1e9) == 0.0
+
+    def test_coupled_app_sees_network(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        near = logical_distance(pool, "alpha1", "alpha2", 32_000)
+        far = logical_distance(pool, "alpha1", "sparc2", 32_000)
+        assert far > near
+
+    def test_distance_scales_with_coupling(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        light = logical_distance(pool, "alpha1", "sparc2", 1_000)
+        heavy = logical_distance(pool, "alpha1", "sparc2", 1_000_000)
+        assert heavy > light
+
+    def test_negative_coupling_rejected(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        with pytest.raises(ValueError):
+            logical_distance(pool, "alpha1", "alpha2", -1.0)
+
+    def test_rank_by_distance(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        ranked = rank_by_distance(
+            pool, "alpha1", ["sparc2", "alpha2", "rs6000a"], 32_000
+        )
+        assert ranked[0] == "alpha2"  # same FDDI ring
+
+    def test_rank_stable_when_uncoupled(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        cands = ["sparc2", "alpha2", "rs6000a"]
+        assert rank_by_distance(pool, "alpha1", cands, 0.0) == cands
+
+    def test_set_diameter(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        tight = set_diameter(pool, ["alpha1", "alpha2", "alpha3"], 32_000)
+        loose = set_diameter(pool, ["alpha1", "sparc2"], 32_000)
+        assert loose > tight
+        assert set_diameter(pool, ["alpha1"], 32_000) == 0.0

@@ -1,0 +1,143 @@
+"""Tests for the schedule data model and performance estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import (
+    CostEstimator,
+    ExecutionTimeEstimator,
+    SpeedupEstimator,
+    make_estimator,
+)
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.core.schedule import Allocation, Schedule
+from repro.core.userspec import UserSpecification
+
+
+def _schedule(predicted=10.0, machines=("a", "b")):
+    return Schedule(
+        allocations=[Allocation(machine=m, task="t", work_units=1.0) for m in machines],
+        predicted_time=predicted,
+    )
+
+
+def _info(testbed, userspec=None):
+    hat = HeterogeneousApplicationTemplate(
+        name="x", paradigm="data-parallel",
+        tasks=(TaskCharacteristics("t", 1.0),),
+        communication=CommunicationCharacteristics(),
+        structure=StructureInfo(total_units=1.0),
+    )
+    return InformationPool(
+        pool=ResourcePool(testbed.topology), hat=hat,
+        userspec=userspec or UserSpecification(),
+    )
+
+
+class TestSchedule:
+    def test_resource_set_dedup_ordered(self):
+        s = Schedule(
+            allocations=[
+                Allocation("m1", "a", 1.0),
+                Allocation("m2", "a", 1.0),
+                Allocation("m1", "b", 1.0),
+            ],
+            predicted_time=1.0,
+        )
+        assert s.resource_set == ("m1", "m2")
+
+    def test_duplicate_machine_task_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(
+                allocations=[Allocation("m", "a", 1.0), Allocation("m", "a", 2.0)],
+                predicted_time=1.0,
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(allocations=[], predicted_time=1.0)
+
+    def test_total_work(self):
+        s = _schedule()
+        assert s.total_work_units == 2.0
+
+    def test_allocation_lookup(self):
+        s = _schedule()
+        assert s.allocation_for("a").machine == "a"
+        with pytest.raises(KeyError):
+            s.allocation_for("zzz")
+
+    def test_describe_mentions_machines(self):
+        text = _schedule().describe()
+        assert "a" in text and "b" in text
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation("m", "t", -1.0)
+
+
+class TestEstimators:
+    def test_execution_time(self, testbed):
+        est = ExecutionTimeEstimator()
+        info = _info(testbed)
+        assert est.objective(_schedule(12.0), info) == 12.0
+        assert est.metric_value(_schedule(12.0), info) == 12.0
+
+    def test_speedup(self, testbed):
+        est = SpeedupEstimator(baseline=100.0)
+        info = _info(testbed)
+        s = _schedule(predicted=25.0)
+        assert est.metric_value(s, info) == pytest.approx(4.0)
+        # Lower objective = better: faster schedule wins.
+        assert est.objective(_schedule(10.0), info) < est.objective(_schedule(20.0), info)
+
+    def test_speedup_callable_baseline(self, testbed):
+        est = SpeedupEstimator(baseline=lambda info: 50.0)
+        assert est.metric_value(_schedule(25.0), _info(testbed)) == pytest.approx(2.0)
+
+    def test_speedup_bad_baseline(self, testbed):
+        est = SpeedupEstimator(baseline=0.0)
+        with pytest.raises(ValueError):
+            est.objective(_schedule(), _info(testbed))
+
+    def test_cost(self, testbed):
+        us = UserSpecification(
+            performance_metric="cost",
+            cost_per_cpu_second={"a": 2.0, "b": 1.0},
+        )
+        est = CostEstimator()
+        info = _info(testbed, us)
+        # 10 s on machines costing 3.0/s total.
+        assert est.metric_value(_schedule(10.0), info) == pytest.approx(30.0)
+
+    def test_cost_prefers_cheap_machines(self, testbed):
+        us = UserSpecification(
+            performance_metric="cost",
+            cost_per_cpu_second={"expensive": 10.0, "cheap": 0.1},
+        )
+        info = _info(testbed, us)
+        est = CostEstimator()
+        fast_pricey = _schedule(predicted=5.0, machines=("expensive",))
+        slow_cheap = _schedule(predicted=20.0, machines=("cheap",))
+        assert est.objective(slow_cheap, info) < est.objective(fast_pricey, info)
+
+    def test_factory(self):
+        assert isinstance(make_estimator("execution_time"), ExecutionTimeEstimator)
+        assert isinstance(make_estimator("speedup", baseline=1.0), SpeedupEstimator)
+        assert isinstance(make_estimator("cost"), CostEstimator)
+
+    def test_factory_speedup_needs_baseline(self):
+        with pytest.raises(ValueError):
+            make_estimator("speedup")
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_estimator("karma")

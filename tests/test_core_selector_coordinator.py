@@ -1,0 +1,153 @@
+"""Tests for the Resource Selector and the Coordinator blueprint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actuator import RecordingActuator
+from repro.core.coordinator import AppLeSAgent
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.core.infopool import InformationPool
+from repro.core.planner import TimeBalancedPlanner
+from repro.core.resources import ResourcePool
+from repro.core.selector import ResourceSelector
+from repro.core.userspec import UserSpecification
+
+
+def make_info(testbed, userspec=None, nws=None, arch_limited=None):
+    implementations = {arch_limited: 1.0} if arch_limited else {}
+    hat = HeterogeneousApplicationTemplate(
+        name="toy", paradigm="data-parallel",
+        tasks=(TaskCharacteristics("work", flop_per_unit=1e-3,
+                                   implementations=implementations),),
+        communication=CommunicationCharacteristics(
+            pattern="stencil", bytes_per_border_unit=8.0
+        ),
+        structure=StructureInfo(total_units=1e6, iterations=1),
+    )
+    return InformationPool(
+        pool=ResourcePool(testbed.topology, nws),
+        hat=hat,
+        userspec=userspec or UserSpecification(),
+    )
+
+
+class TestFeasibleMachines:
+    def test_all_feasible_by_default(self, testbed):
+        sel = ResourceSelector()
+        assert set(sel.feasible_machines(make_info(testbed))) == set(testbed.host_names)
+
+    def test_userspec_filters(self, testbed):
+        us = UserSpecification(excluded_machines=frozenset({"sparc2", "sparc10"}))
+        sel = ResourceSelector()
+        feas = sel.feasible_machines(make_info(testbed, us))
+        assert "sparc2" not in feas and "sparc10" not in feas
+
+    def test_capability_filter(self, testbed):
+        us = UserSpecification(required_capabilities=frozenset({"corba-orb"}))
+        feas = ResourceSelector().feasible_machines(make_info(testbed, us))
+        # Only the alphas carry a CORBA ORB in the Figure 2 testbed.
+        assert set(feas) == {"alpha1", "alpha2", "alpha3", "alpha4"}
+
+    def test_architecture_filter(self, testbed):
+        feas = ResourceSelector().feasible_machines(
+            make_info(testbed, arch_limited="rs6000")
+        )
+        assert set(feas) == {"rs6000a", "rs6000b"}
+
+
+class TestCandidateSets:
+    def test_exhaustive_counts(self, testbed):
+        sets = ResourceSelector().candidate_sets(make_info(testbed))
+        assert len(sets) == 2**8 - 1
+
+    def test_max_machines_respected(self, testbed):
+        us = UserSpecification(max_machines=2)
+        sets = ResourceSelector().candidate_sets(make_info(testbed, us))
+        assert all(len(s) <= 2 for s in sets)
+        assert len(sets) == 8 + 28
+
+    def test_max_sets_cap(self, testbed):
+        sel = ResourceSelector(max_sets=10)
+        assert len(sel.candidate_sets(make_info(testbed))) == 10
+
+    def test_greedy_mode_for_big_pools(self, nile_bed):
+        sel = ResourceSelector(exhaustive_limit=4)
+        sets = sel.candidate_sets(make_info(nile_bed))
+        # Greedy ladder: far fewer than 2^12 sets, but non-empty and unique.
+        assert 0 < len(sets) < 2**12
+        assert len(set(sets)) == len(sets)
+
+    def test_empty_when_filtered_out(self, testbed):
+        us = UserSpecification(accessible_machines=frozenset())
+        assert ResourceSelector().candidate_sets(make_info(testbed, us)) == []
+
+    def test_coupled_app_prioritises_tight_sets(self, testbed):
+        sets = ResourceSelector().candidate_sets(make_info(testbed))
+        # With stencil coupling, the first multi-machine candidate sharing a
+        # segment should appear before any cross-site pair.
+        first_pair = next(s for s in sets if len(s) == 2)
+        sites = {testbed.topology.host(m).site for m in first_pair}
+        assert len(sites) == 1
+
+
+class TestCoordinator:
+    def test_schedule_picks_minimum_objective(self, testbed):
+        info = make_info(testbed)
+        agent = AppLeSAgent(info, planner=TimeBalancedPlanner())
+        decision = agent.schedule()
+        finite = [e for e in decision.evaluations if e.feasible]
+        assert decision.best_objective == min(e.objective for e in finite)
+        assert decision.candidates_considered == 255
+
+    def test_run_actuates_best(self, testbed):
+        info = make_info(testbed)
+        actuator = RecordingActuator()
+        agent = AppLeSAgent(info, planner=TimeBalancedPlanner(), actuator=actuator)
+        decision, result = agent.run(t0=5.0)
+        assert actuator.last_schedule is decision.best
+        assert actuator.actuated[0][0] == 5.0
+
+    def test_no_candidates_raises(self, testbed):
+        us = UserSpecification(accessible_machines=frozenset())
+        info = make_info(testbed, us)
+        agent = AppLeSAgent(info, planner=TimeBalancedPlanner())
+        with pytest.raises(RuntimeError, match="no candidate sets"):
+            agent.schedule()
+
+    def test_infeasible_planner_raises(self, testbed):
+        class NonePlanner:
+            def plan(self, rset, info):
+                return None
+
+        info = make_info(testbed)
+        agent = AppLeSAgent(info, planner=NonePlanner())
+        with pytest.raises(RuntimeError, match="no feasible schedule"):
+            agent.schedule()
+
+    def test_metric_threaded_from_userspec(self, testbed):
+        us = UserSpecification(performance_metric="execution_time")
+        info = make_info(testbed, us)
+        agent = AppLeSAgent(info, planner=TimeBalancedPlanner())
+        assert agent.schedule().metric == "execution_time"
+
+    def test_dynamic_information_changes_choice(self, testbed, warmed_nws):
+        nominal = AppLeSAgent(make_info(testbed), planner=TimeBalancedPlanner())
+        dynamic = AppLeSAgent(
+            make_info(testbed, nws=warmed_nws), planner=TimeBalancedPlanner()
+        )
+        nom_best = nominal.schedule().best
+        dyn_best = dynamic.schedule().best
+        # The loaded rs6000a gets a smaller share once the NWS reports load.
+        def share(schedule, machine):
+            try:
+                return schedule.allocation_for(machine).work_units
+            except KeyError:
+                return 0.0
+
+        assert share(dyn_best, "rs6000a") < share(nom_best, "rs6000a")

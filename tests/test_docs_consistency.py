@@ -1,0 +1,80 @@
+"""Documentation consistency: the docs must reference real artifacts.
+
+DESIGN.md's experiment index, README's benchmark table and EXPERIMENTS.md
+all name bench targets; these tests keep them honest against the actual
+files, and verify every benchmark file is documented somewhere.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+BENCH_DIR = ROOT / "benchmarks"
+
+
+def _bench_names_on_disk() -> set[str]:
+    return {p.stem for p in BENCH_DIR.glob("bench_*.py")}
+
+
+def _referenced_benches(text: str) -> set[str]:
+    names = set(re.findall(r"bench_[a-z0-9_]+", text))
+    return names - {"bench_output"}  # the captured-output file, not a bench
+
+
+class TestDocsReferenceRealBenches:
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_no_phantom_bench_references(self, doc):
+        text = (ROOT / doc).read_text()
+        on_disk = _bench_names_on_disk()
+        for name in _referenced_benches(text):
+            # Strip trailing artifacts of markdown (e.g. bench_x.py).
+            stem = name.removesuffix("_py")
+            assert stem in on_disk, f"{doc} references missing {name}"
+
+    def test_every_bench_documented_in_readme(self):
+        text = (ROOT / "README.md").read_text()
+        documented = _referenced_benches(text)
+        for stem in _bench_names_on_disk():
+            assert stem in documented, f"{stem} missing from README benchmark table"
+
+    def test_every_bench_in_design_index(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        documented = _referenced_benches(text)
+        for stem in _bench_names_on_disk():
+            assert stem in documented, f"{stem} missing from DESIGN.md"
+
+
+class TestExamplesListedInReadme:
+    def test_every_example_listed(self):
+        text = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in text, f"{example.name} missing from README"
+
+
+class TestModulesReferencedExist:
+    @pytest.mark.parametrize("doc", ["DESIGN.md", "docs/PAPER_MAP.md"])
+    def test_repro_module_paths_resolve(self, doc):
+        import importlib
+
+        text = (ROOT / doc).read_text()
+        modules = set(re.findall(r"`(repro(?:\.[a-z_0-9]+)+)`", text))
+        assert modules, f"no module references found in {doc}?"
+        for dotted in sorted(modules):
+            parts = dotted.split(".")
+            # Try importing the longest importable prefix; the tail may be
+            # an attribute (class/function).
+            for cut in range(len(parts), 0, -1):
+                try:
+                    mod = importlib.import_module(".".join(parts[:cut]))
+                    break
+                except ImportError:
+                    continue
+            else:
+                pytest.fail(f"{doc}: cannot import any prefix of {dotted}")
+            for attr in parts[cut:]:
+                assert hasattr(mod, attr), f"{doc}: {dotted} has no {attr}"
+                mod = getattr(mod, attr)

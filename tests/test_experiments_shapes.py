@@ -1,0 +1,193 @@
+"""Integration tests: the paper's experiment shapes at reduced scale.
+
+These are the headline checks — each experiment driver is run with small
+iteration counts / few sizes and the *qualitative* result the paper
+reports is asserted.  The benchmarks run the same drivers at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_fig34,
+    run_information_ablation,
+    run_nile_skim,
+    run_nws_comparison,
+    run_react,
+    run_selection_ablation,
+)
+from repro.react.tasks import ReactProblem
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(sizes=(1000, 2000), iterations=30, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(sizes=(2000, 3600, 4200), iterations=10)
+
+
+@pytest.fixture(scope="module")
+def react():
+    return run_react(ReactProblem())
+
+
+class TestFig34Shape:
+    def test_apples_differs_from_static(self):
+        r = run_fig34(n=1000, iterations=50)
+        assert r.apples_rows != r.static_rows
+        # The paper's contrast: the static partition loads every machine;
+        # AppLeS concentrates on the machines that actually deliver.
+        assert len(r.apples_rows) < len(r.static_rows)
+
+    def test_both_partitions_cover_grid(self):
+        r = run_fig34(n=1000, iterations=50)
+        assert sum(r.apples_rows.values()) == 1000
+        assert sum(r.static_rows.values()) == 1000
+
+    def test_static_rows_track_nominal_speed(self):
+        r = run_fig34(n=1000, iterations=50)
+        # 45-MFLOP/s alphas must get more rows than the 8-MFLOP/s Sparc-2.
+        assert r.static_rows["alpha1"] > r.static_rows["sparc2"]
+
+    def test_tables_render(self):
+        r = run_fig34(n=1000, iterations=50)
+        assert "Fig3" in r.table().render()
+        assert "partition" in r.ascii_partition("apples")
+
+
+class TestFig5Shape:
+    def test_apples_wins_everywhere(self, fig5):
+        for row in fig5.rows:
+            assert row.apples_s < row.strip_s, f"n={row.n}"
+            assert row.apples_s < row.blocked_s, f"n={row.n}"
+
+    def test_ratio_band(self, fig5):
+        lo, hi = fig5.ratio_range
+        # Paper: "factors of 2-8"; allow slack for the simulated testbed.
+        assert lo > 1.5
+        assert hi < 12.0
+
+    def test_times_grow_with_problem_size(self, fig5):
+        times = [r.apples_s for r in fig5.rows]
+        assert times == sorted(times)
+
+    def test_table_renders(self, fig5):
+        assert "Figure 5" in fig5.table().render()
+
+
+class TestFig6Shape:
+    def test_apples_on_sp2_below_crossover(self, fig6):
+        below = [r for r in fig6.rows if r.n < 3700]
+        assert below
+        for row in below:
+            assert row.apples_uses_only_sp2, f"n={row.n}"
+            assert row.apples_s == pytest.approx(row.blocked_sp2_s, rel=0.15)
+
+    def test_blocked_collapses_above_crossover(self, fig6):
+        above = [r for r in fig6.rows if r.n > 3700]
+        assert above
+        for row in above:
+            assert row.blocked_spills
+            assert row.blocked_sp2_s > 2.0 * row.apples_s, f"n={row.n}"
+
+    def test_apples_trajectory_smooth(self, fig6):
+        # AppLeS time must grow roughly with area — no order-of-magnitude
+        # jump at the memory boundary.
+        rows = sorted(fig6.rows, key=lambda r: r.n)
+        for a, b in zip(rows, rows[1:]):
+            area_ratio = (b.n / a.n) ** 2
+            assert b.apples_s / a.apples_s < 3.0 * area_ratio
+
+    def test_apples_expands_pool_above_crossover(self, fig6):
+        above = [r for r in fig6.rows if r.n > 3700]
+        for row in above:
+            assert not row.apples_uses_only_sp2
+            assert len(row.apples_machines) > 2
+
+
+class TestReactShape:
+    def test_paper_timings(self, react):
+        assert react.c90_alone_s >= 16 * 3600
+        assert react.paragon_alone_s >= 16 * 3600
+        assert react.distributed_s < 5 * 3600
+
+    def test_speedup_over_three(self, react):
+        assert react.speedup > 3.0
+
+    def test_pipeline_size_interior(self, react):
+        assert 5 <= react.chosen_pipeline_size <= 20
+        assert react.sweep_is_convexish
+
+    def test_placement(self, react):
+        assert react.chosen_lhsf_host == "c90"
+        assert react.chosen_logd_host == "paragon"
+
+    def test_prediction_close_to_simulation(self, react):
+        assert react.predicted_s == pytest.approx(react.distributed_s, rel=0.15)
+
+    def test_tables_render(self, react):
+        assert "REACT-T1" in react.timing_table().render()
+        assert "REACT-T2" in react.sweep_table().render()
+
+
+class TestNileShape:
+    @pytest.fixture(scope="class")
+    def skim(self):
+        return run_nile_skim(nevents=200_000, runs=(1, 5, 50))
+
+    def test_decisions_monotone(self, skim):
+        assert skim.decisions_monotone_in_runs
+
+    def test_many_runs_favour_skim(self, skim):
+        d = skim.decision_for(0.2, 50)
+        assert d.skim
+
+    def test_local_cheaper_than_remote(self, skim):
+        for _, _, d in skim.decisions:
+            assert d.local_run_s < d.remote_run_s
+
+    def test_table_renders(self, skim):
+        assert "NILE-T1" in skim.table().render()
+
+
+class TestNwsAblation:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_nws_comparison(nsamples=400)
+
+    def test_no_universal_winner(self, comparison):
+        # The motivation for the ensemble: different processes have
+        # different best predictors.
+        winners = {comparison.best_for(p) for p in comparison.mse}
+        assert len(winners) >= 2
+
+    def test_ensemble_near_best_everywhere(self, comparison):
+        for process in comparison.mse:
+            assert comparison.ensemble_regret(process) < 1.6, process
+
+    def test_table_renders(self, comparison):
+        assert "NWS-A1" in comparison.table().render()
+
+
+class TestInformationAblation:
+    def test_dynamic_information_helps(self):
+        r = run_information_ablation(n=1200, iterations=30)
+        assert r.nws_s < r.nominal_s
+        # NWS should recover most of the oracle's advantage.
+        assert r.nws_s < 2.0 * r.oracle_s
+        assert "ABL-A2" in r.table().render()
+
+
+class TestSelectionAblation:
+    def test_subset_beats_everything_and_single(self):
+        r = run_selection_ablation(n=1200, iterations=30)
+        assert r.apples_s <= r.all_machines_s * 1.05
+        assert r.apples_s < r.best_single_s
+        assert 1 <= r.apples_machines < 8
+        assert "ABL-A3" in r.table().render()

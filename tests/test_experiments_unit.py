@@ -1,0 +1,115 @@
+"""Unit tests for the experiment drivers' data types (no full runs)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.fig5 import Fig5Result, Fig5Row
+from repro.experiments.fig6 import Fig6Result, Fig6Row
+from repro.experiments.nile_exp import NileSkimResult
+from repro.experiments.nws_exp import NwsForecastResult, standard_processes
+from repro.nile.site_manager import SkimDecision
+
+
+class TestFig5Row:
+    def test_ratios(self):
+        row = Fig5Row(n=1000, apples_s=2.0, strip_s=8.0, blocked_s=10.0)
+        assert row.strip_ratio == 4.0
+        assert row.blocked_ratio == 5.0
+
+    def test_result_ratio_range(self):
+        result = Fig5Result(rows=[
+            Fig5Row(1000, 2.0, 8.0, 10.0),
+            Fig5Row(2000, 4.0, 8.0, 12.0),
+        ], iterations=10, repeats=1)
+        assert result.ratio_range == (2.0, 5.0)
+
+    def test_table_columns(self):
+        result = Fig5Result(rows=[Fig5Row(1000, 2.0, 8.0, 10.0)],
+                            iterations=10, repeats=1)
+        table = result.table()
+        assert table.column("n") == [1000]
+        assert "Figure 5" in table.title
+
+
+class TestFig6Row:
+    def test_sp2_only_detection(self):
+        row = Fig6Row(n=2000, apples_s=1.0, blocked_sp2_s=1.0,
+                      apples_machines=("sp2-1", "sp2-2"), blocked_spills=False)
+        assert row.apples_uses_only_sp2
+        row2 = Fig6Row(n=4000, apples_s=1.0, blocked_sp2_s=9.0,
+                       apples_machines=("sp2-1", "alpha1"), blocked_spills=True)
+        assert not row2.apples_uses_only_sp2
+
+    def test_table_render(self):
+        result = Fig6Result(rows=[
+            Fig6Row(2000, 1.0, 1.0, ("sp2-1", "sp2-2"), False),
+        ], crossover_n=3700, iterations=30)
+        text = result.table().render()
+        assert "sp2 only" in text
+
+
+class TestNileSkimResult:
+    def make(self, rows):
+        result = NileSkimResult(nevents=1000)
+        for frac, runs, skim, crossover in rows:
+            result.decisions.append((frac, runs, SkimDecision(
+                skim=skim, skim_cost_s=10.0, remote_run_s=5.0, local_run_s=1.0,
+                crossover_runs=crossover, expected_runs=runs,
+            )))
+        return result
+
+    def test_monotone_true(self):
+        result = self.make([(0.2, 1, False, 2.5), (0.2, 5, True, 2.5)])
+        assert result.decisions_monotone_in_runs
+
+    def test_monotone_violation_detected(self):
+        result = self.make([(0.2, 1, True, 2.5), (0.2, 5, False, 2.5)])
+        assert not result.decisions_monotone_in_runs
+
+    def test_decision_lookup(self):
+        result = self.make([(0.2, 1, False, 2.5)])
+        assert result.decision_for(0.2, 1).crossover_runs == 2.5
+        with pytest.raises(KeyError):
+            result.decision_for(0.9, 1)
+
+
+class TestNwsForecastResult:
+    def make(self):
+        result = NwsForecastResult(nsamples=100)
+        result.mse = {
+            "ar1": {"last": 0.01, "run_mean": 0.02, "ensemble": 0.011},
+            "spike": {"last": 0.05, "run_mean": 0.02, "ensemble": 0.03},
+        }
+        return result
+
+    def test_best_for_ignores_ensemble(self):
+        result = self.make()
+        assert result.best_for("ar1") == "last"
+        assert result.best_for("spike") == "run_mean"
+
+    def test_regret(self):
+        result = self.make()
+        assert result.ensemble_regret("ar1") == pytest.approx(1.1)
+        assert result.ensemble_regret("spike") == pytest.approx(1.5)
+
+    def test_table_render(self):
+        assert "NWS-A1" in self.make().table().render()
+
+    def test_standard_processes_cover_families(self):
+        procs = standard_processes(seed=1)
+        assert set(procs) == {"ar1", "markov", "spike"}
+        for p in procs.values():
+            xs = p.sample(50)
+            assert all(0.0 <= x <= 1.0 for x in xs)
+
+
+class TestSkimDecisionShape:
+    def test_infinite_crossover_representable(self):
+        d = SkimDecision(skim=False, skim_cost_s=10.0, remote_run_s=1.0,
+                         local_run_s=2.0, crossover_runs=math.inf,
+                         expected_runs=5)
+        assert not d.skim
+        assert math.isinf(d.crossover_runs)

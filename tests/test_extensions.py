@@ -1,0 +1,186 @@
+"""Tests for the extensions: adaptive rescheduling, the dual Log-D phase,
+and the NILE execution runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.adaptive_exp import regime_change_testbed, run_adaptive_ablation
+from repro.jacobi.adaptive import AdaptiveJacobiRunner, migration_cost_s
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.partition import nonuniform_strip, uniform_strip
+from repro.core.resources import ResourcePool
+from repro.nile.analysis import CullAnalysis, HistogramAnalysis
+from repro.nile.apples import make_nile_agent
+from repro.nile.events import PASS2, EventBatch
+from repro.nile.runtime import execute_analysis
+from repro.nile.storage import TAPE, StoredDataset
+from repro.nws.service import NetworkWeatherService
+from repro.react.dual_phase import compare_versions, simulate_dual_phase
+from repro.react.pipeline import simulate_pipeline
+from repro.react.tasks import ReactProblem
+
+
+class TestMigrationCost:
+    def test_no_change_no_cost(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        part = uniform_strip(100, ["alpha1", "alpha2"])
+        assert migration_cost_s(pool, part, part, 16.0) == 0.0
+
+    def test_shifted_work_costs(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        old = nonuniform_strip(100, ["alpha1", "alpha2"], [3.0, 1.0])
+        new = nonuniform_strip(100, ["alpha1", "alpha2"], [1.0, 3.0])
+        assert migration_cost_s(pool, old, new, 16.0) > 0.0
+
+    def test_cost_scales_with_bytes(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        old = nonuniform_strip(100, ["alpha1", "alpha2"], [3.0, 1.0])
+        new = nonuniform_strip(100, ["alpha1", "alpha2"], [1.0, 3.0])
+        small = migration_cost_s(pool, old, new, 8.0)
+        big = migration_cost_s(pool, old, new, 16.0)
+        assert big > small
+
+    def test_machine_swap_costs(self, testbed):
+        pool = ResourcePool(testbed.topology)
+        old = uniform_strip(100, ["alpha1", "alpha2"])
+        new = uniform_strip(100, ["alpha3", "alpha4"])
+        assert migration_cost_s(pool, old, new, 16.0) > 0.0
+
+
+class TestRegimeChangeTestbed:
+    def test_flip_is_deterministic(self):
+        tb = regime_change_testbed(flip_at_s=100.0, dt=5.0)
+        host = tb.topology.host("groupA0")
+        assert host.availability(50.0) == 0.95
+        assert host.availability(150.0) == 0.25
+        host_b = tb.topology.host("groupB0")
+        assert host_b.availability(50.0) == 0.25
+        assert host_b.availability(150.0) == 0.95
+
+    def test_flip_outside_trace_rejected(self):
+        with pytest.raises(ValueError):
+            regime_change_testbed(flip_at_s=0.0)
+
+
+class TestAdaptiveRunner:
+    def test_no_reschedule_under_stable_load(self, testbed):
+        # Dedicated-ish window: with no regime change and a modest check
+        # interval, migrations should be rare-to-none and never hurt much.
+        nws = NetworkWeatherService.for_testbed(testbed, seed=5)
+        nws.warmup(300.0)
+        problem = JacobiProblem(n=600, iterations=40)
+        runner = AdaptiveJacobiRunner(testbed, problem, nws, check_every=20)
+        result = runner.run(t0=300.0)
+        assert result.iterations == 40
+        assert result.chunks == 2
+        assert result.total_time > 0
+
+    def test_reschedules_on_regime_change(self):
+        result = run_adaptive_ablation(n=1000, iterations=300, flip_at_s=128.0)
+        assert result.reschedules >= 1
+        assert result.adaptive_s < result.oneshot_s
+
+    def test_validation(self, testbed):
+        nws = NetworkWeatherService.for_testbed(testbed)
+        with pytest.raises(ValueError):
+            AdaptiveJacobiRunner(testbed, JacobiProblem(n=100), nws, check_every=0)
+        with pytest.raises(ValueError):
+            AdaptiveJacobiRunner(
+                testbed, JacobiProblem(n=100), nws, min_gain_fraction=1.0
+            )
+
+
+class TestDualPhase:
+    def test_extra_phase_has_no_comm_and_balances(self, casa):
+        r = simulate_dual_phase(
+            casa.topology, ReactProblem(), "c90", "paragon", 10, 1
+        )
+        assert r.lhsf_share + r.logd_share == pytest.approx(1.0)
+        # The Paragon's Log-D is the faster implementation; it takes more.
+        assert r.logd_share > r.lhsf_share
+        assert r.total_s == pytest.approx(r.pipeline_s + r.extra_phase_s)
+
+    def test_dual_phase_beats_repeated_pipeline(self, casa):
+        problem = ReactProblem()
+        repeated = simulate_pipeline(
+            casa.topology,
+            ReactProblem(**{**problem.__dict__, "passes": 2}),
+            "c90", "paragon", 10,
+        ).makespan_s
+        dual = simulate_dual_phase(
+            casa.topology, problem, "c90", "paragon", 10, 1
+        ).total_s
+        assert dual < repeated
+
+    def test_extra_phase_faster_than_single_machine_logd(self, casa):
+        # Concurrent propagation on both machines beats either alone.
+        problem = ReactProblem()
+        r = simulate_dual_phase(casa.topology, problem, "c90", "paragon", 10, 1)
+        paragon_alone = problem.total_logd_mflop / (3200.0 * 0.77)
+        assert r.extra_phase_s < paragon_alone
+
+    def test_compare_table(self, casa):
+        table = compare_versions(casa.topology, ReactProblem(), "c90", "paragon", 10)
+        text = table.render()
+        assert "REACT-T3" in text
+        assert "no comm" in text
+
+    def test_bad_passes_rejected(self, casa):
+        with pytest.raises(ValueError):
+            simulate_dual_phase(
+                casa.topology, ReactProblem(), "c90", "paragon", 10, 0
+            )
+
+
+class TestNileRuntime:
+    @pytest.fixture(scope="class")
+    def setup(self, nile_bed):
+        events = EventBatch(60_000, PASS2, seed=9)
+        dataset = StoredDataset("d", events, TAPE, host="site0-alpha0")
+        program = HistogramAnalysis()
+        agent = make_nile_agent(nile_bed, dataset, program)
+        schedule = agent.schedule().best
+        return nile_bed, dataset, program, schedule
+
+    def test_distributed_result_identical(self, setup):
+        nile_bed, dataset, program, schedule = setup
+        run = execute_analysis(nile_bed.topology, schedule, dataset, program)
+        whole = program.run(dataset.events)
+        assert np.array_equal(run.result.counts, whole.counts)
+
+    def test_shares_cover_dataset(self, setup):
+        nile_bed, dataset, program, schedule = setup
+        run = execute_analysis(nile_bed.topology, schedule, dataset, program)
+        assert sum(run.shares.values()) == dataset.nevents
+
+    def test_elapsed_includes_tape_access(self, setup):
+        nile_bed, dataset, program, schedule = setup
+        run = execute_analysis(nile_bed.topology, schedule, dataset, program)
+        assert run.elapsed_s > dataset.read_time()
+        assert run.elapsed_s == pytest.approx(
+            dataset.read_time() + max(run.host_times.values())
+        )
+
+    def test_cull_indices_global(self, nile_bed):
+        events = EventBatch(30_000, PASS2, seed=10)
+        dataset = StoredDataset("d2", events, TAPE, host="site0-alpha0")
+        program = CullAnalysis()
+        agent = make_nile_agent(nile_bed, dataset, program)
+        schedule = agent.schedule().best
+        run = execute_analysis(nile_bed.topology, schedule, dataset, program)
+        assert np.array_equal(run.result, program.run(events))
+
+    def test_remote_hosts_pay_transfer(self, setup):
+        nile_bed, dataset, program, schedule = setup
+        run = execute_analysis(nile_bed.topology, schedule, dataset, program)
+        # Any host not at the data site must spend longer per event than
+        # the data host (it pays shipping).
+        data_host_rate = run.host_times[dataset.host] / run.shares[dataset.host]
+        remote = [
+            h for h in run.shares if not h.startswith("site0-") and h in run.host_times
+        ]
+        assert remote, "expected remote participation"
+        for h in remote:
+            assert run.host_times[h] / run.shares[h] > data_host_rate

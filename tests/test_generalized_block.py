@@ -1,0 +1,107 @@
+"""Tests for the generalised block distribution and its planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinator import AppLeSAgent
+from repro.jacobi.apples import ApplesBlockedPlanner, make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.partition import generalized_block_partition
+from repro.jacobi.runtime import execute_block_partition, simulated_execution
+from repro.jacobi.solver import jacobi_reference, make_test_grid
+
+
+class TestGeneralizedBlockPartition:
+    def test_covers_grid(self):
+        part = generalized_block_partition(
+            100, [f"m{i}" for i in range(6)], [6, 5, 4, 3, 2, 1]
+        )
+        assert sum(b.area for b in part.blocks) == 100 * 100
+
+    def test_faster_machines_get_bigger_tiles(self):
+        part = generalized_block_partition(
+            120, ["fast", "slow"], [10.0, 1.0]
+        )
+        areas = {b.machine: b.area for b in part.blocks}
+        assert areas["fast"] > areas["slow"]
+
+    def test_columns_aligned(self):
+        part = generalized_block_partition(
+            90, [f"m{i}" for i in range(4)], [4, 3, 2, 1]
+        )
+        # All rows must share the same column boundaries (2x2 grid).
+        starts_by_row = {}
+        for i in range(part.pr):
+            starts_by_row[i] = [part.block_at(i, j).col_start for j in range(part.pc)]
+        assert len({tuple(v) for v in starts_by_row.values()}) == 1
+
+    def test_uniform_rates_give_near_uniform_tiles(self):
+        part = generalized_block_partition(
+            100, [f"m{i}" for i in range(4)], [1.0] * 4
+        )
+        areas = [b.area for b in part.blocks]
+        assert max(areas) - min(areas) <= 100  # one row/col of slack
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generalized_block_partition(10, ["a"], [])
+        with pytest.raises(ValueError):
+            generalized_block_partition(10, ["a"], [0.0])
+        with pytest.raises(ValueError):
+            generalized_block_partition(10, [], [])
+
+    def test_numeric_equivalence(self):
+        g = make_test_grid(36, seed=3)
+        part = generalized_block_partition(
+            36, [f"m{i}" for i in range(6)], [6, 5, 4, 3, 2, 1]
+        )
+        out = execute_block_partition(g, part, 8)
+        assert np.array_equal(out, jacobi_reference(g, 8))
+
+    @given(
+        n=st.integers(min_value=12, max_value=48),
+        k=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_numeric_equivalence(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        rates = list(rng.uniform(0.5, 10.0, size=k))
+        part = generalized_block_partition(n, [f"m{i}" for i in range(k)], rates)
+        g = make_test_grid(n, seed=seed)
+        assert np.array_equal(
+            execute_block_partition(g, part, 4), jacobi_reference(g, 4)
+        )
+
+
+class TestApplesBlockedPlanner:
+    def test_plans_with_dynamic_rates(self, testbed, warmed_nws):
+        problem = JacobiProblem(n=1000, iterations=20)
+        agent = make_jacobi_agent(testbed, problem, warmed_nws)
+        sched = ApplesBlockedPlanner(problem).plan(
+            ["rs6000a", "rs6000b"], agent.info
+        )
+        assert sched is not None
+        assert sched.decomposition == "apples-blocked"
+        areas = {a.machine: a.work_units for a in sched.allocations}
+        # The heavily loaded rs6000a must get the smaller tile.
+        assert areas["rs6000a"] < areas["rs6000b"]
+
+    def test_full_blueprint_executes(self, testbed, warmed_nws):
+        problem = JacobiProblem(n=1000, iterations=20)
+        strip_agent = make_jacobi_agent(testbed, problem, warmed_nws)
+        blocked_agent = AppLeSAgent(
+            strip_agent.info, planner=ApplesBlockedPlanner(problem)
+        )
+        sched = blocked_agent.schedule().best
+        run = simulated_execution(testbed.topology, sched, 600.0)
+        assert run.total_time > 0
+        assert sched.total_work_units == problem.total_points
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplesBlockedPlanner(JacobiProblem(n=100), risk_aversion=-1.0)

@@ -1,0 +1,146 @@
+"""Tests for the KeLP-like Jacobi runtime: numerics and simulated timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jacobi.grid import JacobiProblem
+from repro.jacobi.partition import blocked_partition, nonuniform_strip, uniform_strip
+from repro.jacobi.runtime import (
+    assignments_from_schedule,
+    execute_block_partition,
+    execute_strip_partition,
+    simulated_execution,
+)
+from repro.jacobi.solver import jacobi_reference, make_test_grid
+
+
+class TestStripNumerics:
+    def test_matches_reference_exactly(self):
+        g = make_test_grid(30, seed=1)
+        ref = jacobi_reference(g, 10)
+        part = uniform_strip(30, ["a", "b", "c"])
+        assert np.array_equal(execute_strip_partition(g, part, 10), ref)
+
+    def test_single_strip(self):
+        g = make_test_grid(12, seed=2)
+        part = uniform_strip(12, ["only"])
+        assert np.array_equal(
+            execute_strip_partition(g, part, 5), jacobi_reference(g, 5)
+        )
+
+    def test_nonuniform_strips_match(self):
+        g = make_test_grid(25, seed=3)
+        part = nonuniform_strip(25, ["a", "b", "c"], [5.0, 1.0, 2.0])
+        assert np.array_equal(
+            execute_strip_partition(g, part, 8), jacobi_reference(g, 8)
+        )
+
+    def test_one_row_strips(self):
+        g = make_test_grid(6, seed=4)
+        part = uniform_strip(6, [f"m{i}" for i in range(6)])
+        assert np.array_equal(
+            execute_strip_partition(g, part, 4), jacobi_reference(g, 4)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        part = uniform_strip(10, ["a"])
+        with pytest.raises(ValueError):
+            execute_strip_partition(np.zeros((8, 8)), part, 1)
+
+    @given(
+        n=st.integers(min_value=6, max_value=40),
+        k=st.integers(min_value=1, max_value=5),
+        iters=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_strip_equivalence(self, n, k, iters):
+        k = min(k, n)
+        g = make_test_grid(n, seed=n)
+        part = uniform_strip(n, [f"m{i}" for i in range(k)])
+        assert np.array_equal(
+            execute_strip_partition(g, part, iters), jacobi_reference(g, iters)
+        )
+
+
+class TestBlockNumerics:
+    def test_matches_reference_exactly(self):
+        g = make_test_grid(24, seed=5)
+        part = blocked_partition(24, [f"m{i}" for i in range(6)])
+        assert np.array_equal(
+            execute_block_partition(g, part, 9), jacobi_reference(g, 9)
+        )
+
+    def test_single_block(self):
+        g = make_test_grid(10, seed=6)
+        part = blocked_partition(10, ["only"])
+        assert np.array_equal(
+            execute_block_partition(g, part, 3), jacobi_reference(g, 3)
+        )
+
+    def test_prime_count_degenerates_to_strips(self):
+        g = make_test_grid(15, seed=7)
+        part = blocked_partition(15, [f"m{i}" for i in range(5)])  # 1x5
+        assert np.array_equal(
+            execute_block_partition(g, part, 5), jacobi_reference(g, 5)
+        )
+
+    @given(
+        n=st.integers(min_value=8, max_value=36),
+        k=st.integers(min_value=1, max_value=9),
+        iters=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_block_equivalence(self, n, k, iters):
+        g = make_test_grid(n, seed=n + 1)
+        part = blocked_partition(n, [f"m{i}" for i in range(k)])
+        assert np.array_equal(
+            execute_block_partition(g, part, iters), jacobi_reference(g, iters)
+        )
+
+
+class TestSimulatedExecution:
+    def _schedule(self, testbed, n=500, iterations=5):
+        from repro.jacobi.apples import UniformStripPlanner
+        from repro.core.infopool import InformationPool
+        from repro.core.resources import ResourcePool
+        from repro.jacobi.grid import jacobi_hat
+
+        problem = JacobiProblem(n=n, iterations=iterations)
+        info = InformationPool(
+            pool=ResourcePool(testbed.topology), hat=jacobi_hat(problem)
+        )
+        return UniformStripPlanner(problem).plan(["alpha1", "alpha2"], info)
+
+    def test_assignments_conserve_work(self, testbed):
+        sched = self._schedule(testbed)
+        was = assignments_from_schedule(sched)
+        problem = sched.metadata["problem"]
+        total = sum(w.work_mflop for w in was)
+        assert total == pytest.approx(problem.work_mflop(problem.total_points))
+
+    def test_assignments_carry_comm(self, testbed):
+        sched = self._schedule(testbed)
+        was = assignments_from_schedule(sched)
+        assert any(w.comm_bytes for w in was)
+
+    def test_simulated_execution_runs_iterations(self, testbed):
+        sched = self._schedule(testbed, iterations=7)
+        res = simulated_execution(testbed.topology, sched)
+        assert len(res.iteration_times) == 7
+        assert res.total_time > 0.0
+
+    def test_missing_problem_metadata_rejected(self, testbed):
+        sched = self._schedule(testbed)
+        sched.metadata.pop("problem")
+        with pytest.raises(ValueError):
+            assignments_from_schedule(sched)
+
+    def test_start_time_matters(self, testbed):
+        sched = self._schedule(testbed, iterations=3)
+        a = simulated_execution(testbed.topology, sched, t0=0.0).total_time
+        b = simulated_execution(testbed.topology, sched, t0=500.0).total_time
+        assert a != b  # load differs across windows on a non-dedicated testbed

@@ -1,0 +1,221 @@
+"""Tests for the Jacobi solver and partition geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jacobi.grid import JacobiProblem, jacobi_hat
+from repro.jacobi.partition import (
+    apples_strip,
+    blocked_partition,
+    largest_remainder_rows,
+    nonuniform_strip,
+    uniform_strip,
+)
+from repro.jacobi.solver import (
+    jacobi_reference,
+    jacobi_step,
+    make_test_grid,
+    residual_norm,
+)
+
+
+class TestSolver:
+    def test_step_preserves_boundary(self):
+        g = make_test_grid(10, seed=1)
+        out = jacobi_step(g)
+        assert np.array_equal(out[0], g[0])
+        assert np.array_equal(out[-1], g[-1])
+        assert np.array_equal(out[:, 0], g[:, 0])
+        assert np.array_equal(out[:, -1], g[:, -1])
+
+    def test_step_is_average(self):
+        g = np.zeros((3, 3))
+        g[0, 1] = 4.0
+        out = jacobi_step(g)
+        assert out[1, 1] == 1.0
+
+    def test_reference_input_unmodified(self):
+        g = make_test_grid(8)
+        snapshot = g.copy()
+        jacobi_reference(g, 5)
+        assert np.array_equal(g, snapshot)
+
+    def test_zero_iterations_identity(self):
+        g = make_test_grid(8)
+        assert np.array_equal(jacobi_reference(g, 0), g)
+
+    def test_residual_decreases(self):
+        g = make_test_grid(20, seed=2)
+        r0 = residual_norm(g)
+        r1 = residual_norm(jacobi_reference(g, 50))
+        assert r1 < r0
+
+    def test_converges_to_laplace_solution(self):
+        # With fixed boundaries the iteration approaches the harmonic
+        # function; after many sweeps the residual is tiny.
+        g = make_test_grid(12, seed=3)
+        final = jacobi_reference(g, 3000)
+        assert residual_norm(final) < 1e-6
+
+    def test_source_term(self):
+        g = np.zeros((5, 5))
+        src = np.ones((5, 5)) * 0.1
+        out = jacobi_step(g, src)
+        assert np.allclose(out[1:-1, 1:-1], 0.1)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            jacobi_step(np.zeros((2, 2)))
+
+    def test_rejects_non2d(self):
+        with pytest.raises(ValueError):
+            jacobi_step(np.zeros(9))
+
+
+class TestProblem:
+    def test_totals(self):
+        p = JacobiProblem(n=100, iterations=10)
+        assert p.total_points == 10_000
+        assert p.footprint_mb(10_000) == pytest.approx(0.16)
+        assert p.work_mflop(1000) == pytest.approx(5e-3)
+        assert p.border_exchange_bytes() == pytest.approx(2 * 100 * 8.0)
+
+    def test_hat_structure(self):
+        p = JacobiProblem(n=50, iterations=7)
+        hat = jacobi_hat(p)
+        assert hat.paradigm == "data-parallel"
+        assert hat.structure.total_units == 2500.0
+        assert hat.structure.iterations == 7
+        assert hat.task("sweep").can_run_on("anything")
+
+
+class TestLargestRemainder:
+    def test_exact_split(self):
+        assert largest_remainder_rows(10, [1.0, 1.0]) == [5, 5]
+
+    def test_sums_to_n(self):
+        rows = largest_remainder_rows(100, [3.0, 1.0, 2.5])
+        assert sum(rows) == 100
+
+    def test_zero_weight_gets_zero(self):
+        assert largest_remainder_rows(10, [1.0, 0.0]) == [10, 0]
+
+    def test_tiny_weight_still_gets_row(self):
+        rows = largest_remainder_rows(100, [1000.0, 0.001])
+        assert rows[1] >= 1
+
+    def test_no_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_rows(10, [0.0, 0.0])
+
+    def test_too_many_machines_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_rows(2, [1.0, 1.0, 1.0])
+
+    @given(
+        n=st.integers(min_value=8, max_value=5000),
+        weights=st.lists(st.floats(min_value=0.01, max_value=100.0),
+                         min_size=1, max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_property_sum_and_floor(self, n, weights):
+        rows = largest_remainder_rows(n, weights)
+        assert sum(rows) == n
+        assert all(r >= 1 for r in rows)
+
+
+class TestStripPartitions:
+    def test_uniform(self):
+        p = uniform_strip(10, ["a", "b", "c"])
+        assert sum(s.row_count for s in p.strips) == 10
+        assert p.machines == ("a", "b", "c")
+
+    def test_areas(self):
+        p = uniform_strip(9, ["a", "b", "c"])
+        assert p.areas() == {"a": 27, "b": 27, "c": 27}
+
+    def test_neighbors(self):
+        p = uniform_strip(9, ["a", "b", "c"])
+        assert p.neighbors("a") == ["b"]
+        assert p.neighbors("b") == ["a", "c"]
+        assert p.border_count("b") == 2
+
+    def test_nonuniform_proportional(self):
+        p = nonuniform_strip(100, ["slow", "fast"], [1.0, 3.0])
+        assert p.strip_for("fast").row_count == 75
+        assert p.strip_for("slow").row_count == 25
+
+    def test_apples_drops_zero_areas(self):
+        p = apples_strip(100, ["a", "b", "c"], [50.0, 0.0, 50.0])
+        assert p.machines == ("a", "c")
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            apples_strip(10, ["a"], [0.0])
+
+    def test_noncontiguous_rejected(self):
+        from repro.jacobi.partition import Strip, StripPartition
+
+        with pytest.raises(ValueError):
+            StripPartition(10, (Strip("a", 0, 4), Strip("b", 5, 5)))
+
+    def test_duplicate_machine_rejected(self):
+        from repro.jacobi.partition import Strip, StripPartition
+
+        with pytest.raises(ValueError):
+            StripPartition(10, (Strip("a", 0, 5), Strip("a", 5, 5)))
+
+    @given(
+        n=st.integers(min_value=8, max_value=3000),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_property_uniform_covers(self, n, k):
+        machines = [f"m{i}" for i in range(k)]
+        p = uniform_strip(n, machines)
+        assert sum(p.areas().values()) == n * n
+
+
+class TestBlockedPartition:
+    def test_processor_grid_shapes(self):
+        assert (blocked_partition(10, ["a"] ).pr, blocked_partition(10, ["a"]).pc) == (1, 1)
+        p8 = blocked_partition(16, [f"m{i}" for i in range(8)])
+        assert (p8.pr, p8.pc) == (2, 4)
+        p4 = blocked_partition(16, [f"m{i}" for i in range(4)])
+        assert (p4.pr, p4.pc) == (2, 2)
+        p7 = blocked_partition(14, [f"m{i}" for i in range(7)])
+        assert (p7.pr, p7.pc) == (1, 7)
+
+    def test_coverage(self):
+        p = blocked_partition(10, [f"m{i}" for i in range(6)])
+        assert sum(b.area for b in p.blocks) == 100
+
+    def test_block_lookup_and_neighbors(self):
+        p = blocked_partition(12, [f"m{i}" for i in range(4)])
+        corner = p.block_at(0, 0)
+        assert corner.machine == "m0"
+        assert len(p.neighbors(0, 0)) == 2
+        assert len(p.neighbors(1, 1)) == 2
+
+    def test_border_points(self):
+        p = blocked_partition(12, [f"m{i}" for i in range(4)])  # 2x2, 6x6 tiles
+        assert p.border_points(0, 0) == 12  # one row + one col of 6
+
+    def test_out_of_range_lookup(self):
+        p = blocked_partition(12, ["a"])
+        with pytest.raises(IndexError):
+            p.block_at(1, 0)
+
+    @given(
+        n=st.integers(min_value=12, max_value=500),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50)
+    def test_property_blocked_covers(self, n, k):
+        p = blocked_partition(n, [f"m{i}" for i in range(k)])
+        assert sum(b.area for b in p.blocks) == n * n
+        assert len(p.machines) == k

@@ -1,0 +1,54 @@
+"""Tests for the §3.1 performance-metrics experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics_exp import DEFAULT_COST_RATES, run_metrics_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_metrics_comparison(n=1200, iterations=30)
+
+
+class TestMetricsComparison:
+    def test_schedules_differ(self, result):
+        assert result.schedules_differ
+
+    def test_cost_user_pays_least(self, result):
+        assert result.costs["cost"] == min(result.costs.values())
+
+    def test_time_user_fastest(self, result):
+        assert result.times["execution_time"] == min(result.times.values())
+
+    def test_cost_user_avoids_expensive_machines(self, result):
+        sched = result.schedules["cost"]
+        # The centre Alphas cost 1.0/s; a cost-minimising schedule must
+        # not be built on them.
+        alphas = {m for m in sched.resource_set if m.startswith("alpha")}
+        assert not alphas
+
+    def test_speedup_equals_time_schedule(self, result):
+        # Fixed-size speedup is a monotone transform of execution time.
+        assert (
+            result.schedules["speedup"].resource_set
+            == result.schedules["execution_time"].resource_set
+        )
+
+    def test_time_user_beats_best_single(self, result):
+        assert result.times["execution_time"] < result.best_single_s
+
+    def test_table_renders(self, result):
+        text = result.table().render()
+        assert "METRIC-A6" in text
+        assert "cost" in text
+
+    def test_custom_rates_change_choice(self):
+        # Make the alphas free and the PCL machines expensive: the cost
+        # user should now sit on alphas.
+        inverted = {m: (0.01 if m.startswith("alpha") else 5.0)
+                    for m in DEFAULT_COST_RATES}
+        r = run_metrics_comparison(n=1200, iterations=30, cost_rates=inverted)
+        assert all(m.startswith("alpha")
+                   for m in r.schedules["cost"].resource_set)

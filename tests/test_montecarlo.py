@@ -1,0 +1,114 @@
+"""Tests for the detector-acceptance Monte Carlo application."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.userspec import UserSpecification
+from repro.montecarlo.apples import make_montecarlo_agent
+from repro.montecarlo.problem import MonteCarloProblem, montecarlo_hat
+from repro.montecarlo.simulation import (
+    AcceptanceResult,
+    run_acceptance_batch,
+    true_acceptance,
+)
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        a = run_acceptance_batch(5000, seed=3)
+        b = run_acceptance_batch(5000, seed=3)
+        assert a == b
+
+    def test_shares_independent(self):
+        a = run_acceptance_batch(5000, seed=3, share_index=0)
+        b = run_acceptance_batch(5000, seed=3, share_index=1)
+        assert a.accepted != b.accepted  # different sub-streams
+
+    def test_converges_to_truth(self):
+        result = run_acceptance_batch(400_000, seed=1)
+        assert result.acceptance == pytest.approx(true_acceptance(), abs=0.003)
+
+    def test_stderr_shrinks(self):
+        small = run_acceptance_batch(1_000, seed=2)
+        big = run_acceptance_batch(100_000, seed=2)
+        assert big.stderr() < small.stderr()
+
+    def test_merge_counters(self):
+        a = AcceptanceResult(100, 80)
+        b = AcceptanceResult(300, 270)
+        m = a.merge(b)
+        assert m.thrown == 400
+        assert m.accepted == 350
+        assert m.acceptance == pytest.approx(0.875)
+
+    def test_empty_result(self):
+        empty = AcceptanceResult(0, 0)
+        assert empty.acceptance == 0.0
+        assert empty.stderr() == 0.0
+
+    @given(
+        n1=st.integers(min_value=100, max_value=5000),
+        n2=st.integers(min_value=100, max_value=5000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_acceptance_in_unit_interval(self, n1, n2):
+        merged = run_acceptance_batch(n1, seed=9, share_index=0).merge(
+            run_acceptance_batch(n2, seed=9, share_index=1)
+        )
+        assert 0.0 <= merged.acceptance <= 1.0
+        assert merged.thrown == n1 + n2
+
+
+class TestProblemAndHat:
+    def test_hat_shape(self):
+        hat = montecarlo_hat(MonteCarloProblem(samples=1000))
+        assert hat.paradigm == "master-worker"
+        assert hat.communication.pattern == "gather"
+        assert hat.structure.total_units == 1000.0
+        assert hat.task("simulate").can_run_on("anything")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloProblem(samples=0)
+
+
+class TestAgent:
+    @pytest.fixture(scope="class")
+    def run(self, testbed, warmed_nws):
+        problem = MonteCarloProblem(samples=500_000, seed=5)
+        agent = make_montecarlo_agent(testbed, problem, warmed_nws)
+        decision, run = agent.run(t0=600.0)
+        return problem, decision, run
+
+    def test_all_samples_assigned(self, run):
+        problem, _, result = run
+        assert sum(result.shares.values()) == problem.samples
+
+    def test_estimate_near_truth(self, run):
+        _, _, result = run
+        assert result.result.acceptance == pytest.approx(
+            true_acceptance(), abs=5 * result.result.stderr() + 1e-3
+        )
+
+    def test_loaded_machines_get_fewer_samples(self, run):
+        _, _, result = run
+        # rs6000a (mean availability 0.30) vs rs6000b (0.70): same nominal
+        # speed, very different shares.
+        assert result.shares["rs6000a"] < result.shares["rs6000b"]
+
+    def test_timing_positive(self, run):
+        _, decision, result = run
+        assert result.elapsed_s > 0.0
+        assert decision.best.predicted_time > 0.0
+
+    def test_userspec_filters(self, testbed, warmed_nws):
+        problem = MonteCarloProblem(samples=100_000)
+        us = UserSpecification(
+            accessible_machines=frozenset({"alpha1", "alpha2"})
+        )
+        agent = make_montecarlo_agent(testbed, problem, warmed_nws, userspec=us)
+        _, result = agent.run(t0=600.0)
+        assert set(result.shares) <= {"alpha1", "alpha2"}

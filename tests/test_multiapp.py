@@ -1,0 +1,114 @@
+"""Tests for injectable loads and the two-application experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multiapp_exp import make_injectable, run_multiapp
+from repro.nws.service import NetworkWeatherService
+from repro.sim.load import DynamicCompositeLoad, IntervalLoad
+from repro.sim.testbeds import sdsc_pcl_testbed
+
+
+class TestIntervalLoad:
+    def test_idle_by_default(self):
+        load = IntervalLoad()
+        assert load.availability(0.0) == 1.0
+        assert load.mean_availability(0.0, 100.0) == 1.0
+
+    def test_occupancy_window(self):
+        load = IntervalLoad()
+        load.occupy(10.0, 20.0, 0.5)
+        assert load.availability(5.0) == 1.0
+        assert load.availability(15.0) == 0.5
+        assert load.availability(20.0) == 1.0  # half-open interval
+
+    def test_overlapping_windows_multiply(self):
+        load = IntervalLoad()
+        load.occupy(0.0, 10.0, 0.5)
+        load.occupy(5.0, 15.0, 0.5)
+        assert load.availability(7.0) == 0.25
+
+    def test_mean_availability_exact(self):
+        load = IntervalLoad()
+        load.occupy(0.0, 10.0, 0.5)
+        # [0,20]: half the window at 0.5, half at 1.0.
+        assert load.mean_availability(0.0, 20.0) == pytest.approx(0.75)
+
+    def test_clear(self):
+        load = IntervalLoad()
+        load.occupy(0.0, 10.0, 0.5)
+        load.clear()
+        assert load.availability(5.0) == 1.0
+
+    def test_validation(self):
+        load = IntervalLoad()
+        with pytest.raises(ValueError):
+            load.occupy(10.0, 10.0, 0.5)
+        with pytest.raises(ValueError):
+            load.occupy(0.0, 10.0, 1.5)
+
+    def test_mutation_visible_immediately(self):
+        # The motivating property: no epoch cache hides new occupancy.
+        load = IntervalLoad()
+        assert load.availability(15.0) == 1.0
+        load.occupy(10.0, 20.0, 0.3)
+        assert load.availability(15.0) == 0.3
+
+
+class TestDynamicComposite:
+    def test_product_with_mutable_component(self):
+        from repro.sim.load import ConstantLoad
+
+        injector = IntervalLoad()
+        combo = DynamicCompositeLoad([ConstantLoad(0.8), injector])
+        assert combo.availability(5.0) == pytest.approx(0.8)
+        injector.occupy(0.0, 10.0, 0.5)
+        assert combo.availability(5.0) == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicCompositeLoad([])
+
+    def test_mean_availability(self):
+        from repro.sim.load import ConstantLoad
+
+        injector = IntervalLoad()
+        injector.occupy(0.0, 10.0, 0.5)
+        combo = DynamicCompositeLoad([ConstantLoad(1.0), injector], dt=10.0)
+        assert combo.mean_availability(0.0, 20.0) == pytest.approx(0.75, abs=0.02)
+
+
+class TestMakeInjectable:
+    def test_injection_reaches_host_and_sensors(self):
+        testbed = sdsc_pcl_testbed(seed=4)
+        injectors = make_injectable(testbed)
+        host = testbed.topology.host("alpha1")
+        before = host.availability(1000.0)
+        injectors["alpha1"].occupy(900.0, 1100.0, 0.1)
+        after = host.availability(1000.0)
+        assert after == pytest.approx(before * 0.1)
+
+        nws = NetworkWeatherService.for_testbed(testbed, noise_std=0.0)
+        nws.advance_to(1050.0)
+        assert nws.cpu_forecast("alpha1").value < 0.2
+
+
+class TestRunMultiapp:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multiapp(n=1200, iterations_a=2500, iterations_b=250)
+
+    def test_aware_avoids_contention(self, result):
+        assert result.aware_overlap < result.oblivious_overlap
+
+    def test_aware_faster(self, result):
+        assert result.aware_time_s < result.oblivious_time_s
+
+    def test_oblivious_repeats_a_choice(self, result):
+        # With a stale snapshot, B sees the same world A saw and largely
+        # picks the same machines.
+        assert result.oblivious_overlap >= 2
+
+    def test_table_renders(self, result):
+        assert "MULTI-A5" in result.table().render()

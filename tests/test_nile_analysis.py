@@ -1,0 +1,96 @@
+"""Tests for the event-analysis programs and their merge property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nile.analysis import CullAnalysis, HistogramAnalysis, StatisticsAnalysis
+from repro.nile.events import PASS2, EventBatch
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return EventBatch(20_000, PASS2, seed=11)
+
+
+class TestHistogram:
+    def test_counts_all_in_range_events(self, batch):
+        h = HistogramAnalysis(lo=0.0, hi=20.0)
+        result = h.run(batch)
+        assert result.counts.sum() == batch.nevents
+
+    def test_merge_equals_whole(self, batch):
+        h = HistogramAnalysis()
+        whole = h.run(batch)
+        parts = [h.run(batch.slice(0, 7000)), h.run(batch.slice(7000, 20_000))]
+        merged = h.merge(parts)
+        assert np.array_equal(whole.counts, merged.counts)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            HistogramAnalysis().merge([])
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramAnalysis(bins=0)
+        with pytest.raises(ValueError):
+            HistogramAnalysis(lo=5.0, hi=5.0)
+
+    @given(split=st.integers(min_value=1, max_value=19_999))
+    @settings(max_examples=20, deadline=None)
+    def test_property_any_split_merges_exactly(self, batch, split):
+        h = HistogramAnalysis()
+        whole = h.run(batch)
+        merged = h.merge([h.run(batch.slice(0, split)), h.run(batch.slice(split, 20_000))])
+        assert np.array_equal(whole.counts, merged.counts)
+
+
+class TestStatistics:
+    def test_mean_std_match_numpy(self, batch):
+        s = StatisticsAnalysis(fields=("energy_gev",))
+        m = s.run(batch)
+        arr = batch.field("energy_gev")
+        assert m.mean("energy_gev") == pytest.approx(arr.mean())
+        assert m.std("energy_gev") == pytest.approx(arr.std(), rel=1e-6)
+
+    def test_merge_equals_whole(self, batch):
+        s = StatisticsAnalysis()
+        whole = s.run(batch)
+        merged = s.merge([s.run(batch.slice(0, 5000)), s.run(batch.slice(5000, 20_000))])
+        for f in s.fields:
+            assert merged.mean(f) == pytest.approx(whole.mean(f))
+            assert merged.std(f) == pytest.approx(whole.std(f), rel=1e-9)
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticsAnalysis(fields=())
+
+
+class TestCull:
+    def test_selects_signal(self, batch):
+        c = CullAnalysis()
+        selected = c.run(batch)
+        signal_idx = np.flatnonzero(batch.field("is_signal"))
+        assert set(signal_idx) <= set(selected)
+
+    def test_offset_merge_equals_whole(self, batch):
+        c = CullAnalysis()
+        whole = c.run(batch)
+        parts = [
+            c.run_offset(batch.slice(0, 8000), 0),
+            c.run_offset(batch.slice(8000, 20_000), 8000),
+        ]
+        assert np.array_equal(c.merge(parts), whole)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CullAnalysis(energy_window=(11.0, 10.0))
+
+    def test_cost_model(self):
+        c = CullAnalysis(mflop_per_event=2e-3)
+        assert c.total_mflop(1000) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            c.total_mflop(-1)

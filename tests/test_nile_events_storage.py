@@ -1,0 +1,105 @@
+"""Tests for synthetic CLEO events and storage tiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nile.events import PASS2, RAW, ROAR, EventBatch, format_by_name
+from repro.nile.storage import DISK, TAPE, StorageTier, StoredDataset
+
+
+class TestRecordFormats:
+    def test_paper_sizes(self):
+        assert RAW.bytes_per_event == 8_192
+        assert PASS2.bytes_per_event == 20_480
+
+    def test_roar_compressed_and_lossy(self):
+        assert ROAR.lossy
+        assert ROAR.bytes_per_event < RAW.bytes_per_event
+        assert set(ROAR.fields) < set(PASS2.fields)
+
+    def test_lookup(self):
+        assert format_by_name("raw") is RAW
+        with pytest.raises(KeyError):
+            format_by_name("zzz")
+
+
+class TestEventBatch:
+    def test_size(self):
+        b = EventBatch(1000, RAW)
+        assert b.size_bytes == 1000 * 8192
+
+    def test_deterministic(self):
+        a = EventBatch(500, PASS2, seed=3)
+        b = EventBatch(500, PASS2, seed=3)
+        assert np.array_equal(a.field("energy_gev"), b.field("energy_gev"))
+
+    def test_seeds_differ(self):
+        a = EventBatch(500, PASS2, seed=3)
+        b = EventBatch(500, PASS2, seed=4)
+        assert not np.array_equal(a.field("energy_gev"), b.field("energy_gev"))
+
+    def test_fields_have_physics_shape(self):
+        b = EventBatch(5000, PASS2, seed=1)
+        energy = b.field("energy_gev")
+        assert 10.0 < energy.mean() < 11.0
+        assert b.field("charged_multiplicity").min() >= 0
+        signal = b.field("is_signal")
+        assert 0 < signal.sum() < 100  # rare
+
+    def test_format_restricts_fields(self):
+        b = EventBatch(10, RAW)
+        with pytest.raises(KeyError):
+            b.field("vertex_chi2")
+
+    def test_features_complete(self):
+        b = EventBatch(10, ROAR)
+        assert set(b.features()) == set(ROAR.fields)
+
+    def test_slice_matches_parent(self):
+        b = EventBatch(100, PASS2, seed=9)
+        sub = b.slice(10, 40)
+        assert sub.nevents == 30
+        assert np.array_equal(sub.field("energy_gev"), b.field("energy_gev")[10:40])
+
+    def test_slice_bounds_checked(self):
+        b = EventBatch(10, PASS2)
+        with pytest.raises(ValueError):
+            b.slice(5, 20)
+        with pytest.raises(ValueError):
+            b.slice(5, 5)
+
+    def test_to_format_preserves_shared_fields(self):
+        b = EventBatch(50, PASS2, seed=2)
+        r = b.to_format(ROAR)
+        assert np.array_equal(r.field("energy_gev"), b.field("energy_gev"))
+        assert r.size_bytes < b.size_bytes
+
+
+class TestStorage:
+    def test_tape_slower_than_disk(self):
+        nbytes = 100e6
+        assert TAPE.read_time(nbytes) > DISK.read_time(nbytes)
+
+    def test_read_time_zero_bytes(self):
+        assert TAPE.read_time(0) == 0.0
+
+    def test_read_time_formula(self):
+        t = StorageTier("t", bandwidth_mbps=10.0, access_latency_s=2.0)
+        assert t.read_time(50e6) == pytest.approx(7.0)
+
+    def test_write_symmetric(self):
+        assert DISK.write_time(1e6) == DISK.read_time(1e6)
+
+    def test_stored_dataset(self):
+        ds = StoredDataset("d", EventBatch(1000, RAW), DISK, host="h")
+        assert ds.nevents == 1000
+        assert ds.size_bytes == 1000 * 8192
+        assert ds.read_time() == pytest.approx(DISK.read_time(ds.size_bytes))
+
+    def test_stored_dataset_validation(self):
+        with pytest.raises(ValueError):
+            StoredDataset("", EventBatch(10, RAW), DISK, host="h")
+        with pytest.raises(ValueError):
+            StoredDataset("d", EventBatch(10, RAW), DISK, host="")

@@ -1,0 +1,66 @@
+"""Tests for multi-dataset (multi-site) NILE analysis planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resources import ResourcePool
+from repro.nile.analysis import HistogramAnalysis
+from repro.nile.events import PASS2, ROAR, EventBatch
+from repro.nile.site_manager import SiteManager
+from repro.nile.storage import DISK, TAPE, StoredDataset
+
+
+@pytest.fixture()
+def manager(nile_bed):
+    return SiteManager(site="site1", pool=ResourcePool(nile_bed.topology))
+
+
+@pytest.fixture()
+def datasets():
+    return [
+        StoredDataset("d0", EventBatch(100_000, PASS2, seed=1), TAPE,
+                      host="site0-alpha0"),
+        StoredDataset("d1", EventBatch(60_000, ROAR, seed=2), DISK,
+                      host="site1-alpha0"),
+        StoredDataset("d2", EventBatch(40_000, PASS2, seed=3), DISK,
+                      host="site2-alpha1"),
+    ]
+
+
+class TestPlanMultiDataset:
+    def test_each_dataset_fully_allocated(self, manager, datasets):
+        plans = manager.plan_multi_dataset(datasets, HistogramAnalysis())
+        assert set(plans) == {"d0", "d1", "d2"}
+        for ds in datasets:
+            assert sum(plans[ds.name].values()) == ds.nevents
+
+    def test_compute_stays_at_data_site(self, manager, datasets):
+        plans = manager.plan_multi_dataset(datasets, HistogramAnalysis())
+        for ds in datasets:
+            site = ds.host.split("-")[0]
+            for host in plans[ds.name]:
+                assert host.startswith(site), (ds.name, host)
+
+    def test_empty_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.plan_multi_dataset([], HistogramAnalysis())
+
+    def test_predicted_cost_is_slowest_site(self, manager, datasets):
+        program = HistogramAnalysis()
+        total = manager.predict_multi_dataset_cost(datasets, program)
+        per_site = []
+        for ds in datasets:
+            site = manager.pool.machine_info(ds.host).site
+            hosts = [m.name for m in manager.pool.machines() if m.site == site]
+            per_site.append(manager.predict_run_cost(ds, program, hosts).total_s)
+        assert total == pytest.approx(max(per_site))
+
+    def test_tape_site_dominates(self, manager, datasets):
+        # d0 sits on tape; its site must be the bottleneck.
+        program = HistogramAnalysis()
+        total = manager.predict_multi_dataset_cost(datasets, program)
+        site0_hosts = [m.name for m in manager.pool.machines()
+                       if m.site == "site0"]
+        d0_cost = manager.predict_run_cost(datasets[0], program, site0_hosts).total_s
+        assert total == pytest.approx(d0_cost)

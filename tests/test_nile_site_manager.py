@@ -1,0 +1,140 @@
+"""Tests for the NILE Site Manager and its data-parallel agent."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.resources import ResourcePool
+from repro.core.userspec import UserSpecification
+from repro.nile.analysis import HistogramAnalysis
+from repro.nile.apples import make_nile_agent
+from repro.nile.events import PASS2, ROAR, EventBatch
+from repro.nile.site_manager import SiteManager
+from repro.nile.storage import DISK, TAPE, StoredDataset
+
+
+@pytest.fixture()
+def manager(nile_bed):
+    return SiteManager(site="site1", pool=ResourcePool(nile_bed.topology))
+
+
+@pytest.fixture()
+def tape_dataset():
+    return StoredDataset(
+        "run4", EventBatch(500_000, PASS2, seed=3), TAPE, host="site0-alpha0"
+    )
+
+
+@pytest.fixture()
+def local_dataset():
+    return StoredDataset(
+        "mini", EventBatch(50_000, ROAR, seed=4), DISK, host="site1-alpha0"
+    )
+
+
+class TestAllocation:
+    def test_covers_all_events(self, manager, local_dataset):
+        shares = manager.allocate(local_dataset, HistogramAnalysis())
+        assert sum(shares.values()) == local_dataset.nevents
+
+    def test_prefers_data_host_over_equal_remote(self, manager, tape_dataset):
+        prog = HistogramAnalysis()
+        shares = manager.allocate(
+            tape_dataset, prog, hosts=["site0-alpha0", "site2-alpha0"]
+        )
+        # Equal machines, but site2 pays WAN shipping per event.
+        assert shares["site0-alpha0"] > shares.get("site2-alpha0", 0)
+
+    def test_register_duplicate_rejected(self, manager, tape_dataset):
+        manager.register(tape_dataset)
+        with pytest.raises(ValueError):
+            manager.register(tape_dataset)
+
+    def test_local_hosts(self, manager):
+        assert all(h.startswith("site1-") for h in manager.local_hosts())
+
+
+class TestCostPrediction:
+    def test_tape_access_dominates(self, manager, tape_dataset):
+        report = manager.predict_run_cost(tape_dataset, HistogramAnalysis())
+        assert report.data_access_s > report.compute_s
+        assert report.total_s == report.data_access_s + report.compute_s
+
+    def test_local_disk_cheap(self, manager, local_dataset):
+        report = manager.predict_run_cost(local_dataset, HistogramAnalysis())
+        assert report.total_s < 60.0
+
+    def test_skim_cost_scales_with_fraction(self, manager, tape_dataset):
+        full = manager.predict_skim_cost(tape_dataset, 1.0, "site1-alpha0")
+        slim = manager.predict_skim_cost(tape_dataset, 0.1, "site1-alpha0")
+        assert slim < full
+        # Both pay the full source scan.
+        assert slim > tape_dataset.read_time()
+
+
+class TestSkimDecision:
+    def test_many_runs_favour_skim(self, manager, tape_dataset):
+        decision = manager.decide_skim(
+            tape_dataset, HistogramAnalysis(), expected_runs=50, skim_fraction=0.2
+        )
+        assert decision.skim
+        assert decision.local_run_s < decision.remote_run_s
+
+    def test_crossover_consistent(self, manager, tape_dataset):
+        decision = manager.decide_skim(
+            tape_dataset, HistogramAnalysis(), expected_runs=1, skim_fraction=0.2
+        )
+        c = decision.crossover_runs
+        assert math.isfinite(c)
+        below = manager.decide_skim(
+            tape_dataset, HistogramAnalysis(),
+            expected_runs=max(int(c) - 1, 1), skim_fraction=0.2,
+        )
+        above = manager.decide_skim(
+            tape_dataset, HistogramAnalysis(),
+            expected_runs=int(c) + 1, skim_fraction=0.2,
+        )
+        assert above.skim
+        if c > 1.5:
+            assert not below.skim
+
+    def test_local_data_never_needs_skim(self, manager, local_dataset):
+        decision = manager.decide_skim(
+            local_dataset, HistogramAnalysis(), expected_runs=1000
+        )
+        # Skimming an already-local disk dataset saves little; crossover is
+        # large or infinite.
+        assert decision.crossover_runs > 10 or not decision.skim
+
+    def test_invalid_runs_rejected(self, manager, tape_dataset):
+        with pytest.raises(ValueError):
+            manager.decide_skim(tape_dataset, HistogramAnalysis(), expected_runs=0)
+
+
+class TestNileAgent:
+    def test_schedule_covers_events(self, nile_bed, tape_dataset):
+        agent = make_nile_agent(nile_bed, tape_dataset, HistogramAnalysis())
+        best = agent.schedule().best
+        assert best.total_work_units == pytest.approx(tape_dataset.nevents)
+
+    def test_corba_requirement_default(self, nile_bed, tape_dataset):
+        agent = make_nile_agent(nile_bed, tape_dataset, HistogramAnalysis())
+        assert agent.info.userspec.required_capabilities == frozenset({"corba-orb"})
+
+    def test_data_host_carries_most_work(self, nile_bed, tape_dataset):
+        agent = make_nile_agent(nile_bed, tape_dataset, HistogramAnalysis())
+        best = agent.schedule().best
+        shares = {a.machine: a.work_units for a in best.allocations}
+        data_site = {m: u for m, u in shares.items() if m.startswith("site0-")}
+        assert sum(data_site.values()) > 0.4 * tape_dataset.nevents
+
+    def test_userspec_restriction(self, nile_bed, tape_dataset):
+        us = UserSpecification(
+            required_capabilities=frozenset({"corba-orb"}),
+            accessible_machines=frozenset({"site0-alpha0", "site0-alpha1"}),
+        )
+        agent = make_nile_agent(nile_bed, tape_dataset, HistogramAnalysis(), userspec=us)
+        best = agent.schedule().best
+        assert set(best.resource_set) <= {"site0-alpha0", "site0-alpha1"}

@@ -1,0 +1,112 @@
+"""Tests for the adaptive forecaster ensemble."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nws.ensemble import AdaptiveEnsemble
+from repro.nws.forecasters import LastValue, RunningMean, SlidingWindowMean
+
+
+class TestAdaptiveEnsemble:
+    def test_forecast_before_update_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaptiveEnsemble().forecast()
+
+    def test_duplicate_member_names_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveEnsemble([LastValue(), LastValue()])
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveEnsemble([LastValue()], decay=0.0)
+
+    def test_unscored_members_have_infinite_mse(self):
+        ens = AdaptiveEnsemble([LastValue()])
+        ens.update(0.5)
+        # One update stages a prediction but nothing has been scored yet.
+        assert ens.mse("last") == math.inf
+
+    def test_picks_last_value_on_random_walk(self):
+        rng = np.random.default_rng(1)
+        ens = AdaptiveEnsemble([LastValue(), RunningMean()])
+        x = 0.5
+        for _ in range(200):
+            x = min(1.0, max(0.0, x + rng.normal(0, 0.05)))
+            ens.update(x)
+        assert ens.best_member().name == "last"
+
+    def test_picks_mean_on_iid_noise(self):
+        rng = np.random.default_rng(2)
+        ens = AdaptiveEnsemble([LastValue(), RunningMean()])
+        for _ in range(300):
+            ens.update(min(1.0, max(0.0, rng.normal(0.5, 0.15))))
+        assert ens.best_member().name == "run_mean"
+
+    def test_forecast_has_provenance(self):
+        ens = AdaptiveEnsemble([LastValue()])
+        for v in (0.2, 0.4, 0.6):
+            ens.update(v)
+        f = ens.forecast()
+        assert f.method == "last"
+        assert f.value == 0.6
+        assert f.observations == 3
+        assert f.error >= 0.0
+
+    def test_error_estimate_tracks_volatility(self):
+        calm = AdaptiveEnsemble([LastValue()])
+        wild = AdaptiveEnsemble([LastValue()])
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            calm.update(0.5 + rng.normal(0, 0.01))
+            wild.update(min(1.0, max(0.0, 0.5 + rng.normal(0, 0.3))))
+        assert wild.forecast().error > calm.forecast().error
+
+    def test_leaderboard_sorted(self):
+        ens = AdaptiveEnsemble([LastValue(), RunningMean(), SlidingWindowMean(4)])
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            ens.update(float(rng.random()))
+        board = ens.leaderboard()
+        mses = [m for _, m in board]
+        assert mses == sorted(mses)
+        assert board[0][0] == ens.best_member().name
+
+    def test_ensemble_regret_bounded(self):
+        # The ensemble's realised squared error should be close to the best
+        # single member's on a stationary series (it may switch early on).
+        rng = np.random.default_rng(5)
+        series = [min(1.0, max(0.0, rng.normal(0.6, 0.1))) for _ in range(400)]
+        members = [LastValue(), RunningMean(), SlidingWindowMean(8)]
+        solo_errs = {}
+        for member in [LastValue(), RunningMean(), SlidingWindowMean(8)]:
+            err = 0.0
+            for i, v in enumerate(series):
+                if i > 0:
+                    err += (member.forecast() - v) ** 2
+                member.update(v)
+            solo_errs[member.name] = err
+        ens = AdaptiveEnsemble(members)
+        ens_err = 0.0
+        for i, v in enumerate(series):
+            if i > 0:
+                ens_err += (ens.forecast().value - v) ** 2
+            ens.update(v)
+        assert ens_err <= 1.25 * min(solo_errs.values())
+
+    def test_decay_allows_regime_switch(self):
+        # Stationary phase (mean wins) followed by a random-walk phase:
+        # with decay < 1 the ensemble must eventually switch to last-value.
+        rng = np.random.default_rng(6)
+        ens = AdaptiveEnsemble([LastValue(), RunningMean()], decay=0.9)
+        for _ in range(150):
+            ens.update(min(1.0, max(0.0, rng.normal(0.5, 0.1))))
+        assert ens.best_member().name == "run_mean"
+        x = 0.5
+        for _ in range(150):
+            x = min(1.0, max(0.0, x + rng.normal(0, 0.08)))
+            ens.update(x)
+        assert ens.best_member().name == "last"

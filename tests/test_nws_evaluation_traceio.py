@@ -1,0 +1,135 @@
+"""Tests for forecaster backtesting, trace persistence, and solve_until."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jacobi.solver import jacobi_reference, make_test_grid, residual_norm, solve_until
+from repro.nws.evaluation import backtest_family, evaluate_forecaster
+from repro.nws.forecasters import LastValue, RunningMean
+from repro.sim.load import AR1Load, TraceLoad
+from repro.sim.trace_io import load_trace, record_trace, save_trace
+from repro.util.rng import RngStream
+
+
+class TestEvaluateForecaster:
+    def test_perfect_on_constant(self):
+        result = evaluate_forecaster(LastValue(), [0.5] * 20)
+        assert result.mse == 0.0
+        assert result.mae == 0.0
+        assert result.bias == 0.0
+        assert len(result.predictions) == 19
+
+    def test_bias_sign(self):
+        # A rising ramp makes last-value predictions systematically low.
+        ramp = [i / 100 for i in range(50)]
+        result = evaluate_forecaster(LastValue(), ramp)
+        assert result.bias < 0
+
+    def test_rmse_consistent(self):
+        result = evaluate_forecaster(RunningMean(), [0.1, 0.9, 0.1, 0.9])
+        assert result.rmse == pytest.approx(result.mse**0.5)
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_forecaster(LastValue(), [0.5])
+
+
+class TestBacktestFamily:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return AR1Load(mean=0.6, phi=0.9, sigma=0.08,
+                       rng=RngStream(3, "bt")).sample(300)
+
+    def test_sorted_by_mse(self, trace):
+        results = backtest_family(trace)
+        mses = [r.mse for r in results]
+        assert mses == sorted(mses)
+
+    def test_includes_ensemble(self, trace):
+        names = {r.name for r in backtest_family(trace)}
+        assert "ensemble" in names
+
+    def test_exclude_ensemble(self, trace):
+        names = {r.name for r in backtest_family(trace, include_ensemble=False)}
+        assert "ensemble" not in names
+
+    def test_custom_factory(self, trace):
+        results = backtest_family(
+            trace, family_factory=lambda: [LastValue(), RunningMean()]
+        )
+        assert {r.name for r in results} == {"last", "run_mean", "ensemble"}
+
+    def test_ensemble_near_top(self, trace):
+        results = backtest_family(trace)
+        rank = [r.name for r in results].index("ensemble")
+        assert rank <= len(results) // 2
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        values = [0.9, 0.5, 0.7]
+        path = tmp_path / "trace.json"
+        save_trace(path, values, dt=5.0, name="alpha1")
+        load = load_trace(path)
+        assert isinstance(load, TraceLoad)
+        assert load.dt == 5.0
+        assert load.sample(3) == values
+
+    def test_record_trace(self):
+        load = TraceLoad([0.2, 0.8], dt=10.0)
+        assert record_trace(load, 40.0) == [0.2, 0.8, 0.2, 0.8]
+
+    def test_record_then_replay_equivalent(self, tmp_path):
+        source = AR1Load(mean=0.5, phi=0.9, sigma=0.1, rng=RngStream(7, "io"))
+        values = record_trace(source, 200.0)
+        path = tmp_path / "t.json"
+        save_trace(path, values, dt=source.dt)
+        replay = load_trace(path)
+        for k in range(len(values)):
+            t = (k + 0.5) * source.dt
+            assert replay.availability(t) == pytest.approx(source.availability(t))
+
+    def test_bad_values_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "x.json", [1.5], dt=1.0)
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "x.json", [], dt=1.0)
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {")
+        with pytest.raises(ValueError, match="not a JSON trace"):
+            load_trace(path)
+        path.write_text('{"values": [0.5]}')
+        with pytest.raises(ValueError, match="missing dt"):
+            load_trace(path)
+
+
+class TestSolveUntil:
+    def test_converges_and_matches_reference(self):
+        g = make_test_grid(16, seed=1)
+        solved, sweeps = solve_until(g, tolerance=1e-5)
+        assert sweeps > 1
+        assert residual_norm(solved) < 1e-4
+        # Same trajectory as the fixed-iteration reference.
+        assert np.array_equal(solved, jacobi_reference(g, sweeps))
+
+    def test_tighter_tolerance_more_sweeps(self):
+        g = make_test_grid(16, seed=2)
+        _, loose = solve_until(g, tolerance=1e-3)
+        _, tight = solve_until(g, tolerance=1e-6)
+        assert tight > loose
+
+    def test_max_iterations_enforced(self):
+        g = make_test_grid(32, seed=3)
+        with pytest.raises(RuntimeError):
+            solve_until(g, tolerance=1e-12, max_iterations=5)
+
+    def test_validation(self):
+        g = make_test_grid(8)
+        with pytest.raises(ValueError):
+            solve_until(g, tolerance=0.0)
+        with pytest.raises(ValueError):
+            solve_until(g, max_iterations=0)

@@ -1,0 +1,154 @@
+"""Tests for the NWS forecaster family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nws.forecasters import (
+    ARForecaster,
+    ExponentialSmoothing,
+    LastValue,
+    MedianWindow,
+    RunningMean,
+    SlidingWindowMean,
+    TrimmedMeanWindow,
+    default_forecaster_family,
+)
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=60
+)
+
+
+def feed(forecaster, xs):
+    for x in xs:
+        forecaster.update(x)
+    return forecaster.forecast()
+
+
+class TestLastValue:
+    def test_predicts_last(self):
+        assert feed(LastValue(), [0.1, 0.9, 0.4]) == 0.4
+
+    def test_forecast_before_update_raises(self):
+        with pytest.raises(RuntimeError):
+            LastValue().forecast()
+
+
+class TestRunningMean:
+    def test_predicts_mean(self):
+        assert feed(RunningMean(), [1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    @given(values)
+    def test_property_equals_numpy_mean(self, xs):
+        assert feed(RunningMean(), xs) == pytest.approx(np.mean(xs), abs=1e-9)
+
+
+class TestSlidingWindowMean:
+    def test_window_limits_history(self):
+        f = SlidingWindowMean(window=2)
+        assert feed(f, [100.0, 1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_short_history_uses_all(self):
+        assert feed(SlidingWindowMean(window=10), [4.0]) == 4.0
+
+
+class TestMedianWindow:
+    def test_robust_to_spike(self):
+        f = MedianWindow(window=5)
+        assert feed(f, [0.9, 0.9, 0.0, 0.9, 0.9]) == pytest.approx(0.9)
+
+    @given(values)
+    def test_property_within_range(self, xs):
+        pred = feed(MedianWindow(window=16), xs)
+        window = xs[-16:]
+        assert min(window) - 1e-12 <= pred <= max(window) + 1e-12
+
+
+class TestTrimmedMean:
+    def test_trims_outliers(self):
+        f = TrimmedMeanWindow(window=5, trim=0.2)
+        pred = feed(f, [0.5, 0.5, 0.5, 0.5, 50.0])
+        assert pred == pytest.approx(0.5)
+
+    def test_trim_half_rejected(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanWindow(window=4, trim=0.5)
+
+
+class TestExponentialSmoothing:
+    def test_initialises_to_first(self):
+        assert feed(ExponentialSmoothing(0.3), [0.8]) == 0.8
+
+    def test_tracks_towards_recent(self):
+        f = ExponentialSmoothing(0.5)
+        pred = feed(f, [0.0, 1.0, 1.0, 1.0])
+        assert 0.8 < pred <= 1.0
+
+    def test_zero_gain_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(0.0)
+
+    @given(values)
+    def test_property_within_range(self, xs):
+        pred = feed(ExponentialSmoothing(0.3), xs)
+        assert min(xs) - 1e-12 <= pred <= max(xs) + 1e-12
+
+
+class TestARForecaster:
+    def test_falls_back_to_mean_before_fit(self):
+        f = ARForecaster(order=2, window=16, refit_every=100)
+        assert feed(f, [1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_learns_ar1_process(self):
+        # A strongly autocorrelated series: AR fit should beat the running
+        # mean noticeably.
+        rng = np.random.default_rng(5)
+        phi, mean = 0.95, 0.5
+        x = mean
+        series = []
+        for _ in range(300):
+            x = mean + phi * (x - mean) + rng.normal(0, 0.02)
+            series.append(min(1.0, max(0.0, x)))
+        ar = ARForecaster(order=2, window=64, refit_every=4)
+        rm = RunningMean()
+        ar_err = rm_err = 0.0
+        for i, v in enumerate(series):
+            if i > 50:
+                ar_err += (ar.forecast() - v) ** 2
+                rm_err += (rm.forecast() - v) ** 2
+            ar.update(v)
+            rm.update(v)
+        assert ar_err < rm_err
+
+    def test_window_order_constraint(self):
+        with pytest.raises(ValueError):
+            ARForecaster(order=8, window=10)
+
+    def test_constant_series_predicted_exactly(self):
+        f = ARForecaster(order=2, window=16, refit_every=2)
+        pred = feed(f, [0.5] * 30)
+        assert pred == pytest.approx(0.5, abs=1e-6)
+
+
+class TestDefaultFamily:
+    def test_unique_names(self):
+        family = default_forecaster_family()
+        names = [f.name for f in family]
+        assert len(set(names)) == len(names)
+
+    def test_covers_predictor_styles(self):
+        names = {f.name for f in default_forecaster_family()}
+        assert "last" in names
+        assert "run_mean" in names
+        assert any(n.startswith("median") for n in names)
+        assert any(n.startswith("exp_smooth") for n in names)
+        assert any(n.startswith("ar(") for n in names)
+
+    def test_fresh_instances_each_call(self):
+        a = default_forecaster_family()
+        b = default_forecaster_family()
+        assert a[0] is not b[0]

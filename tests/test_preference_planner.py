@@ -1,0 +1,49 @@
+"""Tests for the decomposition-preference dispatch (§5's user directive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.userspec import UserSpecification
+from repro.jacobi.apples import PreferencePlanner, make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+
+
+class TestPreferencePlanner:
+    def test_empty_planner_map_rejected(self):
+        with pytest.raises(ValueError):
+            PreferencePlanner({})
+
+    def test_strip_only_default(self, testbed, warmed_nws):
+        problem = JacobiProblem(n=800, iterations=10)
+        agent = make_jacobi_agent(testbed, problem, warmed_nws)
+        best = agent.schedule().best
+        assert best.decomposition == "apples-strip"
+
+    def test_blocked_only_preference(self, testbed, warmed_nws):
+        problem = JacobiProblem(n=800, iterations=10)
+        us = UserSpecification(decomposition_preference=("blocked",))
+        agent = make_jacobi_agent(testbed, problem, warmed_nws, userspec=us)
+        best = agent.schedule().best
+        assert best.decomposition == "apples-blocked"
+
+    def test_both_families_picks_better_prediction(self, testbed, warmed_nws):
+        problem = JacobiProblem(n=800, iterations=10)
+        us = UserSpecification(decomposition_preference=("strip", "blocked"))
+        agent = make_jacobi_agent(testbed, problem, warmed_nws, userspec=us)
+        decision = agent.schedule()
+        assert decision.best.decomposition in ("apples-strip", "apples-blocked")
+        # The winner must not be beaten by the other family on the same
+        # resource set.
+        from repro.jacobi.apples import ApplesBlockedPlanner, JacobiPlanner
+
+        rset = decision.best.resource_set
+        strip = JacobiPlanner(problem).plan(rset, agent.info)
+        blocked = ApplesBlockedPlanner(problem).plan(rset, agent.info)
+        alternatives = [s.predicted_time for s in (strip, blocked) if s is not None]
+        assert decision.best.predicted_time <= min(alternatives) + 1e-9
+
+    def test_unknown_preference_rejected(self, testbed):
+        us = UserSpecification(decomposition_preference=("hilbert-curve",))
+        with pytest.raises(ValueError, match="hilbert-curve"):
+            make_jacobi_agent(testbed, JacobiProblem(n=100), userspec=us)

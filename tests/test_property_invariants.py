@@ -1,0 +1,157 @@
+"""Cross-cutting property-based invariants.
+
+Hypothesis-driven checks spanning module boundaries: schedules produced
+by any planner conserve work and respect capacities; the coordinator's
+choice is optimal among its evaluations; the adaptive ensemble never
+predicts outside sane bounds for bounded series; engine determinism under
+random process mixes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinator import AppLeSAgent
+from repro.core.hat import (
+    CommunicationCharacteristics,
+    HeterogeneousApplicationTemplate,
+    StructureInfo,
+    TaskCharacteristics,
+)
+from repro.core.infopool import InformationPool
+from repro.core.planner import TimeBalancedPlanner, balance_divisible_work
+from repro.core.resources import ResourcePool
+from repro.core.userspec import UserSpecification
+from repro.nws.ensemble import AdaptiveEnsemble
+from repro.sim.engine import Simulator
+from repro.sim.testbeds import sdsc_pcl_testbed
+
+_TESTBED = sdsc_pcl_testbed(seed=31)
+
+
+def _info(total_units: float, max_machines: int | None = None):
+    hat = HeterogeneousApplicationTemplate(
+        name="toy", paradigm="data-parallel",
+        tasks=(TaskCharacteristics("work", flop_per_unit=1e-3),),
+        communication=CommunicationCharacteristics(),
+        structure=StructureInfo(total_units=total_units, iterations=1),
+    )
+    return InformationPool(
+        pool=ResourcePool(_TESTBED.topology), hat=hat,
+        userspec=UserSpecification(max_machines=max_machines),
+    )
+
+
+class TestPlannerInvariants:
+    @given(
+        total=st.floats(min_value=1e3, max_value=1e8),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_plan_conserves_work(self, total, k):
+        info = _info(total)
+        machines = _TESTBED.host_names[:k]
+        sched = TimeBalancedPlanner().plan(machines, info)
+        assert sched is not None
+        assert sched.total_work_units == pytest.approx(total, rel=1e-6)
+        assert all(a.work_units >= 0 for a in sched.allocations)
+
+    @given(
+        total=st.floats(min_value=1e3, max_value=1e7),
+        max_machines=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_coordinator_choice_is_minimum(self, total, max_machines):
+        info = _info(total, max_machines=max_machines)
+        decision = AppLeSAgent(info, planner=TimeBalancedPlanner()).schedule()
+        feasible = [e.objective for e in decision.evaluations if e.feasible]
+        assert decision.best_objective == min(feasible)
+        assert all(len(e.resource_set) <= max_machines
+                   for e in decision.evaluations)
+
+    @given(
+        rates=st.lists(st.floats(min_value=0.1, max_value=100.0),
+                       min_size=2, max_size=8),
+        costs=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                       min_size=2, max_size=8),
+        total=st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_balance_dominates_any_subset_single(self, rates, costs, total):
+        """The balanced makespan never exceeds using any single machine."""
+        n = min(len(rates), len(costs))
+        rates, costs = rates[:n], costs[:n]
+        result = balance_divisible_work(rates, costs, total)
+        assert result is not None
+        for r, c in zip(rates, costs):
+            assert result.makespan <= total / r + c + 1e-6
+
+
+class TestEnsembleInvariants:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3,
+                    max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_averaging_members_stay_in_range(self, xs):
+        # Only the AR member may extrapolate; everything else must stay in
+        # the observed hull.  The ensemble therefore stays within a small
+        # tolerance of it whenever a non-AR member is winning.
+        ens = AdaptiveEnsemble()
+        for x in xs:
+            ens.update(x)
+        forecast = ens.forecast()
+        lo, hi = min(xs), max(xs)
+        if not forecast.method.startswith("ar("):
+            assert lo - 1e-9 <= forecast.value <= hi + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2,
+                    max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_ensemble_deterministic(self, xs):
+        def run():
+            ens = AdaptiveEnsemble()
+            for x in xs:
+                ens.update(x)
+            return ens.forecast()
+
+        assert run() == run()
+
+
+class TestEngineInvariants:
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                        min_size=1, max_size=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_events_processed_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired: list[float] = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                        min_size=1, max_size=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_process_mix_deterministic(self, delays):
+        def run():
+            sim = Simulator()
+            order = []
+
+            def proc(tag, d):
+                yield d
+                order.append((tag, sim.now))
+                yield d / 2
+                order.append((tag, sim.now))
+
+            for i, d in enumerate(delays):
+                sim.process(proc(i, d))
+            sim.run()
+            return order
+
+        assert run() == run()

@@ -1,0 +1,70 @@
+"""Tests for the 3D-REACT AppLeS agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.userspec import UserSpecification
+from repro.react.apples import make_react_agent
+from repro.react.tasks import ReactProblem
+
+
+class TestReactAgent:
+    def test_chooses_correct_placement(self, casa):
+        agent = make_react_agent(casa, ReactProblem())
+        decision = agent.schedule()
+        best = decision.best
+        assert best.decomposition == "pipeline"
+        assert best.metadata["lhsf_host"] == "c90"
+        assert best.metadata["logd_host"] == "paragon"
+
+    def test_pipeline_size_in_admissible_range(self, casa):
+        agent = make_react_agent(casa, ReactProblem())
+        k = agent.schedule().best.metadata["pipeline_size"]
+        assert 5 <= k <= 20
+
+    def test_predicted_speedup_over_single_site(self, casa):
+        agent = make_react_agent(casa, ReactProblem())
+        decision = agent.schedule()
+        singles = [
+            e.schedule.predicted_time
+            for e in decision.evaluations
+            if e.feasible and e.schedule.decomposition == "single-site"
+        ]
+        assert singles, "singleton resource sets must be evaluated"
+        assert min(singles) / decision.best.predicted_time > 3.0
+
+    def test_single_site_schedules_have_both_tasks(self, casa):
+        agent = make_react_agent(casa, ReactProblem())
+        decision = agent.schedule()
+        single = next(
+            e.schedule for e in decision.evaluations
+            if e.feasible and e.schedule.decomposition == "single-site"
+        )
+        tasks = {a.task for a in single.allocations}
+        assert tasks == {"LHSF", "LogD-ASY"}
+
+    def test_userspec_can_force_single_site(self, casa):
+        us = UserSpecification(
+            accessible_machines=frozenset({"paragon"}), max_machines=1
+        )
+        agent = make_react_agent(casa, ReactProblem(), userspec=us)
+        best = agent.schedule().best
+        assert best.decomposition == "single-site"
+        assert best.resource_set == ("paragon",)
+
+    def test_unusable_testbed_raises(self, testbed):
+        # The Figure 2 workstation testbed has no c90/paragon
+        # implementations of either task.
+        agent = make_react_agent(testbed, ReactProblem())
+        with pytest.raises(RuntimeError):
+            agent.schedule()
+
+    def test_comm_bytes_reflect_pipeline_unit(self, casa):
+        agent = make_react_agent(casa, ReactProblem())
+        best = agent.schedule().best
+        lhsf_alloc = next(a for a in best.allocations if a.task == "LHSF")
+        k = best.metadata["pipeline_size"]
+        assert lhsf_alloc.comm_bytes["paragon"] == pytest.approx(
+            k * agent.info.hat.communication.pipeline_unit_bytes
+        )

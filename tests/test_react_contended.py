@@ -1,0 +1,90 @@
+"""3D-REACT on a contended CASA: the §4.2 NWS-driven agent.
+
+The paper's prototype ran on dedicated machines, but §4.2 describes the
+3D-REACT AppLeS planning "parameterized by forecasts of network and
+machine load from the Network Weather Service".  These tests exercise
+that path on a non-dedicated CASA variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nws.service import NetworkWeatherService
+from repro.react.apples import make_react_agent
+from repro.react.pipeline import simulate_pipeline, simulate_single_site
+from repro.react.tasks import ReactProblem
+from repro.sim.testbeds import casa_testbed
+
+
+@pytest.fixture(scope="module")
+def contended():
+    testbed = casa_testbed(dedicated=False, seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, cpu_period=60.0,
+                                            net_period=60.0, seed=2)
+    nws.warmup(3600.0)
+    return testbed, nws
+
+
+class TestContendedCasa:
+    def test_testbed_contended(self, contended):
+        testbed, _ = contended
+        paragon = testbed.topology.host("paragon")
+        xs = paragon.load.sample(100)
+        assert min(xs) < 0.9
+        assert not paragon.dedicated
+
+    def test_agent_still_distributes(self, contended):
+        testbed, nws = contended
+        agent = make_react_agent(testbed, ReactProblem(), nws)
+        best = agent.schedule().best
+        assert best.decomposition == "pipeline"
+        assert best.metadata["lhsf_host"] == "c90"
+        assert best.metadata["logd_host"] == "paragon"
+
+    def test_informed_prediction_more_honest(self, contended):
+        """§3.6: the schedule is only as good as its predictions — the
+        NWS-informed prediction must be closer to the contended actual
+        than the nominal (dedicated-world) prediction."""
+        testbed, nws = contended
+        problem = ReactProblem()
+
+        informed = make_react_agent(testbed, problem, nws).schedule().best
+        nominal = make_react_agent(testbed, problem).schedule().best
+
+        def run(schedule):
+            return simulate_pipeline(
+                testbed.topology, problem,
+                schedule.metadata["lhsf_host"], schedule.metadata["logd_host"],
+                schedule.metadata["pipeline_size"], t0=3600.0,
+            ).makespan_s
+
+        actual_informed = run(informed)
+        actual_nominal = run(nominal)
+        err_informed = abs(informed.predicted_time - actual_informed) / actual_informed
+        err_nominal = abs(nominal.predicted_time - actual_nominal) / actual_nominal
+        assert err_informed < err_nominal
+
+    def test_distributed_beats_single_site_even_contended(self, contended):
+        testbed, nws = contended
+        problem = ReactProblem()
+        best = make_react_agent(testbed, problem, nws).schedule().best
+        piped = simulate_pipeline(
+            testbed.topology, problem,
+            best.metadata["lhsf_host"], best.metadata["logd_host"],
+            best.metadata["pipeline_size"], t0=3600.0,
+        ).makespan_s
+        c90_alone = simulate_single_site(testbed.topology, problem, "c90", t0=3600.0)
+        assert piped < c90_alone
+
+    def test_contention_slows_the_pipeline(self, contended):
+        testbed, _ = contended
+        problem = ReactProblem()
+        contended_run = simulate_pipeline(
+            testbed.topology, problem, "c90", "paragon", 10, t0=3600.0
+        ).makespan_s
+        clean = casa_testbed(dedicated=True)
+        clean_run = simulate_pipeline(
+            clean.topology, problem, "c90", "paragon", 10
+        ).makespan_s
+        assert contended_run > 1.3 * clean_run

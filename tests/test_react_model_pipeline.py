@@ -1,0 +1,182 @@
+"""Tests for the 3D-REACT tasks, analytic model and pipeline simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.react.model import ReactPerformanceModel
+from repro.react.pipeline import simulate_pipeline, simulate_single_site
+from repro.react.tasks import ReactProblem, react_hat
+
+
+def small_problem(**kw):
+    defaults = dict(surface_functions=60, lhsf_mflop_per_sf=100.0,
+                    logd_mflop_per_sf=500.0, bytes_per_sf=1e6)
+    defaults.update(kw)
+    return ReactProblem(**defaults)
+
+
+def model_for(problem, lhsf_rate=50.0, logd_rate=250.0, bw=1e7, lat=0.001):
+    return ReactPerformanceModel(
+        problem, lhsf_rate_mflops=lhsf_rate, logd_rate_mflops=logd_rate,
+        link_bandwidth_Bps=bw, link_latency_s=lat, convert=True,
+    )
+
+
+class TestReactProblem:
+    def test_totals(self):
+        p = small_problem()
+        assert p.total_lhsf_mflop == pytest.approx(6000.0)
+        assert p.total_logd_mflop == pytest.approx(60 * (500.0 + 150.0))
+
+    def test_subdomain_count(self):
+        p = small_problem()
+        assert p.subdomain_count(20) == 3
+        assert p.subdomain_count(7) == 9  # ceil(60/7)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            ReactProblem(pipeline_range=(0, 5))
+
+    def test_hat_two_tasks(self):
+        hat = react_hat(small_problem())
+        assert hat.paradigm == "pipeline"
+        assert hat.task("LHSF").can_run_on("c90")
+        assert not hat.task("LHSF").implementations.get("alpha")
+        assert hat.communication.pipeline_size_range == (5, 20)
+
+
+class TestAnalyticModel:
+    def test_stage_times_positive(self):
+        m = model_for(small_problem())
+        assert m.lhsf_stage(10) > 0
+        assert m.transfer_stage(10) > 0
+        assert m.logd_stage(10) > 0
+
+    def test_conversion_overhead_applied(self):
+        p = small_problem(conversion_overhead=0.5)
+        with_conv = ReactPerformanceModel(p, 50.0, 250.0, 1e7, 0.0, convert=True)
+        without = ReactPerformanceModel(p, 50.0, 250.0, 1e7, 0.0, convert=False)
+        assert with_conv.transfer_stage(10) == pytest.approx(
+            1.5 * without.transfer_stage(10)
+        )
+
+    def test_buffering_quadratic(self):
+        p = small_problem(buffer_cost_s_per_sf_per_k=0.1)
+        m = model_for(p)
+        extra5 = m.logd_stage(5) - 5 * (650.0 / 250.0) - p.subdomain_startup_logd_s
+        extra10 = m.logd_stage(10) - 10 * (650.0 / 250.0) - p.subdomain_startup_logd_s
+        assert extra10 == pytest.approx(4 * extra5)
+
+    def test_out_of_range_pipeline_size(self):
+        m = model_for(small_problem())
+        with pytest.raises(ValueError):
+            m.estimate(2)
+        with pytest.raises(ValueError):
+            m.estimate(50)
+
+    def test_sweep_covers_range(self):
+        m = model_for(small_problem())
+        ks = [e.pipeline_size for e in m.sweep()]
+        assert ks == list(range(5, 21))
+
+    def test_optimal_is_minimum(self):
+        m = model_for(small_problem())
+        sweep = m.sweep()
+        best = m.optimal()
+        assert best.makespan_s == min(e.makespan_s for e in sweep)
+
+    def test_interior_optimum_with_default_calibration(self):
+        # The paper-calibrated problem must have its optimum strictly
+        # inside [5, 20] — the tradeoff of §2.3.
+        p = ReactProblem()
+        m = ReactPerformanceModel(p, 450.0, 2464.0, 1e8, 0.01)
+        best = m.optimal()
+        assert 5 < best.pipeline_size < 20
+
+    def test_bottleneck_label(self):
+        m = model_for(small_problem(), lhsf_rate=1.0)  # starve the producer
+        assert m.estimate(10).bottleneck == "LHSF"
+
+    def test_single_site_time(self):
+        p = small_problem()
+        t = ReactPerformanceModel.single_site_time(p, 10.0, 20.0)
+        assert t == pytest.approx(p.total_lhsf_mflop / 10.0 + p.total_logd_mflop / 20.0)
+
+    @given(k=st.integers(min_value=5, max_value=20))
+    @settings(max_examples=16)
+    def test_property_makespan_at_least_serial_bound(self, k):
+        m = model_for(small_problem())
+        est = m.estimate(k)
+        # The pipeline can never beat the bottleneck stage's total work.
+        p = m.problem
+        lower = max(
+            p.total_lhsf_mflop / m.lhsf_rate, p.total_logd_mflop / m.logd_rate
+        )
+        assert est.makespan_s >= lower
+
+
+class TestPipelineSimulation:
+    def test_simulation_close_to_model(self, casa):
+        p = ReactProblem()
+        sim = simulate_pipeline(casa.topology, p, "c90", "paragon", 10)
+        m = ReactPerformanceModel(
+            p, 1000.0 * 0.45, 3200.0 * 0.77,
+            casa.topology.path_bandwidth("c90", "paragon"),
+            casa.topology.path_latency("c90", "paragon"),
+        )
+        assert sim.makespan_s == pytest.approx(m.estimate(10).makespan_s, rel=0.1)
+
+    def test_overlap_beats_serial(self, casa):
+        p = ReactProblem()
+        piped = simulate_pipeline(casa.topology, p, "c90", "paragon", 10).makespan_s
+        serial = (
+            simulate_single_site(casa.topology, p, "c90")
+            + simulate_single_site(casa.topology, p, "paragon")
+        ) / 2
+        assert piped < serial / 2
+
+    def test_paper_shape(self, casa):
+        """The §2.3 claims: >=16 h alone on each machine, <5 h distributed."""
+        p = ReactProblem()
+        c90 = simulate_single_site(casa.topology, p, "c90")
+        paragon = simulate_single_site(casa.topology, p, "paragon")
+        piped = simulate_pipeline(casa.topology, p, "c90", "paragon", 10).makespan_s
+        assert c90 >= 16 * 3600
+        assert paragon >= 16 * 3600
+        assert piped < 5 * 3600
+
+    def test_small_pipeline_stalls_consumer(self, casa):
+        p = ReactProblem()
+        small = simulate_pipeline(casa.topology, p, "c90", "paragon", 5)
+        large = simulate_pipeline(casa.topology, p, "c90", "paragon", 20)
+        assert small.subdomains > large.subdomains
+
+    def test_multiple_passes(self, casa):
+        one = simulate_pipeline(casa.topology, ReactProblem(passes=1),
+                                "c90", "paragon", 10).makespan_s
+        two = simulate_pipeline(casa.topology, ReactProblem(passes=2),
+                                "c90", "paragon", 10).makespan_s
+        assert two == pytest.approx(2 * one, rel=0.05)
+
+    def test_reverse_placement_worse(self, casa):
+        p = ReactProblem()
+        right = simulate_pipeline(casa.topology, p, "c90", "paragon", 10).makespan_s
+        wrong = simulate_pipeline(casa.topology, p, "paragon", "c90", 10).makespan_s
+        assert wrong > right
+
+    def test_out_of_range_rejected(self, casa):
+        with pytest.raises(ValueError):
+            simulate_pipeline(casa.topology, ReactProblem(), "c90", "paragon", 3)
+
+    def test_unsupported_arch_rejected(self, testbed):
+        with pytest.raises(ValueError):
+            simulate_single_site(testbed.topology, ReactProblem(), "alpha1")
+
+    def test_busy_accounting(self, casa):
+        r = simulate_pipeline(casa.topology, ReactProblem(), "c90", "paragon", 10)
+        assert 0 < r.producer_busy_s <= r.makespan_s + 1e-6
+        assert 0 < r.consumer_busy_s <= r.makespan_s + 1e-6
+        assert r.consumer_stall_s >= 0.0

@@ -1,0 +1,45 @@
+"""Seed-robustness: the headline shapes must not depend on the lucky seed.
+
+Every figure claim is re-checked (at reduced scale) across several testbed
+load seeds.  These runs are the slowest tests in the suite, so scales are
+kept small; the full-scale single-seed versions live in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig5, run_fig6, run_nws_comparison
+
+SEEDS = (7, 1996, 20260706)
+
+
+class TestFig5AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_apples_wins_for_any_seed(self, seed):
+        result = run_fig5(sizes=(1400,), iterations=30, repeats=2, seed=seed)
+        row = result.rows[0]
+        assert row.apples_s < row.strip_s, f"seed={seed}"
+        assert row.apples_s < row.blocked_s, f"seed={seed}"
+        # The band is wide but the advantage must be material.
+        assert row.strip_ratio > 1.3
+        assert row.blocked_ratio > 1.3
+
+
+class TestFig6AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_crossover_structure_for_any_seed(self, seed):
+        result = run_fig6(sizes=(3000, 4200), iterations=10, seed=seed)
+        below = result.rows[0]
+        above = result.rows[1]
+        assert below.apples_uses_only_sp2, f"seed={seed}"
+        assert above.blocked_spills
+        assert above.blocked_sp2_s > 2.0 * above.apples_s, f"seed={seed}"
+
+
+class TestNwsAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ensemble_competitive_for_any_seed(self, seed):
+        result = run_nws_comparison(nsamples=300, seed=seed)
+        for process in result.mse:
+            assert result.ensemble_regret(process) < 2.0, (seed, process)

@@ -1,0 +1,242 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Process, Signal, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, seen.append, "c")
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_equal_times_fifo(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abcde":
+            sim.schedule(1.0, seen.append, tag)
+        sim.run()
+        assert seen == list("abcde")
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        hits = []
+        sim.at(5.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [5.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(10.0, seen.append, "late")
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 2.0
+            trace.append(sim.now)
+            yield 3.0
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.done
+        assert p.result == 42
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="unsupported value"):
+            sim.run()
+
+    def test_negative_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_done(self):
+        sim = Simulator()
+
+        def proc(delay):
+            yield delay
+
+        procs = [sim.process(proc(d)) for d in (1.0, 5.0, 3.0)]
+        end = sim.run_until_done(procs)
+        assert end == 5.0
+        assert all(p.done for p in procs)
+
+    def test_run_until_done_detects_deadlock(self):
+        sim = Simulator()
+        sig = Signal("never")
+
+        def proc():
+            yield sig
+
+        p = sim.process(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_done([p])
+
+
+class TestSignals:
+    def test_signal_wakes_waiter_with_payload(self):
+        sim = Simulator()
+        got = []
+        sig = Signal("data")
+
+        def waiter():
+            value = yield sig
+            got.append((sim.now, value))
+
+        def firer():
+            yield 4.0
+            sig.fire("hello")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert got == [(4.0, "hello")]
+
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        woken = []
+        sig = Signal()
+
+        def waiter(i):
+            yield sig
+            woken.append(i)
+
+        for i in range(3):
+            sim.process(waiter(i))
+
+        def firer():
+            yield 1.0
+            assert sig.waiting == 3
+            count = sig.fire()
+            assert count == 3
+
+        sim.process(firer())
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_fire_count_tracked(self):
+        sig = Signal()
+        sig.fire()
+        sig.fire()
+        assert sig.fire_count == 2
+
+    def test_process_finished_signal(self):
+        sim = Simulator()
+        done = []
+
+        def short():
+            yield 1.0
+            return "x"
+
+        p = sim.process(short(), "short")
+
+        def watcher():
+            value = yield p.finished
+            done.append(value)
+
+        sim.process(watcher())
+        sim.run()
+        assert done == ["x"]
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build():
+            sim = Simulator()
+            order = []
+
+            def proc(tag, delay):
+                yield delay
+                order.append(tag)
+                yield delay
+                order.append(tag.upper())
+
+            for i, d in enumerate((1.0, 0.5, 0.75)):
+                sim.process(proc(f"p{i}", d))
+            sim.run()
+            return order
+
+        assert build() == build()

@@ -1,0 +1,133 @@
+"""Tests for hosts, the memory model and contention conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.contention import (
+    availability_from_load,
+    effective_rate,
+    load_from_availability,
+    timeshared_slowdown,
+)
+from repro.sim.host import Host
+from repro.sim.load import ConstantLoad, TraceLoad
+from repro.sim.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_available(self):
+        m = MemoryModel(128.0, 8.0)
+        assert m.available_mb == 120.0
+
+    def test_fits(self):
+        m = MemoryModel(128.0, 8.0)
+        assert m.fits(120.0)
+        assert not m.fits(120.1)
+
+    def test_no_slowdown_in_core(self):
+        m = MemoryModel(128.0, 8.0, page_penalty=40.0)
+        assert m.slowdown(0.0) == 1.0
+        assert m.slowdown(120.0) == 1.0
+
+    def test_slowdown_grows_with_spill(self):
+        m = MemoryModel(128.0, 8.0, page_penalty=40.0)
+        s1 = m.slowdown(150.0)
+        s2 = m.slowdown(300.0)
+        assert 1.0 < s1 < s2 < 41.0
+
+    def test_slowdown_asymptote(self):
+        m = MemoryModel(100.0, 0.0, page_penalty=40.0)
+        assert m.slowdown(1e9) == pytest.approx(41.0, rel=1e-3)
+
+    def test_reserve_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(64.0, 64.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_property_slowdown_at_least_one(self, footprint):
+        m = MemoryModel(128.0, 8.0)
+        assert m.slowdown(footprint) >= 1.0
+
+
+class TestContention:
+    def test_slowdown(self):
+        assert timeshared_slowdown(0) == 1.0
+        assert timeshared_slowdown(3) == 4.0
+
+    def test_availability_roundtrip(self):
+        for q in (0.0, 0.5, 2.0, 10.0):
+            assert load_from_availability(availability_from_load(q)) == pytest.approx(q)
+
+    def test_effective_rate(self):
+        assert effective_rate(100.0, 0.25) == 25.0
+
+    def test_effective_rate_bad_availability(self):
+        with pytest.raises(ValueError):
+            effective_rate(100.0, 1.5)
+
+
+class TestHost:
+    def make(self, speed=50.0, avail=1.0, mem=MemoryModel(128.0, 8.0)):
+        return Host("h", speed_mflops=speed, memory=mem, load=ConstantLoad(avail))
+
+    def test_effective_speed_scales_with_availability(self):
+        h = self.make(speed=100.0, avail=0.5)
+        assert h.effective_speed(0.0) == 50.0
+
+    def test_effective_speed_with_paging(self):
+        mem = MemoryModel(100.0, 0.0, page_penalty=9.0)
+        h = self.make(speed=100.0, mem=mem)
+        # Footprint of 200 MB: spill fraction 0.5 -> slowdown 5.5.
+        assert h.effective_speed(0.0, footprint_mb=200.0) == pytest.approx(100.0 / 5.5)
+
+    def test_time_to_compute_constant_load(self):
+        h = self.make(speed=10.0)
+        assert h.time_to_compute(100.0) == pytest.approx(10.0)
+
+    def test_time_to_compute_zero_work(self):
+        assert self.make().time_to_compute(0.0) == 0.0
+
+    def test_time_to_compute_integrates_epochs(self):
+        # First 10 s at 100% of 10 MFLOP/s, then 50%: 150 MFLOP should take
+        # 10 s (100 MFLOP) + 10 s (50 MFLOP) = 20 s.
+        load = TraceLoad([1.0, 0.5, 0.5, 0.5], dt=10.0)
+        h = Host("h", speed_mflops=10.0, load=load)
+        assert h.time_to_compute(150.0) == pytest.approx(20.0)
+
+    def test_time_to_compute_skips_dead_epochs(self):
+        load = TraceLoad([0.0, 1.0], dt=10.0)
+        h = Host("h", speed_mflops=10.0, load=load)
+        # Epoch 0 delivers nothing; work finishes 5 s into epoch 1.
+        assert h.time_to_compute(50.0) == pytest.approx(15.0)
+
+    def test_time_to_compute_respects_start_time(self):
+        load = TraceLoad([1.0, 0.1], dt=10.0)
+        h = Host("h", speed_mflops=10.0, load=load)
+        fast = h.time_to_compute(50.0, t0=0.0)
+        slow = h.time_to_compute(50.0, t0=10.0)
+        assert slow > fast
+
+    def test_seconds_per_mflop_infinite_when_dead(self):
+        h = Host("h", speed_mflops=10.0, load=ConstantLoad(0.0))
+        assert h.seconds_per_mflop(0.0) == float("inf")
+
+    def test_mean_effective_speed(self):
+        load = TraceLoad([1.0, 0.0], dt=10.0)
+        h = Host("h", speed_mflops=10.0, load=load)
+        assert h.mean_effective_speed(0.0, 20.0) == pytest.approx(5.0)
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Host("", speed_mflops=10.0)
+
+    @given(
+        work=st.floats(min_value=0.1, max_value=1e4),
+        avail=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_property_time_inverse_to_availability(self, work, avail):
+        base = Host("h", speed_mflops=20.0, load=ConstantLoad(1.0)).time_to_compute(work)
+        loaded = Host("h", speed_mflops=20.0, load=ConstantLoad(avail)).time_to_compute(work)
+        assert loaded == pytest.approx(base / avail, rel=1e-9)

@@ -1,0 +1,171 @@
+"""Tests for the background-load (availability) processes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.load import (
+    AR1Load,
+    CompositeLoad,
+    ConstantLoad,
+    MarkovLoad,
+    SpikeLoad,
+    TraceLoad,
+)
+from repro.util.rng import RngStream
+
+
+class TestConstantLoad:
+    def test_level_everywhere(self):
+        load = ConstantLoad(0.7, dt=5.0)
+        assert load.availability(0.0) == 0.7
+        assert load.availability(123.4) == 0.7
+
+    def test_mean_availability(self):
+        load = ConstantLoad(0.5)
+        assert load.mean_availability(0.0, 100.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(1.5)
+
+
+class TestAR1Load:
+    def make(self, seed=1, **kw):
+        return AR1Load(rng=RngStream(seed, "t"), **kw)
+
+    def test_bounded(self):
+        load = self.make(mean=0.5, sigma=0.3, floor=0.05)
+        for v in load.sample(500):
+            assert 0.05 <= v <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = self.make(seed=3).sample(50)
+        b = self.make(seed=3).sample(50)
+        assert a == b
+
+    def test_query_idempotent(self):
+        load = self.make()
+        assert load.availability(77.0) == load.availability(77.0)
+
+    def test_mean_tracks_parameter(self):
+        load = self.make(mean=0.8, sigma=0.05)
+        xs = load.sample(2000)
+        assert 0.7 < sum(xs) / len(xs) < 0.9
+
+    def test_autocorrelation_positive(self):
+        # AR(1) with phi=0.9 must show strong lag-1 correlation — that is
+        # the predictability AppLeS exploits.
+        import numpy as np
+
+        xs = np.array(self.make(phi=0.9, sigma=0.1).sample(1000))
+        r = np.corrcoef(xs[:-1], xs[1:])[0, 1]
+        assert r > 0.5
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            AR1Load(phi=1.0)
+
+
+class TestMarkovLoad:
+    def test_two_levels_only(self):
+        load = MarkovLoad(idle_level=0.9, busy_level=0.2, rng=RngStream(4, "m"))
+        values = set(load.sample(500))
+        assert values <= {0.9, 0.2}
+        assert len(values) == 2  # both states visited
+
+    def test_start_busy(self):
+        load = MarkovLoad(
+            idle_level=0.9, busy_level=0.2, p_idle=0.0, start_busy=True,
+            rng=RngStream(1, "m"),
+        )
+        assert load.availability(0.0) == 0.2
+
+
+class TestSpikeLoad:
+    def test_base_dominates(self):
+        load = SpikeLoad(base=0.95, spike_level=0.1, p_spike=0.05,
+                         rng=RngStream(5, "s"))
+        xs = load.sample(1000)
+        assert xs.count(0.95) > xs.count(0.1)
+
+    def test_spikes_occur(self):
+        load = SpikeLoad(p_spike=0.3, rng=RngStream(5, "s"))
+        assert 0.1 in load.sample(200)
+
+
+class TestCompositeLoad:
+    def test_product(self):
+        load = CompositeLoad([ConstantLoad(0.5), ConstantLoad(0.8)])
+        assert load.availability(0.0) == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeLoad([])
+
+    def test_bounded(self):
+        load = CompositeLoad([
+            AR1Load(rng=RngStream(1, "a")),
+            MarkovLoad(rng=RngStream(1, "b")),
+        ])
+        for v in load.sample(200):
+            assert 0.0 <= v <= 1.0
+
+
+class TestTraceLoad:
+    def test_playback(self):
+        load = TraceLoad([0.1, 0.5, 0.9], dt=10.0)
+        assert load.availability(0.0) == 0.1
+        assert load.availability(10.0) == 0.5
+        assert load.availability(25.0) == 0.9
+
+    def test_cyclic(self):
+        load = TraceLoad([0.1, 0.5], dt=1.0)
+        assert load.availability(2.0) == 0.1
+        assert load.availability(3.0) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLoad([])
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLoad([1.2])
+
+
+class TestEpochSemantics:
+    def test_negative_time_clamps(self):
+        load = TraceLoad([0.3, 0.6], dt=1.0)
+        assert load.availability(-5.0) == 0.3
+
+    def test_mean_availability_exact_weighting(self):
+        load = TraceLoad([0.0, 1.0], dt=10.0)
+        # [5, 15] covers half of epoch 0 (0.0) and half of epoch 1 (1.0).
+        assert load.mean_availability(5.0, 15.0) == pytest.approx(0.5)
+
+    def test_mean_availability_point(self):
+        load = TraceLoad([0.25], dt=10.0)
+        assert load.mean_availability(3.0, 3.0) == 0.25
+
+    def test_mean_availability_reversed_raises(self):
+        load = ConstantLoad(1.0)
+        with pytest.raises(ValueError):
+            load.mean_availability(10.0, 5.0)
+
+    @given(
+        t=st.floats(min_value=0.0, max_value=1e4),
+        dt=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_property_epoch_contains_time(self, t, dt):
+        load = ConstantLoad(1.0, dt=dt)
+        k = load.epoch_of(t)
+        assert k * dt <= t + 1e-9
+        assert t < (k + 1) * dt + 1e-6
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+    def test_property_mean_within_range(self, trace):
+        load = TraceLoad(trace, dt=1.0)
+        m = load.mean_availability(0.0, len(trace))
+        assert min(trace) - 1e-9 <= m <= max(trace) + 1e-9

@@ -1,0 +1,141 @@
+"""Tests for the canned testbeds (Figure 2 and variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.testbeds import (
+    casa_testbed,
+    nile_testbed,
+    sdsc_pcl_testbed,
+    sdsc_pcl_with_sp2,
+)
+
+
+class TestSdscPcl:
+    def test_host_inventory(self, testbed):
+        # Figure 2: Sparc-2, Sparc-10, 2x RS6000, 4x Alpha.
+        assert set(testbed.host_names) == {
+            "sparc2", "sparc10", "rs6000a", "rs6000b",
+            "alpha1", "alpha2", "alpha3", "alpha4",
+        }
+
+    def test_sites(self, testbed):
+        topo = testbed.topology
+        assert topo.host("sparc2").site == "PCL"
+        assert topo.host("alpha1").site == "SDSC"
+
+    def test_segment_membership(self, testbed):
+        topo = testbed.topology
+        assert topo.same_segment("sparc2", "sparc10")
+        assert topo.same_segment("rs6000a", "rs6000b")
+        assert topo.same_segment("alpha1", "alpha4")
+        assert not topo.same_segment("sparc2", "rs6000a")
+        assert not topo.same_segment("sparc2", "alpha1")
+
+    def test_cross_site_routes_through_wan(self, testbed):
+        names = [l.name for l in testbed.topology.route("sparc2", "alpha1")]
+        assert "wan" in names
+
+    def test_intra_pcl_route_avoids_wan(self, testbed):
+        names = [l.name for l in testbed.topology.route("sparc2", "rs6000a")]
+        assert "wan" not in names
+
+    def test_all_pairs_routable(self, testbed):
+        topo = testbed.topology
+        for a in testbed.host_names:
+            for b in testbed.host_names:
+                topo.route(a, b)  # must not raise
+
+    def test_hosts_nondedicated(self, testbed):
+        # Availability varies across time on every Figure 2 host.
+        for host in testbed.hosts():
+            xs = host.load.sample(200)
+            assert max(xs) - min(xs) > 0.05, host.name
+
+    def test_seed_reproducibility(self):
+        a = sdsc_pcl_testbed(seed=11)
+        b = sdsc_pcl_testbed(seed=11)
+        for name in a.host_names:
+            assert a.topology.host(name).load.sample(50) == b.topology.host(
+                name
+            ).load.sample(50)
+
+    def test_different_seeds_differ(self):
+        a = sdsc_pcl_testbed(seed=11)
+        b = sdsc_pcl_testbed(seed=12)
+        assert a.topology.host("alpha1").load.sample(50) != b.topology.host(
+            "alpha1"
+        ).load.sample(50)
+
+
+class TestSdscPclWithSp2:
+    def test_sp2_nodes_added(self, testbed_sp2):
+        assert "sp2-1" in testbed_sp2.host_names
+        assert "sp2-2" in testbed_sp2.host_names
+
+    def test_sp2_dedicated(self, testbed_sp2):
+        for name in ("sp2-1", "sp2-2"):
+            host = testbed_sp2.topology.host(name)
+            assert host.dedicated
+            assert host.load.sample(50) == [1.0] * 50
+
+    def test_memory_crossover_calibration(self):
+        n = 3700
+        tb = sdsc_pcl_with_sp2(crossover_n=n, bytes_per_point=16.0)
+        per_node = tb.topology.host("sp2-1").memory.available_mb
+        # Exactly at the crossover the problem fills both nodes.
+        assert 2 * per_node * 1e6 == pytest.approx(16.0 * n * n, rel=1e-9)
+        # One step beyond spills.
+        beyond = 16.0 * (n + 50) * (n + 50) / 2 / 1e6
+        assert tb.topology.host("sp2-1").memory.slowdown(beyond) > 1.0
+
+    def test_crossover_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            sdsc_pcl_with_sp2(crossover_n=10_000, sp2_memory_mb=128.0)
+
+    def test_sp2_pair_fast_path(self, testbed_sp2):
+        topo = testbed_sp2.topology
+        direct = topo.path_bandwidth("sp2-1", "sp2-2")
+        via_fddi = topo.path_bandwidth("sp2-1", "alpha1")
+        assert direct > via_fddi
+
+
+class TestCasa:
+    def test_pair(self, casa):
+        assert set(casa.host_names) == {"c90", "paragon"}
+
+    def test_dedicated(self, casa):
+        for host in casa.hosts():
+            assert host.dedicated
+
+    def test_hippi_link(self, casa):
+        names = [l.name for l in casa.topology.route("c90", "paragon")]
+        assert names == ["hippi-sonet"]
+
+    def test_architectures(self, casa):
+        assert casa.topology.host("c90").arch == "c90"
+        assert casa.topology.host("paragon").arch == "paragon"
+
+
+class TestNile:
+    def test_site_count(self):
+        tb = nile_testbed(nsites=4)
+        sites = {h.site for h in tb.hosts()}
+        assert len(sites) == 4
+
+    def test_alphas_dedicated_workstations_not(self, nile_bed):
+        topo = nile_bed.topology
+        assert topo.host("site0-alpha0").dedicated
+        assert not topo.host("site0-ws0").dedicated
+
+    def test_cross_site_routable(self, nile_bed):
+        nile_bed.topology.route("site0-alpha0", "site2-ws1")
+
+    def test_corba_capability(self, nile_bed):
+        for host in nile_bed.hosts():
+            assert "corba-orb" in host.capabilities
+
+    def test_bad_nsites(self):
+        with pytest.raises(ValueError):
+            nile_testbed(nsites=0)

@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        assert "2.5s" in bar_chart(["x"], [2.5], unit="s")
+
+    def test_title(self):
+        assert bar_chart(["x"], [1.0], title="T").splitlines()[0] == "T"
+
+    def test_zero_value_empty_bar(self):
+        text = bar_chart(["z", "a"], [0.0, 1.0])
+        assert "#" not in text.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart([0, 1, 2], {"s1": [1, 2, 3], "s2": [3, 2, 1]})
+        assert "*" in text
+        assert "o" in text
+        assert "* s1" in text and "o s2" in text
+
+    def test_axis_labels(self):
+        text = line_chart([10, 20], {"s": [5.0, 15.0]})
+        assert "15" in text
+        assert "5" in text
+        assert "10" in text and "20" in text
+
+    def test_log_scale(self):
+        text = line_chart([0, 1], {"s": [1.0, 1000.0]}, logy=True, height=6)
+        assert "1e+03" in text or "1000" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [0.0, 1.0]}, logy=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            line_chart([0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_flat_series_ok(self):
+        text = line_chart([0, 1, 2], {"s": [5.0, 5.0, 5.0]})
+        assert "*" in text

@@ -1,0 +1,139 @@
+"""Tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    OnlineStats,
+    confidence_interval,
+    geometric_mean,
+    mean_absolute_error,
+    mean_squared_error,
+    summarize,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_matches_numpy(self):
+        data = [1.5, 2.0, -3.0, 4.25, 0.0, 7.5]
+        s = OnlineStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.variance == pytest.approx(np.var(data, ddof=1))
+        assert s.std == pytest.approx(np.std(data, ddof=1))
+        assert s.min == min(data)
+        assert s.max == max(data)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_property_matches_numpy(self, data):
+        s = OnlineStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-9)
+        assert s.variance == pytest.approx(np.var(data, ddof=1), rel=1e-7, abs=1e-7)
+
+
+class TestConfidenceInterval:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_single_value_collapses(self):
+        lo, hi = confidence_interval([3.0])
+        assert lo == hi == 3.0
+
+    def test_contains_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = confidence_interval(data)
+        assert lo < 3.0 < hi
+
+    def test_higher_level_wider(self):
+        data = list(range(20))
+        lo90, hi90 = confidence_interval(data, 0.90)
+        lo99, hi99 = confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi90 - lo90
+
+    def test_nonstandard_level(self):
+        data = list(range(10))
+        lo, hi = confidence_interval(data, 0.5)
+        assert lo < np.mean(data) < hi
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, data):
+        g = geometric_mean(data)
+        assert min(data) - 1e-9 <= g <= max(data) + 1e-9
+
+
+class TestErrors:
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(1.0)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_perfect_prediction(self):
+        assert mean_squared_error([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_renders(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))

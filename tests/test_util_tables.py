@@ -1,0 +1,63 @@
+"""Tests for repro.util.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import Table, render_table
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        text = render_table(["n", "time"], [[1000, 2.5], [2000, 10.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "n" in lines[0] and "time" in lines[0]
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1234567.0], [0.0000012], [float("nan")]])
+        assert "e" in text  # scientific for extremes
+        assert "nan" in text
+
+    def test_bool_rendered_as_word(self):
+        text = render_table(["flag"], [[True]])
+        assert "True" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestTable:
+    def test_accumulate_and_render(self):
+        t = Table(["n", "apples", "strip"], title="fig5")
+        t.add(1000, 1.0, 3.0)
+        t.add(2000, 2.0, 7.0)
+        assert len(t) == 2
+        out = t.render()
+        assert "fig5" in out
+        assert "2000" in out
+
+    def test_add_wrong_arity_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_column_extraction(self):
+        t = Table(["n", "time"])
+        t.add(1, 10.0)
+        t.add(2, 20.0)
+        assert t.column("time") == [10.0, 20.0]
+
+    def test_column_unknown_raises(self):
+        t = Table(["n"])
+        with pytest.raises(ValueError):
+            t.column("zzz")

@@ -1,0 +1,103 @@
+"""Tests for the §3.2 wait-or-run decision."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.core.userspec import UserSpecification
+from repro.core.wait_or_run import Reservation, decide_wait_or_run
+from repro.jacobi.apples import JacobiPlanner
+from repro.jacobi.grid import JacobiProblem, jacobi_hat
+
+
+def _info(testbed_sp2, nws):
+    problem = JacobiProblem(n=3000, iterations=200)
+    info = InformationPool(
+        pool=ResourcePool(testbed_sp2.topology, nws), hat=jacobi_hat(problem)
+    )
+    return info, JacobiPlanner(problem)
+
+
+class TestReservation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reservation(machines=(), wait_s=10.0)
+        with pytest.raises(ValueError):
+            Reservation(machines=("sp2-1",), wait_s=-1.0)
+
+
+class TestDecideWaitOrRun:
+    def test_short_wait_for_fast_machines_wins(self, testbed_sp2, warmed_nws_sp2):
+        info, planner = _info(testbed_sp2, warmed_nws_sp2)
+        # The SP-2 pair dwarfs the loaded workstations; a short queue wait
+        # is worth it.  Exclude the SP-2s from "run now" (they are what we
+        # would be queueing for).
+        shared = [m for m in testbed_sp2.host_names if not m.startswith("sp2")]
+        decision = decide_wait_or_run(
+            info, planner,
+            Reservation(machines=("sp2-1", "sp2-2"), wait_s=5.0),
+            shared_machines=shared,
+        )
+        assert decision.wait
+        assert decision.wait_total_s < decision.run_now_s
+
+    def test_enormous_wait_loses(self, testbed_sp2, warmed_nws_sp2):
+        info, planner = _info(testbed_sp2, warmed_nws_sp2)
+        shared = [m for m in testbed_sp2.host_names if not m.startswith("sp2")]
+        decision = decide_wait_or_run(
+            info, planner,
+            Reservation(machines=("sp2-1", "sp2-2"), wait_s=1e6),
+            shared_machines=shared,
+        )
+        assert not decision.wait
+        assert decision.now_schedule is not None
+
+    def test_crossover_wait_exists(self, testbed_sp2, warmed_nws_sp2):
+        """Somewhere between 'no wait' and 'forever' the decision flips —
+        the comparison is a real tradeoff, not a constant."""
+        info, planner = _info(testbed_sp2, warmed_nws_sp2)
+        shared = [m for m in testbed_sp2.host_names if not m.startswith("sp2")]
+
+        def wait_for(w):
+            return decide_wait_or_run(
+                info, planner, Reservation(("sp2-1", "sp2-2"), w), shared
+            ).wait
+
+        assert wait_for(0.0)
+        assert not wait_for(1e6)
+
+    def test_dedicated_branch_sees_full_availability(self, testbed_sp2, warmed_nws_sp2):
+        info, planner = _info(testbed_sp2, warmed_nws_sp2)
+        decision = decide_wait_or_run(
+            info, planner,
+            Reservation(machines=("rs6000a", "rs6000b"), wait_s=0.0),
+            shared_machines=["rs6000a", "rs6000b"],
+        )
+        # Same machines both branches: dedicated (nominal) must predict
+        # faster than contended "now".
+        assert decision.wait_total_s < decision.run_now_s
+
+    def test_default_shared_respects_userspec(self, testbed_sp2, warmed_nws_sp2):
+        problem = JacobiProblem(n=1000, iterations=10)
+        us = UserSpecification(accessible_machines=frozenset({"alpha1"}))
+        info = InformationPool(
+            pool=ResourcePool(testbed_sp2.topology, warmed_nws_sp2),
+            hat=jacobi_hat(problem),
+            userspec=us,
+        )
+        decision = decide_wait_or_run(
+            info, JacobiPlanner(problem), Reservation(("sp2-1",), 1e9)
+        )
+        assert decision.now_schedule is not None
+        assert decision.now_schedule.resource_set == ("alpha1",)
+
+    def test_advantage(self, testbed_sp2, warmed_nws_sp2):
+        info, planner = _info(testbed_sp2, warmed_nws_sp2)
+        decision = decide_wait_or_run(
+            info, planner, Reservation(("sp2-1", "sp2-2"), 5.0)
+        )
+        assert decision.advantage_s == pytest.approx(
+            abs(decision.run_now_s - decision.wait_total_s)
+        )
