@@ -1,0 +1,129 @@
+"""Performance suite: the parallel runner + hot-path optimisation budget.
+
+Measures, on this machine, what the optimisation work is actually worth:
+
+- **fig5 driver** — the seed-equivalent implementation (fast paths
+  disabled via :mod:`repro.util.perf`) vs the optimised serial driver vs
+  the optimised driver at 4 workers.  The recorded
+  ``speedup_parallel_vs_baseline`` compares ``--workers 4`` against the
+  seed-equivalent serial baseline, i.e. the end-to-end win a user gets.
+- **fig6 / selection ablation** — optimised serial vs 2-worker parallel.
+- **NWS evaluation loop** — the forecaster-battery scoring loop
+  (``run_nws_comparison``) with fast paths off vs on: the pure
+  single-process win from the incremental window statistics and ensemble
+  memoisation.
+
+All timings are wall-clock of the driver call only (no interpreter
+start-up), with the warm-state cache cleared before every run so nothing
+is amortised across measurements.  Results are archived machine-readably
+in ``benchmarks/results/perf_suite.json``.
+
+Set ``PERF_SUITE_QUICK=1`` (CI smoke) to run reduced problem scales; the
+quick mode checks plumbing and archives results, but only the full run's
+speedups are meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_nws_comparison,
+    run_selection_ablation,
+)
+from repro.sim.warmcache import clear_warm_cache
+from repro.util import perf
+
+QUICK = os.environ.get("PERF_SUITE_QUICK", "").strip().lower() in ("1", "true", "yes")
+
+
+def _timed(fn, /, **kwargs):
+    """(result, seconds) for one cold driver call."""
+    clear_warm_cache()
+    t0 = time.perf_counter()
+    result = fn(**kwargs)
+    return result, time.perf_counter() - t0
+
+
+def bench_perf_suite(report):
+    data: dict = {"quick_mode": QUICK, "cpu_count": os.cpu_count()}
+
+    # -- fig5: baseline (seed-equivalent) vs optimised serial vs parallel --
+    fig5_kwargs = (
+        dict(sizes=(1000, 1400), iterations=10, repeats=2)
+        if QUICK
+        else dict()
+    )
+    with perf.fastpath(False):
+        base_result, base_s = _timed(run_fig5, **fig5_kwargs, workers=1)
+    with perf.fastpath(True):
+        opt_result, opt_s = _timed(run_fig5, **fig5_kwargs, workers=1)
+        par_result, par_s = _timed(run_fig5, **fig5_kwargs, workers=4)
+    assert par_result.table().render() == opt_result.table().render()
+    data["fig5"] = {
+        "baseline_serial_s": base_s,
+        "optimized_serial_s": opt_s,
+        "optimized_parallel4_s": par_s,
+        "speedup_serial_vs_baseline": base_s / opt_s,
+        "speedup_parallel_vs_baseline": base_s / par_s,
+    }
+
+    # -- fig6 and the selection ablation: serial vs parallel ---------------
+    fig6_kwargs = dict(sizes=(1000, 3000, 3900), iterations=10) if QUICK else dict()
+    _, fig6_serial_s = _timed(run_fig6, **fig6_kwargs, workers=1)
+    _, fig6_par_s = _timed(run_fig6, **fig6_kwargs, workers=2)
+    data["fig6"] = {"serial_s": fig6_serial_s, "parallel2_s": fig6_par_s}
+
+    sel_kwargs = dict(n=1000, iterations=10) if QUICK else dict()
+    _, sel_serial_s = _timed(run_selection_ablation, **sel_kwargs, workers=1)
+    _, sel_par_s = _timed(run_selection_ablation, **sel_kwargs, workers=2)
+    data["selection_ablation"] = {"serial_s": sel_serial_s, "parallel2_s": sel_par_s}
+
+    # -- NWS evaluation loop: pure single-process forecaster win -----------
+    nws_kwargs = dict(nsamples=200) if QUICK else dict(nsamples=2000)
+    with perf.fastpath(False):
+        _, nws_base_s = _timed(run_nws_comparison, **nws_kwargs, workers=1)
+    with perf.fastpath(True):
+        _, nws_opt_s = _timed(run_nws_comparison, **nws_kwargs, workers=1)
+    data["nws_eval"] = {
+        "nsamples": nws_kwargs["nsamples"],
+        "baseline_s": nws_base_s,
+        "optimized_s": nws_opt_s,
+        "speedup": nws_base_s / nws_opt_s,
+    }
+
+    lines = [
+        "Performance suite — runner + hot-path optimisations",
+        f"(cpu_count={os.cpu_count()}, quick_mode={QUICK})",
+        "",
+        "fig5 driver:",
+        f"  baseline (fast paths off), serial : {base_s:8.3f} s",
+        f"  optimised, serial                 : {opt_s:8.3f} s"
+        f"   ({base_s / opt_s:.2f}x vs baseline)",
+        f"  optimised, 4 workers              : {par_s:8.3f} s"
+        f"   ({base_s / par_s:.2f}x vs baseline)",
+        "",
+        "fig6 driver:",
+        f"  serial    : {fig6_serial_s:8.3f} s",
+        f"  2 workers : {fig6_par_s:8.3f} s",
+        "",
+        "selection ablation:",
+        f"  serial    : {sel_serial_s:8.3f} s",
+        f"  2 workers : {sel_par_s:8.3f} s",
+        "",
+        f"NWS evaluation loop ({nws_kwargs['nsamples']} samples/family):",
+        f"  baseline (fast paths off) : {nws_base_s:8.3f} s",
+        f"  optimised                 : {nws_opt_s:8.3f} s"
+        f"   ({nws_base_s / nws_opt_s:.2f}x)",
+    ]
+    report("perf_suite", "\n".join(lines), data=data)
+
+    # Smoke assertions hold in any mode; the headline speedup targets are
+    # asserted only at full scale where timings are meaningful.
+    assert opt_s > 0 and par_s > 0 and nws_opt_s > 0
+    if not QUICK:
+        assert data["fig5"]["speedup_parallel_vs_baseline"] >= 2.0
+        assert data["nws_eval"]["speedup"] >= 1.2

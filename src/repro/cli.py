@@ -62,7 +62,7 @@ def _cmd_fig34(args: argparse.Namespace) -> str:
 def _cmd_fig5(args: argparse.Namespace) -> str:
     result = run_fig5(
         sizes=args.sizes, iterations=args.iterations, repeats=args.repeats,
-        seed=args.seed,
+        seed=args.seed, workers=args.workers,
     )
     lo, hi = result.ratio_range
     return (
@@ -72,7 +72,8 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    result = run_fig6(sizes=args.sizes, iterations=args.iterations, seed=args.seed)
+    result = run_fig6(sizes=args.sizes, iterations=args.iterations, seed=args.seed,
+                      workers=args.workers)
     return result.table().render()
 
 
@@ -91,7 +92,8 @@ def _cmd_nile(args: argparse.Namespace) -> str:
 
 
 def _cmd_nws(args: argparse.Namespace) -> str:
-    result = run_nws_comparison(nsamples=args.samples, seed=args.seed)
+    result = run_nws_comparison(nsamples=args.samples, seed=args.seed,
+                                workers=args.workers)
     lines = [result.table().render(), ""]
     for process in sorted(result.mse):
         lines.append(
@@ -102,15 +104,19 @@ def _cmd_nws(args: argparse.Namespace) -> str:
 
 
 def _cmd_info(args: argparse.Namespace) -> str:
-    return run_information_ablation(n=args.n, seed=args.seed).table().render()
+    return run_information_ablation(
+        n=args.n, seed=args.seed, workers=args.workers
+    ).table().render()
 
 
 def _cmd_selection(args: argparse.Namespace) -> str:
-    return run_selection_ablation(n=args.n, seed=args.seed).table().render()
+    return run_selection_ablation(
+        n=args.n, seed=args.seed, workers=args.workers
+    ).table().render()
 
 
 def _cmd_adaptive(args: argparse.Namespace) -> str:
-    result = run_adaptive_ablation(n=args.n)
+    result = run_adaptive_ablation(n=args.n, workers=args.workers)
     return (
         result.table().render()
         + f"\n\nadaptive improvement: {result.improvement:.2f}x"
@@ -118,7 +124,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> str:
 
 
 def _cmd_multiapp(args: argparse.Namespace) -> str:
-    result = run_multiapp(n=args.n, seed=args.seed)
+    result = run_multiapp(n=args.n, seed=args.seed, workers=args.workers)
     return (
         result.table().render()
         + f"\n\naware speedup over oblivious: {result.improvement:.2f}x"
@@ -160,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser, n_default: int | None = None) -> None:
         p.add_argument("--seed", type=int, default=1996,
                        help="testbed load seed (default 1996)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for trial parallelism "
+                            "(1 = serial, -1 = all CPUs; results are "
+                            "identical for any value)")
         if n_default is not None:
             p.add_argument("--n", type=int, default=n_default,
                            help=f"problem edge length (default {n_default})")
@@ -203,7 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         common(p, n_default=n_default)
 
-    sub.add_parser("all", help="run every experiment in order")
+    p = sub.add_parser("all", help="run every experiment in order")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes forwarded to every experiment")
     return parser
 
 
@@ -214,7 +226,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment == "all":
         for name in _COMMANDS:
             print(f"\n===== {name} =====")
-            sub_args = parser.parse_args([name])
+            sub_args = parser.parse_args([name, "--workers", str(args.workers)])
             print(_COMMANDS[name](sub_args))
         return 0
     print(_COMMANDS[args.experiment](args))

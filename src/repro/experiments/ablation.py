@@ -24,8 +24,9 @@ from repro.core.selector import ResourceSelector
 from repro.jacobi.apples import JacobiPlanner, make_jacobi_agent
 from repro.jacobi.grid import JacobiProblem, jacobi_hat
 from repro.jacobi.runtime import simulated_execution
-from repro.nws.service import NetworkWeatherService
+from repro.runner import ParallelRunner, Task
 from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.sim.warmcache import warmed_state
 from repro.util.tables import Table
 
 __all__ = [
@@ -86,31 +87,50 @@ class InformationAblationResult:
         return t
 
 
+def _information_trial(
+    regime: str,
+    n: int,
+    iterations: int,
+    seed: int,
+    warmup_s: float,
+) -> float:
+    """One information regime ("nominal", "nws" or "oracle") → execution time."""
+    testbed, nws = warmed_state(sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s)
+    problem = JacobiProblem(n=n, iterations=iterations)
+    if regime == "nominal":
+        pool: ResourcePool = ResourcePool(testbed.topology, nws=None)
+    elif regime == "nws":
+        pool = ResourcePool(testbed.topology, nws)
+    elif regime == "oracle":
+        pool = OraclePool(testbed.topology, warmup_s)
+    else:  # pragma: no cover - driver bug
+        raise ValueError(f"unknown information regime {regime!r}")
+
+    info = InformationPool(pool=pool, hat=jacobi_hat(problem))
+    from repro.core.coordinator import AppLeSAgent
+
+    agent = AppLeSAgent(
+        info, planner=JacobiPlanner(problem), selector=ResourceSelector()
+    )
+    sched = agent.schedule().best
+    return simulated_execution(testbed.topology, sched, warmup_s).total_time
+
+
 def run_information_ablation(
     n: int = 1600,
     iterations: int = 60,
     seed: int = 1996,
     warmup_s: float = 600.0,
+    workers: int | None = 1,
 ) -> InformationAblationResult:
     """Run ABL-A2: same planner, three information sources, same window."""
-    testbed = sdsc_pcl_testbed(seed=seed)
-    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
-    nws.warmup(warmup_s)
-    problem = JacobiProblem(n=n, iterations=iterations)
-
-    def run_with(pool: ResourcePool) -> float:
-        info = InformationPool(pool=pool, hat=jacobi_hat(problem))
-        from repro.core.coordinator import AppLeSAgent
-
-        agent = AppLeSAgent(
-            info, planner=JacobiPlanner(problem), selector=ResourceSelector()
-        )
-        sched = agent.schedule().best
-        return simulated_execution(testbed.topology, sched, warmup_s).total_time
-
-    nominal = run_with(ResourcePool(testbed.topology, nws=None))
-    with_nws = run_with(ResourcePool(testbed.topology, nws))
-    oracle = run_with(OraclePool(testbed.topology, warmup_s))
+    kwargs = dict(n=n, iterations=iterations, seed=seed, warmup_s=warmup_s)
+    tasks = [
+        Task(_information_trial, dict(regime=regime, **kwargs), key=(regime,))
+        for regime in ("nominal", "nws", "oracle")
+    ]
+    prime = lambda: warmed_state(sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s)  # noqa: E731
+    nominal, with_nws, oracle = ParallelRunner(workers).run(tasks, prime=prime)
     return InformationAblationResult(
         n=n, nominal_s=nominal, nws_s=with_nws, oracle_s=oracle
     )
@@ -137,38 +157,63 @@ class SelectionAblationResult:
         return t
 
 
+def _selection_trial(
+    candidate: str,
+    n: int,
+    iterations: int,
+    seed: int,
+    warmup_s: float,
+) -> tuple[float, int] | float | None:
+    """One selection regime → execution time.
+
+    ``candidate`` is ``"apples"`` (full subset selection; returns
+    ``(time, machines_used)``), ``"everything"`` (all feasible machines),
+    or a single host name (``None`` when no feasible plan exists).
+    """
+    testbed, nws = warmed_state(sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s)
+    problem = JacobiProblem(n=n, iterations=iterations)
+    agent = make_jacobi_agent(testbed, problem, nws)
+
+    if candidate == "apples":
+        full = agent.schedule().best
+        t = simulated_execution(testbed.topology, full, warmup_s).total_time
+        return (t, len(full.resource_set))
+
+    planner = JacobiPlanner(problem)
+    hosts = testbed.host_names if candidate == "everything" else [candidate]
+    sched = planner.plan(hosts, agent.info)
+    if sched is None:
+        return None
+    return simulated_execution(testbed.topology, sched, warmup_s).total_time
+
+
 def run_selection_ablation(
     n: int = 1600,
     iterations: int = 60,
     seed: int = 1996,
     warmup_s: float = 600.0,
+    workers: int | None = 1,
 ) -> SelectionAblationResult:
     """Run ABL-A3 with NWS information throughout (isolating selection)."""
-    testbed = sdsc_pcl_testbed(seed=seed)
-    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
-    nws.warmup(warmup_s)
-    problem = JacobiProblem(n=n, iterations=iterations)
+    host_names = list(sdsc_pcl_testbed(seed=seed).host_names)
+    kwargs = dict(n=n, iterations=iterations, seed=seed, warmup_s=warmup_s)
+    candidates = ["apples", "everything", *host_names]
+    tasks = [
+        Task(_selection_trial, dict(candidate=c, **kwargs), key=(c,))
+        for c in candidates
+    ]
+    prime = lambda: warmed_state(sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s)  # noqa: E731
+    results = ParallelRunner(workers).run(tasks, prime=prime)
 
-    agent = make_jacobi_agent(testbed, problem, nws)
-    full = agent.schedule().best
-    apples_time = simulated_execution(testbed.topology, full, warmup_s).total_time
-
-    planner = JacobiPlanner(problem)
-    everything = planner.plan(testbed.host_names, agent.info)
-    all_time = simulated_execution(testbed.topology, everything, warmup_s).total_time
-
-    best_single = float("inf")
-    for name in testbed.host_names:
-        sched = planner.plan([name], agent.info)
-        if sched is None:
-            continue
-        t = simulated_execution(testbed.topology, sched, warmup_s).total_time
-        best_single = min(best_single, t)
+    apples_time, apples_machines = results[0]
+    all_time = results[1]
+    singles = [t for t in results[2:] if t is not None]
+    best_single = min(singles) if singles else float("inf")
 
     return SelectionAblationResult(
         n=n,
         apples_s=apples_time,
-        apples_machines=len(full.resource_set),
+        apples_machines=apples_machines,
         all_machines_s=all_time,
         best_single_s=best_single,
     )

@@ -17,6 +17,7 @@ from repro.jacobi.apples import make_jacobi_agent
 from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.runtime import simulated_execution
 from repro.nws.service import NetworkWeatherService
+from repro.runner import ParallelRunner, Task
 from repro.sim.host import Host
 from repro.sim.link import SharedSegment
 from repro.sim.load import TraceLoad
@@ -99,40 +100,63 @@ class AdaptiveAblationResult:
         return t
 
 
+def _adaptive_trial(
+    kind: str,
+    n: int,
+    iterations: int,
+    warmup_s: float,
+    flip_at_s: float,
+    check_every: int,
+) -> tuple[float, int, float]:
+    """One strategy on a private regime-change world.
+
+    Returns ``(total_time, reschedules, migration_s)`` (zeros for the
+    one-shot strategy).  Each trial builds its own testbed and NWS so the
+    two strategies see identical load traces without sharing sensor state
+    — which also makes the trial a pure, pool-shippable function.
+    """
+    problem = JacobiProblem(n=n, iterations=iterations)
+    testbed = regime_change_testbed(flip_at_s=flip_at_s)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=3)
+    nws.warmup(warmup_s)
+
+    if kind == "oneshot":
+        agent = make_jacobi_agent(testbed, problem, nws)
+        sched = agent.schedule().best
+        run = simulated_execution(testbed.topology, sched, warmup_s)
+        return (run.total_time, 0, 0.0)
+
+    runner = AdaptiveJacobiRunner(testbed, problem, nws, check_every=check_every)
+    adaptive = runner.run(t0=warmup_s)
+    return (adaptive.total_time, adaptive.reschedule_count, adaptive.migration_time)
+
+
 def run_adaptive_ablation(
     n: int = 1200,
     iterations: int = 400,
     warmup_s: float = 120.0,
     flip_at_s: float = 130.0,
     check_every: int = 25,
+    workers: int | None = 1,
 ) -> AdaptiveAblationResult:
     """Run ABL-A4 on the regime-change testbed.
 
     The run starts before the flip, so the one-shot schedule is built from
     (correct!) forecasts that group A is fast — and then the world changes.
     """
-    # Two independent testbed instances so the one-shot and adaptive runs
-    # see identical load traces without sharing NWS state.
-    problem = JacobiProblem(n=n, iterations=iterations)
-
-    tb1 = regime_change_testbed(flip_at_s=flip_at_s)
-    nws1 = NetworkWeatherService.for_testbed(tb1, seed=3)
-    nws1.warmup(warmup_s)
-    agent = make_jacobi_agent(tb1, problem, nws1)
-    oneshot_sched = agent.schedule().best
-    oneshot = simulated_execution(tb1.topology, oneshot_sched, warmup_s)
-
-    tb2 = regime_change_testbed(flip_at_s=flip_at_s)
-    nws2 = NetworkWeatherService.for_testbed(tb2, seed=3)
-    nws2.warmup(warmup_s)
-    runner = AdaptiveJacobiRunner(tb2, problem, nws2, check_every=check_every)
-    adaptive = runner.run(t0=warmup_s)
+    kwargs = dict(n=n, iterations=iterations, warmup_s=warmup_s,
+                  flip_at_s=flip_at_s, check_every=check_every)
+    tasks = [
+        Task(_adaptive_trial, dict(kind=kind, **kwargs), key=(kind,))
+        for kind in ("oneshot", "adaptive")
+    ]
+    oneshot, adaptive = ParallelRunner(workers).run(tasks)
 
     return AdaptiveAblationResult(
         n=n,
         iterations=iterations,
-        oneshot_s=oneshot.total_time,
-        adaptive_s=adaptive.total_time,
-        reschedules=adaptive.reschedule_count,
-        migration_s=adaptive.migration_time,
+        oneshot_s=oneshot[0],
+        adaptive_s=adaptive[0],
+        reschedules=adaptive[1],
+        migration_s=adaptive[2],
     )

@@ -11,6 +11,11 @@ for each problem size and each repeat, the three schedules are executed
 back-to-back starting from the same simulated instant (each scheduler
 re-plans from its own information source at that instant), and per-size
 averages are reported.
+
+Each (size, repeat) pair is one :class:`repro.runner.Task`: the trial
+rebuilds its world from ``(seed, start instant)`` — via the warm-state
+cache, which replays identical sensor streams — so results are the same
+whether trials run serially or across a process pool.
 """
 
 from __future__ import annotations
@@ -24,8 +29,9 @@ from repro.jacobi.apples import (
 )
 from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.runtime import simulated_execution
-from repro.nws.service import NetworkWeatherService
+from repro.runner import ParallelRunner, Task
 from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.sim.warmcache import warmed_state
 from repro.util.tables import Table
 
 __all__ = ["Fig5Row", "Fig5Result", "run_fig5", "DEFAULT_SIZES"]
@@ -84,6 +90,37 @@ class Fig5Result:
         return (min(ratios), max(ratios))
 
 
+def _fig5_trial(
+    n: int,
+    start: float,
+    iterations: int,
+    seed: int,
+    warmup_s: float,
+) -> tuple[float, float, float]:
+    """One (size, repeat) unit: the three schedules back-to-back at ``start``.
+
+    Returns ``(apples_s, strip_s, blocked_s)``.  The trial is a pure
+    function of its arguments — the warm-state cache only skips replaying
+    sensor history the trial would otherwise regenerate identically.
+    """
+    testbed, nws = warmed_state(
+        sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s, at=start
+    )
+    problem = JacobiProblem(n=n, iterations=iterations)
+    agent = make_jacobi_agent(testbed, problem, nws)
+    apples_sched = agent.schedule().best
+    info = agent.info
+    strip_sched = StaticStripPlanner(problem).plan(testbed.host_names, info)
+    blocked_sched = BlockedPlanner(problem).plan(testbed.host_names, info)
+    # Back-to-back under the same starting conditions.
+    topology = testbed.topology
+    return (
+        simulated_execution(topology, apples_sched, start).total_time,
+        simulated_execution(topology, strip_sched, start).total_time,
+        simulated_execution(topology, blocked_sched, start).total_time,
+    )
+
+
 def run_fig5(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     iterations: int = 60,
@@ -91,6 +128,7 @@ def run_fig5(
     seed: int = 1996,
     warmup_s: float = 600.0,
     gap_s: float = 400.0,
+    workers: int | None = 1,
 ) -> Fig5Result:
     """Run the Figure 5 experiment.
 
@@ -109,34 +147,37 @@ def run_fig5(
         NWS warm-up before the first schedule.
     gap_s:
         Simulated-time spacing between repeats.
+    workers:
+        Trial-level parallelism (see :class:`repro.runner.ParallelRunner`);
+        any value produces bit-identical results.
     """
-    testbed = sdsc_pcl_testbed(seed=seed)
-    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
-    nws.warmup(warmup_s)
+    tasks = []
+    for i, n in enumerate(sizes):
+        for rep in range(repeats):
+            start = warmup_s + (i * repeats + rep) * gap_s
+            tasks.append(
+                Task(
+                    _fig5_trial,
+                    dict(n=n, start=start, iterations=iterations,
+                         seed=seed, warmup_s=warmup_s),
+                    key=(n, rep),
+                )
+            )
+    trials = ParallelRunner(workers).run(
+        tasks,
+        # Warm the sensor history once in the parent; forked workers
+        # inherit it instead of each replaying the warm-up.
+        prime=lambda: warmed_state(sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s),
+    )
 
     result = Fig5Result(iterations=iterations, repeats=repeats)
-    t0 = warmup_s
-    for n in sizes:
-        problem = JacobiProblem(n=n, iterations=iterations)
+    for i, n in enumerate(sizes):
         sums = {"apples": 0.0, "strip": 0.0, "blocked": 0.0}
         for rep in range(repeats):
-            start = t0 + rep * gap_s
-            nws.advance_to(start)
-            agent = make_jacobi_agent(testbed, problem, nws)
-            apples_sched = agent.schedule().best
-            info = agent.info
-            strip_sched = StaticStripPlanner(problem).plan(testbed.host_names, info)
-            blocked_sched = BlockedPlanner(problem).plan(testbed.host_names, info)
-            # Back-to-back under the same starting conditions.
-            sums["apples"] += simulated_execution(
-                testbed.topology, apples_sched, start
-            ).total_time
-            sums["strip"] += simulated_execution(
-                testbed.topology, strip_sched, start
-            ).total_time
-            sums["blocked"] += simulated_execution(
-                testbed.topology, blocked_sched, start
-            ).total_time
+            apples_s, strip_s, blocked_s = trials[i * repeats + rep]
+            sums["apples"] += apples_s
+            sums["strip"] += strip_s
+            sums["blocked"] += blocked_s
         result.rows.append(
             Fig5Row(
                 n=n,
@@ -145,5 +186,4 @@ def run_fig5(
                 blocked_s=sums["blocked"] / repeats,
             )
         )
-        t0 += repeats * gap_s
     return result

@@ -12,7 +12,8 @@ performance."
 
 This driver sweeps problem sizes across the calibrated crossover and
 reports, per size, the AppLeS time, the Blocked-on-SP2 time, and which
-machines AppLeS used.
+machines AppLeS used.  Each size is one runner task; every task plans at
+the same warmed instant, so the sweep parallelises trivially.
 """
 
 from __future__ import annotations
@@ -22,8 +23,9 @@ from dataclasses import dataclass, field
 from repro.jacobi.apples import BlockedPlanner, make_jacobi_agent
 from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.runtime import simulated_execution
-from repro.nws.service import NetworkWeatherService
+from repro.runner import ParallelRunner, Task
 from repro.sim.testbeds import sdsc_pcl_with_sp2
+from repro.sim.warmcache import warmed_state
 from repro.util.tables import Table
 
 __all__ = ["Fig6Row", "Fig6Result", "run_fig6", "DEFAULT_SIZES_FIG6"]
@@ -76,37 +78,77 @@ class Fig6Result:
         return t
 
 
+def _fig6_trial(
+    n: int,
+    iterations: int,
+    seed: int,
+    crossover_n: int,
+    warmup_s: float,
+) -> tuple[float, float, tuple[str, ...], bool]:
+    """One problem size on the SP-2-augmented testbed.
+
+    Returns ``(apples_s, blocked_sp2_s, apples_machines, blocked_spills)``.
+    """
+    testbed, nws = warmed_state(
+        sdsc_pcl_with_sp2,
+        seed=seed,
+        warmup_s=warmup_s,
+        builder_kwargs={"crossover_n": crossover_n},
+    )
+    sp2_pair = ["sp2-1", "sp2-2"]
+    sp2_capacity_mb = testbed.topology.host("sp2-1").memory.available_mb
+
+    problem = JacobiProblem(n=n, iterations=iterations)
+    agent = make_jacobi_agent(testbed, problem, nws)
+    apples_sched = agent.schedule().best
+    apples = simulated_execution(testbed.topology, apples_sched, warmup_s)
+
+    blocked_sched = BlockedPlanner(problem).plan(sp2_pair, agent.info)
+    blocked = simulated_execution(testbed.topology, blocked_sched, warmup_s)
+    per_node_mb = problem.footprint_mb(problem.total_points / 2)
+    return (
+        apples.total_time,
+        blocked.total_time,
+        tuple(apples_sched.resource_set),
+        per_node_mb > sp2_capacity_mb,
+    )
+
+
 def run_fig6(
     sizes: tuple[int, ...] = DEFAULT_SIZES_FIG6,
     iterations: int = 30,
     seed: int = 1996,
     crossover_n: int = 3700,
     warmup_s: float = 600.0,
+    workers: int | None = 1,
 ) -> Fig6Result:
     """Run the Figure 6 experiment on the SP-2-augmented testbed."""
-    testbed = sdsc_pcl_with_sp2(seed=seed, crossover_n=crossover_n)
-    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
-    nws.warmup(warmup_s)
-    sp2_pair = ["sp2-1", "sp2-2"]
-    sp2_capacity_mb = testbed.topology.host("sp2-1").memory.available_mb
+    tasks = [
+        Task(
+            _fig6_trial,
+            dict(n=n, iterations=iterations, seed=seed,
+                 crossover_n=crossover_n, warmup_s=warmup_s),
+            key=(n,),
+        )
+        for n in sizes
+    ]
+    trials = ParallelRunner(workers).run(
+        tasks,
+        prime=lambda: warmed_state(
+            sdsc_pcl_with_sp2, seed=seed, warmup_s=warmup_s,
+            builder_kwargs={"crossover_n": crossover_n},
+        ),
+    )
 
     result = Fig6Result(crossover_n=crossover_n, iterations=iterations)
-    for n in sizes:
-        problem = JacobiProblem(n=n, iterations=iterations)
-        agent = make_jacobi_agent(testbed, problem, nws)
-        apples_sched = agent.schedule().best
-        apples = simulated_execution(testbed.topology, apples_sched, warmup_s)
-
-        blocked_sched = BlockedPlanner(problem).plan(sp2_pair, agent.info)
-        blocked = simulated_execution(testbed.topology, blocked_sched, warmup_s)
-        per_node_mb = problem.footprint_mb(problem.total_points / 2)
+    for n, (apples_s, blocked_s, machines, spills) in zip(sizes, trials):
         result.rows.append(
             Fig6Row(
                 n=n,
-                apples_s=apples.total_time,
-                blocked_sp2_s=blocked.total_time,
-                apples_machines=apples_sched.resource_set,
-                blocked_spills=per_node_mb > sp2_capacity_mb,
+                apples_s=apples_s,
+                blocked_sp2_s=blocked_s,
+                apples_machines=machines,
+                blocked_spills=spills,
             )
         )
     return result

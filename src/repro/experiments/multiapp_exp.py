@@ -30,6 +30,7 @@ from repro.jacobi.apples import make_jacobi_agent
 from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.runtime import simulated_execution
 from repro.nws.service import NetworkWeatherService
+from repro.runner import ParallelRunner, Task
 from repro.sim.jobs import make_injectable
 from repro.sim.testbeds import sdsc_pcl_testbed
 from repro.util.tables import Table
@@ -76,9 +77,26 @@ class MultiAppResult:
         return t
 
 
-def _run_b(seed: int, problem_b, occupancy_level, observe_s, t_a, problem_a, aware):
+def _world_trial(
+    aware: bool,
+    n: int,
+    iterations_a: int,
+    iterations_b: int,
+    occupancy_level: float,
+    observe_s: float,
+    seed: int,
+    t_a: float,
+) -> dict:
     """One world: A schedules at ``t_a``, occupies its machines, then B
-    schedules at ``t_a + observe_s`` with live (aware) or stale NWS."""
+    schedules at ``t_a + observe_s`` with live (aware) or stale NWS.
+
+    Builds a private testbed — the load injectors *mutate* host models, so
+    this trial must never share state through the warm cache.  Returns
+    primitives (machine tuples and times) so results pickle cheaply.
+    """
+    problem_a = JacobiProblem(n=n, iterations=iterations_a)
+    problem_b = JacobiProblem(n=n, iterations=iterations_b)
+
     testbed = sdsc_pcl_testbed(seed=seed)
     injectors = make_injectable(testbed)
     nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
@@ -96,7 +114,12 @@ def _run_b(seed: int, problem_b, occupancy_level, observe_s, t_a, problem_a, awa
     agent_b = make_jacobi_agent(testbed, problem_b, nws)
     sched_b = agent_b.schedule().best
     run_b = simulated_execution(testbed.topology, sched_b, t_b)
-    return sched_a, run_a, sched_b, run_b
+    return {
+        "a_machines": tuple(sched_a.resource_set),
+        "a_time_s": run_a.total_time,
+        "b_machines": tuple(sched_b.resource_set),
+        "b_time_s": run_b.total_time,
+    }
 
 
 def run_multiapp(
@@ -107,6 +130,7 @@ def run_multiapp(
     observe_s: float = 120.0,
     seed: int = 1996,
     t_a: float = 600.0,
+    workers: int | None = 1,
 ) -> MultiAppResult:
     """Run the two-application experiment.
 
@@ -114,21 +138,22 @@ def run_multiapp(
     falls inside A's occupancy window; B schedules ``observe_s`` seconds
     after A starts, giving the aware NWS a few sensor periods to notice.
     """
-    problem_a = JacobiProblem(n=n, iterations=iterations_a)
-    problem_b = JacobiProblem(n=n, iterations=iterations_b)
-
-    sched_a, run_a, sched_aware, run_aware = _run_b(
-        seed, problem_b, occupancy_level, observe_s, t_a, problem_a, aware=True
+    kwargs = dict(
+        n=n, iterations_a=iterations_a, iterations_b=iterations_b,
+        occupancy_level=occupancy_level, observe_s=observe_s,
+        seed=seed, t_a=t_a,
     )
-    _, _, sched_obl, run_obl = _run_b(
-        seed, problem_b, occupancy_level, observe_s, t_a, problem_a, aware=False
-    )
+    tasks = [
+        Task(_world_trial, dict(aware=aware, **kwargs), key=(aware,))
+        for aware in (True, False)
+    ]
+    aware_world, oblivious_world = ParallelRunner(workers).run(tasks)
 
     return MultiAppResult(
-        a_machines=sched_a.resource_set,
-        a_time_s=run_a.total_time,
-        aware_machines=sched_aware.resource_set,
-        aware_time_s=run_aware.total_time,
-        oblivious_machines=sched_obl.resource_set,
-        oblivious_time_s=run_obl.total_time,
+        a_machines=aware_world["a_machines"],
+        a_time_s=aware_world["a_time_s"],
+        aware_machines=aware_world["b_machines"],
+        aware_time_s=aware_world["b_time_s"],
+        oblivious_machines=oblivious_world["b_machines"],
+        oblivious_time_s=oblivious_world["b_time_s"],
     )

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.nws.ensemble import AdaptiveEnsemble
 from repro.nws.forecasters import default_forecaster_family
+from repro.runner import ParallelRunner, Task
 from repro.sim.load import AR1Load, LoadProcess, MarkovLoad, SpikeLoad
 from repro.util.rng import RngStream
 from repro.util.tables import Table
@@ -65,31 +66,56 @@ class NwsForecastResult:
         return self.mse[process]["ensemble"] / best
 
 
-def run_nws_comparison(nsamples: int = 600, seed: int = 1996) -> NwsForecastResult:
-    """Score every forecaster (and the ensemble) on every load family."""
-    result = NwsForecastResult(nsamples=nsamples)
-    for pname, process in standard_processes(seed).items():
-        trace = process.sample(nsamples)
-        scores: dict[str, float] = {}
-        # Individual forecasters.
-        for forecaster in default_forecaster_family():
-            err = 0.0
-            count = 0
-            for i, value in enumerate(trace):
-                if i > 0:
-                    err += (forecaster.forecast() - value) ** 2
-                    count += 1
-                forecaster.update(value)
-            scores[forecaster.name] = err / count
-        # The adaptive ensemble.
+def _score_trial(pname: str, member: int | str, nsamples: int, seed: int) -> tuple[str, float]:
+    """Score one forecaster (family index, or "ensemble") on one load family.
+
+    Regenerates the trace from ``(seed, pname)`` — deterministic, so every
+    member of a family scores against the identical series no matter which
+    worker runs it.  Returns ``(forecaster_name, mse)``.
+    """
+    trace = standard_processes(seed)[pname].sample(nsamples)
+    if member == "ensemble":
         ens = AdaptiveEnsemble()
-        err = 0.0
-        count = 0
-        for i, value in enumerate(trace):
-            if i > 0:
-                err += (ens.forecast().value - value) ** 2
-                count += 1
-            ens.update(value)
-        scores["ensemble"] = err / count
-        result.mse[pname] = scores
+        predict = lambda: ens.forecast().value  # noqa: E731
+        update = ens.update
+        name = "ensemble"
+    else:
+        forecaster = default_forecaster_family()[member]
+        predict = forecaster.forecast
+        update = forecaster.update
+        name = forecaster.name
+    err = 0.0
+    count = 0
+    for i, value in enumerate(trace):
+        if i > 0:
+            err += (predict() - value) ** 2
+            count += 1
+        update(value)
+    return name, err / count
+
+
+def run_nws_comparison(
+    nsamples: int = 600, seed: int = 1996, workers: int | None = 1
+) -> NwsForecastResult:
+    """Score every forecaster (and the ensemble) on every load family."""
+    pnames = list(standard_processes(seed))
+    members: list[int | str] = list(range(len(default_forecaster_family())))
+    members.append("ensemble")
+
+    tasks = [
+        Task(
+            _score_trial,
+            dict(pname=pname, member=member, nsamples=nsamples, seed=seed),
+            key=(pname, member),
+        )
+        for pname in pnames
+        for member in members
+    ]
+    scored = ParallelRunner(workers).run(tasks)
+
+    result = NwsForecastResult(nsamples=nsamples)
+    per_process = len(members)
+    for i, pname in enumerate(pnames):
+        chunk = scored[i * per_process:(i + 1) * per_process]
+        result.mse[pname] = {name: mse for name, mse in chunk}
     return result

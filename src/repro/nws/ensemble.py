@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 
 from repro.nws.forecasters import Forecaster, default_forecaster_family
+from repro.util import perf
 
 __all__ = ["Forecast", "AdaptiveEnsemble"]
 
@@ -74,6 +75,11 @@ class AdaptiveEnsemble:
         self._weight: dict[str, float] = {n: 0.0 for n in names}
         self._pending: dict[str, float] | None = None
         self.observations = 0
+        # The forecast is a pure function of ensemble state, which changes
+        # only in update() — planners query it far more often than sensors
+        # sample, so memoise it between updates.
+        self._cached_forecast: Forecast | None = None
+        self._fast = perf.fastpath_enabled()
 
     def update(self, value: float) -> None:
         """Score outstanding predictions against ``value``, then refit members."""
@@ -88,6 +94,7 @@ class AdaptiveEnsemble:
         self.observations += 1
         # Stage each member's next prediction for scoring on the next update.
         self._pending = {m.name: m.forecast() for m in self.members}
+        self._cached_forecast = None
 
     def mse(self, name: str) -> float:
         """Discounted mean squared error of member ``name`` (inf if unscored)."""
@@ -111,14 +118,19 @@ class AdaptiveEnsemble:
         """Predict the next measurement using the current best member."""
         if self.observations == 0:
             raise RuntimeError("ensemble: forecast requested before any update")
+        if self._fast and self._cached_forecast is not None:
+            return self._cached_forecast
         best = self.best_member()
         mse = self.mse(best.name)
-        return Forecast(
+        result = Forecast(
             value=best.forecast(),
             error=math.sqrt(mse) if math.isfinite(mse) else 0.0,
             method=best.name,
             observations=self.observations,
         )
+        if self._fast:
+            self._cached_forecast = result
+        return result
 
     def leaderboard(self) -> list[tuple[str, float]]:
         """All members with their discounted MSE, best first."""

@@ -11,14 +11,23 @@ them.  All of those predictors are implemented here behind one interface.
 Every forecaster is *online*: ``update(value)`` folds in a new measurement,
 ``forecast()`` predicts the next one.  ``forecast()`` before any update
 raises ``RuntimeError`` — the ensemble guards against that.
+
+The windowed predictors are on the simulator's hottest path (the ensemble
+stages every member's forecast on every sensor sample), so each maintains
+incremental state — running sums, a sorted mirror of the window — instead
+of rescanning its buffer per forecast.  The straightforward rescanning
+implementations are retained behind :mod:`repro.util.perf`'s fast-path
+switch as the reference the regression tests compare against.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 
 import numpy as np
 
+from repro.util import perf
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = [
@@ -33,6 +42,10 @@ __all__ = [
     "ARForecaster",
     "default_forecaster_family",
 ]
+
+#: Recompute incremental sums exactly from the buffer every this many
+#: updates, bounding floating-point drift of the running-sum fast paths.
+_RESYNC_EVERY = 512
 
 
 class Forecaster:
@@ -99,7 +112,13 @@ class RunningMean(Forecaster):
 
 
 class SlidingWindowMean(Forecaster):
-    """Predict the mean of the last ``window`` measurements."""
+    """Predict the mean of the last ``window`` measurements.
+
+    A running sum is maintained on update (adding the new value, subtracting
+    the evicted one), making a full-window forecast O(1) instead of an
+    O(window) rescan.  The sum is resynchronised from the buffer every
+    :data:`_RESYNC_EVERY` updates to bound floating-point drift.
+    """
 
     def __init__(self, window: int = 16) -> None:
         super().__init__()
@@ -107,15 +126,51 @@ class SlidingWindowMean(Forecaster):
         self.window = int(window)
         self.name = f"sw_mean({self.window})"
         self._buf: deque[float] = deque(maxlen=self.window)
+        self._sum = 0.0
+        self._fast = perf.fastpath_enabled()
 
     def _update(self, value: float) -> None:
-        self._buf.append(value)
+        buf = self._buf
+        if not self._fast:
+            buf.append(value)
+            return
+        if len(buf) == self.window:
+            self._sum -= buf[0]
+        buf.append(value)
+        self._sum += value
+        if self.observations % _RESYNC_EVERY == 0:
+            self._sum = sum(buf)
 
     def _forecast(self) -> float:
+        if self._fast:
+            return self._sum / len(self._buf)
         return sum(self._buf) / len(self._buf)
 
 
-class MedianWindow(Forecaster):
+class _SortedWindowMixin:
+    """Window buffer plus an incrementally-maintained sorted mirror.
+
+    Order statistics (median, trimmed mean) over the window become slice
+    reads of ``self._sorted`` instead of per-forecast sorts.
+    """
+
+    def _init_window(self, window: int) -> None:
+        self._buf: deque[float] = deque(maxlen=window)
+        self._sorted: list[float] = []
+
+    def _push(self, value: float) -> None:
+        buf = self._buf
+        if not self._fast:  # reference path rescans; no mirror to maintain
+            buf.append(value)
+            return
+        if len(buf) == buf.maxlen:
+            evicted = buf[0]
+            del self._sorted[bisect_left(self._sorted, evicted)]
+        buf.append(value)
+        insort(self._sorted, value)
+
+
+class MedianWindow(_SortedWindowMixin, Forecaster):
     """Predict the median of the last ``window`` measurements.
 
     Robust to the load spikes that wreck mean-based predictors.
@@ -126,17 +181,29 @@ class MedianWindow(Forecaster):
         check_positive("window", window)
         self.window = int(window)
         self.name = f"median({self.window})"
-        self._buf: deque[float] = deque(maxlen=self.window)
+        self._init_window(self.window)
+        self._fast = perf.fastpath_enabled()
 
     def _update(self, value: float) -> None:
-        self._buf.append(value)
+        self._push(value)
 
     def _forecast(self) -> float:
-        return float(np.median(list(self._buf)))
+        if not self._fast:
+            return float(np.median(list(self._buf)))
+        data = self._sorted
+        m = len(data)
+        half = m // 2
+        if m % 2:
+            return data[half]
+        return (data[half - 1] + data[half]) / 2.0
 
 
-class TrimmedMeanWindow(Forecaster):
-    """Windowed mean after discarding a fraction of each tail."""
+class TrimmedMeanWindow(_SortedWindowMixin, Forecaster):
+    """Windowed mean after discarding a fraction of each tail.
+
+    The sorted mirror of the window makes the trimmed core a slice instead
+    of a per-forecast sort.
+    """
 
     def __init__(self, window: int = 16, trim: float = 0.25) -> None:
         super().__init__()
@@ -147,16 +214,23 @@ class TrimmedMeanWindow(Forecaster):
         self.window = int(window)
         self.trim = trim
         self.name = f"trim_mean({self.window},{trim:g})"
-        self._buf: deque[float] = deque(maxlen=self.window)
+        self._init_window(self.window)
+        self._fast = perf.fastpath_enabled()
 
     def _update(self, value: float) -> None:
-        self._buf.append(value)
+        self._push(value)
 
     def _forecast(self) -> float:
-        data = np.sort(np.asarray(self._buf, dtype=float))
-        k = int(len(data) * self.trim)
-        core = data[k : len(data) - k] if len(data) > 2 * k else data
-        return float(core.mean())
+        if not self._fast:
+            data = np.sort(np.asarray(self._buf, dtype=float))
+            k = int(len(data) * self.trim)
+            core = data[k : len(data) - k] if len(data) > 2 * k else data
+            return float(core.mean())
+        data = self._sorted
+        m = len(data)
+        k = int(m * self.trim)
+        core = data[k : m - k] if m > 2 * k else data
+        return sum(core) / len(core)
 
 
 class ExponentialSmoothing(Forecaster):
@@ -252,6 +326,10 @@ class AdaptiveWindowMean(Forecaster):
     error (exponentially discounted) and the current best window's mean is
     reported.  Long windows win on stationary stretches, short ones after
     regime changes.
+
+    One running sum per window size replaces the per-update slice-and-sum
+    over every window; sums are resynchronised from the buffer every
+    :data:`_RESYNC_EVERY` updates to bound floating-point drift.
     """
 
     def __init__(self, windows: tuple[int, ...] = (4, 8, 16, 32), decay: float = 0.95) -> None:
@@ -268,18 +346,40 @@ class AdaptiveWindowMean(Forecaster):
         self._buf: deque[float] = deque(maxlen=max(self.windows))
         self._err = {w: 0.0 for w in self.windows}
         self._weight = {w: 0.0 for w in self.windows}
+        self._sums = {w: 0.0 for w in self.windows}
+        self._fast = perf.fastpath_enabled()
 
     def _window_mean(self, w: int) -> float:
+        if self._fast:
+            count = min(len(self._buf), w)
+            return self._sums[w] / count
         data = list(self._buf)[-w:]
         return sum(data) / len(data)
 
     def _update(self, value: float) -> None:
-        if self._buf:
+        buf = self._buf
+        if buf:
+            decay = self.decay
             for w in self.windows:
                 err = (self._window_mean(w) - value) ** 2
-                self._err[w] = self.decay * self._err[w] + err
-                self._weight[w] = self.decay * self._weight[w] + 1.0
-        self._buf.append(value)
+                self._err[w] = decay * self._err[w] + err
+                self._weight[w] = decay * self._weight[w] + 1.0
+        if not self._fast:
+            buf.append(value)
+            return
+        # Each window-w running sum gains the new value and loses the
+        # element that was w-th from the right before the append.
+        length = len(buf)
+        for w in self.windows:
+            if length >= w:
+                self._sums[w] += value - buf[length - w]
+            else:
+                self._sums[w] += value
+        buf.append(value)
+        if self.observations % _RESYNC_EVERY == 0:
+            data = list(buf)
+            for w in self.windows:
+                self._sums[w] = sum(data[-w:])
 
     def best_window(self) -> int:
         """The window size currently winning (smallest on ties/unscored)."""

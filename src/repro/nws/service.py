@@ -14,6 +14,7 @@ from repro.nws.ensemble import Forecast
 from repro.nws.sensors import CpuSensor, LinkSensor
 from repro.sim.testbeds import Testbed
 from repro.sim.topology import Topology
+from repro.util import perf
 from repro.util.rng import RngStream
 from repro.util.validation import check_nonnegative
 
@@ -56,6 +57,13 @@ class NetworkWeatherService:
             for name, link in topology.links.items()
         }
         self.now = 0.0
+        # Between advance_to() calls every sensor's state is frozen, so
+        # forecast queries are pure; planners issue thousands of them per
+        # schedule.  Caches are invalidated whenever time advances.
+        self._fast = perf.fastpath_enabled()
+        self._cpu_cache: dict[str, Forecast] = {}
+        self._path_bw_cache: dict[tuple[str, str, int], float] = {}
+        self._latency_cache: dict[tuple[str, str], float] = {}
 
     @classmethod
     def for_testbed(cls, testbed: Testbed, **kwargs) -> "NetworkWeatherService":
@@ -73,6 +81,8 @@ class NetworkWeatherService:
         for sensor in self.link_sensors.values():
             sensor.advance_to(t)
         self.now = t
+        self._cpu_cache.clear()
+        self._path_bw_cache.clear()
 
     def warmup(self, duration: float) -> None:
         """Advance sensors by ``duration`` (typically before the first schedule)."""
@@ -85,10 +95,18 @@ class NetworkWeatherService:
         Falls back to a nominal (availability 1.0, infinite-uncertainty-free)
         forecast if the sensor has no data yet.
         """
+        if self._fast:
+            cached = self._cpu_cache.get(host)
+            if cached is not None:
+                return cached
         sensor = self._cpu(host)
         if not sensor.ready:
-            return Forecast(value=1.0, error=0.0, method="nominal", observations=0)
-        return sensor.forecast()
+            result = Forecast(value=1.0, error=0.0, method="nominal", observations=0)
+        else:
+            result = sensor.forecast()
+        if self._fast:
+            self._cpu_cache[host] = result
+        return result
 
     def effective_speed_forecast(self, host: str) -> float:
         """Predicted deliverable MFLOP/s of ``host`` (memory effects excluded)."""
@@ -107,26 +125,41 @@ class NetworkWeatherService:
 
     def path_bandwidth_forecast(self, a: str, b: str, flows: int = 1) -> float:
         """Predicted bottleneck bytes/s between hosts ``a`` and ``b``."""
+        if self._fast:
+            cached = self._path_bw_cache.get((a, b, flows))
+            if cached is not None:
+                return cached
         links = self.topology.route(a, b)
         if not links:
-            return float("inf")
-        bws = []
-        for link in links:
-            sensor = self.link_sensors[link.name]
-            if sensor.ready:
-                bws.append(sensor.forecast_bandwidth(flows))
-            else:
-                # Nominal fallback: full availability.
-                nominal = link.deliverable_bandwidth(0.0, flows) / max(
-                    link.load.availability(0.0), 1e-12
-                )
-                bws.append(nominal)
-        return min(bws)
+            result = float("inf")
+        else:
+            bws = []
+            for link in links:
+                sensor = self.link_sensors[link.name]
+                if sensor.ready:
+                    bws.append(sensor.forecast_bandwidth(flows))
+                else:
+                    # Nominal fallback: full availability.
+                    nominal = link.deliverable_bandwidth(0.0, flows) / max(
+                        link.load.availability(0.0), 1e-12
+                    )
+                    bws.append(nominal)
+            result = min(bws)
+        if self._fast:
+            self._path_bw_cache[(a, b, flows)] = result
+        return result
 
     def path_latency(self, a: str, b: str) -> float:
         """Route latency (static; the 1996 NWS forecast latency too, but the
         testbed experiments here are bandwidth-dominated)."""
-        return self.topology.path_latency(a, b)
+        if self._fast:
+            cached = self._latency_cache.get((a, b))
+            if cached is not None:
+                return cached
+        result = self.topology.path_latency(a, b)
+        if self._fast:
+            self._latency_cache[(a, b)] = result
+        return result
 
     def transfer_time_forecast(self, a: str, b: str, nbytes: float, flows: int = 1) -> float:
         """Predicted seconds to move ``nbytes`` from ``a`` to ``b``."""

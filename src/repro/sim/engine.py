@@ -9,12 +9,21 @@ this reproduction:
   (FIFO), so a seeded experiment replays identically.
 - **Signals.**  The 3D-REACT pipeline (producer/consumer with bounded
   buffering) is expressed naturally with signal waits.
+
+Two hot-path details: :class:`Process` and :class:`Signal` declare
+``__slots__`` (simulations create them in bulk), and zero-delay events —
+every process start and ``yield 0`` — bypass the heap through a FIFO ready
+queue, merged with the heap by ``(time, seq)`` so the global firing order
+is exactly what a pure heap would produce.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.util import perf
 
 __all__ = ["Simulator", "Process", "Signal", "SimulationError"]
 
@@ -29,6 +38,8 @@ class Signal:
     ``fire(payload)`` wakes every currently-waiting process; each waiter's
     ``yield signal`` expression evaluates to the payload.
     """
+
+    __slots__ = ("name", "_waiters", "fire_count")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -67,6 +78,8 @@ class Process:
     When the generator returns, :attr:`done` becomes True and
     :attr:`result` holds its return value.
     """
+
+    __slots__ = ("sim", "gen", "name", "done", "result", "finished")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         self.sim = sim
@@ -115,22 +128,35 @@ class Simulator:
     >>> sim.schedule(2.0, seen.append, "b")
     >>> sim.schedule(1.0, seen.append, "a")
     >>> sim.run()
+    2.0
     >>> seen
     ['a', 'b']
     """
+
+    __slots__ = ("now", "_heap", "_seq", "_ready", "_zero_fast", "events_processed")
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
+        # FIFO of events scheduled with zero delay.  Entries are appended
+        # with the current time and a monotone seq, and time never moves
+        # backwards, so the deque is sorted by (time, seq) by construction
+        # and can be merged with the heap without sifting.
+        self._ready: deque[tuple[float, int, Callable, tuple]] = deque()
+        self._zero_fast = perf.fastpath_enabled()
         self.events_processed = 0
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + float(delay), self._seq, fn, args))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0 and self._zero_fast:
+            self._ready.append((self.now, seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (self.now + float(delay), seq, fn, args))
 
     def at(self, time: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
@@ -142,19 +168,36 @@ class Simulator:
         self.schedule(0.0, proc._step, None)
         return proc
 
+    def _pop_next(self) -> tuple[float, int, Callable, tuple]:
+        """Remove and return the next event in (time, seq) order.
+
+        Callers must ensure at least one event is queued.  Tuple comparison
+        never reaches the (incomparable) callables because seq is unique.
+        """
+        ready, heap = self._ready, self._heap
+        if ready and (not heap or ready[0] < heap[0]):
+            return ready.popleft()
+        return heapq.heappop(heap)
+
+    def _peek_time(self) -> float:
+        ready, heap = self._ready, self._heap
+        if ready and (not heap or ready[0] < heap[0]):
+            return ready[0][0]
+        return heap[0][0]
+
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
-        """Run until the heap drains or simulated time passes ``until``.
+        """Run until the queues drain or simulated time passes ``until``.
 
         Returns the final simulated time.  ``max_events`` guards against
         accidental infinite event storms.
         """
         count = 0
-        while self._heap:
-            time, _seq, fn, args = self._heap[0]
+        while self._heap or self._ready:
+            time = self._peek_time()
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            time, _seq, fn, args = self._pop_next()
             if time < self.now - 1e-12:
                 raise SimulationError("event heap out of order (engine bug)")
             self.now = time
@@ -170,7 +213,7 @@ class Simulator:
     def run_until_done(self, procs: Iterable[Process], until: Optional[float] = None) -> float:
         """Run until every process in ``procs`` has finished.
 
-        Raises :class:`SimulationError` if the event heap drains (deadlock)
+        Raises :class:`SimulationError` if the event queues drain (deadlock)
         or ``until`` passes while any process is still pending.
         """
         procs = list(procs)
@@ -179,16 +222,16 @@ class Simulator:
             pending = [p for p in procs if not p.done]
             if not pending:
                 return self.now
-            if not self._heap:
+            if not self._heap and not self._ready:
                 raise SimulationError(
                     f"deadlock: {len(pending)} process(es) pending with no events: "
                     + ", ".join(p.name for p in pending[:5])
                 )
-            if deadline is not None and self._heap[0][0] > deadline:
+            if deadline is not None and self._peek_time() > deadline:
                 raise SimulationError(
                     f"deadline {deadline} passed with {len(pending)} process(es) pending"
                 )
-            time, _seq, fn, args = heapq.heappop(self._heap)
+            time, _seq, fn, args = self._pop_next()
             self.now = time
             fn(*args)
             self.events_processed += 1
@@ -196,7 +239,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events currently queued."""
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.6g}, pending={self.pending_events})"

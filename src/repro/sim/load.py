@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.util import perf
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
 
@@ -45,11 +46,26 @@ class LoadProcess:
     def __init__(self, dt: float = 10.0) -> None:
         self.dt = check_positive("dt", dt)
         self._cache: list[float] = []
+        self._bulk = perf.fastpath_enabled()
 
     # -- subclass interface ------------------------------------------------
     def _generate(self, k: int, prev: float | None) -> float:
         """Availability for epoch ``k`` (``prev`` is epoch ``k-1`` or None)."""
         raise NotImplementedError
+
+    def _generate_many(self, k0: int, count: int, prev: float | None) -> list[float]:
+        """Availability for epochs ``k0 .. k0+count-1`` in one pass.
+
+        The default chains :meth:`_generate`; stochastic subclasses override
+        it to draw their random numbers in one batched call (bit-identical
+        to the sequential draws, since the generators consume the stream in
+        the same order).
+        """
+        values = []
+        for i in range(count):
+            prev = self._generate(k0 + i, prev)
+            values.append(prev)
+        return values
 
     # -- public API ----------------------------------------------------------
     def epoch_of(self, t: float) -> int:
@@ -88,10 +104,19 @@ class LoadProcess:
         return self._cache[k0 : k0 + n]
 
     def _fill_to(self, k: int) -> None:
-        while len(self._cache) <= k:
-            prev = self._cache[-1] if self._cache else None
-            value = check_fraction("availability", self._generate(len(self._cache), prev))
-            self._cache.append(value)
+        cache = self._cache
+        missing = k + 1 - len(cache)
+        if missing <= 0:
+            return
+        if self._bulk and missing > 1:
+            prev = cache[-1] if cache else None
+            for value in self._generate_many(len(cache), missing, prev):
+                cache.append(check_fraction("availability", value))
+            return
+        while len(cache) <= k:
+            prev = cache[-1] if cache else None
+            value = check_fraction("availability", self._generate(len(cache), prev))
+            cache.append(value)
 
 
 class ConstantLoad(LoadProcess):
@@ -104,6 +129,9 @@ class ConstantLoad(LoadProcess):
 
     def _generate(self, k: int, prev: float | None) -> float:
         return self.level
+
+    def _generate_many(self, k0: int, count: int, prev: float | None) -> list[float]:
+        return [self.level] * count
 
 
 class AR1Load(LoadProcess):
@@ -139,6 +167,17 @@ class AR1Load(LoadProcess):
             prev = self.mean
         value = self.mean + self.phi * (prev - self.mean) + self.rng.normal(0.0, self.sigma)
         return min(1.0, max(self.floor, value))
+
+    def _generate_many(self, k0: int, count: int, prev: float | None) -> list[float]:
+        noise = self.rng.generator.normal(0.0, self.sigma, count).tolist()
+        mean, phi, floor = self.mean, self.phi, self.floor
+        x = mean if prev is None else prev
+        values = []
+        for eps in noise:
+            x = mean + phi * (x - mean) + eps
+            x = min(1.0, max(floor, x))
+            values.append(x)
+        return values
 
 
 class MarkovLoad(LoadProcess):
@@ -176,6 +215,23 @@ class MarkovLoad(LoadProcess):
                 self._busy = True
         return self.busy_level if self._busy else self.idle_level
 
+    def _generate_many(self, k0: int, count: int, prev: float | None) -> list[float]:
+        draws = self.rng.generator.uniform(0.0, 1.0, count).tolist()
+        busy = self._busy
+        p_idle, p_busy = self.p_idle, self.p_busy
+        busy_level, idle_level = self.busy_level, self.idle_level
+        values = []
+        for u in draws:
+            if busy:
+                if u < p_idle:
+                    busy = False
+            else:
+                if u < p_busy:
+                    busy = True
+            values.append(busy_level if busy else idle_level)
+        self._busy = busy
+        return values
+
 
 class SpikeLoad(LoadProcess):
     """Mostly-idle availability with occasional deep spikes of load.
@@ -211,6 +267,23 @@ class SpikeLoad(LoadProcess):
             if self.rng.uniform() < self.p_spike:
                 self._in_spike = True
         return self.spike_level if self._in_spike else self.base
+
+    def _generate_many(self, k0: int, count: int, prev: float | None) -> list[float]:
+        draws = self.rng.generator.uniform(0.0, 1.0, count).tolist()
+        in_spike = self._in_spike
+        p_recover, p_spike = self.p_recover, self.p_spike
+        spike_level, base = self.spike_level, self.base
+        values = []
+        for u in draws:
+            if in_spike:
+                if u < p_recover:
+                    in_spike = False
+            else:
+                if u < p_spike:
+                    in_spike = True
+            values.append(spike_level if in_spike else base)
+        self._in_spike = in_spike
+        return values
 
 
 class CompositeLoad(LoadProcess):
@@ -356,3 +429,7 @@ class TraceLoad(LoadProcess):
 
     def _generate(self, k: int, prev: float | None) -> float:
         return self.trace[k % len(self.trace)]
+
+    def _generate_many(self, k0: int, count: int, prev: float | None) -> list[float]:
+        trace, period = self.trace, len(self.trace)
+        return [trace[(k0 + i) % period] for i in range(count)]

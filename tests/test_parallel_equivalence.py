@@ -1,0 +1,47 @@
+"""Serial vs parallel equivalence: the runner's determinism contract.
+
+Every experiment driver must produce *bit-identical* results regardless of
+the worker count — tasks rebuild their worlds from explicit seeds, so which
+process ran a trial can never matter.  These tests run small-scale
+configurations both ways and require exact equality (no ``approx``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.ablation import run_selection_ablation
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.nws_exp import run_nws_comparison
+from repro.sim.warmcache import clear_warm_cache
+
+
+class TestFig5Equivalence:
+    def test_rows_and_table_identical(self):
+        kwargs = dict(sizes=(1000, 1200), iterations=8, repeats=2)
+        serial = run_fig5(**kwargs, workers=1)
+        clear_warm_cache()
+        parallel = run_fig5(**kwargs, workers=4)
+        assert [dataclasses.astuple(r) for r in serial.rows] == [
+            dataclasses.astuple(r) for r in parallel.rows
+        ]
+        assert serial.table().render() == parallel.table().render()
+
+
+class TestSelectionAblationEquivalence:
+    def test_result_identical(self):
+        serial = run_selection_ablation(n=1000, iterations=8, workers=1)
+        clear_warm_cache()
+        parallel = run_selection_ablation(n=1000, iterations=8, workers=2)
+        assert dataclasses.astuple(serial) == dataclasses.astuple(parallel)
+
+
+class TestNwsComparisonEquivalence:
+    def test_mse_and_order_identical(self):
+        serial = run_nws_comparison(nsamples=120, workers=1)
+        parallel = run_nws_comparison(nsamples=120, workers=4)
+        assert serial.mse == parallel.mse
+        # Insertion order matters to the rendered table; assert it too.
+        assert list(serial.mse) == list(parallel.mse)
+        for process in serial.mse:
+            assert list(serial.mse[process]) == list(parallel.mse[process])

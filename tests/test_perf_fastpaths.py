@@ -1,0 +1,232 @@
+"""Fast-path regressions: every optimisation vs its reference implementation.
+
+The hot-path work (incremental window statistics, ensemble memoisation,
+NWS query caches, bulk load generation, the engine's zero-delay ready
+queue) keeps the straightforward implementations alive behind
+:mod:`repro.util.perf`.  These tests run both paths over identical inputs:
+
+- running-sum statistics must agree to tight relative tolerance (the sums
+  are resynchronised periodically, so drift is bounded but not zero);
+- everything else (memoisation, caches, bulk RNG, event ordering) must be
+  *exactly* equal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nws.ensemble import AdaptiveEnsemble
+from repro.nws.forecasters import (
+    AdaptiveWindowMean,
+    MedianWindow,
+    SlidingWindowMean,
+    TrimmedMeanWindow,
+)
+from repro.sim.engine import Simulator
+from repro.sim.load import AR1Load, ConstantLoad, MarkovLoad, SpikeLoad, TraceLoad
+from repro.util import perf
+from repro.util.rng import RngStream
+
+#: Enough samples to evict from every window many times and cross the
+#: running-sum resynchronisation boundary.
+_N_SAMPLES = 1500
+
+
+def _series(seed: int = 9) -> list[float]:
+    gen = np.random.default_rng(seed)
+    return [float(v) for v in gen.uniform(0.0, 1.0, _N_SAMPLES)]
+
+
+def _one_step_forecasts(forecaster, series):
+    out = []
+    for i, value in enumerate(series):
+        if i > 0:
+            out.append(forecaster.forecast())
+        forecaster.update(value)
+    return out
+
+
+class TestWindowForecasterFastpaths:
+    """Fast incremental statistics vs the rescanning reference."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: SlidingWindowMean(8),
+            lambda: SlidingWindowMean(32),
+            lambda: MedianWindow(8),
+            lambda: MedianWindow(32),
+            lambda: MedianWindow(7),  # odd window: single-middle branch
+            lambda: TrimmedMeanWindow(16, 0.25),
+            lambda: TrimmedMeanWindow(8, 0.4),
+            lambda: AdaptiveWindowMean(),
+        ],
+        ids=["sw8", "sw32", "med8", "med32", "med7", "trim16", "trim8", "adapt"],
+    )
+    def test_matches_reference(self, make):
+        series = _series()
+        with perf.fastpath(True):
+            fast = _one_step_forecasts(make(), series)
+        with perf.fastpath(False):
+            naive = _one_step_forecasts(make(), series)
+        assert len(fast) == len(naive) == _N_SAMPLES - 1
+        for f, n in zip(fast, naive):
+            assert math.isclose(f, n, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_median_fastpath_exact(self):
+        # Order statistics involve no running sums: exactly equal.
+        series = _series(4)
+        with perf.fastpath(True):
+            fast = _one_step_forecasts(MedianWindow(16), series)
+        with perf.fastpath(False):
+            naive = _one_step_forecasts(MedianWindow(16), series)
+        assert fast == naive
+
+
+class TestEnsembleMemoisation:
+    def test_forecast_pure_between_updates(self):
+        with perf.fastpath(True):
+            ens = AdaptiveEnsemble()
+            for v in _series(2)[:200]:
+                ens.update(v)
+            first = ens.forecast()
+            assert ens.forecast().value == first.value
+
+    def test_memoised_equals_unmemoised(self):
+        # fastpath(False) also swaps the *member* forecasters to their
+        # rescanning implementations, so tiny running-sum float drift is
+        # expected; the memoisation itself adds no error on top.
+        series = _series(3)[:400]
+        with perf.fastpath(True):
+            fast = _one_step_forecasts_ensemble(series)
+        with perf.fastpath(False):
+            naive = _one_step_forecasts_ensemble(series)
+        assert len(fast) == len(naive)
+        for f, n in zip(fast, naive):
+            assert math.isclose(f, n, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def _one_step_forecasts_ensemble(series):
+    ens = AdaptiveEnsemble()
+    out = []
+    for i, value in enumerate(series):
+        if i > 0:
+            out.append(ens.forecast().value)
+        ens.update(value)
+    return out
+
+
+class TestBulkLoadGeneration:
+    """Batched epoch generation must be bit-identical to scalar chaining."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda rng: AR1Load(mean=0.5, phi=0.9, sigma=0.1, rng=rng),
+            lambda rng: MarkovLoad(idle_level=0.9, busy_level=0.2, p_busy=0.15,
+                                   p_idle=0.3, rng=rng),
+            lambda rng: SpikeLoad(base=0.95, spike_level=0.1, p_spike=0.05,
+                                  p_recover=0.5, rng=rng),
+            lambda rng: ConstantLoad(level=0.7),
+            lambda rng: TraceLoad([0.1, 0.5, 0.9], dt=5.0),
+        ],
+        ids=["ar1", "markov", "spike", "constant", "trace"],
+    )
+    def test_bulk_equals_scalar(self, make):
+        with perf.fastpath(True):
+            bulk = make(RngStream(77, "load").child("x"))
+            bulk_vals = [bulk.availability(t * 2.5) for t in range(800)]
+        with perf.fastpath(False):
+            scalar = make(RngStream(77, "load").child("x"))
+            scalar_vals = [scalar.availability(t * 2.5) for t in range(800)]
+        assert bulk_vals == scalar_vals
+
+    def test_incremental_then_bulk_fill(self):
+        # Mixed access: a few scalar fills first, then a far jump.
+        with perf.fastpath(True):
+            a = AR1Load(mean=0.5, phi=0.9, sigma=0.1,
+                        rng=RngStream(5, "load").child("y"))
+            head = [a.availability(t * 3.0) for t in range(10)]
+            far = a.availability(5000.0)
+        with perf.fastpath(False):
+            b = AR1Load(mean=0.5, phi=0.9, sigma=0.1,
+                        rng=RngStream(5, "load").child("y"))
+            head_ref = [b.availability(t * 3.0) for t in range(10)]
+            far_ref = b.availability(5000.0)
+        assert head == head_ref
+        assert far == far_ref
+
+
+class TestEngineZeroDelayFastpath:
+    def _firing_order(self, fast: bool) -> list[tuple[str, float]]:
+        with perf.fastpath(fast):
+            sim = Simulator()
+            order: list[tuple[str, float]] = []
+
+            def note(tag):
+                order.append((tag, sim.now))
+
+            # Interleave zero-delay and timed events, including ties.
+            sim.schedule(0.0, note, "z1")
+            sim.schedule(1.0, note, "t1")
+            sim.schedule(0.0, note, "z2")
+            sim.schedule(0.0, lambda: sim.schedule(0.0, note, "nested"))
+            sim.schedule(1.0, note, "t2")
+            sim.schedule(0.5, lambda: sim.schedule(0.0, note, "mid"))
+            sim.run()
+            return order
+
+    def test_order_identical_to_pure_heap(self):
+        assert self._firing_order(True) == self._firing_order(False)
+
+    def test_processes_identical(self):
+        def results(fast):
+            with perf.fastpath(fast):
+                sim = Simulator()
+                log: list[tuple[str, float]] = []
+
+                def worker(tag, delay):
+                    yield 0
+                    log.append((tag, sim.now))
+                    yield delay
+                    log.append((tag + "'", sim.now))
+
+                procs = [sim.process(worker(f"p{i}", 0.25 * i)) for i in range(4)]
+                sim.run_until_done(procs)
+                return log
+
+        assert results(True) == results(False)
+
+
+class TestServiceCaches:
+    def test_cached_queries_equal_uncached(self):
+        from repro.nws.service import NetworkWeatherService
+        from repro.sim.testbeds import sdsc_pcl_testbed
+
+        def snapshot(fast):
+            with perf.fastpath(fast):
+                testbed = sdsc_pcl_testbed(seed=21)
+                nws = NetworkWeatherService.for_testbed(testbed, seed=22)
+                nws.warmup(120.0)
+                hosts = list(testbed.host_names)
+                out = []
+                for t in (120.0, 180.0):
+                    nws.advance_to(t)
+                    for h in hosts:
+                        out.append(nws.cpu_forecast(h).value)
+                        out.append(nws.cpu_forecast(h).value)  # repeat: hits cache
+                    out.append(nws.path_bandwidth_forecast(hosts[0], hosts[1]))
+                    out.append(nws.path_bandwidth_forecast(hosts[0], hosts[1]))
+                return out
+
+        fast, naive = snapshot(True), snapshot(False)
+        assert len(fast) == len(naive)
+        # Every query was issued twice back-to-back: the cached repeat must
+        # be *exactly* the first answer...
+        assert fast[0::2] == fast[1::2]
+        # ...and fast vs naive may differ only by member running-sum drift.
+        for f, n in zip(fast, naive):
+            assert math.isclose(f, n, rel_tol=1e-9, abs_tol=1e-12)
