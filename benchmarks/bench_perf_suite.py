@@ -48,7 +48,7 @@ def _timed(fn, /, **kwargs):
     return result, time.perf_counter() - t0
 
 
-def bench_perf_suite(report):
+def bench_perf_suite(report, merge_json):
     data: dict = {"quick_mode": QUICK, "cpu_count": os.cpu_count()}
 
     # -- fig5: baseline (seed-equivalent) vs optimised serial vs parallel --
@@ -119,7 +119,8 @@ def bench_perf_suite(report):
         f"  optimised                 : {nws_opt_s:8.3f} s"
         f"   ({nws_base_s / nws_opt_s:.2f}x)",
     ]
-    report("perf_suite", "\n".join(lines), data=data)
+    report("perf_suite", "\n".join(lines))
+    merge_json("perf_suite", data)
 
     # Smoke assertions hold in any mode; the headline speedup targets are
     # asserted only at full scale where timings are meaningful.

@@ -1,0 +1,182 @@
+"""Scheduling-decision latency vs resource-pool size.
+
+The paper's agent makes its decision by evaluating *every* candidate
+resource set — ``2^n - 1`` of them up to the selector's exhaustive limit —
+"at machine speeds".  This benchmark measures what one decision costs as
+the pool grows, and what the fast path (forecast snapshot + memoised
+models + admissible lower-bound pruning, :mod:`repro.util.perf`) buys over
+the reference implementation, which remains available under
+``REPRO_NO_FASTPATH=1``.
+
+Four pools, two selector regimes:
+
+====================  ======  ===========  ==================
+pool                  hosts   candidates   selector regime
+====================  ======  ===========  ==================
+sdsc_pcl               8       255          exhaustive
+sdsc_pcl_sp2           10      1023         exhaustive
+nile                   12      4095         exhaustive
+nile_4site             16      (ladder)     greedy
+====================  ======  ===========  ==================
+
+Every timing pair also asserts decision equivalence: the fast path must
+return the same resource set, allocations and predicted time as the
+reference loop — the speedup is free only because it changes nothing.
+
+Results go to ``benchmarks/results/scheduling_scaling.txt`` and are merged
+into ``benchmarks/results/perf_suite.json`` under ``scheduling_scaling``.
+
+Set ``SCHED_SCALING_QUICK=1`` (or ``PERF_SUITE_QUICK=1``) for the reduced
+CI smoke run; only the full run's speedups are meaningful, and only the
+full run asserts the >=3x fast-path target on the 12-machine exhaustive
+decision.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.sim.testbeds import nile_testbed, sdsc_pcl_testbed, sdsc_pcl_with_sp2
+from repro.sim.warmcache import clear_warm_cache, warmed_state
+from repro.util import perf
+
+QUICK = any(
+    os.environ.get(var, "").strip().lower() in ("1", "true", "yes")
+    for var in ("SCHED_SCALING_QUICK", "PERF_SUITE_QUICK")
+)
+
+SEED = 7
+WARMUP_S = 600.0
+
+# (label, builder, builder_kwargs, expected_regime)
+POOLS = [
+    ("sdsc_pcl", sdsc_pcl_testbed, {}, "exhaustive"),
+    ("sdsc_pcl_sp2", sdsc_pcl_with_sp2, {}, "exhaustive"),
+    ("nile", nile_testbed, {}, "exhaustive"),
+    ("nile_4site", nile_testbed, {"nsites": 4}, "greedy"),
+]
+
+
+def _problem() -> JacobiProblem:
+    if QUICK:
+        return JacobiProblem(n=600, iterations=20)
+    return JacobiProblem(n=1000, iterations=50)
+
+
+def _decide(builder, builder_kwargs, problem, fast: bool):
+    """One timed decision: (decision, seconds). Warm-up is setup, not timed."""
+    testbed, nws = warmed_state(
+        builder, seed=SEED, warmup_s=WARMUP_S, builder_kwargs=builder_kwargs
+    )
+    with perf.fastpath(fast):
+        agent = make_jacobi_agent(testbed, problem, nws=nws)
+        t0 = time.perf_counter()
+        decision = agent.schedule()
+        elapsed = time.perf_counter() - t0
+    return decision, elapsed
+
+
+def _signature(decision):
+    """The observable outcome: chosen machines, allocations, prediction."""
+    return (
+        decision.best_objective,
+        decision.best.predicted_time,
+        tuple((a.machine, a.work_units) for a in decision.best.allocations),
+    )
+
+
+def bench_scheduling_scaling(report, merge_json):
+    problem = _problem()
+    repeats = 2 if QUICK else 3
+    rows = []
+    for label, builder, kwargs, regime in POOLS:
+        clear_warm_cache()
+        # One untimed decision per arm absorbs first-run effects (snapshot
+        # allocation, import latencies); the timed runs then execute each
+        # arm back-to-back so allocator state is comparable within an arm.
+        ref_best = fast_best = float("inf")
+        ref_dec = fast_dec = None
+        _decide(builder, kwargs, problem, fast=False)
+        for _ in range(repeats):
+            dec, dt = _decide(builder, kwargs, problem, fast=False)
+            ref_best, ref_dec = min(ref_best, dt), dec
+        _decide(builder, kwargs, problem, fast=True)
+        for _ in range(repeats):
+            dec, dt = _decide(builder, kwargs, problem, fast=True)
+            fast_best, fast_dec = min(fast_best, dt), dec
+
+        # Decision equivalence: the fast path changes nothing observable.
+        assert _signature(ref_dec) == _signature(fast_dec), label
+
+        pool_size = len(
+            warmed_state(
+                builder, seed=SEED, warmup_s=WARMUP_S, builder_kwargs=kwargs
+            )[0].host_names
+        )
+        pruning = fast_dec.pruning
+        rows.append(
+            {
+                "pool": label,
+                "hosts": pool_size,
+                "regime": regime,
+                "candidates": ref_dec.candidates_considered,
+                "reference_s": ref_best,
+                "fastpath_s": fast_best,
+                "speedup": ref_best / fast_best,
+                "pruned": pruning.pruned if pruning else 0,
+                "planned": pruning.planned if pruning else None,
+            }
+        )
+
+    lines = [
+        "Scheduling-decision latency vs pool size",
+        f"(quick_mode={QUICK}, problem n={problem.n} x {problem.iterations} iters,"
+        f" min of {repeats} runs)",
+        "",
+        f"{'pool':<14}{'hosts':>6}{'regime':>12}{'cands':>7}"
+        f"{'ref (s)':>10}{'fast (s)':>10}{'speedup':>9}{'pruned':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['pool']:<14}{r['hosts']:>6}{r['regime']:>12}{r['candidates']:>7}"
+            f"{r['reference_s']:>10.3f}{r['fastpath_s']:>10.3f}"
+            f"{r['speedup']:>8.2f}x{r['pruned']:>8}"
+        )
+    data = {
+        "quick_mode": QUICK,
+        "problem": {"n": problem.n, "iterations": problem.iterations},
+        "repeats": repeats,
+        "pools": rows,
+    }
+    report("scheduling_scaling", "\n".join(lines))
+    merge_json("perf_suite", {"scheduling_scaling": data})
+
+    # Smoke assertions hold in any mode.
+    for r in rows:
+        assert r["fastpath_s"] > 0 and r["reference_s"] > 0
+    exhaustive_12 = next(r for r in rows if r["pool"] == "nile")
+    assert exhaustive_12["candidates"] == 4095
+    if not QUICK:
+        # The headline acceptance target: >=3x on exhaustive 12-machine
+        # decisions, measured only at full scale where timing is stable.
+        assert exhaustive_12["speedup"] >= 3.0, exhaustive_12
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv[1:]:
+        os.environ["SCHED_SCALING_QUICK"] = "1"
+        QUICK = True
+
+    from conftest import RESULTS_DIR, merge_json_results  # noqa: F401
+
+    def _report(name, text, data=None):
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    bench_scheduling_scaling(_report, merge_json_results)

@@ -37,3 +37,32 @@ def report():
             )
 
     return _report
+
+
+def merge_json_results(name: str, updates: dict) -> dict:
+    """Merge ``updates`` into ``results/<name>.json`` by top-level key.
+
+    Several benchmarks contribute sections to one archive (e.g.
+    ``perf_suite.json`` holds both the runner suite and the scheduling
+    scaling section); a wholesale overwrite by one would drop the others'
+    keys.  Unreadable or non-object existing content is replaced.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    existing: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict):
+            existing = loaded
+    existing.update(updates)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return existing
+
+
+@pytest.fixture(scope="session")
+def merge_json():
+    """Session fixture wrapping :func:`merge_json_results`."""
+    return merge_json_results

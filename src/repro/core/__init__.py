@@ -18,7 +18,12 @@ application's planner), and User Specifications
 """
 
 from repro.core.actuator import Actuator, RecordingActuator
-from repro.core.coordinator import AppLeSAgent, ScheduleDecision
+from repro.core.coordinator import (
+    AppLeSAgent,
+    CandidateEvaluation,
+    PruningStats,
+    ScheduleDecision,
+)
 from repro.core.distance import logical_distance, rank_by_distance
 from repro.core.estimator import (
     CostEstimator,
@@ -33,8 +38,13 @@ from repro.core.hat import (
     StructureInfo,
     TaskCharacteristics,
 )
-from repro.core.infopool import InformationPool
-from repro.core.planner import Planner, TimeBalancedPlanner, balance_divisible_work
+from repro.core.infopool import DecisionCache, InformationPool
+from repro.core.planner import (
+    Planner,
+    TimeBalancedPlanner,
+    balance_divisible_work,
+    balance_divisible_work_batched,
+)
 from repro.core.resources import MachineInfo, ResourcePool
 from repro.core.schedule import Allocation, Schedule
 from repro.core.selector import ResourceSelector
@@ -44,6 +54,8 @@ from repro.core.wait_or_run import Reservation, WaitOrRunDecision, decide_wait_o
 __all__ = [
     "AppLeSAgent",
     "ScheduleDecision",
+    "CandidateEvaluation",
+    "PruningStats",
     "Actuator",
     "RecordingActuator",
     "logical_distance",
@@ -58,9 +70,11 @@ __all__ = [
     "CommunicationCharacteristics",
     "StructureInfo",
     "InformationPool",
+    "DecisionCache",
     "Planner",
     "TimeBalancedPlanner",
     "balance_divisible_work",
+    "balance_divisible_work_batched",
     "MachineInfo",
     "ResourcePool",
     "Allocation",

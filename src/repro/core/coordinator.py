@@ -11,12 +11,23 @@ Jacobi2D prototype (§5):
 4. Actuate the selected schedule (Actuator).
 
 Everything the Coordinator knows comes from the shared Information Pool.
+
+Fast path (:mod:`repro.util.perf`, off under ``REPRO_NO_FASTPATH=1``): the
+Coordinator brackets the candidate loop with
+:meth:`~repro.core.infopool.InformationPool.begin_decision` — one forecast
+snapshot shared by every evaluation — and, when the Planner/Estimator pair
+exposes admissible lower bounds, skips candidate sets whose bound cannot
+beat the incumbent.  Bounds are *admissible* (never above the true
+objective) and pruning only fires when the bound exceeds the incumbent by
+a relative epsilon, so the chosen schedule is bit-identical to the
+reference exhaustive loop; pruned rows stay in ``evaluations`` (objective
+``inf``) and the counts are reported in :class:`PruningStats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.actuator import Actuator, RecordingActuator
 from repro.core.estimator import PerformanceEstimator, make_estimator
@@ -24,22 +35,71 @@ from repro.core.infopool import InformationPool
 from repro.core.planner import Planner
 from repro.core.schedule import Schedule
 from repro.core.selector import ResourceSelector
+from repro.util import perf
 
-__all__ = ["AppLeSAgent", "ScheduleDecision", "CandidateEvaluation"]
+__all__ = [
+    "AppLeSAgent",
+    "ScheduleDecision",
+    "CandidateEvaluation",
+    "PruningStats",
+]
+
+# Prune only when the lower bound beats the incumbent by this relative
+# margin.  Bounds are admissible in exact arithmetic; the margin is far
+# above any accumulated ulp noise (~1e-16 relative) yet far below real
+# candidate separations, so it can only *disable* pruning near exact ties —
+# never change the winner.
+_PRUNE_RELATIVE_EPS = 1e-12
 
 
 @dataclass(frozen=True)
 class CandidateEvaluation:
-    """One (resource set, schedule, objective) row from the blueprint loop."""
+    """One (resource set, schedule, objective) row from the blueprint loop.
+
+    ``pruned`` rows were skipped by the fast path's admissible lower bound
+    (``lower_bound`` > incumbent objective); their schedule is None and the
+    objective ``inf``, mirroring an infeasible row for ranking purposes.
+    """
 
     resource_set: tuple[str, ...]
     schedule: Schedule | None
     objective: float
+    pruned: bool = False
+    lower_bound: float | None = None
 
     @property
     def feasible(self) -> bool:
         """Whether the Planner produced a schedule for this set."""
         return self.schedule is not None
+
+
+@dataclass(frozen=True)
+class PruningStats:
+    """Candidate-search statistics from one Coordinator decision.
+
+    Attributes
+    ----------
+    candidates:
+        Total candidate resource sets the Resource Selector produced.
+    planned:
+        How many were actually run through the Planner.
+    pruned:
+        How many were skipped because their admissible lower bound could
+        not beat the incumbent objective.
+    bounded:
+        Whether lower bounds were available at all (planner + estimator
+        both support them and the fast path was enabled).
+    """
+
+    candidates: int
+    planned: int
+    pruned: int
+    bounded: bool
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of the candidate space skipped (0.0 when unbounded)."""
+        return self.pruned / self.candidates if self.candidates else 0.0
 
 
 @dataclass
@@ -55,18 +115,23 @@ class ScheduleDecision:
     evaluations:
         Every candidate considered, in evaluation order — the paper's
         "consider more options ... at machine speeds" made observable.
+        Pruned candidates appear with ``pruned=True``.
     metric:
         Name of the user's performance metric.
+    pruning:
+        Candidate-search statistics (None when produced by code predating
+        the fast path).
     """
 
     best: Schedule
     best_objective: float
     evaluations: list[CandidateEvaluation] = field(default_factory=list)
     metric: str = "execution_time"
+    pruning: PruningStats | None = None
 
     @property
     def candidates_considered(self) -> int:
-        """Number of resource sets evaluated."""
+        """Number of resource sets considered (planned + pruned)."""
         return len(self.evaluations)
 
     @property
@@ -92,6 +157,14 @@ class ScheduleDecision:
             f"Considered {self.candidates_considered} candidate resource sets "
             f"({self.candidates_feasible} feasible) under metric "
             f"{self.metric!r}.",
+        ]
+        if self.pruning is not None and self.pruning.bounded:
+            lines.append(
+                f"Search pruning: {self.pruning.planned} planned, "
+                f"{self.pruning.pruned} pruned by lower bound "
+                f"({self.pruning.pruned_fraction:.0%} of the candidate space)."
+            )
+        lines += [
             "",
             "Chosen schedule:",
             self.best.describe(),
@@ -140,6 +213,29 @@ class AppLeSAgent:
             estimator = make_estimator(info.userspec.performance_metric)
         self.estimator = estimator
         self.actuator = actuator if actuator is not None else RecordingActuator()
+        self._fast = perf.fastpath_enabled()
+
+    def _lower_bounds(
+        self, candidate_sets: list[tuple[str, ...]]
+    ) -> list[float] | None:
+        """Admissible objective lower bound per candidate set, or None.
+
+        Requires both optional hooks: the Planner's vectorized time bounds
+        and the Estimator's mapping from a time bound to an objective
+        bound.  Any failure disables pruning for this decision (the loop
+        below then degenerates to the reference exhaustive scan).
+        """
+        planner_bounds = getattr(self.planner, "lower_bounds", None)
+        estimator_bound = getattr(self.estimator, "objective_lower_bound", None)
+        if planner_bounds is None or estimator_bound is None:
+            return None
+        time_bounds = planner_bounds(candidate_sets, self.info)
+        if time_bounds is None or len(time_bounds) != len(candidate_sets):
+            return None
+        return [
+            estimator_bound(float(tb), rset, self.info)
+            for tb, rset in zip(time_bounds, candidate_sets)
+        ]
 
     def schedule(self) -> ScheduleDecision:
         """Run blueprint steps 1–3: select, plan, estimate, choose.
@@ -154,18 +250,87 @@ class AppLeSAgent:
                 "Resource Selector produced no candidate sets "
                 "(User Specification too restrictive?)"
             )
+        if not self._fast:
+            return self._schedule_reference(candidate_sets)
+
+        begin = getattr(self.planner, "begin_decision", None)
+        end = getattr(self.planner, "end_decision", None)
+        self.info.begin_decision()
+        try:
+            if begin is not None:
+                begin(self.info)
+            try:
+                bounds = self._lower_bounds(candidate_sets)
+                return self._schedule_loop(candidate_sets, bounds)
+            finally:
+                if end is not None:
+                    end(self.info)
+        finally:
+            self.info.end_decision()
+
+    def _schedule_reference(
+        self, candidate_sets: list[tuple[str, ...]]
+    ) -> ScheduleDecision:
+        """The seed exhaustive loop — one plan+estimate per candidate set."""
+        return self._schedule_loop(candidate_sets, None)
+
+    def _schedule_loop(
+        self,
+        candidate_sets: list[tuple[str, ...]],
+        bounds: Sequence[float] | None,
+    ) -> ScheduleDecision:
         evaluations: list[CandidateEvaluation] = []
         best: Schedule | None = None
         best_obj = float("inf")
-        for rset in candidate_sets:
+        best_idx = -1
+        pruned = 0
+
+        # Warm start: evaluate the candidate with the smallest lower bound
+        # first so the sweep below starts with a strong incumbent and can
+        # prune from candidate #0.  The winner is still chosen as the
+        # minimum objective with ties broken by original index — exactly
+        # the reference loop's first-strict-minimum — so evaluating one
+        # candidate out of order cannot change the decision.
+        seeded: dict[int, CandidateEvaluation] = {}
+        if bounds is not None and len(candidate_sets) > 1:
+            seed_idx = min(range(len(candidate_sets)), key=bounds.__getitem__)
+            rset = candidate_sets[seed_idx]
+            sched = self.planner.plan(rset, self.info)
+            if sched is None:
+                seeded[seed_idx] = CandidateEvaluation(rset, None, float("inf"))
+            else:
+                obj = self.estimator.objective(sched, self.info)
+                seeded[seed_idx] = CandidateEvaluation(rset, sched, obj)
+                if obj < float("inf"):
+                    best, best_obj, best_idx = sched, obj, seed_idx
+
+        for idx, rset in enumerate(candidate_sets):
+            pre = seeded.get(idx)
+            if pre is not None:
+                evaluations.append(pre)
+                continue
+            if bounds is not None:
+                lb = bounds[idx]
+                # Prune only with a finite incumbent and a clear margin:
+                # admissible bound above the incumbent means this set cannot
+                # win, and a strict `<` incumbent update means skipping a
+                # tie never changes the first-minimum winner either.
+                if best_obj < float("inf") and lb >= best_obj * (1.0 + _PRUNE_RELATIVE_EPS):
+                    evaluations.append(
+                        CandidateEvaluation(
+                            rset, None, float("inf"), pruned=True, lower_bound=lb
+                        )
+                    )
+                    pruned += 1
+                    continue
             sched = self.planner.plan(rset, self.info)
             if sched is None:
                 evaluations.append(CandidateEvaluation(rset, None, float("inf")))
                 continue
             obj = self.estimator.objective(sched, self.info)
             evaluations.append(CandidateEvaluation(rset, sched, obj))
-            if obj < best_obj:
-                best, best_obj = sched, obj
+            if obj < best_obj or (obj == best_obj and idx < best_idx):
+                best, best_obj, best_idx = sched, obj, idx
         if best is None:
             raise RuntimeError(
                 f"no feasible schedule across {len(candidate_sets)} candidate resource sets"
@@ -175,6 +340,12 @@ class AppLeSAgent:
             best_objective=best_obj,
             evaluations=evaluations,
             metric=self.info.userspec.performance_metric,
+            pruning=PruningStats(
+                candidates=len(candidate_sets),
+                planned=len(candidate_sets) - pruned,
+                pruned=pruned,
+                bounded=bounds is not None,
+            ),
         )
 
     def run(self, t0: float = 0.0) -> tuple[ScheduleDecision, Any]:

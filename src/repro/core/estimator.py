@@ -11,7 +11,7 @@ of the metric is available separately.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from repro.core.infopool import InformationPool
 from repro.core.schedule import Schedule
@@ -26,7 +26,14 @@ __all__ = [
 
 
 class PerformanceEstimator(Protocol):
-    """Protocol: score a candidate schedule (lower objective = better)."""
+    """Protocol: score a candidate schedule (lower objective = better).
+
+    Estimators may optionally implement
+    ``objective_lower_bound(time_lb, resource_set, info) -> float`` — an
+    admissible objective bound given a lower bound on predicted time for a
+    candidate set, used by the Coordinator's pruning fast path.  Estimators
+    without it simply disable pruning (never changing any decision).
+    """
 
     def objective(self, schedule: Schedule, info: InformationPool) -> float:
         """The quantity the Coordinator minimises."""
@@ -47,6 +54,12 @@ class ExecutionTimeEstimator:
 
     def metric_value(self, schedule: Schedule, info: InformationPool) -> float:
         return schedule.predicted_time
+
+    def objective_lower_bound(
+        self, time_lb: float, resource_set: Sequence[str], info: InformationPool
+    ) -> float:
+        """Objective is the time itself, so the time bound is the bound."""
+        return time_lb
 
 
 class SpeedupEstimator:
@@ -81,6 +94,12 @@ class SpeedupEstimator:
             return float("inf")
         return self._baseline_time(info) / schedule.predicted_time
 
+    def objective_lower_bound(
+        self, time_lb: float, resource_set: Sequence[str], info: InformationPool
+    ) -> float:
+        """Monotone in time: bound / baseline bounds the objective below."""
+        return time_lb / self._baseline_time(info)
+
 
 class CostEstimator:
     """Minimise monetary cost of cycles (§3.1's "cost of execution cycles").
@@ -108,6 +127,18 @@ class CostEstimator:
 
     def metric_value(self, schedule: Schedule, info: InformationPool) -> float:
         return self._cost(schedule, info)
+
+    def objective_lower_bound(
+        self, time_lb: float, resource_set: Sequence[str], info: InformationPool
+    ) -> float:
+        """Admissible bound: the schedule uses at least one machine of the
+        candidate set (possibly fewer after planner drops), so its rate sum
+        is at least the cheapest member's rate."""
+        rates = info.userspec.cost_per_cpu_second
+        if not resource_set:
+            return self.time_weight * time_lb
+        min_rate = min(rates.get(m, 0.0) for m in resource_set)
+        return time_lb * min_rate + self.time_weight * time_lb
 
 
 def make_estimator(metric: str, **kwargs) -> PerformanceEstimator:

@@ -16,7 +16,29 @@ from repro.core.hat import HeterogeneousApplicationTemplate
 from repro.core.resources import ResourcePool
 from repro.core.userspec import UserSpecification
 
-__all__ = ["InformationPool"]
+__all__ = ["InformationPool", "DecisionCache"]
+
+
+class DecisionCache:
+    """Scratch state shared by all subsystems for one scheduling decision.
+
+    The Coordinator's fast path opens a decision with
+    :meth:`InformationPool.begin_decision`, which takes one
+    :class:`~repro.nws.snapshot.ForecastSnapshot` of the pool and hands
+    every Planner/Estimator a shared ``memo`` dict for per-decision
+    memoisation (cost models, locality orders, per-machine rates).  Because
+    the snapshot is a pure cache over the pool, anything derived from it is
+    bit-identical to the reference path that re-queries per candidate.
+
+    Planners namespace their memo keys (e.g. ``("jacobi-model", id(self))``)
+    so several planners can share one cache without collisions.
+    """
+
+    __slots__ = ("snapshot", "memo")
+
+    def __init__(self, snapshot: Any) -> None:
+        self.snapshot = snapshot
+        self.memo: dict[Any, Any] = {}
 
 
 @dataclass
@@ -43,6 +65,27 @@ class InformationPool:
     hat: HeterogeneousApplicationTemplate
     userspec: UserSpecification = field(default_factory=UserSpecification)
     models: dict[str, Any] = field(default_factory=dict)
+    _decision: DecisionCache | None = field(default=None, init=False, repr=False)
+
+    # -- per-decision state ---------------------------------------------------
+    def begin_decision(self) -> DecisionCache:
+        """Open a scheduling decision: snapshot the pool, reset the memo.
+
+        Called by the Coordinator's fast path before the candidate loop;
+        planners pick the cache up via :attr:`decision_cache`.  Re-entrant
+        calls replace the previous cache (one decision at a time).
+        """
+        self._decision = DecisionCache(self.pool.snapshot())
+        return self._decision
+
+    def end_decision(self) -> None:
+        """Close the current decision and drop its cached state."""
+        self._decision = None
+
+    @property
+    def decision_cache(self) -> DecisionCache | None:
+        """The active decision's shared cache (None outside a decision)."""
+        return self._decision
 
     def register_model(self, name: str, model: Any) -> None:
         """Add or replace a named performance model."""

@@ -16,6 +16,21 @@ machine with ``A_i > 0`` finishes at the same instant ``T``, so
 nothing (dropping them is *resource selection falling out of planning*).
 Capacity limits (real memory) clamp allocations and the remainder
 re-balances over the rest.
+
+Two implementations coexist behind :mod:`repro.util.perf`:
+
+- the **reference** iterative drop/re-balance loop (the seed algorithm,
+  selected by ``REPRO_NO_FASTPATH=1``), and
+- a **closed-form water-filling** fast path that finds the final active
+  set in one vectorized pass over the sorted fixed-cost breakpoints, then
+  computes the terminating arithmetic with exactly the reference's
+  summation order — so both paths return bit-identical results.  Inputs
+  the closed form cannot certify (binding capacities, breakpoint ties
+  beyond float resolution) fall back to the reference loop.
+
+:func:`balance_divisible_work_batched` water-fills **many** candidate
+machine sets over one shared machine universe in a single NumPy call —
+the vector engine behind the Coordinator's candidate pruning bounds.
 """
 
 from __future__ import annotations
@@ -23,15 +38,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+import numpy as np
+
 from repro.core.infopool import InformationPool
 from repro.core.schedule import Schedule
+from repro.util import perf
 from repro.util.validation import check_positive
 
-__all__ = ["Planner", "BalanceResult", "balance_divisible_work", "TimeBalancedPlanner"]
+__all__ = [
+    "Planner",
+    "BalanceResult",
+    "BatchBalanceResult",
+    "balance_divisible_work",
+    "balance_divisible_work_batched",
+    "TimeBalancedPlanner",
+]
 
 
 class Planner(Protocol):
-    """Protocol all application planners implement."""
+    """Protocol all application planners implement.
+
+    Planners may additionally offer two *optional* fast-path hooks the
+    Coordinator probes for (see :mod:`repro.core.coordinator`):
+
+    - ``lower_bounds(candidate_sets, info) -> Sequence[float]`` — an
+      admissible (never over-estimating) lower bound on the predicted
+      time of the best schedule this planner could produce on each
+      candidate set, computed vectorized for the whole list at once;
+    - ``begin_decision(info)`` / ``end_decision(info)`` — bracket one
+      Coordinator decision so the planner can set up / drop per-decision
+      memoisation.
+    """
 
     def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
         """Produce a candidate schedule for ``resource_set``.
@@ -106,11 +143,28 @@ def balance_divisible_work(
     caps = [None] * n if capacities is None else [
         None if c is None else float(c) for c in capacities
     ]
+    if perf.fastpath_enabled():
+        return _balance_fast(rates, fixed_costs, float(total_units), caps)
+    return _balance_reference(rates, fixed_costs, float(total_units), caps)
 
+
+def _balance_reference(
+    rates: list[float],
+    fixed_costs: list[float],
+    total_units: float,
+    caps: list[float | None],
+) -> BalanceResult | None:
+    """The seed drop/re-balance loop (inputs pre-validated).
+
+    ``active`` is kept as an *ascending* index list: the summation order of
+    ``rate_sum`` and ``weighted_cost`` is part of the reference contract —
+    the fast path replicates it to return bit-identical floats.
+    """
+    n = len(rates)
     alloc = [0.0] * n
-    active = set(range(n))
+    active = list(range(n))
     saturated: set[int] = set()
-    remaining = float(total_units)
+    remaining = total_units
 
     # Each pass either drops a machine, saturates a machine, or terminates;
     # at most 2n passes.
@@ -126,7 +180,7 @@ def balance_divisible_work(
             # Drop only the single worst offender per pass: removing one can
             # change T for the rest.
             worst = max(useless, key=lambda i: fixed_costs[i])
-            active.discard(worst)
+            active.remove(worst)
             continue
         trial = {i: rates[i] * (t - fixed_costs[i]) for i in active}
         over = [
@@ -139,7 +193,7 @@ def balance_divisible_work(
             alloc[worst] = float(caps[worst])  # type: ignore[arg-type]
             remaining -= alloc[worst]
             saturated.add(worst)
-            active.discard(worst)
+            active.remove(worst)
             if remaining <= 1e-12:
                 # Capacities consumed everything; ensure nothing negative.
                 remaining = 0.0
@@ -169,6 +223,196 @@ def balance_divisible_work(
     )
 
 
+def _balance_fast(
+    rates: list[float],
+    fixed_costs: list[float],
+    total_units: float,
+    caps: list[float | None],
+) -> BalanceResult | None:
+    """Closed-form water-filling over sorted fixed-cost breakpoints.
+
+    The reference loop's fixpoint keeps exactly the machines whose fixed
+    cost is below the final balanced time ``T`` (each drop lowers ``T``
+    monotonically, so drop order never changes membership).  Sorting costs
+    ascending, the candidate active sets are prefixes, and the consistency
+    predicate ``c_k < T(prefix k)`` is prefix-monotone — so one cumsum pass
+    finds the active set.  The terminating arithmetic is then recomputed
+    with the reference's exact summation order (ascending original index)
+    and *verified* against the reference's drop predicate; any
+    disagreement (float-boundary ties) or a binding capacity falls back to
+    the reference loop, keeping results bit-identical by construction.
+    """
+    n = len(rates)
+    has_caps = any(c is not None for c in caps)
+
+    # Pure-Python prefix scan: the arrays here are machine pools (a few to
+    # a few dozen entries), where numpy's per-call overhead costs more than
+    # the arithmetic it vectorises.
+    order = sorted(range(n), key=fixed_costs.__getitem__)
+    k = 0
+    cum_r = 0.0
+    cum_rc = 0.0
+    for pos, i in enumerate(order):
+        cum_r += rates[i]
+        cum_rc += rates[i] * fixed_costs[i]
+        if cum_r > 0.0 and fixed_costs[i] < (total_units + cum_rc) / cum_r:
+            k = pos + 1  # prefix consistent: True...True False...False
+        else:
+            break
+    if k == 0:
+        # U > 0 makes the first prefix always consistent in exact
+        # arithmetic; reaching here means degenerate floats (e.g. inf
+        # costs) — let the reference loop decide.
+        return _balance_reference(rates, fixed_costs, total_units, caps)
+
+    active = sorted(order[:k])
+    # Terminating pass, arithmetic identical to the reference loop.
+    rate_sum = sum(rates[i] for i in active)
+    weighted_cost = sum(rates[i] * fixed_costs[i] for i in active)
+    t = (total_units + weighted_cost) / rate_sum
+
+    # Certify the reference's drop predicate at the final T; ties within
+    # float resolution go back to the authoritative loop.
+    if any(fixed_costs[i] >= t for i in active):
+        return _balance_reference(rates, fixed_costs, total_units, caps)
+    if k < n and any(fixed_costs[i] < t for i in order[k:]):
+        return _balance_reference(rates, fixed_costs, total_units, caps)
+
+    alloc = [0.0] * n
+    for i in active:
+        alloc[i] = rates[i] * (t - fixed_costs[i])
+    if has_caps and any(
+        caps[i] is not None and alloc[i] > caps[i] + 1e-9  # type: ignore[operator]
+        for i in active
+    ):
+        # A capacity binds: the saturation order is part of the reference
+        # semantics, so run the loop.
+        return _balance_reference(rates, fixed_costs, total_units, caps)
+
+    dropped = tuple(i for i in range(n) if alloc[i] == 0.0)
+    makespan = max(
+        (alloc[i] / rates[i] + fixed_costs[i]) for i in range(n) if alloc[i] > 0
+    ) if any(a > 0 for a in alloc) else 0.0
+    return BalanceResult(
+        allocations=alloc,
+        makespan=makespan,
+        dropped=dropped,
+        saturated=(),
+    )
+
+
+@dataclass(frozen=True)
+class BatchBalanceResult:
+    """Outcome of :func:`balance_divisible_work_batched`.
+
+    Attributes
+    ----------
+    makespans:
+        Balanced step time per candidate set, shape ``(m,)``; ``inf`` for
+        sets with no usable member.
+    allocations:
+        Work units per (set, machine), shape ``(m, n)``; zero outside the
+        set and for dropped machines.
+    active:
+        Boolean mask of machines loaded at the optimum, shape ``(m, n)``.
+    """
+
+    makespans: np.ndarray
+    allocations: np.ndarray
+    active: np.ndarray
+
+
+def balance_divisible_work_batched(
+    rates: Sequence[float],
+    fixed_costs: Sequence[float],
+    total_units: float,
+    members: np.ndarray | Sequence[Sequence[bool]] | None = None,
+) -> BatchBalanceResult:
+    """Water-fill many candidate sets over one machine universe at once.
+
+    Solves, for every row mask ``S`` of ``members``, the uncapacitated
+    time-balance ``min max_{i in S', A_i > 0} (A_i / r_i + c_i)`` with the
+    drop semantics of :func:`balance_divisible_work` — one vectorized
+    NumPy pass (sort by cost, cumulative sums, prefix selection) instead of
+    one solver call per set.  This is the engine behind the Coordinator's
+    pruning bounds: thousands of candidate resource sets bounded in a
+    single call.
+
+    Parameters
+    ----------
+    rates / fixed_costs:
+        The machine universe (rates > 0, costs >= 0 for every machine that
+        appears in any set; masked-out entries may hold placeholders).
+        ``fixed_costs`` may also be a ``(m, n)`` matrix giving per-set
+        per-machine costs (e.g. set-dependent communication floors); a
+        member whose cost is ``inf`` is treated as unusable in that set.
+    total_units:
+        Work to distribute per set, ``U > 0``.
+    members:
+        Boolean matrix ``(m, n)``; ``None`` balances the full universe as
+        a single set.
+
+    Capacities are deliberately unsupported: the batched form exists for
+    bounds and sweeps, where ignoring capacities keeps the result a valid
+    lower bound (capacities only increase the optimum).
+    """
+    r = np.asarray(rates, dtype=float)
+    c = np.asarray(fixed_costs, dtype=float)
+    if r.ndim != 1:
+        raise ValueError("rates must be 1-D")
+    if c.ndim not in (1, 2) or c.shape[-1] != r.size:
+        raise ValueError("fixed_costs must be (n,) or (m, n) over the universe")
+    check_positive("total_units", total_units)
+    n = r.size
+    if members is None:
+        mask = np.ones((1, n), dtype=bool)
+    else:
+        mask = np.asarray(members, dtype=bool)
+        if mask.ndim != 2 or mask.shape[1] != n:
+            raise ValueError(f"members must have shape (m, {n})")
+    if c.ndim == 2 and c.shape[0] != mask.shape[0]:
+        raise ValueError("2-D fixed_costs must have one row per member set")
+    if np.any((r <= 0) & mask.any(axis=0)):
+        raise ValueError("every machine used by a set needs rate > 0")
+    used_costs = c if c.ndim == 2 else c[None, :]
+    if np.any((used_costs < 0) & mask):
+        raise ValueError("every machine used by a set needs fixed cost >= 0")
+
+    # Masked-out machines sort last (infinite cost) and contribute nothing.
+    cm = np.where(mask, used_costs, np.inf)
+    rm = np.where(mask, r[None, :], 0.0)
+    order = np.argsort(cm, axis=1, kind="stable")
+    cs = np.take_along_axis(cm, order, axis=1)
+    rs = np.take_along_axis(rm, order, axis=1)
+    cum_r = np.cumsum(rs, axis=1)
+    # Sanitise costs before multiplying: masked-out slots are (rate 0,
+    # cost inf) and 0 * inf would poison the cumsum with NaN.
+    cum_rc = np.cumsum(rs * np.where(np.isfinite(cs), cs, 0.0), axis=1)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        t_prefix = (float(total_units) + cum_rc) / cum_r
+    ok = cs < t_prefix  # prefix-monotone per row
+    k = np.count_nonzero(ok, axis=1)  # active prefix length per set
+
+    m = mask.shape[0]
+    makespans = np.full(m, np.inf)
+    nonempty = k > 0
+    rows = np.nonzero(nonempty)[0]
+    makespans[rows] = t_prefix[rows, k[rows] - 1]
+
+    # Allocations in sorted space, scattered back to machine order.
+    t_col = np.where(nonempty, makespans, 0.0)[:, None]
+    positions = np.arange(n)[None, :]
+    active_sorted = positions < k[:, None]
+    alloc_sorted = np.where(active_sorted, rs * (t_col - np.where(np.isfinite(cs), cs, 0.0)), 0.0)
+    allocations = np.zeros_like(alloc_sorted)
+    np.put_along_axis(allocations, order, alloc_sorted, axis=1)
+    active = np.zeros_like(mask)
+    np.put_along_axis(active, order, active_sorted, axis=1)
+    return BatchBalanceResult(
+        makespans=makespans, allocations=allocations, active=active & mask
+    )
+
+
 class TimeBalancedPlanner:
     """Generic planner for single-task divisible (data-parallel) applications.
 
@@ -181,17 +425,65 @@ class TimeBalancedPlanner:
     def __init__(self, task_name: str | None = None) -> None:
         self.task_name = task_name
 
+    def _task(self, info: InformationPool):
+        return (
+            info.hat.task(self.task_name)
+            if self.task_name is not None
+            else info.hat.tasks[0]
+        )
+
+    def _rate(self, name: str, task, info: InformationPool) -> float:
+        """Units/second for one machine (0.0 when unusable)."""
+        m = info.pool.machine_info(name)
+        eff = task.efficiency_on(m.arch)
+        if eff <= 0.0:
+            return 0.0
+        cache = info.decision_cache
+        speed = (
+            cache.snapshot.speed[name]
+            if cache is not None and name in cache.snapshot.speed
+            else info.pool.predicted_speed(name)
+        )
+        speed *= eff
+        if speed <= 0.0 or task.flop_per_unit <= 0.0:
+            return 0.0
+        return speed / task.flop_per_unit
+
+    def lower_bounds(
+        self, candidate_sets: Sequence[Sequence[str]], info: InformationPool
+    ) -> np.ndarray:
+        """Admissible predicted-time lower bound per candidate set.
+
+        The ideal zero-fixed-cost time balance ``U / sum(rates)`` times the
+        iteration count — capacities and any real fixed costs only raise
+        the true optimum, so the Coordinator may prune candidate sets whose
+        bound cannot beat the incumbent without changing the decision.
+        """
+        task = self._task(info)
+        names = info.pool.machine_names()
+        index = {name: j for j, name in enumerate(names)}
+        rates = np.array([self._rate(name, task, info) for name in names])
+        usable = rates > 0.0
+        mask = np.zeros((len(candidate_sets), len(names)), dtype=bool)
+        for i, rset in enumerate(candidate_sets):
+            for name in rset:
+                j = index.get(name)
+                if j is not None and usable[j]:
+                    mask[i, j] = True
+        safe_rates = np.where(usable, rates, 1.0)
+        total = info.hat.structure.total_units
+        result = balance_divisible_work_batched(
+            safe_rates, np.zeros_like(safe_rates), total, mask
+        )
+        return result.makespans * info.hat.structure.iterations
+
     def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
         from repro.core.schedule import Allocation  # local to avoid cycle at import
 
         machines = list(resource_set)
         if not machines:
             return None
-        task = (
-            info.hat.task(self.task_name)
-            if self.task_name is not None
-            else info.hat.tasks[0]
-        )
+        task = self._task(info)
         rates: list[float] = []
         usable: list[str] = []
         caps: list[float | None] = []

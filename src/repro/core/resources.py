@@ -145,6 +145,17 @@ class ResourcePool:
             return float("inf")
         return self.topology.path_latency(a, b) + nbytes / bw
 
+    def snapshot(self, machines: list[str] | None = None):
+        """A frozen, memoising view of every forecast at this instant.
+
+        Returns a :class:`repro.nws.snapshot.ForecastSnapshot`: bit-identical
+        to querying this pool directly, but one capture shared across the
+        thousands of candidate evaluations of a scheduling decision.
+        """
+        from repro.nws.snapshot import ForecastSnapshot  # local: nws imports core
+
+        return ForecastSnapshot(self, machines)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nws = "with NWS" if self.nws is not None else "no NWS"
         return f"ResourcePool({len(self.machine_names())} machines, {nws})"

@@ -31,10 +31,15 @@ class ResourceSelector:
     Parameters
     ----------
     exhaustive_limit:
-        Enumerate all subsets when the feasible pool has at most this many
-        machines (2^12 = 4096 candidate sets at the limit).
+        Enumerate all *non-empty* subsets when the feasible pool has at
+        most this many machines: ``2^n - 1`` candidate sets for an
+        ``n``-machine pool, i.e. 2^12 - 1 = 4095 at the default limit (the
+        empty set is never a candidate — see :meth:`exhaustive_count`).
     max_sets:
-        Hard cap on the number of candidate sets returned.
+        Hard cap on the number of candidate sets returned.  Truncation is
+        deterministic: enumeration emits sizes ascending and, within a
+        size, machines in feasible-pool order (``itertools.combinations``),
+        so the same pool always keeps the same prefix.
     """
 
     def __init__(self, exhaustive_limit: int = 12, max_sets: int = 8192) -> None:
@@ -44,6 +49,18 @@ class ResourceSelector:
             raise ValueError("max_sets must be >= 1")
         self.exhaustive_limit = exhaustive_limit
         self.max_sets = max_sets
+
+    @staticmethod
+    def exhaustive_count(n_machines: int) -> int:
+        """Candidate sets exhaustive enumeration yields for ``n`` machines.
+
+        ``2^n - 1``: every subset except the empty one, which can run
+        nothing.  (At the default ``exhaustive_limit`` of 12 this is 4095,
+        not 4096 — a historical off-by-one in this class's docs.)
+        """
+        if n_machines < 0:
+            raise ValueError("n_machines must be >= 0")
+        return 2 ** n_machines - 1
 
     # -- filtering -------------------------------------------------------------
     def feasible_machines(self, info: InformationPool) -> list[str]:

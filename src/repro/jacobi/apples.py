@@ -20,11 +20,14 @@ execute the numerics and charge simulated time.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
+
+import numpy as np
 
 from repro.core.coordinator import AppLeSAgent
 from repro.core.infopool import InformationPool
-from repro.core.planner import balance_divisible_work
+from repro.core.planner import balance_divisible_work, balance_divisible_work_batched
 from repro.core.resources import ResourcePool
 from repro.core.schedule import Allocation, Schedule
 from repro.core.selector import ResourceSelector
@@ -78,6 +81,76 @@ def locality_order(pool: ResourcePool, machines: Sequence[str]) -> list[str]:
     )
 
 
+def _locality_ranked(info: InformationPool, machines: list[str]) -> list[str]:
+    """``locality_order`` with a per-decision rank memo.
+
+    The locality key is a *total* order over the pool, so sorting a subset
+    by the full-pool rank yields exactly ``locality_order``'s result while
+    avoiding two ``machine_info`` constructions per comparison.  Outside a
+    decision (or for machines outside the pool) this falls back to the
+    direct sort.
+    """
+    cache = info.decision_cache
+    if cache is None:
+        return locality_order(info.pool, machines)
+    rank = cache.memo.get("locality-rank")
+    if rank is None:
+        rank = {
+            m: i
+            for i, m in enumerate(
+                locality_order(info.pool, info.pool.machine_names())
+            )
+        }
+        cache.memo["locality-rank"] = rank
+    try:
+        return sorted(machines, key=rank.__getitem__)
+    except KeyError:
+        return locality_order(info.pool, machines)
+
+
+def _availability_risk(machines: Sequence[str], info: InformationPool) -> float:
+    """Worst relative availability-forecast error across ``machines``.
+
+    A barrier step is the max over members, so a set's volatility exposure
+    is its worst member's ``error / availability``.  Reads the decision
+    snapshot when one is active (identical values, no per-call NWS query).
+    """
+    cache = info.decision_cache
+    snap = cache.snapshot if cache is not None else None
+    worst = 0.0
+    for m in machines:
+        if snap is not None and m in snap.availability:
+            avail = snap.availability[m]
+            err = snap.availability_error[m]
+        else:
+            avail = info.pool.predicted_availability(m)
+            err = info.pool.predicted_availability_error(m)
+        if avail > 0:
+            worst = max(worst, err / max(avail, 0.05))
+    return worst
+
+
+def _member_risks(names: Sequence[str], info: InformationPool) -> list[float]:
+    """Per-machine relative availability-forecast error (vector form).
+
+    The per-member terms of :func:`_availability_risk`: a set's risk is the
+    max over its members, so the min over any superset's members is an
+    admissible lower bound on the risk of whatever subset a planner keeps.
+    """
+    cache = info.decision_cache
+    snap = cache.snapshot if cache is not None else None
+    risks = []
+    for m in names:
+        if snap is not None and m in snap.availability:
+            avail = snap.availability[m]
+            err = snap.availability_error[m]
+        else:
+            avail = info.pool.predicted_availability(m)
+            err = info.pool.predicted_availability_error(m)
+        risks.append(err / max(avail, 0.05) if avail > 0 else 0.0)
+    return risks
+
+
 def schedule_from_strip_partition(
     partition: StripPartition,
     problem: JacobiProblem,
@@ -86,9 +159,20 @@ def schedule_from_strip_partition(
 ) -> Schedule:
     """Wrap a concrete strip partition as a Schedule (prediction from ``model``)."""
     exchange = problem.border_exchange_bytes()
+    strips = partition.strips
+    fast = getattr(model, "_fast", False)
     allocations = []
-    for strip in partition.strips:
-        comm = {nbr: exchange for nbr in partition.neighbors(strip.machine)}
+    for idx, strip in enumerate(strips):
+        if fast:
+            # Direct index arithmetic instead of partition.neighbors(),
+            # whose name lookup is a linear scan (quadratic over the set).
+            comm = {}
+            if idx > 0:
+                comm[strips[idx - 1].machine] = exchange
+            if idx + 1 < len(strips):
+                comm[strips[idx + 1].machine] = exchange
+        else:
+            comm = {nbr: exchange for nbr in partition.neighbors(strip.machine)}
         area = strip.row_count * partition.n
         allocations.append(
             Allocation(
@@ -141,26 +225,138 @@ class JacobiPlanner:
         self.risk_aversion = risk_aversion
 
     def _risk(self, machines: Sequence[str], info: InformationPool) -> float:
-        worst = 0.0
-        for m in machines:
-            avail = info.pool.predicted_availability(m)
-            err = info.pool.predicted_availability_error(m)
-            if avail > 0:
-                worst = max(worst, err / max(avail, 0.05))
-        return worst
+        return _availability_risk(machines, info)
+
+    def _model(self, info: InformationPool) -> StripCostModel:
+        """The cost model — memoised per decision, snapshot-backed.
+
+        Outside a decision (reference path) a fresh model is built per
+        call, matching the seed implementation exactly.
+        """
+        cache = info.decision_cache
+        if cache is None:
+            return StripCostModel(
+                info.pool, self.problem, self.account_memory,
+                conservatism_sigmas=self.conservatism_sigmas,
+            )
+        key = ("jacobi-model", id(self))
+        model = cache.memo.get(key)
+        if model is None:
+            model = StripCostModel(
+                info.pool, self.problem, self.account_memory,
+                conservatism_sigmas=self.conservatism_sigmas,
+                snapshot=cache.snapshot,
+            )
+            cache.memo[key] = model
+        return model
+
+    def lower_bounds(
+        self, candidate_sets: Sequence[Sequence[str]], info: InformationPool
+    ) -> np.ndarray:
+        """Admissible predicted-time lower bound per candidate set.
+
+        The planner may keep any non-empty subset of a candidate set, so
+        the bound is the minimum of two relaxations that together cover
+        every kept subset:
+
+        * **Singleton**: a kept set of size 1 pays ``U / rate + sync`` per
+          iteration, times that machine's exact risk multiplier (memory
+          slowdown ``>= 1`` is dropped).  Bound: min over members.
+        * **Multi-machine**: a kept set of size >= 2 gives every member at
+          least one strip neighbour *inside the candidate set*, so each
+          member's fixed cost is at least ``sync`` plus its cheapest border
+          exchange with any other member.  The uncapacitated water-fill
+          with those floor costs is monotone under supersets and
+          cost-lowering, so it never exceeds the kept subset's true
+          balanced time; the risk multiplier is bounded below by the
+          minimum member risk.
+
+        Each relaxation only lowers the value, so the bound never exceeds
+        the true predicted time and pruning on it cannot change the
+        Coordinator's choice.
+        """
+        model = self._model(info)
+        names = info.pool.machine_names()
+        n = len(names)
+        index = {nm: j for j, nm in enumerate(names)}
+        rates = np.array([model.point_rate(nm) for nm in names])
+        usable = rates > 0.0
+        mask = np.zeros((len(candidate_sets), n), dtype=bool)
+        for i, rset in enumerate(candidate_sets):
+            for m in rset:
+                j = index.get(m)
+                if j is not None and usable[j]:
+                    mask[i, j] = True
+        safe_rates = np.where(usable, rates, 1.0)
+        total = float(self.problem.total_points)
+        iters = self.problem.iterations
+        sync = model.sync_overhead_s
+        risks = np.asarray(_member_risks(names, info))
+
+        # Singleton relaxation (exact per-machine risk).
+        with np.errstate(divide="ignore"):
+            single = (total / np.where(usable, rates, np.inf) + sync) * iters
+        single *= 1.0 + self.risk_aversion * risks
+        single_lb = np.where(mask, single[None, :], np.inf).min(axis=1)
+
+        # Multi-machine relaxation: per-set per-member border-cost floors.
+        exchange = self.problem.border_exchange_bytes()
+        pair = np.full((n, n), np.inf)
+        for a in range(n):
+            if not usable[a]:
+                continue
+            for b in range(n):
+                if a != b and usable[b]:
+                    pair[a, b] = model._transfer_time(names[a], names[b], exchange)
+        # floors[i, m] = min border exchange from m to any other member of
+        # set i (inf for singleton members — the singleton bound covers
+        # them, and inf marks them unusable in the water-fill).
+        floors = np.where(mask[:, None, :], pair[None, :, :], np.inf).min(axis=2)
+        costs = sync + floors
+        result = balance_divisible_work_batched(safe_rates, costs, total, mask)
+        min_risk = np.where(mask, risks, np.inf).min(axis=1)
+        min_risk = np.where(np.isfinite(min_risk), min_risk, 0.0)
+        multi_lb = (
+            result.makespans * iters * (1.0 + self.risk_aversion * min_risk)
+        )
+        return np.minimum(single_lb, multi_lb)
 
     def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
-        model = StripCostModel(
-            info.pool, self.problem, self.account_memory,
-            conservatism_sigmas=self.conservatism_sigmas,
-        )
-        order = locality_order(info.pool, list(resource_set))
+        model = self._model(info)
+        order = _locality_ranked(info, list(resource_set))
         order = [m for m in order if model.point_rate(m) > 0.0]
         if not order:
             return None
         total = float(self.problem.total_points)
 
+        # Plan-continuation memo: from a given machine order onward, plan()
+        # is a deterministic function of that order alone — many candidate
+        # sets drop members and converge onto the same ordered subset, so
+        # their continuations (and final schedules) are shared.  Only valid
+        # while the pool is frozen, i.e. inside a decision.
+        cache = info.decision_cache
+        memo = cache.memo if cache is not None else None
+        visited: list[tuple[str, ...]] = []
+
+        def _finish(schedule: Schedule | None) -> Schedule | None:
+            if memo is not None:
+                for key_order in visited:
+                    memo[("jacobi-plan", id(self), key_order)] = schedule
+            return schedule
+
         for _ in range(_MAX_REPLAN):
+            if memo is not None:
+                key = ("jacobi-plan", id(self), tuple(order))
+                if key in memo:
+                    hit = memo[key]
+                    if visited:  # propagate to the orders that led here
+                        _finish(hit)
+                    if hit is None:
+                        return None
+                    # Fresh object per evaluation (value-identical): rows in
+                    # decision.evaluations must not alias one another.
+                    return replace(hit)
+                visited.append(tuple(order))
             rates = [model.point_rate(m) for m in order]
             costs = model.comm_costs(order)
             # A machine reachable only over a dead link shows an infinite
@@ -168,7 +364,7 @@ class JacobiPlanner:
             # change) rather than letting the balance collapse.
             if any(c == float("inf") for c in costs):
                 if len(order) == 1:
-                    return None
+                    return _finish(None)
                 worst = max(range(len(order)), key=lambda i: costs[i])
                 order.pop(worst)
                 continue
@@ -179,10 +375,10 @@ class JacobiPlanner:
             )
             result = balance_divisible_work(rates, costs, total, caps)
             if result is None:
-                return None
+                return _finish(None)
             kept = [m for m, a in zip(order, result.allocations) if a > 0.0]
             if not kept:
-                return None
+                return _finish(None)
             if kept == order:
                 areas = result.allocations
                 break
@@ -202,6 +398,7 @@ class JacobiPlanner:
         schedule.predicted_time *= 1.0 + self.risk_aversion * self._risk(
             partition.machines, info
         )
+        _finish(schedule)
         return schedule
 
 
@@ -360,11 +557,62 @@ class ApplesBlockedPlanner(BlockedPlanner):
         self.conservatism_sigmas = conservatism_sigmas
         self.risk_aversion = risk_aversion
 
+    def _conservative_speed(self, machine: str, info: InformationPool) -> float:
+        cache = info.decision_cache
+        if cache is not None:
+            return cache.snapshot.conservative_speed(machine, self.conservatism_sigmas)
+        return info.pool.predicted_speed_conservative(machine, self.conservatism_sigmas)
+
+    def _transfer_time(self, a: str, b: str, nbytes: float, info: InformationPool) -> float:
+        cache = info.decision_cache
+        if cache is not None:
+            return cache.snapshot.transfer_time(a, b, nbytes)
+        return info.pool.predicted_transfer_time(a, b, nbytes)
+
+    def lower_bounds(
+        self, candidate_sets: Sequence[Sequence[str]], info: InformationPool
+    ) -> np.ndarray:
+        """Admissible predicted-time lower bound per candidate set.
+
+        The generalised block partition covers the whole grid, so its worst
+        tile time is at least the ideal fractional time balance with every
+        per-tile cost relaxed down to the sync overhead; the risk
+        multiplier is at least ``1 + risk_aversion × min member risk``.
+        Same argument as the strip planner's.
+        """
+        names = info.pool.machine_names()
+        index = {n: j for j, n in enumerate(names)}
+        rates = np.array(
+            [
+                self._conservative_speed(n, info) / self.problem.flop_per_point
+                for n in names
+            ]
+        )
+        usable = rates > 0.0
+        mask = np.zeros((len(candidate_sets), len(names)), dtype=bool)
+        for i, rset in enumerate(candidate_sets):
+            for m in rset:
+                j = index.get(m)
+                if j is not None and usable[j]:
+                    mask[i, j] = True
+        safe_rates = np.where(usable, rates, 1.0)
+        sync = np.full(len(names), self.problem.sync_overhead_s)
+        result = balance_divisible_work_batched(
+            safe_rates, sync, float(self.problem.total_points), mask
+        )
+        risks = np.asarray(_member_risks(names, info))
+        min_risk = np.where(mask, risks, np.inf).min(axis=1)
+        min_risk = np.where(np.isfinite(min_risk), min_risk, 0.0)
+        return (
+            result.makespans
+            * self.problem.iterations
+            * (1.0 + self.risk_aversion * min_risk)
+        )
+
     def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
-        machines = locality_order(info.pool, list(resource_set))
+        machines = _locality_ranked(info, list(resource_set))
         rates = [
-            info.pool.predicted_speed_conservative(m, self.conservatism_sigmas)
-            for m in machines
+            self._conservative_speed(m, info) for m in machines
         ]
         usable = [(m, r) for m, r in zip(machines, rates) if r > 0.0]
         if not usable:
@@ -375,13 +623,7 @@ class ApplesBlockedPlanner(BlockedPlanner):
             return None
         partition = generalized_block_partition(self.problem.n, machines, rates)
         predicted = self._predict_dynamic(partition, info)
-        worst_risk = 0.0
-        for m in machines:
-            avail = info.pool.predicted_availability(m)
-            err = info.pool.predicted_availability_error(m)
-            if avail > 0:
-                worst_risk = max(worst_risk, err / max(avail, 0.05))
-        predicted *= 1.0 + self.risk_aversion * worst_risk
+        predicted *= 1.0 + self.risk_aversion * _availability_risk(machines, info)
         return Schedule(
             allocations=self._allocations(partition),
             predicted_time=predicted,
@@ -396,9 +638,7 @@ class ApplesBlockedPlanner(BlockedPlanner):
         for i in range(partition.pr):
             for j in range(partition.pc):
                 blk = partition.block_at(i, j)
-                speed = info.pool.predicted_speed_conservative(
-                    blk.machine, self.conservatism_sigmas
-                )
+                speed = self._conservative_speed(blk.machine, info)
                 if speed <= 0:
                     return float("inf")
                 compute = blk.area * self.problem.flop_per_point / speed
@@ -407,8 +647,8 @@ class ApplesBlockedPlanner(BlockedPlanner):
                     shared = (
                         blk.col_count if nbr.row_start != blk.row_start else blk.row_count
                     )
-                    comm += info.pool.predicted_transfer_time(
-                        blk.machine, nbr.machine, 2.0 * shared * per_point
+                    comm += self._transfer_time(
+                        blk.machine, nbr.machine, 2.0 * shared * per_point, info
                     )
                 worst = max(worst, compute + comm + self.problem.sync_overhead_s)
         return worst * self.problem.iterations
@@ -428,13 +668,40 @@ class PreferencePlanner:
             raise ValueError("need at least one family planner")
         self.planners = dict(planners)
 
-    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
+    def _active_planners(self, info: InformationPool) -> list["Planner"]:  # noqa: F821
         families = info.userspec.decomposition_preference or tuple(self.planners)
+        return [
+            self.planners[family] for family in families if family in self.planners
+        ]
+
+    def lower_bounds(
+        self, candidate_sets: Sequence[Sequence[str]], info: InformationPool
+    ) -> np.ndarray | None:
+        """Element-wise minimum of the active families' bounds.
+
+        The dispatcher's predicted time is the min over families, so the
+        min of admissible per-family bounds is itself admissible.  If any
+        active family lacks bounds, pruning is disabled entirely (None).
+        """
+        bounds: np.ndarray | None = None
+        planners = self._active_planners(info)
+        if not planners:
+            return None
+        for planner in planners:
+            fn = getattr(planner, "lower_bounds", None)
+            if fn is None:
+                return None
+            family_bounds = np.asarray(fn(candidate_sets, info), dtype=float)
+            bounds = (
+                family_bounds
+                if bounds is None
+                else np.minimum(bounds, family_bounds)
+            )
+        return bounds
+
+    def plan(self, resource_set: Sequence[str], info: InformationPool) -> Schedule | None:
         best: Schedule | None = None
-        for family in families:
-            planner = self.planners.get(family)
-            if planner is None:
-                continue
+        for planner in self._active_planners(info):
             sched = planner.plan(resource_set, info)
             if sched is None:
                 continue

@@ -16,11 +16,15 @@ comparison of *information*, not of code paths.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.resources import ResourcePool
 from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.partition import StripPartition
+from repro.util import perf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nws.snapshot import ForecastSnapshot
 
 __all__ = ["strip_comm_seconds", "StripCostModel"]
 
@@ -63,6 +67,12 @@ class StripCostModel:
         When True, a machine whose area spills its real memory has its
         ``P_i`` inflated by the host paging model — used to *predict* the
         cost of memory-oblivious schedules.
+    snapshot:
+        Optional :class:`~repro.nws.snapshot.ForecastSnapshot` taken from
+        the same pool.  When set, forecast queries (conservative speeds,
+        transfer times) go through the snapshot's memo instead of the pool
+        — bit-identical values, shared across the candidate evaluations of
+        one scheduling decision.
     """
 
     def __init__(
@@ -72,10 +82,23 @@ class StripCostModel:
         account_memory: bool = True,
         conservatism_sigmas: float = 1.0,
         sync_overhead_s: float | None = None,
+        snapshot: "ForecastSnapshot | None" = None,
     ) -> None:
         self.pool = pool
         self.problem = problem
         self.account_memory = account_memory
+        self.snapshot = snapshot
+        # Per-machine memos, valid only while the pool is frozen at one
+        # scheduling instant — which is exactly when a snapshot is set.
+        # Without a snapshot every query goes to the pool, matching the
+        # reference path (a fresh model per plan() call).
+        self._rate_memo: dict[str, float] = {}
+        self._ptime_memo: dict[str, float] = {}
+        self._cap_memo: dict[str, float] = {}
+        # Read once at construction, like the Coordinator: under
+        # REPRO_NO_FASTPATH=1 the per-machine loops below run exactly as
+        # the seed implementation wrote them.
+        self._fast = perf.fastpath_enabled()
         if conservatism_sigmas < 0:
             raise ValueError("conservatism_sigmas must be >= 0")
         self.conservatism_sigmas = conservatism_sigmas
@@ -88,6 +111,17 @@ class StripCostModel:
         if self.sync_overhead_s < 0:
             raise ValueError("sync_overhead_s must be >= 0")
 
+    # -- forecast access (snapshot memo when available) -------------------
+    def _conservative_speed(self, machine: str) -> float:
+        if self.snapshot is not None:
+            return self.snapshot.conservative_speed(machine, self.conservatism_sigmas)
+        return self.pool.predicted_speed_conservative(machine, self.conservatism_sigmas)
+
+    def _transfer_time(self, a: str, b: str, nbytes: float) -> float:
+        if self.snapshot is not None:
+            return self.snapshot.transfer_time(a, b, nbytes)
+        return self.pool.predicted_transfer_time(a, b, nbytes)
+
     # -- model terms ------------------------------------------------------
     def point_rate(self, machine: str) -> float:
         """``1 / P_i``: predicted points/second for ``machine`` (in-core).
@@ -96,26 +130,45 @@ class StripCostModel:
         waits for every member, so members are budgeted at a pessimistic
         availability quantile rather than the mean forecast.
         """
-        speed = self.pool.predicted_speed_conservative(
-            machine, self.conservatism_sigmas
-        )
+        if self.snapshot is not None:
+            rate = self._rate_memo.get(machine)
+            if rate is None:
+                speed = self._conservative_speed(machine)
+                rate = 0.0 if speed <= 0.0 else speed / self.problem.flop_per_point
+                self._rate_memo[machine] = rate
+            return rate
+        speed = self._conservative_speed(machine)
         if speed <= 0.0:
             return 0.0
         return speed / self.problem.flop_per_point
 
     def point_time(self, machine: str, area: float = 0.0) -> float:
         """``P_i``: predicted seconds/point, optionally memory-adjusted."""
-        rate = self.point_rate(machine)
-        if rate <= 0.0:
-            return float("inf")
-        p = 1.0 / rate
-        if self.account_memory and area > 0.0:
+        if self.snapshot is not None:
+            p = self._ptime_memo.get(machine)
+            if p is None:
+                rate = self.point_rate(machine)
+                p = float("inf") if rate <= 0.0 else 1.0 / rate
+                self._ptime_memo[machine] = p
+        else:
+            rate = self.point_rate(machine)
+            if rate <= 0.0:
+                return float("inf")
+            p = 1.0 / rate
+        if self.account_memory and area > 0.0 and p != float("inf"):
             host = self.pool.topology.host(machine)
             p *= host.memory.slowdown(self.problem.footprint_mb(area))
         return p
 
     def capacity_points(self, machine: str) -> float:
         """Points that fit in ``machine``'s available real memory."""
+        if self.snapshot is not None:
+            cap = self._cap_memo.get(machine)
+            if cap is None:
+                info = self.pool.machine_info(machine)
+                cap = info.memory_available_mb * 1e6 / self.problem.bytes_per_point
+                self._cap_memo[machine] = cap
+            return cap
         info = self.pool.machine_info(machine)
         return info.memory_available_mb * 1e6 / self.problem.bytes_per_point
 
@@ -125,7 +178,22 @@ class StripCostModel:
         Includes the per-participant sync overhead, so growing the machine
         set has a cost the balancer can weigh against the added rate.
         """
-        costs = strip_comm_seconds(self.pool, order, self.problem)
+        order = list(order)
+        exchange = self.problem.border_exchange_bytes()
+        # Bind the transfer lookup once: in the candidate loop this runs
+        # tens of thousands of times and the per-call indirection shows.
+        transfer = (
+            self.snapshot.transfer_time
+            if self.snapshot is not None
+            else self.pool.predicted_transfer_time
+        )
+        costs = []
+        for idx, machine in enumerate(order):
+            c = 0.0
+            for nbr_idx in (idx - 1, idx + 1):
+                if 0 <= nbr_idx < len(order):
+                    c += transfer(machine, order[nbr_idx], exchange)
+            costs.append(c)
         return [c + self.sync_overhead_s for c in costs]
 
     # -- whole-partition predictions --------------------------------------
@@ -138,12 +206,38 @@ class StripCostModel:
         c = 0.0
         for nbr_idx in (idx - 1, idx + 1):
             if 0 <= nbr_idx < len(order):
-                c += self.pool.predicted_transfer_time(machine, order[nbr_idx], exchange)
+                c += self._transfer_time(machine, order[nbr_idx], exchange)
         return area * self.point_time(machine, area) + c + self.sync_overhead_s
 
     def step_time(self, partition: StripPartition) -> float:
-        """Predicted sweep time: ``max_i T_i``."""
-        return max(self.machine_time(partition, m) for m in partition.machines)
+        """Predicted sweep time: ``max_i T_i``.
+
+        The fast path computes every ``T_i`` in one pass over the strips —
+        same arithmetic as :meth:`machine_time`, without its per-call index
+        and strip lookups (which are linear scans, quadratic over the set).
+        """
+        if not self._fast:
+            return max(self.machine_time(partition, m) for m in partition.machines)
+        strips = partition.strips
+        k = len(strips)
+        n = partition.n
+        exchange = self.problem.border_exchange_bytes()
+        transfer = (
+            self.snapshot.transfer_time
+            if self.snapshot is not None
+            else self.pool.predicted_transfer_time
+        )
+        times = []
+        for idx, strip in enumerate(strips):
+            machine = strip.machine
+            area = float(strip.row_count * n)
+            c = 0.0
+            if idx > 0:
+                c += transfer(machine, strips[idx - 1].machine, exchange)
+            if idx + 1 < k:
+                c += transfer(machine, strips[idx + 1].machine, exchange)
+            times.append(area * self.point_time(machine, area) + c + self.sync_overhead_s)
+        return max(times)
 
     def execution_time(self, partition: StripPartition) -> float:
         """Predicted total time: step time × iterations."""

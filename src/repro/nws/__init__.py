@@ -14,7 +14,9 @@ This subpackage reproduces that design against the simulator:
 - :mod:`repro.nws.forecasters` — the forecaster family,
 - :mod:`repro.nws.ensemble` — the adaptive minimum-error ensemble,
 - :mod:`repro.nws.sensors` — CPU and link sensors over :mod:`repro.sim`,
-- :mod:`repro.nws.service` — the facade AppLeS agents query.
+- :mod:`repro.nws.service` — the facade AppLeS agents query,
+- :mod:`repro.nws.snapshot` — frozen one-instant forecast views for the
+  scheduling fast path.
 """
 
 from repro.nws.ensemble import AdaptiveEnsemble, Forecast
@@ -39,6 +41,7 @@ from repro.nws.forecasters import (
 from repro.nws.sensors import CpuSensor, LinkSensor
 from repro.nws.series import TimeSeries
 from repro.nws.service import NetworkWeatherService
+from repro.nws.snapshot import ForecastSnapshot
 
 __all__ = [
     "TimeSeries",
@@ -60,6 +63,7 @@ __all__ = [
     "calibrate_nominal_speed",
     "measure_effective_speed",
     "Forecast",
+    "ForecastSnapshot",
     "CpuSensor",
     "LinkSensor",
     "NetworkWeatherService",

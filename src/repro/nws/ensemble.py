@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.nws.forecasters import Forecaster, default_forecaster_family
 from repro.util import perf
 
-__all__ = ["Forecast", "AdaptiveEnsemble"]
+__all__ = ["Forecast", "AdaptiveEnsemble", "NOMINAL_FORECAST"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,12 @@ class Forecast:
     error: float
     method: str
     observations: int
+
+
+#: The degradation-mode answer for a sensor with no data yet: nominal full
+#: availability with no uncertainty.  ``Forecast`` is frozen, so one shared
+#: instance serves every cold query instead of an allocation per call.
+NOMINAL_FORECAST = Forecast(value=1.0, error=0.0, method="nominal", observations=0)
 
 
 class AdaptiveEnsemble:

@@ -10,7 +10,7 @@ whose monitors have not warmed up.
 
 from __future__ import annotations
 
-from repro.nws.ensemble import Forecast
+from repro.nws.ensemble import NOMINAL_FORECAST, Forecast
 from repro.nws.sensors import CpuSensor, LinkSensor
 from repro.sim.testbeds import Testbed
 from repro.sim.topology import Topology
@@ -57,6 +57,9 @@ class NetworkWeatherService:
             for name, link in topology.links.items()
         }
         self.now = 0.0
+        # Monotone counter bumped on every advance_to(); snapshot holders
+        # (repro.nws.snapshot) use it to detect that their view went stale.
+        self.epoch = 0
         # Between advance_to() calls every sensor's state is frozen, so
         # forecast queries are pure; planners issue thousands of them per
         # schedule.  Caches are invalidated whenever time advances.
@@ -81,6 +84,7 @@ class NetworkWeatherService:
         for sensor in self.link_sensors.values():
             sensor.advance_to(t)
         self.now = t
+        self.epoch += 1
         self._cpu_cache.clear()
         self._path_bw_cache.clear()
 
@@ -101,7 +105,7 @@ class NetworkWeatherService:
                 return cached
         sensor = self._cpu(host)
         if not sensor.ready:
-            result = Forecast(value=1.0, error=0.0, method="nominal", observations=0)
+            result = NOMINAL_FORECAST
         else:
             result = sensor.forecast()
         if self._fast:
@@ -120,7 +124,7 @@ class NetworkWeatherService:
         except KeyError:
             raise KeyError(f"no sensor for link {link!r}") from None
         if not sensor.ready:
-            return Forecast(value=1.0, error=0.0, method="nominal", observations=0)
+            return NOMINAL_FORECAST
         return sensor.forecast()
 
     def path_bandwidth_forecast(self, a: str, b: str, flows: int = 1) -> float:

@@ -1,0 +1,143 @@
+"""Forecast snapshots: one immutable NWS query per scheduling instant.
+
+The Coordinator blueprint evaluates hundreds to thousands of candidate
+resource sets per decision, and every candidate evaluation re-asks the
+same questions — what is machine *m*'s deliverable speed, how long does a
+border exchange between *a* and *b* take?  Between ``advance_to`` calls
+the Network Weather Service's answers are pure, so the decision loop can
+take **one** snapshot of every machine forecast up front and share it
+across all candidate evaluations instead of re-deriving per candidate.
+
+:class:`ForecastSnapshot` is exactly that: a frozen, memoising view over a
+:class:`~repro.core.resources.ResourcePool` at a single simulated instant.
+Machine quantities (speed, availability, forecast error) are captured
+eagerly; pairwise quantities (bandwidth, transfer time) and derived
+quantities (conservative speeds at a given sigma) are memoised on first
+use, because the pair space is quadratic and most decisions touch only a
+fraction of it.
+
+Every value is obtained by calling the pool's own prediction interface, so
+a snapshot is *bit-identical* to issuing the underlying queries directly —
+it is a cache, never an approximation.  That property is what lets the
+fast scheduling path (see :mod:`repro.core.coordinator`) promise decisions
+identical to the reference implementation.
+
+Snapshots do not follow time: if the NWS advances after the snapshot was
+taken, :attr:`ForecastSnapshot.stale` turns true and the holder should
+take a new one.  The Coordinator takes one snapshot per ``schedule()``
+call, which is the intended lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports nws)
+    from repro.core.resources import ResourcePool
+
+__all__ = ["ForecastSnapshot"]
+
+
+class ForecastSnapshot:
+    """A frozen view of all machine/link forecasts at one instant.
+
+    Parameters
+    ----------
+    pool:
+        The resource pool to snapshot.  Works with or without an attached
+        NWS (without one, the captured values are the nominal fallbacks,
+        mirroring the pool's own behaviour).
+    machines:
+        Machine names to capture eagerly; defaults to every machine in the
+        pool.
+    """
+
+    __slots__ = (
+        "pool",
+        "taken_at",
+        "machines",
+        "speed",
+        "availability",
+        "availability_error",
+        "_epoch",
+        "_conservative",
+        "_bandwidth",
+        "_transfer",
+    )
+
+    def __init__(self, pool: "ResourcePool", machines: Sequence[str] | None = None) -> None:
+        self.pool = pool
+        names = list(machines) if machines is not None else pool.machine_names()
+        self.machines = tuple(names)
+        nws = pool.nws
+        self.taken_at = float(nws.now) if nws is not None else 0.0
+        self._epoch = nws.epoch if nws is not None else 0
+        # Eager capture: one pass over every machine forecast.
+        self.speed = {n: pool.predicted_speed(n) for n in names}
+        self.availability = {n: pool.predicted_availability(n) for n in names}
+        self.availability_error = {
+            n: pool.predicted_availability_error(n) for n in names
+        }
+        # Lazy memos for derived and pairwise quantities.
+        self._conservative: dict[tuple[str, float], float] = {}
+        self._bandwidth: dict[tuple[str, str, int], float] = {}
+        self._transfer: dict[tuple[str, str, float, int], float] = {}
+
+    # -- freshness ------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """True when the NWS has advanced past the snapshot instant."""
+        nws = self.pool.nws
+        if nws is None:
+            return False
+        return nws.epoch != self._epoch or nws.now != self.taken_at
+
+    # -- machine quantities ---------------------------------------------------
+    def conservative_speed(self, name: str, sigmas: float = 1.0) -> float:
+        """Memoised :meth:`ResourcePool.predicted_speed_conservative`."""
+        key = (name, sigmas)
+        value = self._conservative.get(key)
+        if value is None:
+            value = self.pool.predicted_speed_conservative(name, sigmas)
+            self._conservative[key] = value
+        return value
+
+    def rates_vector(
+        self, machines: Sequence[str], flop_per_unit: float, sigmas: float = 1.0
+    ) -> np.ndarray:
+        """Conservative point rates (units/s) for ``machines`` as an array.
+
+        The vector form the batched balancer and the pruning bounds
+        consume: ``conservative_speed / flop_per_unit`` per machine.
+        """
+        return np.array(
+            [self.conservative_speed(m, sigmas) / flop_per_unit for m in machines],
+            dtype=float,
+        )
+
+    # -- pairwise quantities --------------------------------------------------
+    def bandwidth(self, a: str, b: str, flows: int = 1) -> float:
+        """Memoised :meth:`ResourcePool.predicted_bandwidth`."""
+        key = (a, b, flows)
+        value = self._bandwidth.get(key)
+        if value is None:
+            value = self.pool.predicted_bandwidth(a, b, flows)
+            self._bandwidth[key] = value
+        return value
+
+    def transfer_time(self, a: str, b: str, nbytes: float, flows: int = 1) -> float:
+        """Memoised :meth:`ResourcePool.predicted_transfer_time`."""
+        key = (a, b, nbytes, flows)
+        value = self._transfer.get(key)
+        if value is None:
+            value = self.pool.predicted_transfer_time(a, b, nbytes, flows)
+            self._transfer[key] = value
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ForecastSnapshot({len(self.machines)} machines at "
+            f"t={self.taken_at}{', stale' if self.stale else ''})"
+        )

@@ -86,6 +86,14 @@ class ParallelRunner:
     workers:
         Worker process count after :func:`resolve_workers`; ``1`` runs
         in-process (no pool, no pickling).
+    min_parallel_tasks:
+        Smallest task count worth a process pool.  Below it the runner
+        executes serially even when ``workers > 1``: pool spawn + pickling
+        costs a fixed few hundred milliseconds, which short task lists
+        (e.g. a quick-mode experiment of 3 sizes on a small box) cannot
+        amortise — the Figure 6 quick benchmark *regressed* under
+        ``workers=2`` for exactly this reason.  Determinism is unaffected;
+        serial and parallel execution are bit-identical by contract.
 
     Examples
     --------
@@ -95,8 +103,11 @@ class ParallelRunner:
     [0, 1, 4, 9]
     """
 
-    def __init__(self, workers: int | None = 1) -> None:
+    def __init__(self, workers: int | None = 1, min_parallel_tasks: int = 4) -> None:
+        if min_parallel_tasks < 2:
+            raise ValueError("min_parallel_tasks must be >= 2")
         self.workers = resolve_workers(workers)
+        self.min_parallel_tasks = min_parallel_tasks
 
     def run(self, tasks: Iterable[Task], prime: Callable[[], Any] | None = None) -> list[Any]:
         """Run every task; results come back in task order.
@@ -113,7 +124,7 @@ class ParallelRunner:
         task builds the same state itself.
         """
         tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) <= 1:
+        if self.workers <= 1 or len(tasks) < self.min_parallel_tasks:
             return [task() for task in tasks]
         if prime is not None:
             prime()

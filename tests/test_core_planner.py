@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -13,8 +14,13 @@ from repro.core.hat import (
     TaskCharacteristics,
 )
 from repro.core.infopool import InformationPool
-from repro.core.planner import TimeBalancedPlanner, balance_divisible_work
+from repro.core.planner import (
+    TimeBalancedPlanner,
+    balance_divisible_work,
+    balance_divisible_work_batched,
+)
 from repro.core.resources import ResourcePool
+from repro.util import perf
 
 
 class TestBalanceDivisibleWork:
@@ -114,6 +120,156 @@ class TestBalanceDivisibleWork:
         assert all(a >= 0.0 for a in r.allocations)
 
 
+class TestFastBalanceEquivalence:
+    """The closed-form fast balance must be bit-identical to the loop."""
+
+    def _both(self, rates, costs, total, caps=None):
+        with perf.fastpath(False):
+            ref = balance_divisible_work(rates, costs, total, caps)
+        with perf.fastpath(True):
+            fast = balance_divisible_work(rates, costs, total, caps)
+        return ref, fast
+
+    def _assert_identical(self, ref, fast):
+        if ref is None:
+            assert fast is None
+            return
+        assert fast is not None
+        assert fast.allocations == ref.allocations  # exact, not approx
+        assert fast.makespan == ref.makespan
+        assert fast.dropped == ref.dropped
+        assert fast.saturated == ref.saturated
+
+    @given(
+        rates=st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=1, max_size=8),
+        costs=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8),
+        total=st.floats(min_value=0.5, max_value=1e5),
+    )
+    def test_property_bit_identical(self, rates, costs, total):
+        n = min(len(rates), len(costs))
+        ref, fast = self._both(rates[:n], costs[:n], total)
+        self._assert_identical(ref, fast)
+
+    @given(
+        rates=st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=2, max_size=6),
+        total=st.floats(min_value=10.0, max_value=1e4),
+        cap=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_property_bit_identical_with_caps(self, rates, total, cap):
+        costs = [0.1 * i for i in range(len(rates))]
+        caps = [cap if i % 2 == 0 else None for i in range(len(rates))]
+        ref, fast = self._both(rates, costs, total, caps)
+        self._assert_identical(ref, fast)
+
+    def test_tied_costs(self):
+        ref, fast = self._both([10.0, 20.0, 30.0], [1.0, 1.0, 1.0], 100.0)
+        self._assert_identical(ref, fast)
+
+    def test_cost_exactly_at_drop_boundary(self):
+        # Construct c_1 == final T so the >= drop predicate is exercised:
+        # with machine 0 alone, T = 10/10 + 0 = 1.0; give machine 1 cost 1.0.
+        ref, fast = self._both([10.0, 10.0], [0.0, 1.0], 10.0)
+        self._assert_identical(ref, fast)
+
+    def test_cascade_of_drops(self):
+        ref, fast = self._both(
+            [100.0, 1.0, 1.0, 1.0], [0.0, 5.0, 50.0, 500.0], 10.0
+        )
+        self._assert_identical(ref, fast)
+
+    def test_saturation_falls_back_identically(self):
+        ref, fast = self._both(
+            [10.0, 10.0, 10.0], [0.0, 0.0, 0.0], 300.0, [50.0, 50.0, None]
+        )
+        self._assert_identical(ref, fast)
+        assert ref.saturated  # the case really does exercise the cap path
+
+    def test_infeasible_caps_identical(self):
+        ref, fast = self._both([10.0, 10.0], [0.0, 0.0], 100.0, [10.0, 10.0])
+        self._assert_identical(ref, fast)
+
+
+class TestBatchedBalance:
+    """The batched water-filler must agree with per-set scalar calls."""
+
+    def _scalar_uncapped(self, rates, costs, total, members):
+        idx = [i for i, m in enumerate(members) if m]
+        sub = balance_divisible_work(
+            [rates[i] for i in idx], [costs[i] for i in idx], total
+        )
+        alloc = [0.0] * len(rates)
+        for j, i in enumerate(idx):
+            alloc[i] = sub.allocations[j]
+        return sub.makespan, alloc
+
+    @given(
+        rates=st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=2, max_size=6),
+        costs=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=2, max_size=6),
+        total=st.floats(min_value=1.0, max_value=1e4),
+        mask_bits=st.integers(min_value=1, max_value=63),
+    )
+    def test_property_matches_scalar(self, rates, costs, total, mask_bits):
+        n = min(len(rates), len(costs))
+        rates, costs = rates[:n], costs[:n]
+        members = [bool(mask_bits & (1 << i)) for i in range(n)]
+        if not any(members):
+            members[0] = True
+        batched = balance_divisible_work_batched(
+            rates, costs, total, [members]
+        )
+        makespan, alloc = self._scalar_uncapped(rates, costs, total, members)
+        assert batched.makespans[0] == pytest.approx(makespan, rel=1e-12)
+        assert list(batched.allocations[0]) == pytest.approx(alloc, rel=1e-9, abs=1e-9)
+
+    def test_many_sets_at_once(self):
+        rates = [10.0, 20.0, 30.0, 40.0]
+        costs = [0.0, 0.5, 1.0, 2.0]
+        sets = [
+            [True, False, False, False],
+            [True, True, False, False],
+            [True, True, True, True],
+            [False, False, False, True],
+        ]
+        out = balance_divisible_work_batched(rates, costs, 500.0, sets)
+        assert out.makespans.shape == (4,)
+        for row, members in enumerate(sets):
+            makespan, _ = self._scalar_uncapped(rates, costs, 500.0, members)
+            assert out.makespans[row] == pytest.approx(makespan, rel=1e-12)
+            # Allocations outside the set stay zero.
+            for i, m in enumerate(members):
+                if not m:
+                    assert out.allocations[row, i] == 0.0
+                    assert not out.active[row, i]
+
+    def test_empty_set_gets_inf(self):
+        out = balance_divisible_work_batched(
+            [10.0, 20.0], [0.0, 0.0], 100.0, [[False, False], [True, False]]
+        )
+        assert out.makespans[0] == float("inf")
+        assert np.isfinite(out.makespans[1])
+
+    def test_default_members_is_full_universe(self):
+        out = balance_divisible_work_batched([10.0, 10.0], [0.0, 0.0], 100.0)
+        assert out.makespans.shape == (1,)
+        assert out.makespans[0] == pytest.approx(5.0)
+
+    def test_superset_never_slower(self):
+        """Monotonicity that makes subset pruning admissible."""
+        rates = [10.0, 20.0, 5.0]
+        costs = [0.1, 0.2, 0.3]
+        out = balance_divisible_work_batched(
+            rates, costs, 1000.0,
+            [[True, True, True], [True, True, False], [True, False, False]],
+        )
+        assert out.makespans[0] <= out.makespans[1] <= out.makespans[2]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            balance_divisible_work_batched([1.0, 2.0], [0.0], 10.0)
+        with pytest.raises(ValueError):
+            balance_divisible_work_batched([1.0], [0.0], 10.0, [[True, False]])
+
+
 class TestTimeBalancedPlanner:
     def make_info(self, testbed, nws=None, bytes_per_unit=0.0):
         hat = HeterogeneousApplicationTemplate(
@@ -162,3 +318,21 @@ class TestTimeBalancedPlanner:
         assert sched is not None
         cap = info.pool.machine_info("sparc2").memory_available_mb * 1e6 / 16.0
         assert sched.allocation_for("sparc2").work_units <= cap + 1.0
+
+    def test_lower_bounds_admissible(self, testbed, warmed_nws):
+        """Bounds never exceed the true predicted time of any candidate."""
+        info = self.make_info(testbed, warmed_nws, bytes_per_unit=8.0)
+        planner = TimeBalancedPlanner()
+        names = info.pool.machine_names()
+        candidate_sets = [
+            (names[0],),
+            (names[0], names[1]),
+            tuple(names[:4]),
+            tuple(names),
+        ]
+        bounds = planner.lower_bounds(candidate_sets, info)
+        assert len(bounds) == len(candidate_sets)
+        for rset, lb in zip(candidate_sets, bounds):
+            sched = planner.plan(rset, info)
+            assert sched is not None
+            assert lb <= sched.predicted_time + 1e-9

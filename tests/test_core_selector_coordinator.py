@@ -76,6 +76,37 @@ class TestCandidateSets:
         sel = ResourceSelector(max_sets=10)
         assert len(sel.candidate_sets(make_info(testbed))) == 10
 
+    def test_exhaustive_count_excludes_empty_set(self):
+        # 2^n - 1, not 2^n: the empty set can run nothing.
+        assert ResourceSelector.exhaustive_count(8) == 255
+        assert ResourceSelector.exhaustive_count(12) == 4095
+        assert ResourceSelector.exhaustive_count(0) == 0
+        with pytest.raises(ValueError):
+            ResourceSelector.exhaustive_count(-1)
+
+    def test_twelve_machine_pool_yields_4095(self, nile_bed):
+        # nile has exactly 12 hosts — the documented exhaustive_limit edge.
+        info = make_info(nile_bed)
+        assert len(info.pool.machine_names()) == 12
+        sets = ResourceSelector().candidate_sets(info)
+        assert len(sets) == ResourceSelector.exhaustive_count(12) == 4095
+
+    def test_truncation_is_deterministic(self, testbed):
+        info = make_info(testbed)
+        full = ResourceSelector().candidate_sets(info)
+        capped = ResourceSelector(max_sets=40).candidate_sets(info)
+        # Same pool → same result, call after call.
+        assert capped == ResourceSelector(max_sets=40).candidate_sets(info)
+        assert len(capped) == 40
+        # The cap keeps the deterministic enumeration prefix (sizes
+        # ascending, combinations order) before priority sorting, so every
+        # kept set comes from the start of the uncapped enumeration.
+        enumerated = ResourceSelector()._exhaustive(
+            ResourceSelector().feasible_machines(info), 8
+        )
+        assert set(capped) == set(enumerated[:40])
+        assert set(capped) <= set(full)
+
     def test_greedy_mode_for_big_pools(self, nile_bed):
         sel = ResourceSelector(exhaustive_limit=4)
         sets = sel.candidate_sets(make_info(nile_bed))

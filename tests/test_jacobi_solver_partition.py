@@ -127,6 +127,41 @@ class TestLargestRemainder:
         assert sum(rows) == n
         assert all(r >= 1 for r in rows)
 
+    def test_overshoot_trims_from_largest(self):
+        # Floors [3,0,0,0] get one-row floors → [3,1,1,1] = 6 rows for a
+        # 4-row grid; the deficit<0 path must trim the big holder back.
+        rows = largest_remainder_rows(4, [10.0, 0.001, 0.001, 0.001])
+        assert rows == [1, 1, 1, 1]
+
+    def test_overshoot_trims_repeatedly(self):
+        # [4,1,1,1] = 7 rows for n=5: the trim pass cycles, skipping
+        # one-row machines, until the overshoot is gone.
+        rows = largest_remainder_rows(5, [10.0, 0.001, 0.001, 0.001])
+        assert rows == [2, 1, 1, 1]
+        assert sum(rows) == 5
+
+    def test_overshoot_never_trims_below_one_row(self):
+        # Every positive-weight machine keeps its guaranteed row even when
+        # the overshoot forces trimming.
+        rows = largest_remainder_rows(6, [100.0, 1e-6, 1e-6, 1e-6, 1e-6, 1e-6])
+        assert sum(rows) == 6
+        assert all(r >= 1 for r in rows)
+
+    @given(
+        n=st.integers(min_value=4, max_value=64),
+        k=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_property_overshoot_regime(self, n, k):
+        # One dominant weight plus k-1 slivers maximises one-row floor
+        # bumps — the regime where the overshoot branch runs.
+        if k > n:
+            k = n
+        weights = [1000.0] + [1e-9] * (k - 1)
+        rows = largest_remainder_rows(n, weights)
+        assert sum(rows) == n
+        assert all(r >= 1 for r in rows)
+
 
 class TestStripPartitions:
     def test_uniform(self):
@@ -156,6 +191,32 @@ class TestStripPartitions:
     def test_all_zero_rejected(self):
         with pytest.raises(ValueError):
             apples_strip(10, ["a"], [0.0])
+
+    def test_capacity_overflow_shifts_to_slack_machine(self):
+        # Rounding gives a 6 rows but its cap is 5; the extra row must
+        # move to b, which has slack.
+        p = apples_strip(10, ["a", "b"], [55.0, 45.0], max_rows=[5, 5])
+        assert p.strip_for("a").row_count == 5
+        assert p.strip_for("b").row_count == 5
+
+    def test_capacity_overflow_prefers_most_slack(self):
+        # a overflows by 2; c (uncapped = infinite slack) should absorb it
+        # before b (slack 1).
+        p = apples_strip(
+            12, ["a", "b", "c"], [60.0, 30.0, 30.0], max_rows=[4, 4, None]
+        )
+        assert p.strip_for("a").row_count == 4
+        assert sum(s.row_count for s in p.strips) == 12
+        assert p.strip_for("b").row_count <= 4
+
+    def test_capacity_overflow_unabsorbable_raises(self):
+        with pytest.raises(ValueError, match="cannot absorb rounding overflow"):
+            apples_strip(10, ["a", "b"], [55.0, 45.0], max_rows=[5, 4])
+
+    def test_capacity_respected_when_no_overflow(self):
+        p = apples_strip(10, ["a", "b"], [50.0, 50.0], max_rows=[5, 5])
+        assert p.strip_for("a").row_count == 5
+        assert p.strip_for("b").row_count == 5
 
     def test_noncontiguous_rejected(self):
         from repro.jacobi.partition import Strip, StripPartition

@@ -55,6 +55,34 @@ class TestParallelRunner:
         # A one-task list runs in-process even with many workers.
         assert ParallelRunner(8).run([Task(_square, {"x": 3})]) == [9]
 
+    def test_short_lists_run_serial(self):
+        # Below min_parallel_tasks the pool is skipped entirely: its spawn
+        # cost cannot be amortised over so few tasks (the fig6 quick-mode
+        # regression).  Results are identical either way.
+        runner = ParallelRunner(4, min_parallel_tasks=4)
+        called = []
+
+        def record_prime():
+            called.append(True)
+
+        tasks = [Task(_square, {"x": k}) for k in range(3)]
+        assert runner.run(tasks, prime=record_prime) == [0, 1, 4]
+        assert not called  # serial path never primes
+
+    def test_threshold_boundary_uses_pool(self):
+        runner = ParallelRunner(2, min_parallel_tasks=4)
+        tasks = [Task(_square, {"x": k}) for k in range(4)]
+        assert runner.run(tasks) == [0, 1, 4, 9]
+
+    def test_threshold_configurable(self):
+        # min_parallel_tasks=2 restores pooling for two-task lists.
+        runner = ParallelRunner(2, min_parallel_tasks=2)
+        assert runner.run([Task(_square, {"x": k}) for k in range(2)]) == [0, 1]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(2, min_parallel_tasks=1)
+
     def test_exception_propagates_serial(self):
         with pytest.raises(ValueError, match="boom"):
             ParallelRunner(1).run([Task(_boom, {"x": 1})])
