@@ -16,6 +16,8 @@ Experiments
 ``selection``  ABL-A3: subset selection vs use-everything vs best single.
 ``adaptive``   ABL-A4: one-shot vs adaptive rescheduling (extension).
 ``multiapp``   MULTI-A5: two applications sharing the metacomputer (extension).
+``contention`` CONTEND: many agents deciding together via the scheduling
+               service, each then running under the others' load (extension).
 ``metrics``    METRIC-A6: three user metrics, three schedules (§3.1).
 ``decomposition``  ABL-A7: strip vs generalised-block planning (extension).
 ``all``        Everything above, in order.
@@ -40,6 +42,7 @@ from repro.experiments import (
     run_nws_comparison,
     run_react,
     run_selection_ablation,
+    run_service_contention,
 )
 
 __all__ = ["main", "build_parser"]
@@ -131,6 +134,18 @@ def _cmd_multiapp(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_contention(args: argparse.Namespace) -> str:
+    result = run_service_contention(
+        napps=args.apps, n=args.n, seed=args.seed, workers=args.workers,
+    )
+    return (
+        result.table().render()
+        + f"\n\nmean actual/predicted: {result.mean_degradation:.2f}x "
+        f"(service answers identical to solo agents: "
+        f"{result.service_matches_solo})"
+    )
+
+
 def _cmd_metrics(args: argparse.Namespace) -> str:
     return run_metrics_comparison(n=args.n, seed=args.seed).table().render()
 
@@ -150,6 +165,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "selection": _cmd_selection,
     "adaptive": _cmd_adaptive,
     "multiapp": _cmd_multiapp,
+    "contention": _cmd_contention,
     "metrics": _cmd_metrics,
     "decomposition": _cmd_decomposition,
 }
@@ -212,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         common(p, n_default=n_default)
+
+    p = sub.add_parser(
+        "contention",
+        help="many agents deciding together via the scheduling service",
+    )
+    common(p, n_default=1200)
+    p.add_argument("--apps", type=int, default=5,
+                   help="number of applications in the batch (default 5)")
 
     p = sub.add_parser("all", help="run every experiment in order")
     p.add_argument("--workers", type=int, default=1,

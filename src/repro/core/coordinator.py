@@ -237,12 +237,22 @@ class AppLeSAgent:
             for tb, rset in zip(time_bounds, candidate_sets)
         ]
 
-    def schedule(self) -> ScheduleDecision:
+    def schedule(self, snapshot: Any | None = None) -> ScheduleDecision:
         """Run blueprint steps 1–3: select, plan, estimate, choose.
 
         Raises ``RuntimeError`` when no candidate resource set yields a
         feasible schedule (e.g. the User Specification filtered everything
         out).
+
+        Parameters
+        ----------
+        snapshot:
+            Optional pre-taken :class:`~repro.nws.snapshot.ForecastSnapshot`
+            for the decision scope — the scheduling service passes one
+            snapshot to every agent of a batch so forecast queries are
+            shared.  Snapshots are pure caches, so the decision is
+            bit-identical to taking a fresh one.  Ignored on the reference
+            path, which re-queries the pool per candidate by design.
         """
         candidate_sets = self.selector.candidate_sets(self.info)
         if not candidate_sets:
@@ -255,8 +265,7 @@ class AppLeSAgent:
 
         begin = getattr(self.planner, "begin_decision", None)
         end = getattr(self.planner, "end_decision", None)
-        self.info.begin_decision()
-        try:
+        with self.info.decision_scope(snapshot):
             if begin is not None:
                 begin(self.info)
             try:
@@ -265,8 +274,6 @@ class AppLeSAgent:
             finally:
                 if end is not None:
                     end(self.info)
-        finally:
-            self.info.end_decision()
 
     def _schedule_reference(
         self, candidate_sets: list[tuple[str, ...]]

@@ -61,6 +61,19 @@ class ExecutionTimeEstimator:
         """Objective is the time itself, so the time bound is the bound."""
         return time_lb
 
+    def objective_from_prediction(
+        self, predicted_time: float, machines: Sequence[str], info: InformationPool
+    ) -> float:
+        """:meth:`objective` without a Schedule object.
+
+        ``machines`` is the schedule's kept resource set (in allocation
+        order) — what :attr:`Schedule.resource_set` would be.  The batched
+        scheduling service scores candidates from predicted times alone,
+        so every estimator mirrors its objective here with the exact same
+        arithmetic.
+        """
+        return predicted_time
+
 
 class SpeedupEstimator:
     """Maximise predicted speedup over the best single-machine run (§3.1).
@@ -99,6 +112,12 @@ class SpeedupEstimator:
     ) -> float:
         """Monotone in time: bound / baseline bounds the objective below."""
         return time_lb / self._baseline_time(info)
+
+    def objective_from_prediction(
+        self, predicted_time: float, machines: Sequence[str], info: InformationPool
+    ) -> float:
+        """:meth:`objective` without a Schedule (same division, same floats)."""
+        return predicted_time / self._baseline_time(info)
 
 
 class CostEstimator:
@@ -139,6 +158,19 @@ class CostEstimator:
             return self.time_weight * time_lb
         min_rate = min(rates.get(m, 0.0) for m in resource_set)
         return time_lb * min_rate + self.time_weight * time_lb
+
+    def objective_from_prediction(
+        self, predicted_time: float, machines: Sequence[str], info: InformationPool
+    ) -> float:
+        """:meth:`objective` without a Schedule.
+
+        ``machines`` must be the *kept* machine list in allocation order —
+        the rate sum runs left-to-right over it, exactly like the
+        Schedule-based path sums over :attr:`Schedule.resource_set`.
+        """
+        rates = info.userspec.cost_per_cpu_second
+        rate_sum = sum(rates.get(m, 0.0) for m in machines)
+        return predicted_time * rate_sum + self.time_weight * predicted_time
 
 
 def make_estimator(metric: str, **kwargs) -> PerformanceEstimator:

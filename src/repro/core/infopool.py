@@ -9,8 +9,9 @@ User Specifications.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.core.hat import HeterogeneousApplicationTemplate
 from repro.core.resources import ResourcePool
@@ -68,19 +69,56 @@ class InformationPool:
     _decision: DecisionCache | None = field(default=None, init=False, repr=False)
 
     # -- per-decision state ---------------------------------------------------
-    def begin_decision(self) -> DecisionCache:
+    def begin_decision(self, snapshot: Any | None = None) -> DecisionCache:
         """Open a scheduling decision: snapshot the pool, reset the memo.
 
         Called by the Coordinator's fast path before the candidate loop;
         planners pick the cache up via :attr:`decision_cache`.  Re-entrant
-        calls replace the previous cache (one decision at a time).
+        calls replace the previous cache (one decision at a time) — a fresh
+        ``DecisionCache`` with an *empty* memo, so nothing computed for one
+        request can leak into the next.
+
+        Parameters
+        ----------
+        snapshot:
+            An existing :class:`~repro.nws.snapshot.ForecastSnapshot` to
+            reuse (the scheduling service shares one snapshot across the
+            requests of a batch taken at the same instant).  It must not be
+            stale: a snapshot is a pure cache only while the NWS sits at
+            the instant it was taken.  ``None`` takes a fresh snapshot.
         """
-        self._decision = DecisionCache(self.pool.snapshot())
+        if snapshot is None:
+            snapshot = self.pool.snapshot()
+        elif getattr(snapshot, "stale", False):
+            raise ValueError(
+                "refusing to open a decision on a stale ForecastSnapshot; "
+                "take a new snapshot after advancing the NWS"
+            )
+        self._decision = DecisionCache(snapshot)
         return self._decision
 
     def end_decision(self) -> None:
         """Close the current decision and drop its cached state."""
         self._decision = None
+
+    @contextmanager
+    def decision_scope(self, snapshot: Any | None = None) -> Iterator[DecisionCache]:
+        """Explicit per-request decision scope: ``with info.decision_scope():``.
+
+        Guarantees the :class:`DecisionCache` (snapshot + memo) opened for
+        one request is dropped when the request ends, even on error — two
+        back-to-back decisions at different simulated times can never see
+        each other's memoised rates, plans, or forecasts.  On exit the
+        previous cache (if the scope was nested inside another decision) is
+        restored, so a service evaluating a request inside a shared batch
+        scope does not tear the batch scope down.
+        """
+        previous = self._decision
+        cache = self.begin_decision(snapshot)
+        try:
+            yield cache
+        finally:
+            self._decision = previous
 
     @property
     def decision_cache(self) -> DecisionCache | None:

@@ -49,8 +49,10 @@ __all__ = [
     "Planner",
     "BalanceResult",
     "BatchBalanceResult",
+    "ExactBatchBalance",
     "balance_divisible_work",
     "balance_divisible_work_batched",
+    "balance_prefix_exact_batched",
     "TimeBalancedPlanner",
 ]
 
@@ -323,9 +325,9 @@ class BatchBalanceResult:
 
 
 def balance_divisible_work_batched(
-    rates: Sequence[float],
-    fixed_costs: Sequence[float],
-    total_units: float,
+    rates: Sequence[float] | np.ndarray,
+    fixed_costs: Sequence[float] | np.ndarray,
+    total_units: float | Sequence[float] | np.ndarray,
     members: np.ndarray | Sequence[Sequence[bool]] | None = None,
 ) -> BatchBalanceResult:
     """Water-fill many candidate sets over one machine universe at once.
@@ -343,11 +345,15 @@ def balance_divisible_work_batched(
     rates / fixed_costs:
         The machine universe (rates > 0, costs >= 0 for every machine that
         appears in any set; masked-out entries may hold placeholders).
-        ``fixed_costs`` may also be a ``(m, n)`` matrix giving per-set
-        per-machine costs (e.g. set-dependent communication floors); a
-        member whose cost is ``inf`` is treated as unusable in that set.
+        Either may also be a ``(m, n)`` matrix giving per-set per-machine
+        values — the scheduling service stacks the candidate sets of many
+        concurrent requests (different problems, hence different rates)
+        into one call.  A member whose cost is ``inf`` is treated as
+        unusable in that set.
     total_units:
-        Work to distribute per set, ``U > 0``.
+        Work to distribute per set: a scalar ``U > 0`` shared by every
+        set, or a ``(m,)`` vector with one total per set (again, stacked
+        heterogeneous requests).
     members:
         Boolean matrix ``(m, n)``; ``None`` balances the full universe as
         a single set.
@@ -358,21 +364,29 @@ def balance_divisible_work_batched(
     """
     r = np.asarray(rates, dtype=float)
     c = np.asarray(fixed_costs, dtype=float)
-    if r.ndim != 1:
-        raise ValueError("rates must be 1-D")
-    if c.ndim not in (1, 2) or c.shape[-1] != r.size:
+    if r.ndim not in (1, 2):
+        raise ValueError("rates must be (n,) or (m, n) over the universe")
+    n = r.shape[-1]
+    if c.ndim not in (1, 2) or c.shape[-1] != n:
         raise ValueError("fixed_costs must be (n,) or (m, n) over the universe")
-    check_positive("total_units", total_units)
-    n = r.size
     if members is None:
         mask = np.ones((1, n), dtype=bool)
     else:
         mask = np.asarray(members, dtype=bool)
         if mask.ndim != 2 or mask.shape[1] != n:
             raise ValueError(f"members must have shape (m, {n})")
-    if c.ndim == 2 and c.shape[0] != mask.shape[0]:
+    m_rows = mask.shape[0]
+    if c.ndim == 2 and c.shape[0] != m_rows:
         raise ValueError("2-D fixed_costs must have one row per member set")
-    if np.any((r <= 0) & mask.any(axis=0)):
+    if r.ndim == 2 and r.shape[0] != m_rows:
+        raise ValueError("2-D rates must have one row per member set")
+    totals = np.asarray(total_units, dtype=float)
+    if totals.ndim not in (0, 1) or (totals.ndim == 1 and totals.size != m_rows):
+        raise ValueError("total_units must be a scalar or one total per set")
+    if totals.size == 0 or np.any(~(totals > 0)):
+        raise ValueError("total_units must be > 0 for every set")
+    used_rates = r if r.ndim == 2 else r[None, :]
+    if np.any((used_rates <= 0) & mask):
         raise ValueError("every machine used by a set needs rate > 0")
     used_costs = c if c.ndim == 2 else c[None, :]
     if np.any((used_costs < 0) & mask):
@@ -380,7 +394,7 @@ def balance_divisible_work_batched(
 
     # Masked-out machines sort last (infinite cost) and contribute nothing.
     cm = np.where(mask, used_costs, np.inf)
-    rm = np.where(mask, r[None, :], 0.0)
+    rm = np.where(mask, used_rates, 0.0)
     order = np.argsort(cm, axis=1, kind="stable")
     cs = np.take_along_axis(cm, order, axis=1)
     rs = np.take_along_axis(rm, order, axis=1)
@@ -388,8 +402,9 @@ def balance_divisible_work_batched(
     # Sanitise costs before multiplying: masked-out slots are (rate 0,
     # cost inf) and 0 * inf would poison the cumsum with NaN.
     cum_rc = np.cumsum(rs * np.where(np.isfinite(cs), cs, 0.0), axis=1)
+    totals_col = (totals if totals.ndim == 1 else totals.reshape(1))[:, None]
     with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-        t_prefix = (float(total_units) + cum_rc) / cum_r
+        t_prefix = (totals_col + cum_rc) / cum_r
     ok = cs < t_prefix  # prefix-monotone per row
     k = np.count_nonzero(ok, axis=1)  # active prefix length per set
 
@@ -410,6 +425,128 @@ def balance_divisible_work_batched(
     np.put_along_axis(active, order, active_sorted, axis=1)
     return BatchBalanceResult(
         makespans=makespans, allocations=allocations, active=active & mask
+    )
+
+
+@dataclass(frozen=True)
+class ExactBatchBalance:
+    """Outcome of :func:`balance_prefix_exact_batched`.
+
+    Attributes
+    ----------
+    makespans:
+        Balanced time ``T`` per row (``nan`` for rows flagged
+        ``needs_reference``).
+    allocations:
+        ``r_i (T - c_i)`` per (row, slot); zero outside the active set.
+    active:
+        Boolean mask of the certified active prefix per row.
+    needs_reference:
+        Rows the closed form could not certify (empty prefix, drop
+        predicate disagrees at the final ``T``) — the caller must answer
+        them with the scalar reference solver to stay bit-identical.
+    """
+
+    makespans: np.ndarray
+    allocations: np.ndarray
+    active: np.ndarray
+    needs_reference: np.ndarray
+
+
+def balance_prefix_exact_batched(
+    rates: np.ndarray,
+    fixed_costs: np.ndarray,
+    total_units: np.ndarray,
+) -> ExactBatchBalance:
+    """Replicate :func:`_balance_fast` row-wise, bit-identically.
+
+    Unlike :func:`balance_divisible_work_batched` (a *bound*: relaxed drop
+    semantics good enough for pruning), this kernel reproduces the exact
+    decision sequence of the scalar fast path for every row at once: the
+    stable cost sort, the first-inconsistent-prefix break, the terminating
+    arithmetic in ascending-slot summation order, and both certification
+    predicates.  Rows that the scalar path would bounce to the reference
+    loop are flagged ``needs_reference`` instead of being approximated —
+    the scheduling service answers those rows with the scalar planner, so
+    a batched answer is *never* an approximation.
+
+    Parameters
+    ----------
+    rates / fixed_costs:
+        ``(m, n)`` slot arrays.  Empty slots carry rate ``0`` and cost
+        ``inf`` and sort past every real member; real members need finite
+        cost and positive rate (callers handle infinite-cost members by
+        dropping them *before* balancing, as the Jacobi planner does).
+    total_units:
+        ``(m,)`` work totals, ``> 0``.
+
+    Row ``i``'s float results equal ``_balance_fast(rates[i][:k_i], ...)``
+    exactly: cumulative sums run left-to-right like the scalar loop, and
+    padding slots only ever add ``0.0``, which is exact in IEEE floats.
+    """
+    r = np.asarray(rates, dtype=float)
+    c = np.asarray(fixed_costs, dtype=float)
+    totals = np.asarray(total_units, dtype=float)
+    if r.ndim != 2 or c.shape != r.shape:
+        raise ValueError("rates and fixed_costs must both be (m, n)")
+    if totals.shape != (r.shape[0],):
+        raise ValueError("total_units must be (m,)")
+    if np.any(np.isnan(r)) or np.any(np.isnan(c)):
+        raise ValueError("rates and fixed_costs must not contain NaN")
+    if np.any(~(totals > 0)):
+        raise ValueError("total_units must be > 0 for every row")
+    m, n = r.shape
+    member = np.isfinite(c)
+    if np.any(member & ~(r > 0)):
+        raise ValueError("every member slot needs rate > 0")
+    if np.any(member & (c < 0)):
+        raise ValueError("every member slot needs fixed cost >= 0")
+
+    order = np.argsort(c, axis=1, kind="stable")
+    cs = np.take_along_axis(c, order, axis=1)
+    rs = np.take_along_axis(r, order, axis=1)
+    cum_r = np.cumsum(rs, axis=1)
+    cum_rc = np.cumsum(rs * np.where(np.isfinite(cs), cs, 0.0), axis=1)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        t_prefix = (totals[:, None] + cum_rc) / cum_r
+    ok = (cum_r > 0.0) & (cs < t_prefix)
+    # The scalar loop *breaks* at the first inconsistent prefix; replicate
+    # that rather than counting all consistent prefixes.
+    k = np.where(ok.all(axis=1), n, np.argmin(ok, axis=1))
+
+    needs_reference = k == 0  # degenerate floats; the reference loop decides
+
+    positions = np.arange(n)[None, :]
+    active_sorted = positions < k[:, None]
+    active = np.zeros_like(member)
+    np.put_along_axis(active, order, active_sorted, axis=1)
+
+    # Terminating arithmetic in the reference's ascending-slot order.
+    # Padding/inactive slots contribute exactly 0.0 to each cumsum.
+    rate_sum = np.cumsum(np.where(active, r, 0.0), axis=1)[:, -1]
+    weighted_cost = np.cumsum(
+        np.where(active, r * np.where(np.isfinite(c), c, 0.0), 0.0), axis=1
+    )[:, -1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (totals + weighted_cost) / rate_sum
+
+    # Certify the reference drop predicate at the final T (both directions);
+    # disagreement means float-boundary ties — the reference loop decides.
+    t_col = t[:, None]
+    with np.errstate(invalid="ignore"):
+        cert_active = active & (c >= t_col)
+        cert_rest = member & ~active & (c < t_col)
+    needs_reference |= cert_active.any(axis=1) | cert_rest.any(axis=1)
+
+    with np.errstate(invalid="ignore"):
+        allocations = np.where(active, r * (t_col - np.where(active, c, 0.0)), 0.0)
+    makespans = np.where(needs_reference, np.nan, t)
+    allocations = np.where(needs_reference[:, None], 0.0, allocations)
+    return ExactBatchBalance(
+        makespans=makespans,
+        allocations=allocations,
+        active=active & ~needs_reference[:, None],
+        needs_reference=needs_reference,
     )
 
 

@@ -34,8 +34,11 @@ from repro.experiments.fig6 import Fig6Result, Fig6Row, run_fig6
 from repro.experiments.metrics_exp import MetricsResult, run_metrics_comparison
 from repro.experiments.multiapp_exp import (
     MultiAppResult,
+    ServiceContentionResult,
+    ServiceContentionRow,
     make_injectable,
     run_multiapp,
+    run_service_contention,
 )
 from repro.experiments.nile_exp import NileSkimResult, run_nile_skim
 from repro.experiments.nws_exp import NwsForecastResult, run_nws_comparison
@@ -59,6 +62,9 @@ __all__ = [
     "ReactResult",
     "run_nile_skim",
     "run_multiapp",
+    "run_service_contention",
+    "ServiceContentionResult",
+    "ServiceContentionRow",
     "run_metrics_comparison",
     "MetricsResult",
     "MultiAppResult",

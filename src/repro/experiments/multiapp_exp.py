@@ -24,7 +24,7 @@ as reduced capability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.jacobi.apples import make_jacobi_agent
 from repro.jacobi.grid import JacobiProblem
@@ -35,7 +35,14 @@ from repro.sim.jobs import make_injectable
 from repro.sim.testbeds import sdsc_pcl_testbed
 from repro.util.tables import Table
 
-__all__ = ["make_injectable", "MultiAppResult", "run_multiapp"]
+__all__ = [
+    "make_injectable",
+    "MultiAppResult",
+    "run_multiapp",
+    "ServiceContentionRow",
+    "ServiceContentionResult",
+    "run_service_contention",
+]
 
 
 @dataclass
@@ -157,3 +164,170 @@ def run_multiapp(
         oblivious_machines=oblivious_world["b_machines"],
         oblivious_time_s=oblivious_world["b_time_s"],
     )
+
+
+# -- CONTEND: many agents deciding together through the service -----------
+
+
+@dataclass(frozen=True)
+class ServiceContentionRow:
+    """One application's decision and its fate under everyone's load."""
+
+    app: int
+    machines: tuple[str, ...]
+    shared: int  # how many of its machines at least one other app also took
+    predicted_s: float
+    actual_s: float
+
+    @property
+    def degradation(self) -> float:
+        """Actual time over the (contention-blind) predicted time."""
+        return self.actual_s / self.predicted_s
+
+
+@dataclass
+class ServiceContentionResult:
+    """Outcome of the many-agent contention scenario."""
+
+    rows: list[ServiceContentionRow] = field(default_factory=list)
+    occupancy_level: float = 0.0
+    service_matches_solo: bool = False
+
+    def table(self) -> Table:
+        t = Table(
+            ["app", "machines", "shared", "predicted (s)",
+             "actual (s)", "actual/predicted"],
+            title=(
+                "CONTEND — one service batch, every agent optimising alone "
+                f"(occupancy x{self.occupancy_level:g} per co-tenant)"
+            ),
+        )
+        for r in self.rows:
+            t.add(r.app, ",".join(r.machines), r.shared,
+                  r.predicted_s, r.actual_s, r.degradation)
+        return t
+
+    @property
+    def mean_degradation(self) -> float:
+        return sum(r.degradation for r in self.rows) / len(self.rows)
+
+
+def _contention_trial(
+    k: int,
+    napps: int,
+    n: int,
+    iterations: int,
+    plans: tuple[tuple[tuple[str, ...], float], ...],
+    occupancy_level: float,
+    seed: int,
+    t0: float,
+) -> float:
+    """Execute application ``k`` under every *other* application's load.
+
+    Rebuilds a private world (injectors mutate host models), re-derives
+    app ``k``'s schedule at ``t0`` from the uncontended forecasts — the
+    same decision the service handed out, as the parent asserts — then
+    occupies the other apps' machines for their predicted runtimes and
+    executes ``k``'s schedule in that weather.
+    """
+    testbed = sdsc_pcl_testbed(seed=seed)
+    injectors = make_injectable(testbed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    nws.advance_to(t0)
+
+    problem = JacobiProblem(n=n + 100 * (k % 3), iterations=iterations + k)
+    agent = make_jacobi_agent(testbed, problem, nws)
+    sched = agent.schedule().best
+
+    for j, (machines, predicted_s) in enumerate(plans):
+        if j == k:
+            continue
+        for machine in machines:
+            injectors[machine].occupy(t0, t0 + predicted_s, occupancy_level)
+    return simulated_execution(testbed.topology, sched, t0).total_time
+
+
+def run_service_contention(
+    napps: int = 5,
+    n: int = 1200,
+    iterations: int = 80,
+    occupancy_level: float = 0.15,
+    seed: int = 1996,
+    t0: float = 600.0,
+    workers: int | None = 1,
+) -> ServiceContentionResult:
+    """CONTEND: ``napps`` agents decide *at the same instant* via the service.
+
+    Every application optimises its own completion time from the same NWS
+    snapshot, with no regard for the others (§3) — the scheduling service
+    merely answers all of them in one batch.  Each application then runs
+    under the combined occupancy of everyone else's choices, and the gap
+    between its contention-blind prediction and its actual time measures
+    the contention the agents *experience* rather than negotiate.
+
+    The service's batch is checked against solo ``schedule()`` calls in a
+    value-identical world before anything executes — the scenario doubles
+    as an end-to-end differential test of the batched core.
+    """
+    from repro.service import DecisionRequest, SchedulingService
+
+    requests = [
+        DecisionRequest(
+            problem=JacobiProblem(n=n + 100 * (k % 3), iterations=iterations + k),
+            at=t0,
+        )
+        for k in range(napps)
+    ]
+
+    testbed = sdsc_pcl_testbed(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=seed + 1)
+    service = SchedulingService(testbed, nws)
+    answers = service.decide(requests)
+
+    # Differential check in a fresh, value-identical world: the batch must
+    # hand every agent exactly its solo decision.
+    solo_testbed = sdsc_pcl_testbed(seed=seed)
+    solo_nws = NetworkWeatherService.for_testbed(solo_testbed, seed=seed + 1)
+    solo_nws.advance_to(t0)
+    for request, answer in zip(requests, answers):
+        solo = make_jacobi_agent(solo_testbed, request.problem, solo_nws).schedule()
+        if (
+            answer.machines != solo.best.resource_set
+            or answer.predicted_time != solo.best.predicted_time
+        ):
+            raise AssertionError(
+                f"service answer diverged from solo agent for app "
+                f"{requests.index(request)}: {answer.machines} vs "
+                f"{solo.best.resource_set}"
+            )
+
+    plans = tuple((a.machines, a.predicted_time) for a in answers)
+    tasks = [
+        Task(
+            _contention_trial,
+            dict(k=k, napps=napps, n=n, iterations=iterations, plans=plans,
+                 occupancy_level=occupancy_level, seed=seed, t0=t0),
+            key=(k,),
+        )
+        for k in range(napps)
+    ]
+    actuals = ParallelRunner(workers).run(tasks)
+
+    result = ServiceContentionResult(
+        occupancy_level=occupancy_level, service_matches_solo=True
+    )
+    for k, (answer, actual_s) in enumerate(zip(answers, actuals)):
+        others = set()
+        for j, a in enumerate(answers):
+            if j != k:
+                others.update(a.machines)
+        result.rows.append(
+            ServiceContentionRow(
+                app=k,
+                machines=answer.machines,
+                shared=len(set(answer.machines) & others),
+                predicted_s=answer.predicted_time,
+                actual_s=actual_s,
+            )
+        )
+    return result

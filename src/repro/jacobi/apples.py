@@ -20,24 +20,29 @@ execute the numerics and charge simulated time.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.coordinator import AppLeSAgent
 from repro.core.infopool import InformationPool
-from repro.core.planner import balance_divisible_work, balance_divisible_work_batched
+from repro.core.planner import (
+    balance_divisible_work,
+    balance_divisible_work_batched,
+    balance_prefix_exact_batched,
+)
 from repro.core.resources import ResourcePool
 from repro.core.schedule import Allocation, Schedule
 from repro.core.selector import ResourceSelector
 from repro.core.userspec import UserSpecification
-from repro.jacobi.cost import StripCostModel
+from repro.jacobi.cost import StripCostModel, batched_neighbor_comm_costs
 from repro.jacobi.grid import JacobiProblem, jacobi_hat
 from repro.jacobi.partition import (
     BlockPartition,
     StripPartition,
     apples_strip,
+    batched_largest_remainder_rows,
     blocked_partition,
     generalized_block_partition,
     nonuniform_strip,
@@ -48,12 +53,17 @@ from repro.sim.testbeds import Testbed
 
 __all__ = [
     "locality_order",
+    "batched_locality_orders",
+    "member_masks_over",
     "ApplesBlockedPlanner",
     "PreferencePlanner",
     "JacobiPlanner",
     "StaticStripPlanner",
     "UniformStripPlanner",
     "BlockedPlanner",
+    "StripBatchInputs",
+    "StripBatchEvaluation",
+    "evaluate_strip_batch",
     "make_jacobi_agent",
     "schedule_from_strip_partition",
 ]
@@ -79,6 +89,29 @@ def locality_order(pool: ResourcePool, machines: Sequence[str]) -> list[str]:
             m,
         ),
     )
+
+
+def batched_locality_orders(masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Strip orders for many candidate sets at once.
+
+    ``masks`` is a boolean ``(m, n)`` matrix over a machine universe
+    *already sorted by locality rank* (``locality_order`` of the full
+    pool).  Because the locality key is a strict total order, the strip
+    order of any subset is simply its members in ascending rank — so one
+    stable argsort that moves members ahead of non-members recovers, for
+    every row at once, exactly what :func:`locality_order` returns for
+    that row's member set.
+
+    Returns ``(order_idx, counts)``: ``order_idx[i, j]`` is the rank-space
+    machine index of row ``i``'s ``j``-th strip member (slots at and
+    beyond ``counts[i]`` are padding, ascending over the non-members).
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError("masks must be (m, n)")
+    order_idx = np.argsort(~masks, axis=1, kind="stable")
+    counts = masks.sum(axis=1)
+    return order_idx, counts
 
 
 def _locality_ranked(info: InformationPool, machines: list[str]) -> list[str]:
@@ -251,9 +284,18 @@ class JacobiPlanner:
         return model
 
     def lower_bounds(
-        self, candidate_sets: Sequence[Sequence[str]], info: InformationPool
+        self,
+        candidate_sets: Sequence[Sequence[str]],
+        info: InformationPool,
+        member_mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Admissible predicted-time lower bound per candidate set.
+
+        ``member_mask`` optionally supplies the ``(m, n)`` membership
+        matrix over ``info.pool.machine_names()`` (unusable members are
+        filtered here either way) — the scheduling service builds it once
+        per request and shares it with the batched evaluator, skipping the
+        per-set Python loop below.  Values are unchanged.
 
         The planner may keep any non-empty subset of a candidate set, so
         the bound is the minimum of two relaxations that together cover
@@ -281,12 +323,15 @@ class JacobiPlanner:
         index = {nm: j for j, nm in enumerate(names)}
         rates = np.array([model.point_rate(nm) for nm in names])
         usable = rates > 0.0
-        mask = np.zeros((len(candidate_sets), n), dtype=bool)
-        for i, rset in enumerate(candidate_sets):
-            for m in rset:
-                j = index.get(m)
-                if j is not None and usable[j]:
-                    mask[i, j] = True
+        if member_mask is not None:
+            mask = np.asarray(member_mask, dtype=bool) & usable[None, :]
+        else:
+            mask = np.zeros((len(candidate_sets), n), dtype=bool)
+            for i, rset in enumerate(candidate_sets):
+                for m in rset:
+                    j = index.get(m)
+                    if j is not None and usable[j]:
+                        mask[i, j] = True
         safe_rates = np.where(usable, rates, 1.0)
         total = float(self.problem.total_points)
         iters = self.problem.iterations
@@ -400,6 +445,472 @@ class JacobiPlanner:
         )
         _finish(schedule)
         return schedule
+
+    def batch_inputs(self, info: InformationPool) -> "StripBatchInputs":
+        """Rank-space arrays for :func:`evaluate_strip_batch`.
+
+        Captures everything :meth:`plan` reads per candidate — point
+        rates, memory capacities, the pairwise border-transfer matrix,
+        member risks — once per (planner, decision), in locality-rank
+        order so batched candidate masks can be evaluated without any
+        per-candidate queries.  Values come from the same decision-scoped
+        model (and snapshot memo) the scalar path uses, so they are the
+        *same floats*.
+        """
+        model = self._model(info)
+        rank_names = locality_order(info.pool, info.pool.machine_names())
+        rates = np.array([model.point_rate(m) for m in rank_names])
+        caps = (
+            np.array([model.capacity_points(m) for m in rank_names])
+            if self.account_memory
+            else None
+        )
+        avail_mb = np.array(
+            [info.pool.machine_info(m).memory_available_mb for m in rank_names]
+        )
+        return StripBatchInputs(
+            planner=self,
+            rank_names=tuple(rank_names),
+            rates=rates,
+            caps=caps,
+            avail_mb=avail_mb,
+            pair=model.comm_cost_matrix(rank_names),
+            sync_overhead_s=model.sync_overhead_s,
+            total_points=float(self.problem.total_points),
+            grid_n=self.problem.n,
+            bytes_per_point=float(self.problem.bytes_per_point),
+            iterations=self.problem.iterations,
+            risk_aversion=self.risk_aversion,
+            risks=np.asarray(_member_risks(rank_names, info)),
+            account_memory=self.account_memory,
+        )
+
+
+@dataclass(frozen=True)
+class StripBatchInputs:
+    """One request's strip-planning ingredients in locality-rank space.
+
+    Produced by :meth:`JacobiPlanner.batch_inputs`; consumed (possibly
+    stacked with other requests') by :func:`evaluate_strip_batch`.
+    """
+
+    planner: "JacobiPlanner"
+    rank_names: tuple[str, ...]
+    rates: np.ndarray  # (n,) points/s per machine, 0 = unusable
+    caps: np.ndarray | None  # (n,) capacity points, None when memory-blind
+    avail_mb: np.ndarray  # (n,) real memory available per machine
+    pair: np.ndarray  # (n, n) one-border transfer seconds
+    sync_overhead_s: float
+    total_points: float
+    grid_n: int
+    bytes_per_point: float
+    iterations: int
+    risk_aversion: float
+    risks: np.ndarray  # (n,) member availability risks
+    account_memory: bool
+
+    def member_mask(self, resource_set: Sequence[str]) -> np.ndarray:
+        """Rank-space member mask for one candidate set (usable members)."""
+        return member_masks_over([resource_set], self.rank_names)[0]
+
+    def member_masks(self, candidate_sets: Sequence[Sequence[str]]) -> np.ndarray:
+        """Rank-space member masks for many candidate sets, ``(m, n)``."""
+        return member_masks_over(candidate_sets, self.rank_names)
+
+
+def member_masks_over(
+    candidate_sets: Sequence[Sequence[str]], names: Sequence[str]
+) -> np.ndarray:
+    """``(m, n)`` membership matrix of ``candidate_sets`` over ``names``.
+
+    One flat scatter instead of a per-set Python loop — with thousands of
+    candidate sets the loop is a measurable slice of a whole batched
+    decision.  Unknown machine names are simply absent from the mask,
+    matching the per-set lookup the planners do themselves.
+    """
+    index = {m: j for j, m in enumerate(names)}
+    m_sets = len(candidate_sets)
+    masks = np.zeros((m_sets, len(names)), dtype=bool)
+    lens = np.fromiter(
+        (len(rset) for rset in candidate_sets), dtype=np.int64, count=m_sets
+    )
+    total = int(lens.sum())
+    if total == 0:
+        return masks
+    rows = np.repeat(np.arange(m_sets), lens)
+    cols = np.fromiter(
+        (index.get(nm, -1) for rset in candidate_sets for nm in rset),
+        dtype=np.int64,
+        count=total,
+    )
+    known = cols >= 0
+    masks[rows[known], cols[known]] = True
+    return masks
+
+
+@dataclass(frozen=True)
+class StripBatchEvaluation:
+    """Per-candidate outcomes of one job inside :func:`evaluate_strip_batch`.
+
+    ``predicted`` is only meaningful where ``feasible & ~fallback``; rows
+    flagged ``fallback`` must be answered by the scalar planner (the
+    batched core refuses to approximate them), and infeasible rows mirror
+    ``plan() is None``.
+    """
+
+    feasible: np.ndarray  # (m,) plan produces a schedule
+    fallback: np.ndarray  # (m,) answer with the scalar planner
+    predicted: np.ndarray  # (m,) risk-adjusted predicted time
+    kept: np.ndarray  # (m, n) final member mask, rank space
+
+
+# Structural bound on batched re-plan passes: membership shrinks by at
+# least one machine per pass per row, matching the scalar _MAX_REPLAN.
+_MAX_BATCH_PASSES = _MAX_REPLAN
+
+
+def evaluate_strip_batch(
+    jobs: Sequence[tuple[StripBatchInputs, np.ndarray]],
+    chunk_rows: int = 32768,
+) -> list[StripBatchEvaluation]:
+    """Evaluate the candidate sets of many scheduling requests at once.
+
+    ``jobs`` pairs each request's :class:`StripBatchInputs` with its
+    ``(m_j, n)`` rank-space candidate masks.  All rows of all jobs are
+    stacked into one index space and driven through NumPy replicas of the
+    scalar plan pipeline — locality orders, neighbour comm costs, the
+    drop/re-balance fixpoint, largest-remainder integerisation, and the
+    risk-adjusted step-time prediction — in chunks of ``chunk_rows`` to
+    bound peak memory.
+
+    Bit-identity contract: every number produced for a row either equals
+    the scalar ``JacobiPlanner.plan`` result for that candidate set
+    exactly, or the row is flagged ``fallback`` and carries no number at
+    all.  The vector code only takes arithmetic paths whose float
+    semantics match the scalar code operation-for-operation (documented
+    inline); every input class it cannot certify — reference water-fill
+    fallbacks, binding capacities, paging slowdowns, apportionment
+    overshoot — is surrendered to the scalar planner rather than
+    approximated.
+    """
+    if not jobs:
+        return []
+    n = len(jobs[0][0].rank_names)
+    for inputs, masks in jobs:
+        if len(inputs.rank_names) != n or masks.shape[1] != n:
+            raise ValueError("all jobs must share one machine universe size")
+
+    job_rates = np.stack([inputs.rates for inputs, _ in jobs])
+    job_caps = np.stack(
+        [
+            inputs.caps if inputs.caps is not None else np.full(n, np.inf)
+            for inputs, _ in jobs
+        ]
+    )
+    job_avail = np.stack([inputs.avail_mb for inputs, _ in jobs])
+    job_pair = np.stack([inputs.pair for inputs, _ in jobs])
+    job_risks = np.stack([inputs.risks for inputs, _ in jobs])
+    job_sync = np.array([inputs.sync_overhead_s for inputs, _ in jobs])
+    job_total = np.array([inputs.total_points for inputs, _ in jobs])
+    job_grid = np.array([inputs.grid_n for inputs, _ in jobs], dtype=np.int64)
+    job_bytes = np.array([inputs.bytes_per_point for inputs, _ in jobs])
+    job_iters = np.array([float(inputs.iterations) for inputs, _ in jobs])
+    job_ra = np.array([inputs.risk_aversion for inputs, _ in jobs])
+    job_memory = np.array([inputs.account_memory for inputs, _ in jobs])
+
+    all_masks = np.concatenate([np.asarray(masks, dtype=bool) for _, masks in jobs])
+    job_of = np.concatenate(
+        [np.full(len(masks), j, dtype=np.int64) for j, (_, masks) in enumerate(jobs)]
+    )
+
+    total_rows = all_masks.shape[0]
+    feasible = np.zeros(total_rows, dtype=bool)
+    fallback = np.zeros(total_rows, dtype=bool)
+    predicted = np.full(total_rows, np.inf)
+    kept_out = np.zeros((total_rows, n), dtype=bool)
+
+    for lo in range(0, total_rows, chunk_rows):
+        hi = min(lo + chunk_rows, total_rows)
+        _evaluate_chunk(
+            all_masks[lo:hi],
+            job_of[lo:hi],
+            job_rates,
+            job_caps,
+            job_avail,
+            job_pair,
+            job_risks,
+            job_sync,
+            job_total,
+            job_grid,
+            job_bytes,
+            job_iters,
+            job_ra,
+            job_memory,
+            feasible[lo:hi],
+            fallback[lo:hi],
+            predicted[lo:hi],
+            kept_out[lo:hi],
+        )
+
+    results = []
+    start = 0
+    for _, masks in jobs:
+        stop = start + len(masks)
+        results.append(
+            StripBatchEvaluation(
+                feasible=feasible[start:stop],
+                fallback=fallback[start:stop],
+                predicted=predicted[start:stop],
+                kept=kept_out[start:stop],
+            )
+        )
+        start = stop
+    return results
+
+
+def _evaluate_chunk(
+    masks,
+    job_of,
+    job_rates,
+    job_caps,
+    job_avail,
+    job_pair,
+    job_risks,
+    job_sync,
+    job_total,
+    job_grid,
+    job_bytes,
+    job_iters,
+    job_ra,
+    job_memory,
+    feasible,
+    fallback,
+    predicted,
+    kept_out,
+):
+    """One chunk of :func:`evaluate_strip_batch` (results written in place)."""
+    m, n = masks.shape
+    slots = np.arange(n)[None, :]
+    rates_rows = job_rates[job_of]
+    # The scalar plan first filters members predicted to deliver nothing.
+    member = masks & (rates_rows > 0.0)
+
+    pending = np.ones(m, dtype=bool)
+    done = np.zeros(m, dtype=bool)
+    areas_rank = np.zeros((m, n))
+
+    for _ in range(_MAX_BATCH_PASSES):
+        rows = np.nonzero(pending)[0]
+        if rows.size == 0:
+            break
+        sub = member[rows]
+        cnt = sub.sum(axis=1)
+        sub_jobs = job_of[rows]
+
+        # Rows whose member list emptied: plan() returns None.
+        empty = cnt == 0
+        if np.any(empty):
+            pending[rows[empty]] = False
+
+        order_idx, _ = batched_locality_orders(sub)
+        valid = slots < cnt[:, None]
+        costs_c = batched_neighbor_comm_costs(
+            job_pair, order_idx, cnt, job_sync[sub_jobs], row_pair=sub_jobs
+        )
+        rate_c = np.where(
+            valid, np.take_along_axis(job_rates[sub_jobs], order_idx, axis=1), 0.0
+        )
+
+        # Dead links: drop the single worst-cost member and re-derive, or
+        # give up on a singleton — exactly the scalar branch.
+        member_inf = np.isinf(costs_c) & valid
+        has_inf = member_inf.any(axis=1) & ~empty
+        if np.any(has_inf):
+            single = has_inf & (cnt == 1)
+            pending[rows[single]] = False  # plan() returns None
+            multi = has_inf & ~single
+            if np.any(multi):
+                mrows = np.nonzero(multi)[0]
+                # First occurrence of the maximum — Python's max() tie-break.
+                worst = np.argmax(costs_c[mrows], axis=1)
+                drop_rank = order_idx[mrows, worst]
+                member[rows[mrows], drop_rank] = False
+            # Dropping leaves the row pending for the next pass.
+
+        bal = ~has_inf & ~empty
+        if not np.any(bal):
+            continue
+        brows = np.nonzero(bal)[0]
+        res = balance_prefix_exact_batched(
+            rate_c[brows], costs_c[brows], job_total[sub_jobs[brows]]
+        )
+        needs_ref = res.needs_reference.copy()
+
+        # Binding capacities send the scalar path to the reference loop.
+        caps_c = np.take_along_axis(job_caps[sub_jobs[brows]], order_idx[brows], axis=1)
+        mem_rows = job_memory[sub_jobs[brows]]
+        over_cap = (
+            res.active & (res.allocations > caps_c + 1e-9)
+        ).any(axis=1) & mem_rows
+        needs_ref |= over_cap
+
+        gidx = rows[brows]
+        fallback[gidx[needs_ref]] = True
+        pending[gidx[needs_ref]] = False
+
+        ok = ~needs_ref
+        if not np.any(ok):
+            continue
+        orows = np.nonzero(ok)[0]
+        alloc = res.allocations[orows]
+        kept_c = res.active[orows] & (alloc > 0.0)
+        kvalid = valid[brows][orows]
+        none_kept = ~kept_c.any(axis=1)
+        converged = ~(kvalid & ~kept_c).any(axis=1) & ~none_kept
+
+        g2 = gidx[orows]
+        pending[g2[none_kept]] = False  # plan() returns None
+
+        # Non-converged rows shrink to their kept members and re-derive.
+        shrink = ~converged & ~none_kept
+        if np.any(shrink):
+            srows = np.nonzero(shrink)[0]
+            new_member = np.zeros((srows.size, n), dtype=bool)
+            np.put_along_axis(
+                new_member, order_idx[brows][orows][srows], kept_c[srows], axis=1
+            )
+            member[g2[srows]] = new_member
+
+        if np.any(converged):
+            crows = np.nonzero(converged)[0]
+            scatter = np.zeros((crows.size, n))
+            np.put_along_axis(
+                scatter, order_idx[brows][orows][crows], alloc[crows], axis=1
+            )
+            areas_rank[g2[crows]] = scatter
+            kept_scatter = np.zeros((crows.size, n), dtype=bool)
+            np.put_along_axis(
+                kept_scatter, order_idx[brows][orows][crows], kept_c[crows], axis=1
+            )
+            member[g2[crows]] = kept_scatter
+            done[g2[crows]] = True
+            pending[g2[crows]] = False
+    else:
+        # Rows still pending after the structural bound: let the scalar
+        # planner raise (or converge) exactly as solo would.
+        fallback[pending] = True
+        pending[:] = False
+
+    drows = np.nonzero(done)[0]
+    if drows.size == 0:
+        return
+    _finalise_rows(
+        drows,
+        member,
+        areas_rank,
+        job_of,
+        job_rates,
+        job_caps,
+        job_avail,
+        job_pair,
+        job_risks,
+        job_sync,
+        job_grid,
+        job_bytes,
+        job_iters,
+        job_ra,
+        job_memory,
+        feasible,
+        fallback,
+        predicted,
+        kept_out,
+    )
+
+
+def _finalise_rows(
+    drows,
+    member,
+    areas_rank,
+    job_of,
+    job_rates,
+    job_caps,
+    job_avail,
+    job_pair,
+    job_risks,
+    job_sync,
+    job_grid,
+    job_bytes,
+    job_iters,
+    job_ra,
+    job_memory,
+    feasible,
+    fallback,
+    predicted,
+    kept_out,
+):
+    """Integerise converged rows and predict their risk-adjusted times."""
+    n = member.shape[1]
+    slots = np.arange(n)[None, :]
+    sub = member[drows]
+    jobs = job_of[drows]
+    order_idx, cnt = batched_locality_orders(sub)
+    valid = slots < cnt[:, None]
+    areas_c = np.where(
+        valid, np.take_along_axis(areas_rank[drows], order_idx, axis=1), 0.0
+    )
+    grid = job_grid[jobs]
+    rows_int, exact = batched_largest_remainder_rows(grid, areas_c, cnt)
+
+    bad = ~exact
+    # Row caps (the integer image of memory capacity): the scalar path runs
+    # an order-dependent overflow shift when a cap binds — surrender those.
+    caps_c = np.take_along_axis(job_caps[jobs], order_idx, axis=1)
+    mem = job_memory[jobs]
+    with np.errstate(invalid="ignore"):  # inf caps on memory-blind rows
+        max_rows = np.floor_divide(caps_c, grid[:, None].astype(float))
+    bad |= mem & (valid & (rows_int > max_rows)).any(axis=1)
+
+    area_pts = (rows_int * grid[:, None]).astype(float)
+    # Paging: rows_int <= max_rows makes every strip fit in real memory, so
+    # the scalar slowdown factor is exactly 1.0 — but certify the fits
+    # check itself (footprint <= available) rather than assume it.
+    foot_mb = area_pts * job_bytes[jobs][:, None] / 1e6
+    avail_c = np.take_along_axis(job_avail[jobs], order_idx, axis=1)
+    bad |= mem & (valid & (foot_mb > avail_c)).any(axis=1)
+
+    rate_c = np.where(
+        valid, np.take_along_axis(job_rates[jobs], order_idx, axis=1), np.inf
+    )
+    with np.errstate(divide="ignore"):
+        p_c = 1.0 / rate_c
+
+    # Neighbour comm per strip: predecessor added before successor, ends
+    # adding exactly 0.0 — StripCostModel.step_time's fast loop verbatim.
+    prev_idx = np.roll(order_idx, 1, axis=1)
+    next_idx = np.roll(order_idx, -1, axis=1)
+    rp = jobs[:, None]
+    t_prev = job_pair[rp, order_idx, prev_idx]
+    t_next = job_pair[rp, order_idx, next_idx]
+    has_prev = slots > 0
+    has_next = slots < (cnt[:, None] - 1)
+    comm = np.where(valid & has_prev, t_prev, 0.0) + np.where(
+        valid & has_next, t_next, 0.0
+    )
+    times = area_pts * p_c + comm + job_sync[jobs][:, None]
+    step = np.where(valid, times, -np.inf).max(axis=1)
+    pred = step * job_iters[jobs]
+    risks_c = np.where(
+        valid, np.take_along_axis(job_risks[jobs], order_idx, axis=1), 0.0
+    )
+    risk = risks_c.max(axis=1, initial=0.0)
+    pred = pred * (1.0 + job_ra[jobs] * risk)
+
+    good = ~bad
+    gd = drows[good]
+    feasible[gd] = True
+    predicted[gd] = pred[good]
+    kept_out[gd] = sub[good]
+    fallback[drows[bad]] = True
 
 
 class _NominalMixin:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from repro.core.resources import ResourcePool
 from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.partition import StripPartition
@@ -26,7 +28,12 @@ from repro.util import perf
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nws.snapshot import ForecastSnapshot
 
-__all__ = ["strip_comm_seconds", "StripCostModel"]
+__all__ = [
+    "strip_comm_seconds",
+    "StripCostModel",
+    "pairwise_transfer_matrix",
+    "batched_neighbor_comm_costs",
+]
 
 
 def strip_comm_seconds(
@@ -242,3 +249,96 @@ class StripCostModel:
     def execution_time(self, partition: StripPartition) -> float:
         """Predicted total time: step time × iterations."""
         return self.step_time(partition) * self.problem.iterations
+
+    # -- batched kernels ---------------------------------------------------
+    def comm_cost_matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Border-exchange seconds between every machine pair of ``names``.
+
+        See :func:`pairwise_transfer_matrix`; this binds the model's own
+        exchange volume and transfer source (snapshot memo when present).
+        """
+        return pairwise_transfer_matrix(self, names)
+
+
+def pairwise_transfer_matrix(
+    model: StripCostModel, names: Sequence[str]
+) -> np.ndarray:
+    """``(n, n)`` matrix of one-border transfer seconds between machines.
+
+    Entry ``[i, j]`` is exactly ``model._transfer_time(names[i], names[j],
+    exchange)`` — the term :meth:`StripCostModel.comm_costs` charges for a
+    strip neighbour — so any neighbour cost a scalar plan would compute can
+    be *gathered* from this matrix instead of re-queried: the batched
+    evaluation core of the scheduling service indexes it with the neighbour
+    structure of thousands of candidate strip orders at once.  Dead links
+    appear as ``inf``, mirroring the scalar path.  The diagonal is zero; a
+    machine is never its own strip neighbour.
+    """
+    names = list(names)
+    n = len(names)
+    exchange = model.problem.border_exchange_bytes()
+    pair = np.zeros((n, n), dtype=float)
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            if i != j:
+                pair[i, j] = model._transfer_time(a, b, exchange)
+    return pair
+
+
+def batched_neighbor_comm_costs(
+    pair: np.ndarray,
+    order_idx: np.ndarray,
+    counts: np.ndarray,
+    sync_overhead_s: float | np.ndarray,
+    row_pair: np.ndarray | None = None,
+) -> np.ndarray:
+    """``C_i`` for every member of every candidate strip order at once.
+
+    Parameters
+    ----------
+    pair:
+        ``(n, n)`` transfer matrix (:func:`pairwise_transfer_matrix`), or a
+        ``(J, n, n)`` stack of them when rows mix requests with different
+        exchange volumes — select per row with ``row_pair``.
+    order_idx:
+        ``(m, n)`` machine indices in strip order per row; slots at and
+        beyond ``counts[i]`` are padding (any valid index).
+    counts:
+        ``(m,)`` member count per row.
+    sync_overhead_s:
+        Per-participant sync overhead added to every member cost — scalar
+        or ``(m,)`` per row.
+    row_pair:
+        ``(m,)`` index into the first axis of a 3-D ``pair``; ignored for
+        a single matrix.
+
+    Returns the ``(m, n)`` member costs in strip order, ``inf`` at padding
+    slots so downstream sorts push them past every real member.  Member
+    values are bit-identical to :meth:`StripCostModel.comm_costs`: the
+    predecessor transfer is added before the successor transfer, and ends
+    of the strip add ``0.0`` exactly.
+    """
+    order_idx = np.asarray(order_idx)
+    m, n = order_idx.shape
+    counts = np.asarray(counts)
+    slots = np.arange(n)[None, :]
+    valid = slots < counts[:, None]
+    prev_idx = np.roll(order_idx, 1, axis=1)
+    next_idx = np.roll(order_idx, -1, axis=1)
+    if pair.ndim == 3:
+        if row_pair is None:
+            raise ValueError("row_pair is required with a (J, n, n) pair stack")
+        rp = np.asarray(row_pair)[:, None]
+        t_prev = pair[rp, order_idx, prev_idx]
+        t_next = pair[rp, order_idx, next_idx]
+    else:
+        t_prev = pair[order_idx, prev_idx]
+        t_next = pair[order_idx, next_idx]
+    has_prev = slots > 0
+    has_next = slots < (counts[:, None] - 1)
+    costs = (
+        np.where(valid & has_prev, t_prev, 0.0)
+        + np.where(valid & has_next, t_next, 0.0)
+        + np.asarray(sync_overhead_s, dtype=float).reshape(-1, 1)
+    )
+    return np.where(valid, costs, np.inf)

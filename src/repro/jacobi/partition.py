@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 __all__ = [
     "Strip",
     "StripPartition",
@@ -30,6 +32,7 @@ __all__ = [
     "apples_strip",
     "blocked_partition",
     "largest_remainder_rows",
+    "batched_largest_remainder_rows",
 ]
 
 
@@ -243,6 +246,70 @@ def largest_remainder_rows(n: int, weights: Sequence[float]) -> list[int]:
             k += 1
     assert sum(rows) == n
     return rows
+
+
+def batched_largest_remainder_rows(grid_rows, areas, counts):
+    """Vectorised :func:`largest_remainder_rows` over many strip orders.
+
+    Parameters
+    ----------
+    grid_rows:
+        ``(m,)`` int array — rows to apportion per candidate (the grid
+        size ``n`` of each request's problem).
+    areas:
+        ``(m, n)`` fractional areas in strip order; slots at and beyond
+        ``counts[i]`` are padding and must hold ``0.0``.  Every real slot
+        must be positive (the planner only keeps loaded machines).
+    counts:
+        ``(m,)`` member count per row.
+
+    Returns ``(rows, exact)``: the ``(m, n)`` integer row counts, and a
+    boolean ``(m,)`` flag marking rows whose result provably equals the
+    scalar function.  Rows where the scalar path would enter its overshoot
+    trim loop (sequential, order-dependent) are flagged inexact instead of
+    being approximated; callers re-run those through the scalar function.
+
+    Bit-identity argument: the scalar total is a left-to-right Python sum,
+    replicated by ``cumsum`` (padding adds exactly ``0.0``); quotas, floors
+    and remainders are elementwise; the remainder distribution order is
+    ``sorted(..., key=remainder, reverse=True)`` — a stable descending
+    sort, i.e. ties keep ascending slot order, which is exactly
+    ``argsort`` of the negated remainders with a stable kind.  The deficit
+    after the one-row floor is < member count, so each of the first
+    ``deficit`` slots in remainder order gains exactly one row.
+    """
+    areas = np.asarray(areas, dtype=float)
+    m, n = areas.shape
+    grid_rows = np.asarray(grid_rows)
+    counts = np.asarray(counts)
+    if np.any(np.isnan(areas)) or np.any(np.isinf(areas)):
+        raise ValueError("areas must be finite")
+    slots = np.arange(n)[None, :]
+    valid = slots < counts[:, None]
+    if np.any(~valid & (areas != 0.0)) or np.any(valid & ~(areas > 0.0)):
+        raise ValueError("real slots must be positive, padding must be 0.0")
+
+    total = np.cumsum(areas, axis=1)[:, -1]
+    grid_f = grid_rows.astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        quotas = grid_f[:, None] * areas / total[:, None]
+    floors = np.floor(quotas)
+    rows = np.where(valid & (floors == 0.0), 1.0, floors).astype(np.int64)
+    rows = np.where(valid, rows, 0)
+    deficit = grid_rows - rows.sum(axis=1)
+
+    # The floor sum exceeds grid_rows - count, so 0 <= deficit < count for
+    # every row the scalar path serves without trimming; negative deficits
+    # (one-row floors overshooting tiny grids) go back to the scalar loop.
+    exact = (deficit >= 0) & (deficit < counts)
+
+    remainders = quotas - floors
+    rank = np.argsort(np.where(valid, -remainders, np.inf), axis=1, kind="stable")
+    gains = (slots < np.where(exact, deficit, 0)[:, None]).astype(np.int64)
+    inc = np.zeros_like(rows)
+    np.put_along_axis(inc, rank, gains, axis=1)
+    rows += inc
+    return rows, exact
 
 
 def _strips_from_rows(n: int, machines: Sequence[str], rows: Sequence[int]) -> StripPartition:

@@ -1,0 +1,6 @@
+"""Batched multi-decision scheduling service (see :mod:`repro.service.core`)."""
+
+from repro.service.core import SchedulingService
+from repro.service.requests import DecisionRequest, ServiceAnswer
+
+__all__ = ["SchedulingService", "DecisionRequest", "ServiceAnswer"]

@@ -1,0 +1,322 @@
+"""The batched multi-decision scheduling service.
+
+Many AppLeS agents sharing one metacomputer make their decisions from the
+same Network Weather Service at the same instants (§3: contention is
+*experienced*, not negotiated).  Answering each agent separately repeats
+the same forecast queries, cost models, and candidate evaluations; the
+:class:`SchedulingService` accepts a batch of :class:`DecisionRequest`\\ s
+and answers them through one vectorised evaluation core instead.
+
+Bit-identity contract
+---------------------
+Every answer equals — float for float, count for count — what the
+request's own agent would have decided alone:
+
+- one :class:`~repro.nws.snapshot.ForecastSnapshot` per decision instant
+  is shared across the batch (snapshots are pure caches, so shared and
+  private snapshots yield the same values);
+- all candidate sets of all requests are evaluated at once by
+  :func:`~repro.jacobi.apples.evaluate_strip_batch`, whose kernels
+  replicate the scalar planner's float semantics operation-for-operation
+  and *surrender* (flag for scalar planning) any row they cannot certify;
+- the Coordinator's prune-and-choose sweep is replayed per request with
+  the precomputed objectives, reproducing the incumbent/pruning sequence
+  and the winner's identity exactly;
+- the winning schedule is materialised by the scalar planner, and its
+  objective is checked against the batched prediction — a divergence
+  raises instead of answering wrong.
+
+With the fast path disabled (``REPRO_NO_FASTPATH=1``) the service
+degenerates to a plain sequential loop of solo ``schedule()`` calls — the
+oracle the differential test harness compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.coordinator import (
+    _PRUNE_RELATIVE_EPS,
+    AppLeSAgent,
+    PruningStats,
+)
+from repro.core.resources import ResourcePool
+from repro.core.selector import ResourceSelector
+import numpy as np
+
+from repro.jacobi.apples import (
+    JacobiPlanner,
+    PreferencePlanner,
+    evaluate_strip_batch,
+    make_jacobi_agent,
+    member_masks_over,
+)
+from repro.nws.service import NetworkWeatherService
+from repro.service.requests import DecisionRequest, ServiceAnswer
+from repro.sim.testbeds import Testbed
+from repro.util import perf
+
+__all__ = ["SchedulingService"]
+
+
+class SchedulingService:
+    """Answer batches of scheduling requests over one testbed + NWS.
+
+    Parameters
+    ----------
+    testbed:
+        The shared metacomputer.
+    nws:
+        The shared Network Weather Service (``None`` = agents plan from
+        nominal information, like solo agents built without an NWS).
+    selector:
+        Resource Selector shared by every request's agent (defaults to
+        the exhaustive enumerator, matching solo agents).
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        nws: NetworkWeatherService | None = None,
+        selector: ResourceSelector | None = None,
+    ) -> None:
+        self.testbed = testbed
+        self.nws = nws
+        self.selector = selector
+        # Read once at construction, like AppLeSAgent: a service answers
+        # every batch on the path chosen when it was built.
+        self._fast = perf.fastpath_enabled()
+
+    # -- public API -------------------------------------------------------
+    def decide(self, requests: Sequence[DecisionRequest]) -> list[ServiceAnswer]:
+        """Answer every request, grouped by decision instant (ascending).
+
+        The shared NWS is advanced monotonically to each distinct ``at``;
+        requests at one instant share one forecast snapshot.  Returns
+        answers in request order.
+        """
+        answers: list[ServiceAnswer | None] = [None] * len(requests)
+        instants = sorted({r.at for r in requests})
+        for at in instants:
+            group = [i for i, r in enumerate(requests) if r.at == at]
+            self._advance(at)
+            if self._fast:
+                self._decide_group(requests, group, at, answers)
+            else:
+                for i in group:
+                    agent = self._agent(requests[i])
+                    answers[i] = ServiceAnswer.from_decision(
+                        agent.schedule(), at=at
+                    )
+        return [a for a in answers if a is not None]
+
+    # -- internals --------------------------------------------------------
+    def _advance(self, at: float) -> None:
+        if self.nws is None:
+            return
+        if at > self.nws.now:
+            self.nws.advance_to(at)
+        elif at < self.nws.now:
+            raise ValueError(
+                f"cannot decide at t={at}: the shared NWS is already at "
+                f"t={self.nws.now}"
+            )
+
+    def _agent(self, request: DecisionRequest) -> AppLeSAgent:
+        return make_jacobi_agent(
+            self.testbed,
+            request.problem,
+            self.nws,
+            userspec=request.userspec,
+            selector=self.selector,
+            account_memory=request.account_memory,
+        )
+
+    @staticmethod
+    def _strip_planner(agent: AppLeSAgent) -> JacobiPlanner | None:
+        """The single active strip planner, when the config is batchable."""
+        if not isinstance(agent.planner, PreferencePlanner):
+            return None
+        active = agent.planner._active_planners(agent.info)
+        if len(active) == 1 and isinstance(active[0], JacobiPlanner):
+            return active[0]
+        return None
+
+    def _decide_group(self, requests, group, at, answers) -> None:
+        """Answer one instant's requests through the batched core."""
+        # One snapshot for the whole instant: every agent's pool wraps the
+        # same topology and NWS, so forecasts read through this snapshot
+        # are the same floats each agent's private snapshot would return.
+        snapshot = ResourcePool(self.testbed.topology, self.nws).snapshot()
+
+        configs: dict = {}  # config_key -> [request indices]
+        for i in group:
+            configs.setdefault(requests[i].config_key(), []).append(i)
+
+        # Phase A: per unique config, build the agent, enumerate candidate
+        # sets (outside the decision, like schedule()), take bounds and
+        # rank-space batch inputs inside a shared-snapshot decision scope.
+        staged = []  # (indices, agent, csets, bounds, planner|None, inputs|None)
+        jobs = []
+        for key, idxs in configs.items():
+            agent = self._agent(requests[idxs[0]])
+            planner = self._strip_planner(agent)
+            batchable = (
+                agent._fast
+                and planner is not None
+                and hasattr(agent.estimator, "objective_from_prediction")
+            )
+            if not batchable:
+                # Sequential answer under the shared snapshot — still one
+                # solo decision, bit-identical by snapshot purity.
+                answer = ServiceAnswer.from_decision(
+                    agent.schedule(snapshot=snapshot), at=at
+                )
+                for i in idxs:
+                    answers[i] = answer
+                continue
+            csets = agent.selector.candidate_sets(agent.info)
+            if not csets:
+                raise RuntimeError(
+                    "Resource Selector produced no candidate sets "
+                    "(User Specification too restrictive?)"
+                )
+            # One membership matrix per request, shared by the bounds
+            # computation and the batched evaluator (pool-name order here,
+            # permuted to locality-rank order below).
+            names = agent.info.pool.machine_names()
+            name_masks = member_masks_over(csets, names)
+            with agent.info.decision_scope(snapshot):
+                bounds = self._bounds(agent, planner, csets, name_masks)
+                inputs = planner.batch_inputs(agent.info)
+            name_index = {m: k for k, m in enumerate(names)}
+            perm = np.array([name_index[m] for m in inputs.rank_names])
+            staged.append((idxs, agent, csets, bounds, planner, inputs))
+            jobs.append((inputs, name_masks[:, perm]))
+
+        # Phase B: one vectorised evaluation over every candidate set of
+        # every staged request, then per-request sweep replays.
+        evaluations = evaluate_strip_batch(jobs)
+        for (idxs, agent, csets, bounds, planner, inputs), ev in zip(
+            staged, evaluations
+        ):
+            with agent.info.decision_scope(snapshot):
+                begin = getattr(agent.planner, "begin_decision", None)
+                end = getattr(agent.planner, "end_decision", None)
+                if begin is not None:
+                    begin(agent.info)
+                try:
+                    answer = self._sweep(agent, csets, bounds, inputs, ev, at)
+                finally:
+                    if end is not None:
+                        end(agent.info)
+            for i in idxs:
+                answers[i] = answer
+
+    @staticmethod
+    def _bounds(agent, planner, csets, name_masks) -> list[float] | None:
+        """``AppLeSAgent._lower_bounds`` with the membership matrix reused.
+
+        For a batchable config the dispatcher has exactly one active
+        family, so its bounds array is the strip planner's own — computed
+        here with the precomputed masks, then mapped through the
+        estimator's objective bound exactly like the Coordinator does.
+        """
+        estimator_bound = getattr(agent.estimator, "objective_lower_bound", None)
+        if estimator_bound is None:
+            return None
+        time_bounds = planner.lower_bounds(csets, agent.info, member_mask=name_masks)
+        if time_bounds is None or len(time_bounds) != len(csets):
+            return None
+        return [
+            estimator_bound(float(tb), rset, agent.info)
+            for tb, rset in zip(time_bounds, csets)
+        ]
+
+    def _sweep(self, agent, csets, bounds, inputs, ev, at) -> ServiceAnswer:
+        """Replay the Coordinator's prune-and-choose loop on batched results.
+
+        Mirrors ``AppLeSAgent._schedule_loop`` decision-for-decision: the
+        same seed candidate, the same incumbent updates (strict minimum,
+        ties to the earlier index), the same pruning predicate with the
+        same epsilon — but objectives come from the batched evaluation
+        instead of per-candidate ``plan()`` calls.  Rows the batched core
+        surrendered (``fallback``) are planned by the scalar planner here,
+        inside the same decision scope.
+        """
+        estimator = agent.estimator
+        info = agent.info
+        rank_names = inputs.rank_names
+        memo: dict[int, float] = {}
+
+        def objective(idx: int) -> float:
+            obj = memo.get(idx)
+            if obj is not None:
+                return obj
+            if ev.fallback[idx]:
+                sched = agent.planner.plan(csets[idx], info)
+                obj = (
+                    float("inf")
+                    if sched is None
+                    else estimator.objective(sched, info)
+                )
+            elif ev.feasible[idx]:
+                kept = [nm for nm, k in zip(rank_names, ev.kept[idx]) if k]
+                obj = estimator.objective_from_prediction(
+                    float(ev.predicted[idx]), kept, info
+                )
+            else:
+                obj = float("inf")  # plan() returned None
+            memo[idx] = obj
+            return obj
+
+        best_obj = float("inf")
+        best_idx = -1
+        pruned = 0
+        seed_idx = -1
+        if bounds is not None and len(csets) > 1:
+            seed_idx = min(range(len(csets)), key=bounds.__getitem__)
+            obj = objective(seed_idx)
+            if obj < float("inf"):
+                best_obj, best_idx = obj, seed_idx
+
+        for idx in range(len(csets)):
+            if idx == seed_idx:
+                continue
+            if bounds is not None:
+                lb = bounds[idx]
+                if best_obj < float("inf") and lb >= best_obj * (
+                    1.0 + _PRUNE_RELATIVE_EPS
+                ):
+                    pruned += 1
+                    continue
+            obj = objective(idx)
+            if obj < best_obj or (obj == best_obj and idx < best_idx):
+                best_obj, best_idx = obj, idx
+
+        if best_idx < 0:
+            raise RuntimeError(
+                f"no feasible schedule across {len(csets)} candidate resource sets"
+            )
+
+        # Materialise the winner with the scalar planner and cross-check:
+        # the service never answers with a number the scalar path would
+        # not have produced.
+        best = agent.planner.plan(csets[best_idx], info)
+        if best is None or estimator.objective(best, info) != best_obj:
+            raise RuntimeError(
+                "batched objective diverged from the scalar planner for "
+                f"candidate {csets[best_idx]!r} — fast-path defect"
+            )
+        return ServiceAnswer(
+            best=best,
+            best_objective=best_obj,
+            metric=info.userspec.performance_metric,
+            pruning=PruningStats(
+                candidates=len(csets),
+                planned=len(csets) - pruned,
+                pruned=pruned,
+                bounded=bounds is not None,
+            ),
+            at=at,
+        )

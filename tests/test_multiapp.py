@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.multiapp_exp import make_injectable, run_multiapp
+from repro.experiments.multiapp_exp import (
+    make_injectable,
+    run_multiapp,
+    run_service_contention,
+)
 from repro.nws.service import NetworkWeatherService
 from repro.sim.load import DynamicCompositeLoad, IntervalLoad
 from repro.sim.testbeds import sdsc_pcl_testbed
@@ -112,3 +116,29 @@ class TestRunMultiapp:
 
     def test_table_renders(self, result):
         assert "MULTI-A5" in result.table().render()
+
+
+class TestServiceContention:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_service_contention(napps=4, n=1000, iterations=60)
+
+    def test_differential_check_passed(self, result):
+        assert result.service_matches_solo
+
+    def test_contention_experienced(self, result):
+        # Every app shares machines with a co-tenant and runs slower than
+        # its contention-blind prediction.
+        assert all(r.shared >= 1 for r in result.rows)
+        assert all(r.actual_s > r.predicted_s for r in result.rows)
+
+    def test_workers_bit_identical(self, result):
+        parallel = run_service_contention(
+            napps=4, n=1000, iterations=60, workers=-1
+        )
+        assert [(r.machines, r.predicted_s, r.actual_s) for r in parallel.rows] == [
+            (r.machines, r.predicted_s, r.actual_s) for r in result.rows
+        ]
+
+    def test_table_renders(self, result):
+        assert "CONTEND" in result.table().render()
