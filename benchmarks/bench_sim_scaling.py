@@ -1,0 +1,159 @@
+"""Simulation-executor throughput vs testbed size.
+
+Every experiment in the reproduction drains through
+:func:`repro.sim.execution.simulate_iterations`; its cost is what bounds
+testbed scale.  This benchmark sweeps :func:`synthetic_metacomputer`
+testbeds of 8/32/64/128 hosts under a border-exchange ring allocation and
+times the vectorised executor (:mod:`repro.sim.execution_fast`) against
+the reference loop, which remains available under ``REPRO_NO_FASTPATH=1``.
+
+Every timing pair also asserts *bit-identity*: the fast executor must
+return the same ``total_time``, ``iteration_times`` and
+``host_busy_time`` float-for-float — the speedup is free only because it
+changes nothing.
+
+Results go to ``benchmarks/results/sim_scaling.txt`` and are merged into
+``benchmarks/results/perf_suite.json`` under ``sim_scaling``.
+
+Set ``SIM_SCALING_QUICK=1`` (or ``PERF_SUITE_QUICK=1``) for the reduced
+CI smoke run; only the full run's speedups are meaningful, and only the
+full run asserts the >=3x fast-path target on the 64-host testbed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.sim.execution import (
+    WorkAssignment,
+    simulate_iterations,
+    simulate_iterations_reference,
+)
+from repro.sim.testbeds import synthetic_metacomputer
+from repro.util import perf
+
+QUICK = any(
+    os.environ.get(var, "").strip().lower() in ("1", "true", "yes")
+    for var in ("SIM_SCALING_QUICK", "PERF_SUITE_QUICK")
+)
+
+SEED = 7
+
+#: (hosts, iterations) sweep points.  Iteration counts shrink as hosts grow
+#: so the reference arm stays affordable; the quick mode trims both.
+SWEEP = [(8, 400), (32, 400), (64, 300), (128, 200)]
+SWEEP_QUICK = [(8, 50), (32, 50), (64, 40)]
+
+
+def _ring_assignments(testbed) -> list[WorkAssignment]:
+    """A border-exchange ring over every host, Jacobi-strip flavoured."""
+    names = testbed.host_names
+    out = []
+    for i, name in enumerate(names):
+        peers = {
+            names[(i + 1) % len(names)]: 100_000.0,
+            names[(i - 1) % len(names)]: 100_000.0,
+        }
+        out.append(
+            WorkAssignment(name, 8.0, peers, footprint_mb=8.0,
+                           overhead_s=0.001)
+        )
+    return out
+
+
+def _run(n_hosts: int, iterations: int, fast: bool):
+    """One timed simulation over a freshly built testbed.
+
+    Rebuilding per run keeps the arms honest: each pays its own load-trace
+    materialisation, the same way an experiment run would.
+    """
+    testbed = synthetic_metacomputer(n_hosts, seed=SEED)
+    assignments = _ring_assignments(testbed)
+    fn = simulate_iterations if fast else simulate_iterations_reference
+    with perf.fastpath(fast):
+        t0 = time.perf_counter()
+        result = fn(testbed.topology, assignments, iterations)
+        elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def bench_sim_scaling(report, merge_json):
+    sweep = SWEEP_QUICK if QUICK else SWEEP
+    repeats = 1 if QUICK else 2
+    rows = []
+    for n_hosts, iterations in sweep:
+        ref_best = fast_best = float("inf")
+        ref_res = fast_res = None
+        for _ in range(repeats):
+            res, dt = _run(n_hosts, iterations, fast=False)
+            ref_best, ref_res = min(ref_best, dt), res
+        for _ in range(repeats):
+            res, dt = _run(n_hosts, iterations, fast=True)
+            fast_best, fast_res = min(fast_best, dt), res
+
+        # Bit-identity: the vectorised executor changes nothing observable.
+        assert fast_res.total_time == ref_res.total_time, n_hosts
+        assert fast_res.iteration_times == ref_res.iteration_times, n_hosts
+        assert fast_res.host_busy_time == ref_res.host_busy_time, n_hosts
+
+        rows.append(
+            {
+                "hosts": n_hosts,
+                "iterations": iterations,
+                "reference_s": ref_best,
+                "fastpath_s": fast_best,
+                "speedup": ref_best / fast_best,
+                "sim_total_time_s": ref_res.total_time,
+                "iters_per_s_fast": iterations / fast_best,
+            }
+        )
+
+    lines = [
+        "Simulation-executor throughput vs testbed size",
+        f"(quick_mode={QUICK}, ring exchange over synthetic_metacomputer,"
+        f" min of {repeats} run(s))",
+        "",
+        f"{'hosts':>6}{'iters':>7}{'ref (s)':>10}{'fast (s)':>10}"
+        f"{'speedup':>9}{'fast it/s':>11}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['hosts']:>6}{r['iterations']:>7}{r['reference_s']:>10.3f}"
+            f"{r['fastpath_s']:>10.3f}{r['speedup']:>8.2f}x"
+            f"{r['iters_per_s_fast']:>11.0f}"
+        )
+    data = {
+        "quick_mode": QUICK,
+        "repeats": repeats,
+        "seed": SEED,
+        "sweep": rows,
+    }
+    report("sim_scaling", "\n".join(lines))
+    merge_json("perf_suite", {"sim_scaling": data})
+
+    # Smoke assertions hold in any mode.
+    for r in rows:
+        assert r["fastpath_s"] > 0 and r["reference_s"] > 0
+    if not QUICK:
+        # The headline acceptance target: >=3x at 64 hosts, measured only
+        # at full scale where timing is stable.
+        hosts_64 = next(r for r in rows if r["hosts"] == 64)
+        assert hosts_64["speedup"] >= 3.0, hosts_64
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv[1:]:
+        os.environ["SIM_SCALING_QUICK"] = "1"
+        QUICK = True
+
+    from conftest import RESULTS_DIR, merge_json_results  # noqa: F401
+
+    def _report(name, text, data=None):
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    bench_sim_scaling(_report, merge_json_results)

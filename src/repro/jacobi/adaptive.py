@@ -155,6 +155,10 @@ class AdaptiveJacobiRunner:
         """Run all iterations, rescheduling when prediction says it pays."""
         self.nws.advance_to(t0)
         schedule = self.agent.schedule().best
+        # Assignments are a pure function of the schedule, so build them once
+        # per schedule rather than once per chunk; the executor re-derives
+        # its tables per call, so successive chunks stay exact.
+        assignments = assignments_from_schedule(schedule)
         t = float(t0)
         done = 0
         result = AdaptiveResult(total_time=0.0, iterations=self.problem.iterations)
@@ -163,7 +167,7 @@ class AdaptiveJacobiRunner:
             chunk = min(self.check_every, self.problem.iterations - done)
             res = simulate_iterations(
                 self.testbed.topology,
-                assignments_from_schedule(schedule),
+                assignments,
                 iterations=chunk,
                 t0=t,
             )
@@ -198,6 +202,7 @@ class AdaptiveJacobiRunner:
                 )
                 t += migration  # pay for the data movement
                 schedule = candidate
+                assignments = assignments_from_schedule(schedule)
 
         result.total_time = t - t0
         return result

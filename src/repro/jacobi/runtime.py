@@ -213,7 +213,10 @@ def simulated_execution(
 
     Runs ``problem.iterations`` barrier steps starting at ``t0`` and
     returns the :class:`~repro.sim.execution.IterationResult` — the
-    "measured" execution time of the Figure 5/6 experiments.
+    "measured" execution time of the Figure 5/6 experiments.  With fast
+    paths on, ``simulate_iterations`` dispatches to the vectorised
+    executor (:mod:`repro.sim.execution_fast`), bit-identical to the
+    reference loop, so the figures are unchanged.
     """
     problem = schedule.metadata.get("problem")
     if not isinstance(problem, JacobiProblem):

@@ -13,12 +13,23 @@ that hardware with an explicit simulation:
   and routed paths,
 - :mod:`repro.sim.contention` — time-sharing slowdown model,
 - :mod:`repro.sim.execution` — epoch-based execution of work allocations,
-- :mod:`repro.sim.testbeds` — canned topologies (Figure 2 and variants).
+- :mod:`repro.sim.execution_fast` — the vectorised (compiled) executor the
+  fast-path gate dispatches to,
+- :mod:`repro.sim.testbeds` — canned topologies (Figure 2 and variants,
+  plus the parameterised :func:`~repro.sim.testbeds.synthetic_metacomputer`
+  for scaling studies).
 """
 
 from repro.sim.contention import availability_from_load, timeshared_slowdown
 from repro.sim.engine import Process, Signal, Simulator
-from repro.sim.execution import IterationResult, WorkAssignment, simulate_iterations
+from repro.sim.execution import (
+    IterationResult,
+    WorkAssignment,
+    simulate_iterations,
+    simulate_iterations_reference,
+    validate_assignments,
+)
+from repro.sim.execution_fast import CompiledExecution
 from repro.sim.host import Host
 from repro.sim.jobs import BackgroundJob, JobWorkload, generate_jobs, make_injectable
 from repro.sim.link import Link, SharedSegment
@@ -32,6 +43,7 @@ from repro.sim.load import (
     MarkovLoad,
     SpikeLoad,
     TraceLoad,
+    epoch_cached,
 )
 from repro.sim.memory import MemoryModel
 from repro.sim.testbeds import (
@@ -40,6 +52,7 @@ from repro.sim.testbeds import (
     nile_testbed,
     sdsc_pcl_testbed,
     sdsc_pcl_with_sp2,
+    synthetic_metacomputer,
 )
 from repro.sim.topology import Topology
 from repro.sim.trace_io import load_trace, record_trace, save_trace
@@ -74,9 +87,14 @@ __all__ = [
     "WorkAssignment",
     "IterationResult",
     "simulate_iterations",
+    "simulate_iterations_reference",
+    "validate_assignments",
+    "CompiledExecution",
+    "epoch_cached",
     "Testbed",
     "sdsc_pcl_testbed",
     "sdsc_pcl_with_sp2",
     "casa_testbed",
     "nile_testbed",
+    "synthetic_metacomputer",
 ]

@@ -197,6 +197,8 @@ class Simulator:
             if until is not None and time > until:
                 self.now = until
                 return self.now
+            if count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
             time, _seq, fn, args = self._pop_next()
             if time < self.now - 1e-12:
                 raise SimulationError("event heap out of order (engine bug)")
@@ -204,20 +206,26 @@ class Simulator:
             fn(*args)
             self.events_processed += 1
             count += 1
-            if count > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
         if until is not None and until > self.now:
             self.now = until
         return self.now
 
-    def run_until_done(self, procs: Iterable[Process], until: Optional[float] = None) -> float:
+    def run_until_done(
+        self,
+        procs: Iterable[Process],
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
         """Run until every process in ``procs`` has finished.
 
-        Raises :class:`SimulationError` if the event queues drain (deadlock)
-        or ``until`` passes while any process is still pending.
+        Raises :class:`SimulationError` if the event queues drain (deadlock),
+        ``until`` passes while any process is still pending, or more than
+        ``max_events`` events fire (a guard against a process stuck in a
+        self-rescheduling loop that never finishes).
         """
         procs = list(procs)
         deadline = until
+        count = 0
         while True:
             pending = [p for p in procs if not p.done]
             if not pending:
@@ -231,10 +239,13 @@ class Simulator:
                 raise SimulationError(
                     f"deadline {deadline} passed with {len(pending)} process(es) pending"
                 )
+            if count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
             time, _seq, fn, args = self._pop_next()
             self.now = time
             fn(*args)
             self.events_processed += 1
+            count += 1
 
     @property
     def pending_events(self) -> int:

@@ -22,10 +22,18 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.sim.topology import Topology
+from repro.sim.topology import RouteError, Topology
+from repro.util import perf
 from repro.util.validation import check_nonnegative, check_positive
 
-__all__ = ["WorkAssignment", "IterationResult", "simulate_iterations", "count_flows"]
+__all__ = [
+    "WorkAssignment",
+    "IterationResult",
+    "simulate_iterations",
+    "simulate_iterations_reference",
+    "validate_assignments",
+    "count_flows",
+]
 
 
 @dataclass
@@ -114,6 +122,44 @@ def count_flows(topology: Topology, assignments: list[WorkAssignment]) -> dict[s
     return dict(flows)
 
 
+def validate_assignments(
+    topology: Topology, assignments: list[WorkAssignment]
+) -> None:
+    """Check an allocation against the topology before simulating it.
+
+    Raises ``ValueError`` naming the offending host when an assignment
+    references a host missing from the topology, and naming the pair when
+    a ``comm_bytes`` peer has no route — instead of the opaque ``KeyError``
+    the execution loop would otherwise surface mid-run.
+    """
+    if not assignments:
+        raise ValueError("need at least one work assignment")
+    names = [wa.host for wa in assignments]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate host in assignments")
+    for wa in assignments:
+        if wa.host not in topology.hosts:
+            raise ValueError(
+                f"assignment names host {wa.host!r} which is not in the "
+                f"topology (hosts: {sorted(topology.hosts)})"
+            )
+        for peer, nbytes in wa.comm_bytes.items():
+            if nbytes <= 0 or peer == wa.host:
+                continue
+            try:
+                topology.route(wa.host, peer)
+            except RouteError:
+                raise ValueError(
+                    f"assignment for host {wa.host!r} names comm peer "
+                    f"{peer!r} with no route in the topology"
+                ) from None
+            except KeyError:
+                raise ValueError(
+                    f"assignment for host {wa.host!r} names comm peer "
+                    f"{peer!r} which is not a node in the topology"
+                ) from None
+
+
 def simulate_iterations(
     topology: Topology,
     assignments: list[WorkAssignment],
@@ -121,6 +167,14 @@ def simulate_iterations(
     t0: float = 0.0,
 ) -> IterationResult:
     """Simulate ``iterations`` barrier-synchronised steps of an allocation.
+
+    With fast paths on (:func:`repro.util.perf.fastpath_enabled`, the
+    default) the allocation is compiled once into struct-of-arrays form
+    and stepped by the vectorised executor
+    (:class:`repro.sim.execution_fast.CompiledExecution`), which is
+    bit-identical to the reference loop; ``REPRO_NO_FASTPATH=1`` restores
+    the reference loop (:func:`simulate_iterations_reference`) as the
+    differential oracle.
 
     Parameters
     ----------
@@ -135,11 +189,28 @@ def simulate_iterations(
         conditions).
     """
     check_positive("iterations", iterations)
-    if not assignments:
-        raise ValueError("need at least one work assignment")
-    names = [wa.host for wa in assignments]
-    if len(set(names)) != len(names):
-        raise ValueError("duplicate host in assignments")
+    validate_assignments(topology, assignments)
+    if perf.fastpath_enabled():
+        from repro.sim.execution_fast import CompiledExecution
+
+        return CompiledExecution(topology, assignments).run(iterations, t0)
+    return simulate_iterations_reference(topology, assignments, iterations, t0)
+
+
+def simulate_iterations_reference(
+    topology: Topology,
+    assignments: list[WorkAssignment],
+    iterations: int,
+    t0: float = 0.0,
+) -> IterationResult:
+    """The straightforward per-iteration × per-host × per-peer loop.
+
+    This is the seed implementation, kept live as the differential oracle
+    the vectorised executor is proven against float-for-float
+    (``tests/test_execution_equivalence.py``).
+    """
+    check_positive("iterations", iterations)
+    validate_assignments(topology, assignments)
     hosts = {wa.host: topology.host(wa.host) for wa in assignments}
     flows = count_flows(topology, assignments)
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.sim.load import ConstantLoad, LoadProcess
 from repro.sim.memory import MemoryModel
 from repro.util.validation import check_nonnegative, check_positive
@@ -117,6 +119,21 @@ class Host:
             f"host {self.name!r}: work integration exceeded {_MAX_EPOCHS} epochs "
             "(availability pinned near zero?)"
         )
+
+    def rate_table(self, n: int, footprint_mb: float = 0.0) -> np.ndarray:
+        """Per-epoch deliverable MFLOP/s for epochs ``[0, n)``.
+
+        Array-export hook for the vectorised executor: element ``k`` is
+        exactly the ``rate`` the :meth:`time_to_compute` loop computes
+        inside epoch ``k`` — the same operations
+        (``speed * availability / slowdown``, in that order) applied
+        elementwise, so the table is bit-identical to scalar queries.
+        Only valid for :func:`~repro.sim.load.epoch_cached` loads.
+        """
+        slowdown = self.memory.slowdown(
+            check_nonnegative("footprint_mb", footprint_mb)
+        )
+        return (self.speed_mflops * self.load.availability_array(n)) / slowdown
 
     def mean_effective_speed(self, t0: float, t1: float, footprint_mb: float = 0.0) -> float:
         """Average deliverable MFLOP/s over ``[t0, t1]``."""

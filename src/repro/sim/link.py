@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.sim.load import ConstantLoad, LoadProcess
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -74,6 +76,19 @@ class Link:
             return float("inf")
         return self.latency_s + nbytes / bw
 
+    def bandwidth_table(self, n: int, flows: int = 1) -> np.ndarray:
+        """Per-epoch deliverable bytes/s for epochs ``[0, n)``.
+
+        Array-export hook for the vectorised executor: element ``k`` is
+        exactly :meth:`deliverable_bandwidth` at any instant inside epoch
+        ``k`` — the scalar expression applied elementwise in the same
+        operation order, so tables are bit-identical to live queries.
+        Only valid for :func:`~repro.sim.load.epoch_cached` loads.
+        """
+        if flows < 1:
+            raise ValueError(f"flows must be >= 1, got {flows}")
+        return self.bandwidth_mbit * MBIT * self.load.availability_array(n) / flows
+
     @property
     def is_shared(self) -> bool:
         """Point-to-point links are not broadcast media."""
@@ -103,6 +118,10 @@ class SharedSegment(Link):
         """Per-flow deliverable bytes/s including MAC overhead."""
         base = super().deliverable_bandwidth(t, flows)
         return base * self.mac_efficiency
+
+    def bandwidth_table(self, n: int, flows: int = 1) -> np.ndarray:
+        """Per-epoch per-flow deliverable bytes/s including MAC overhead."""
+        return super().bandwidth_table(n, flows) * self.mac_efficiency
 
     @property
     def is_shared(self) -> bool:

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.util import perf
 from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive
@@ -32,7 +34,21 @@ __all__ = [
     "SpikeLoad",
     "CompositeLoad",
     "TraceLoad",
+    "epoch_cached",
 ]
+
+
+def epoch_cached(load: "LoadProcess") -> bool:
+    """True if ``load``'s availability is served from the frozen epoch cache.
+
+    Cached processes are deterministic functions of the epoch index, so
+    their values can be materialised in bulk once and indexed forever
+    (:meth:`LoadProcess.availability_array`).  Mutable processes —
+    :class:`IntervalLoad`, :class:`DynamicCompositeLoad`, or any subclass
+    that overrides :meth:`LoadProcess.availability` — must be queried live
+    at the exact instants the reference code would query them.
+    """
+    return type(load).availability is LoadProcess.availability
 
 
 class LoadProcess:
@@ -102,6 +118,20 @@ class LoadProcess:
         k0 = self.epoch_of(t0)
         self._fill_to(k0 + n - 1)
         return self._cache[k0 : k0 + n]
+
+    def availability_array(self, n: int) -> np.ndarray:
+        """Bulk-materialise epochs ``[0, n)`` as a float64 array.
+
+        This is the array-export hook the vectorised executor compiles its
+        capacity and bandwidth tables from.  The values come from the same
+        epoch cache :meth:`availability` serves, so a bulk materialisation
+        and a sequence of scalar queries see bit-identical numbers.  Only
+        meaningful for :func:`epoch_cached` processes — mutable processes
+        do not use the cache and raise from their ``_generate``.
+        """
+        check_positive("n", n)
+        self._fill_to(n - 1)
+        return np.asarray(self._cache[:n], dtype=np.float64)
 
     def _fill_to(self, k: int) -> None:
         cache = self._cache

@@ -34,6 +34,7 @@ __all__ = [
     "sdsc_pcl_with_sp2",
     "casa_testbed",
     "nile_testbed",
+    "synthetic_metacomputer",
     "DEFAULT_EPOCH_S",
 ]
 
@@ -240,6 +241,123 @@ def sdsc_pcl_with_sp2(
         f"calibrated so a 2-node blocked partition spills past n={crossover_n}."
     )
     return tb
+
+
+#: Host-class mix for :func:`synthetic_metacomputer`, cycled in order:
+#: (arch, MFLOP/s, memory MB, OS reserve MB, load kind).  The classes echo
+#: the real testbeds — old shared Sparcs, mid-range RS6000s, well-kept
+#: Alphas, and the occasional dedicated SP-2-class node.
+_SYNTH_CLASSES = [
+    ("sparc", 10.0, 64.0, 8.0, "markov"),
+    ("rs6000", 30.0, 128.0, 12.0, "ar1-mid"),
+    ("alpha", 45.0, 128.0, 12.0, "ar1-high"),
+    ("sp2", 150.0, 256.0, 16.0, "dedicated"),
+]
+
+
+def synthetic_metacomputer(
+    n_hosts: int,
+    n_segments: int | None = None,
+    seed: int = 1996,
+    dt: float = DEFAULT_EPOCH_S,
+    wan_bandwidth_mbit: float = 45.0,
+    lan_bandwidth_mbit: float = 100.0,
+) -> Testbed:
+    """A parameterised large testbed for scaling studies.
+
+    Generates ``n_hosts`` hosts in a repeating mix of classes
+    (:data:`_SYNTH_CLASSES`), distributed round-robin over ``n_segments``
+    shared LAN segments.  Each segment routes through its own gateway and
+    a WAN star to a core gateway, so cross-segment traffic contends on
+    shared wires exactly like the SDSC/PCL testbed — just wider.  All
+    load processes derive from ``seed``, so a testbed is reproducible
+    from ``(n_hosts, n_segments, seed, dt)`` alone.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of hosts to generate.
+    n_segments:
+        Number of shared LAN segments; defaults to roughly one per eight
+        hosts (at least one).
+    seed:
+        Master seed for every load process.
+    dt:
+        Availability-epoch length in seconds.
+    wan_bandwidth_mbit / lan_bandwidth_mbit:
+        Nominal capacities of the gateway WAN links and LAN segments.
+    """
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    if n_segments is None:
+        n_segments = max(1, n_hosts // 8)
+    if not (1 <= n_segments <= n_hosts):
+        raise ValueError(
+            f"n_segments must be in [1, n_hosts], got {n_segments}"
+        )
+    rng = RngStream(seed, "synthetic-load")
+
+    def make_load(kind: str, name: str) -> object:
+        if kind == "dedicated":
+            return ConstantLoad(1.0, dt=dt)
+        if kind == "markov":
+            return MarkovLoad(
+                idle_level=0.9, busy_level=0.3, p_busy=0.12, p_idle=0.25,
+                dt=dt, rng=rng.child(name),
+            )
+        mean = 0.45 if kind == "ar1-mid" else 0.75
+        return AR1Load(mean=mean, phi=0.9, sigma=0.07, dt=dt,
+                       rng=rng.child(name))
+
+    topo = Topology()
+    members: list[list[str]] = [[] for _ in range(n_segments)]
+    for i in range(n_hosts):
+        arch, speed, mem_mb, reserve_mb, kind = _SYNTH_CLASSES[
+            i % len(_SYNTH_CLASSES)
+        ]
+        seg = i % n_segments
+        name = f"{arch}{i}"
+        topo.add_host(Host(
+            name, speed_mflops=speed,
+            memory=MemoryModel(mem_mb, reserve_mb),
+            load=make_load(kind, name),
+            dedicated=kind == "dedicated",
+            site=f"seg{seg}", arch=arch,
+            capabilities=frozenset({"pvm", "kelp"}),
+        ))
+        members[seg].append(name)
+
+    topo.add_node("core-gw")
+    segments: dict[str, list[str]] = {}
+    for seg, seg_members in enumerate(members):
+        lan_name = f"lan{seg}"
+        gw = f"seg{seg}-gw"
+        topo.add_node(gw)
+        lan = SharedSegment(
+            lan_name, bandwidth_mbit=lan_bandwidth_mbit, latency_s=0.0005,
+            load=AR1Load(mean=0.8, phi=0.9, sigma=0.05, dt=dt,
+                         rng=rng.child(lan_name)),
+            mac_efficiency=0.9,
+        )
+        topo.attach_segment(lan, seg_members + [gw])
+        wan = Link(
+            f"wan{seg}", bandwidth_mbit=wan_bandwidth_mbit, latency_s=0.005,
+            load=AR1Load(mean=0.55, phi=0.9, sigma=0.08, dt=dt,
+                         rng=rng.child(f"wan{seg}")),
+        )
+        topo.connect(gw, "core-gw", wan)
+        segments[lan_name] = list(seg_members)
+
+    return Testbed(
+        topology=topo,
+        name=f"synthetic-{n_hosts}x{n_segments}",
+        segments=segments,
+        notes=(
+            f"Synthetic metacomputer: {n_hosts} hosts in a "
+            f"{len(_SYNTH_CLASSES)}-class mix over {n_segments} shared LAN "
+            "segment(s), gateway-routed through a WAN star."
+        ),
+    )
 
 
 def casa_testbed(

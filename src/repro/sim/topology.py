@@ -15,8 +15,11 @@ from __future__ import annotations
 import heapq
 from typing import Iterable
 
+import numpy as np
+
 from repro.sim.host import Host
 from repro.sim.link import Link
+from repro.sim.load import epoch_cached
 from repro.util.validation import check_nonnegative
 
 __all__ = ["Topology", "RouteError"]
@@ -36,6 +39,7 @@ class Topology:
         self._adj: dict[str, list[tuple[str, Link]]] = {}
         self.links: dict[str, Link] = {}
         self._route_cache: dict[tuple[str, str], list[Link]] = {}
+        self._latency_cache: dict[tuple[str, str], float] = {}
 
     # -- construction --------------------------------------------------------
     def add_host(self, host: Host) -> Host:
@@ -69,6 +73,7 @@ class Topology:
         self._adj[a].append((b, link))
         self._adj[b].append((a, link))
         self._route_cache.clear()
+        self._latency_cache.clear()
 
     def attach_segment(self, link: Link, members: Iterable[str]) -> None:
         """Model a broadcast segment as a hub node all members connect to.
@@ -142,8 +147,50 @@ class Topology:
         return path
 
     def path_latency(self, a: str, b: str) -> float:
-        """Sum of link latencies along the route."""
-        return sum(link.latency_s for link in self.route(a, b))
+        """Sum of link latencies along the route.
+
+        Cached per pair (latencies are construction-time constants, so the
+        sum never changes while the topology stands; ``connect`` clears it).
+        """
+        cached = self._latency_cache.get((a, b))
+        if cached is not None:
+            return cached
+        latency = sum(link.latency_s for link in self.route(a, b))
+        self._latency_cache[(a, b)] = latency
+        self._latency_cache[(b, a)] = latency
+        return latency
+
+    def pair_bandwidth_table(
+        self, a: str, b: str, n: int, flows: dict[str, int] | None = None
+    ) -> tuple[np.ndarray, float] | None:
+        """Per-epoch bottleneck bandwidth table for the ``a``→``b`` route.
+
+        Array-export hook for the vectorised executor: stacks every route
+        link's :meth:`~repro.sim.link.Link.bandwidth_table` (at its flow
+        count from ``flows``) and min-reduces across links with NumPy, so
+        element ``k`` is exactly the ``min(...)`` bottleneck the reference
+        executor computes at any instant inside epoch ``k`` (min is exact —
+        no rounding — hence order-free and bit-identical).
+
+        Returns ``(table, dt)`` or ``None`` when the route cannot be
+        compiled to a single epoch grid: no links (local), a mutable
+        (non-:func:`~repro.sim.load.epoch_cached`) link load, or mixed
+        epoch lengths along the route.
+        """
+        links = self.route(a, b)
+        if not links:
+            return None
+        flows = flows or {}
+        if any(not epoch_cached(link.load) for link in links):
+            return None
+        dts = {link.load.dt for link in links}
+        if len(dts) != 1:
+            return None
+        tables = [
+            link.bandwidth_table(n, max(1, flows.get(link.name, 1)))
+            for link in links
+        ]
+        return np.minimum.reduce(tables), dts.pop()
 
     def path_bandwidth(self, a: str, b: str, t: float = 0.0, flows: int = 1) -> float:
         """Bottleneck deliverable bandwidth (bytes/s) along the route at ``t``.

@@ -1,12 +1,14 @@
 """Performance fast-path switches.
 
 The hot paths of the simulator (forecaster ensembles, NWS query caching,
-bulk epoch generation, the engine's zero-delay queue) carry optimised
-implementations alongside the straightforward reference code they replaced.
-This module is the single switch that selects between them:
+bulk epoch generation, the engine's zero-delay queue, the vectorised
+execution core) carry optimised implementations alongside the
+straightforward reference code they replaced.  This module is the single
+switch that selects between them:
 
 - **fast path on** (the default) — incremental window statistics, memoised
-  forecasts, batched RNG draws;
+  forecasts, batched RNG draws, compiled struct-of-arrays execution
+  (:class:`repro.sim.execution_fast.CompiledExecution`);
 - **fast path off** — the naive reference implementations, numerically
   identical to the original seed code.
 

@@ -84,6 +84,39 @@ class TestScheduling:
         with pytest.raises(SimulationError, match="max_events"):
             sim.run(max_events=100)
 
+    def test_max_events_fires_exactly_that_many(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+        assert sim.events_processed == 100
+
+    def test_max_events_allows_exact_budget(self):
+        # A workload of exactly max_events events completes without tripping
+        # the guard.
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(float(i), seen.append, i)
+        assert sim.run(max_events=5) == 4.0
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_run_until_done_max_events_guard(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield 1.0
+
+        proc = sim.process(spinner(), name="spinner")
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until_done([proc], max_events=50)
+        assert sim.events_processed == 50
+
 
 class TestProcesses:
     def test_process_sleeps(self):

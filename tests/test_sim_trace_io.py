@@ -1,0 +1,137 @@
+"""Tests for availability-trace persistence (:mod:`repro.sim.trace_io`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.execution import WorkAssignment, simulate_iterations
+from repro.sim.load import AR1Load, TraceLoad
+from repro.sim.testbeds import sdsc_pcl_testbed
+from repro.sim.trace_io import load_trace, record_trace, save_trace
+from repro.util.rng import RngStream
+
+
+def _ar1(seed: int = 3, dt: float = 5.0) -> AR1Load:
+    return AR1Load(mean=0.6, phi=0.9, sigma=0.08, dt=dt,
+                   rng=RngStream(seed, "trace").generator)
+
+
+class TestRecordTrace:
+    def test_epoch_count_rounds_up(self):
+        load = _ar1(dt=5.0)
+        assert len(record_trace(load, 50.0)) == 10
+        assert len(record_trace(load, 51.0)) == 11
+        assert len(record_trace(load, 1.0)) == 1
+
+    def test_samples_epoch_values(self):
+        load = _ar1(dt=5.0)
+        values = record_trace(load, 50.0)
+        assert values == [load.availability((k + 0.5) * 5.0) for k in range(10)]
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            record_trace(_ar1(), 0.0)
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        load = _ar1(dt=5.0)
+        values = record_trace(load, 200.0)
+        path = tmp_path / "alpha1.json"
+        save_trace(path, values, dt=5.0, name="alpha1")
+        replay = load_trace(path)
+        assert isinstance(replay, TraceLoad)
+        assert replay.dt == 5.0
+        # Bit-exact: JSON float repr round-trips IEEE doubles.
+        assert replay.trace == values
+        for t in (0.0, 2.5, 7.0, 199.9):
+            assert replay.availability(t) == load.availability(t)
+
+    def test_saved_payload_is_plain_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_trace(path, [0.5, 0.75], dt=10.0, name="host")
+        payload = json.loads(path.read_text())
+        assert payload == {"dt": 10.0, "name": "host", "values": [0.5, 0.75]}
+
+
+class TestValidation:
+    def test_save_rejects_empty_trace(self, tmp_path):
+        with pytest.raises(ValueError, match="non-empty"):
+            save_trace(tmp_path / "t.json", [], dt=5.0)
+
+    def test_save_rejects_out_of_range_values(self, tmp_path):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            save_trace(tmp_path / "t.json", [0.5, 1.2], dt=5.0)
+
+    def test_save_rejects_nonpositive_dt(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "t.json", [0.5], dt=0.0)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="not a JSON trace file"):
+            load_trace(path)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"dt": 5.0}))
+        with pytest.raises(ValueError, match="missing dt/values"):
+            load_trace(path)
+
+    def test_load_rejects_wrong_shape(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="missing dt/values"):
+            load_trace(path)
+
+    def test_load_rejects_out_of_range_values(self, tmp_path):
+        path = tmp_path / "range.json"
+        path.write_text(json.dumps({"dt": 5.0, "values": [0.5, 1.5]}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestTraceDrivenExecution:
+    def test_trace_replay_matches_live_run(self, tmp_path):
+        """A run over recorded traces reproduces the live run exactly.
+
+        Records every host and link load of a live testbed, swaps in
+        :class:`TraceLoad` replays, and checks ``simulate_iterations``
+        returns the identical result — the scripted-experiment workflow
+        the module exists for.
+        """
+        iterations = 25
+        horizon = 100_000.0  # comfortably covers the run
+
+        live = sdsc_pcl_testbed(seed=11)
+        replay = sdsc_pcl_testbed(seed=2024)  # loads will all be replaced
+
+        for name, host in live.topology.hosts.items():
+            values = record_trace(host.load, horizon)
+            path = tmp_path / f"host-{name}.json"
+            save_trace(path, values, dt=host.load.dt, name=name)
+            replay.topology.hosts[name].load = load_trace(path)
+        for name, link in live.topology.links.items():
+            values = record_trace(link.load, horizon)
+            path = tmp_path / f"link-{name}.json"
+            save_trace(path, values, dt=link.load.dt, name=name)
+            replay.topology.links[name].load = load_trace(path)
+
+        hosts = sorted(live.topology.hosts)
+
+        def assigns():
+            return [
+                WorkAssignment(
+                    h, 60.0, {hosts[(i + 1) % len(hosts)]: 200_000.0},
+                    footprint_mb=4.0,
+                )
+                for i, h in enumerate(hosts)
+            ]
+
+        live_result = simulate_iterations(live.topology, assigns(), iterations)
+        replay_result = simulate_iterations(replay.topology, assigns(), iterations)
+        assert live_result.total_time <= horizon  # trace never wrapped
+        assert replay_result == live_result
