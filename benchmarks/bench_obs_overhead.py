@@ -1,0 +1,190 @@
+"""Overhead of the repro.obs instrumentation, on and off.
+
+The observability layer promises two things: with tracing *off* (the
+default) the instrumented guards cost a negligible slice of a scheduling
+decision (budget: <=3%), and with tracing *on* the recorded run is
+bit-identical to an untraced one.  This benchmark measures both on the
+scheduling-scaling workload (a full AppLeS decision over an exhaustive
+candidate space).
+
+Disabled-mode overhead cannot be measured by diffing two builds — the
+guards are always compiled in — so it is bounded from above instead:
+microbench the cost of one ``get_tracer()``/``.enabled`` guard, count how
+many instrumentation operations one traced decision performs (spans +
+events + every counter/histogram update), and charge the decision one
+guard per operation.  The count deliberately over-charges (a counter
+bumped by ``inc(n)`` counts ``n`` times), so the reported fraction is an
+upper bound.
+
+Results go to ``benchmarks/results/obs_overhead.txt`` and are merged into
+``benchmarks/results/perf_suite.json`` under ``obs_overhead``.
+
+Set ``OBS_OVERHEAD_QUICK=1`` (or ``PERF_SUITE_QUICK=1``) for the reduced
+CI smoke run.  The <=3% disabled-overhead assertion and the on/off
+bit-identity assertion hold in every mode.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.obs.trace import Tracer, get_tracer, tracing
+from repro.sim.testbeds import nile_testbed, sdsc_pcl_testbed
+from repro.sim.warmcache import clear_warm_cache, warmed_state
+
+QUICK = any(
+    os.environ.get(var, "").strip().lower() in ("1", "true", "yes")
+    for var in ("OBS_OVERHEAD_QUICK", "PERF_SUITE_QUICK")
+)
+
+SEED = 7
+WARMUP_S = 600.0
+
+
+def _workload():
+    """(pool label, testbed builder, problem) for the current mode."""
+    if QUICK:
+        return "sdsc_pcl", sdsc_pcl_testbed, JacobiProblem(n=600, iterations=20)
+    return "nile", nile_testbed, JacobiProblem(n=1000, iterations=50)
+
+
+def _decide(builder, problem, tracer=None):
+    """One timed decision; ``tracer`` non-None runs it traced."""
+    testbed, nws = warmed_state(builder, seed=SEED, warmup_s=WARMUP_S)
+    agent = make_jacobi_agent(testbed, problem, nws=nws)
+    if tracer is None:
+        t0 = time.perf_counter()
+        decision = agent.schedule()
+        elapsed = time.perf_counter() - t0
+    else:
+        with tracing(tracer=tracer):
+            t0 = time.perf_counter()
+            decision = agent.schedule()
+            elapsed = time.perf_counter() - t0
+    return decision, elapsed
+
+
+def _signature(decision):
+    """The observable outcome: chosen machines, allocations, prediction."""
+    return (
+        decision.best_objective,
+        decision.best.predicted_time,
+        tuple((a.machine, a.work_units) for a in decision.best.allocations),
+    )
+
+
+def _guard_cost_s(iterations: int = 200_000) -> float:
+    """Seconds per disabled-instrumentation guard (get_tracer + enabled test)."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        tr = get_tracer()
+        if tr.enabled:  # pragma: no cover - tracing is off here
+            raise AssertionError("benchmark requires tracing off")
+    return (time.perf_counter() - t0) / iterations
+
+
+def _operation_count(tracer: Tracer) -> int:
+    """Upper bound on instrumentation operations recorded by one tracer.
+
+    Spans and events are one operation each; counters are charged their
+    *value* (over-counting bulk ``inc(n)`` updates on purpose) and
+    histograms their observation count.
+    """
+    ops = 0
+    for r in tracer.records():
+        kind = r["kind"]
+        if kind in ("span", "event"):
+            ops += 1
+        elif kind == "metric" and r["metric"] == "counter":
+            ops += int(r["value"])
+        elif kind == "metric" and r["metric"] == "histogram":
+            ops += int(r["count"])
+    return ops
+
+
+def bench_obs_overhead(report, merge_json):
+    label, builder, problem = _workload()
+    repeats = 2 if QUICK else 3
+    clear_warm_cache()
+
+    # Untimed first decisions absorb one-off effects per arm.
+    _decide(builder, problem)
+    off_best = float("inf")
+    off_dec = None
+    for _ in range(repeats):
+        dec, dt = _decide(builder, problem)
+        off_best, off_dec = min(off_best, dt), dec
+
+    _decide(builder, problem, tracer=Tracer())
+    on_best = float("inf")
+    on_dec, on_tracer = None, None
+    for _ in range(repeats):
+        tracer = Tracer()
+        dec, dt = _decide(builder, problem, tracer=tracer)
+        if dt < on_best:
+            on_best = dt
+        on_dec, on_tracer = dec, tracer
+
+    # Tracing must never perturb the decision.
+    assert _signature(off_dec) == _signature(on_dec), "tracing changed the decision"
+
+    guard_s = _guard_cost_s()
+    ops = _operation_count(on_tracer)
+    disabled_overhead = (guard_s * ops) / off_best
+    enabled_overhead = on_best / off_best - 1.0
+
+    lines = [
+        "repro.obs overhead on one scheduling decision",
+        f"(quick_mode={QUICK}, pool={label}, problem n={problem.n} x "
+        f"{problem.iterations} iters, min of {repeats} runs)",
+        "",
+        f"decision, tracing off:   {off_best * 1e3:9.2f} ms",
+        f"decision, tracing on:    {on_best * 1e3:9.2f} ms "
+        f"({enabled_overhead:+.1%})",
+        f"guard cost:              {guard_s * 1e9:9.1f} ns/site",
+        f"instrumentation ops:     {ops:9d} per traced decision",
+        f"disabled overhead bound: {disabled_overhead:9.3%} of a decision "
+        "(budget 3%)",
+    ]
+    data = {
+        "quick_mode": QUICK,
+        "pool": label,
+        "problem": {"n": problem.n, "iterations": problem.iterations},
+        "repeats": repeats,
+        "decision_off_s": off_best,
+        "decision_on_s": on_best,
+        "guard_cost_s": guard_s,
+        "instrumentation_ops": ops,
+        "disabled_overhead_bound": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "decisions_identical": True,
+    }
+    report("obs_overhead", "\n".join(lines), data)
+    merge_json("perf_suite", {"obs_overhead": data})
+
+    # The acceptance budget: even charging one guard per recorded
+    # operation, disabled-mode instrumentation stays within 3% of a
+    # scheduling decision.
+    assert disabled_overhead <= 0.03, (
+        f"disabled-mode overhead bound {disabled_overhead:.3%} exceeds 3%"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv[1:]:
+        os.environ["OBS_OVERHEAD_QUICK"] = "1"
+        QUICK = True
+
+    from conftest import RESULTS_DIR, merge_json_results  # noqa: F401
+
+    def _report(name, text, data=None):
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    bench_obs_overhead(_report, merge_json_results)

@@ -21,13 +21,19 @@ Experiments
 ``metrics``    METRIC-A6: three user metrics, three schedules (§3.1).
 ``decomposition``  ABL-A7: strip vs generalised-block planning (extension).
 ``all``        Everything above, in order.
+``obs-report`` Summarise (or diff) a JSONL trace written by ``--trace``.
+
+Every experiment accepts ``--trace PATH`` (write a ``repro.obs`` trace of
+the run) and ``--quick`` (a reduced preset for smoke tests); both are
+forwarded by ``all`` along with every other shared flag.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from contextlib import nullcontext
+from typing import Any, Callable, Sequence
 
 from repro.experiments import (
     run_adaptive_ablation,
@@ -44,6 +50,8 @@ from repro.experiments import (
     run_selection_ablation,
     run_service_contention,
 )
+from repro.obs.report import read_trace, render_report, trace_diff
+from repro.obs.trace import tracing
 
 __all__ = ["main", "build_parser"]
 
@@ -154,6 +162,42 @@ def _cmd_decomposition(args: argparse.Namespace) -> str:
     return run_decomposition_ablation(n=args.n, seed=args.seed).table().render()
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> str:
+    data = read_trace(args.trace)
+    if args.diff is not None:
+        return trace_diff(data, read_trace(args.diff),
+                          label_a=str(args.trace), label_b=str(args.diff)).render()
+    return render_report(data)
+
+
+# Reduced presets applied by --quick.  Only flags still at their parser
+# default are overridden, so explicit flags always win over the preset.
+_QUICK: dict[str, dict[str, Any]] = {
+    "fig34": {"n": 1000},
+    "fig5": {"sizes": (1000, 1400), "iterations": 10, "repeats": 2},
+    "fig6": {"sizes": (1000, 2000), "iterations": 10},
+    "nile": {"events": 50_000},
+    "nws": {"samples": 150},
+    "info": {"n": 800},
+    "selection": {"n": 800},
+    "adaptive": {"n": 800},
+    "multiapp": {"n": 800},
+    "contention": {"n": 800, "apps": 3},
+    "metrics": {"n": 800},
+    "decomposition": {"n": 800},
+}
+
+
+def _apply_quick(args: argparse.Namespace, name: str,
+                 defaults: argparse.Namespace) -> None:
+    """Overwrite default-valued flags with the quick preset for ``name``."""
+    if not getattr(args, "quick", False):
+        return
+    for key, value in _QUICK.get(name, {}).items():
+        if getattr(args, key, None) == getattr(defaults, key, None):
+            setattr(args, key, value)
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig34": _cmd_fig34,
     "fig5": _cmd_fig5,
@@ -186,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for trial parallelism "
                             "(1 = serial, -1 = all CPUs; results are "
                             "identical for any value)")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a repro.obs JSONL trace of the run to "
+                            "PATH (results are bit-identical with tracing "
+                            "on or off)")
+        p.add_argument("--quick", action="store_true",
+                       help="reduced preset for smoke tests (explicit "
+                            "flags still win)")
         if n_default is not None:
             p.add_argument("--n", type=int, default=n_default,
                            help=f"problem edge length (default {n_default})")
@@ -238,8 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of applications in the batch (default 5)")
 
     p = sub.add_parser("all", help="run every experiment in order")
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes forwarded to every experiment")
+    common(p)
+
+    p = sub.add_parser("obs-report",
+                       help="summarise (or diff) a trace written by --trace")
+    p.add_argument("trace", help="path to a repro.obs JSONL trace")
+    p.add_argument("--diff", metavar="OTHER", default=None,
+                   help="second trace: print a quantity-by-quantity diff "
+                        "instead of a report")
     return parser
 
 
@@ -247,13 +304,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment == "all":
-        for name in _COMMANDS:
-            print(f"\n===== {name} =====")
-            sub_args = parser.parse_args([name, "--workers", str(args.workers)])
-            print(_COMMANDS[name](sub_args))
+    if args.experiment == "obs-report":
+        print(_cmd_obs_report(args))
         return 0
-    print(_COMMANDS[args.experiment](args))
+    trace_path = getattr(args, "trace", None)
+    # One tracer for the whole invocation: `all` merges every experiment
+    # into a single trace, exported when the block exits.
+    with tracing(path=trace_path) if trace_path else nullcontext():
+        if args.experiment == "all":
+            for name in _COMMANDS:
+                # Forward every shared flag the subcommand understands —
+                # generically, so new common() flags never need enumerating
+                # here again.
+                sub_args = parser.parse_args([name])
+                defaults = argparse.Namespace(**vars(sub_args))
+                for key, value in vars(args).items():
+                    if key != "experiment" and hasattr(sub_args, key):
+                        setattr(sub_args, key, value)
+                _apply_quick(sub_args, name, defaults)
+                print(f"\n===== {name} =====")
+                print(_COMMANDS[name](sub_args))
+            return 0
+        _apply_quick(args, args.experiment, parser.parse_args([args.experiment]))
+        print(_COMMANDS[args.experiment](args))
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.core.infopool import InformationPool
 from repro.core.planner import Planner
 from repro.core.schedule import Schedule
 from repro.core.selector import ResourceSelector
+from repro.obs.trace import get_tracer
 from repro.util import perf
 
 __all__ = [
@@ -42,7 +43,25 @@ __all__ = [
     "ScheduleDecision",
     "CandidateEvaluation",
     "PruningStats",
+    "record_pruning_stats",
 ]
+
+
+def record_pruning_stats(metrics: Any, stats: "PruningStats") -> None:
+    """Persist one decision's :class:`PruningStats` into a metrics registry.
+
+    The counters feed the ROADMAP "selector learning" direction: candidate
+    generators need the pruned/planned history that used to vanish after
+    ``ScheduleDecision.explain()``.  Called by the Coordinator and by the
+    scheduling service's sweep replay, so solo and batched decisions land
+    in the same instruments.
+    """
+    metrics.counter("core.decisions").inc()
+    metrics.counter("core.candidates").inc(stats.candidates)
+    metrics.counter("core.planned").inc(stats.planned)
+    metrics.counter("core.pruned").inc(stats.pruned)
+    if stats.bounded:
+        metrics.histogram("core.pruned_fraction").observe(stats.pruned_fraction)
 
 # Prune only when the lower bound beats the incumbent by this relative
 # margin.  Bounds are admissible in exact arithmetic; the margin is far
@@ -286,6 +305,41 @@ class AppLeSAgent:
         candidate_sets: list[tuple[str, ...]],
         bounds: Sequence[float] | None,
     ) -> ScheduleDecision:
+        # Observability (repro.obs): the span/metric calls below only read
+        # decision state, never influence it — tracing on/off is
+        # bit-identical.  When tracing is off they hit the no-op tracer.
+        tracer = get_tracer()
+        traced = tracer.enabled
+        nws = self.info.pool.nws
+        t_dec = float(nws.now) if nws is not None else None
+        with tracer.span(
+            "core.decision",
+            layer="core",
+            t=t_dec,
+            metric=self.info.userspec.performance_metric,
+            candidates=len(candidate_sets),
+            bounded=bounds is not None,
+        ) as span:
+            decision = self._candidate_sweep(
+                candidate_sets, bounds, span if traced else None, t_dec
+            )
+            if traced:
+                stats = decision.pruning
+                span.attrs.update(
+                    best_objective=decision.best_objective,
+                    planned=stats.planned,
+                    pruned=stats.pruned,
+                )
+                record_pruning_stats(tracer.metrics, stats)
+        return decision
+
+    def _candidate_sweep(
+        self,
+        candidate_sets: list[tuple[str, ...]],
+        bounds: Sequence[float] | None,
+        span: Any | None,
+        t_dec: float | None,
+    ) -> ScheduleDecision:
         evaluations: list[CandidateEvaluation] = []
         best: Schedule | None = None
         best_obj = float("inf")
@@ -310,6 +364,9 @@ class AppLeSAgent:
                 seeded[seed_idx] = CandidateEvaluation(rset, sched, obj)
                 if obj < float("inf"):
                     best, best_obj, best_idx = sched, obj, seed_idx
+                    if span is not None:
+                        span.event("core.incumbent", t=t_dec, idx=seed_idx,
+                                   objective=obj, seeded=True)
 
         for idx, rset in enumerate(candidate_sets):
             pre = seeded.get(idx)
@@ -338,6 +395,8 @@ class AppLeSAgent:
             evaluations.append(CandidateEvaluation(rset, sched, obj))
             if obj < best_obj or (obj == best_obj and idx < best_idx):
                 best, best_obj, best_idx = sched, obj, idx
+                if span is not None:
+                    span.event("core.incumbent", t=t_dec, idx=idx, objective=obj)
         if best is None:
             raise RuntimeError(
                 f"no feasible schedule across {len(candidate_sets)} candidate resource sets"

@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.core.distance import set_diameter
 from repro.core.infopool import InformationPool
+from repro.obs.trace import get_tracer
 
 __all__ = ["ResourceSelector"]
 
@@ -90,8 +91,10 @@ class ResourceSelector:
         max_machines = min(max_machines, len(feasible))
 
         if len(feasible) <= self.exhaustive_limit:
+            regime = "exhaustive"
             sets = self._exhaustive(feasible, max_machines)
         else:
+            regime = "greedy"
             sets = self._greedy(feasible, info, max_machines)
 
         coupling = self._coupling_bytes(info)
@@ -99,7 +102,19 @@ class ResourceSelector:
             # Prioritise tight sets; expensive for huge enumerations, so only
             # applied when the candidate list is modest.
             sets.sort(key=lambda s: (set_diameter(info.pool, list(s), coupling), len(s)))
-        return sets[: self.max_sets]
+        sets = sets[: self.max_sets]
+        tracer = get_tracer()
+        if tracer.enabled:
+            nws = info.pool.nws
+            tracer.event(
+                "core.selector.candidates", layer="core",
+                t=float(nws.now) if nws is not None else None,
+                feasible=len(feasible), sets=len(sets), regime=regime,
+            )
+            tracer.metrics.counter("core.selector.calls").inc()
+            tracer.metrics.counter("core.selector.candidate_sets").inc(len(sets))
+            tracer.metrics.counter(f"core.selector.regime.{regime}").inc()
+        return sets
 
     def _coupling_bytes(self, info: InformationPool) -> float:
         comm = info.hat.communication

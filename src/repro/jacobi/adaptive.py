@@ -32,6 +32,7 @@ from repro.jacobi.grid import JacobiProblem
 from repro.jacobi.partition import StripPartition
 from repro.jacobi.runtime import assignments_from_schedule
 from repro.nws.service import NetworkWeatherService
+from repro.obs.trace import get_tracer
 from repro.sim.execution import simulate_iterations
 from repro.sim.testbeds import Testbed
 from repro.util.validation import check_positive
@@ -200,6 +201,16 @@ class AdaptiveJacobiRunner:
                         predicted_gain_s=gain,
                     )
                 )
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "core.reschedule", layer="core", t=t,
+                        after_iteration=done, migration_s=migration,
+                        predicted_gain_s=gain,
+                        old_machines=len(schedule.resource_set),
+                        new_machines=len(candidate.resource_set),
+                    )
+                    tracer.metrics.counter("core.reschedules").inc()
                 t += migration  # pay for the data movement
                 schedule = candidate
                 assignments = assignments_from_schedule(schedule)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.nws.ensemble import AdaptiveEnsemble
 from repro.nws.forecasters import Forecaster, default_forecaster_family
+from repro.obs.trace import get_tracer
 
 __all__ = ["BacktestResult", "evaluate_forecaster", "backtest_family"]
 
@@ -54,13 +55,26 @@ def _score(name: str, preds: list[float], actual: Sequence[float]) -> BacktestRe
     p = np.asarray(preds, dtype=float)
     a = np.asarray(actual, dtype=float)
     err = p - a
-    return BacktestResult(
+    result = BacktestResult(
         name=name,
         mse=float(np.mean(err**2)),
         mae=float(np.mean(np.abs(err))),
         bias=float(np.mean(err)),
         predictions=tuple(preds),
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Per-forecaster error used to exist only inside one experiment;
+        # recording it here makes every backtest observable.
+        tracer.event(
+            "nws.backtest", layer="nws",
+            forecaster=name, rmse=result.rmse, mae=result.mae,
+            bias=result.bias, n=len(preds),
+        )
+        tracer.metrics.counter("nws.backtests").inc()
+        tracer.metrics.gauge(f"nws.rmse.{name}").set(result.rmse)
+        tracer.metrics.histogram("nws.backtest_rmse").observe(result.rmse)
+    return result
 
 
 def evaluate_forecaster(forecaster: Forecaster, trace: Sequence[float]) -> BacktestResult:

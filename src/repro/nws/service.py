@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.nws.ensemble import NOMINAL_FORECAST, Forecast
 from repro.nws.sensors import CpuSensor, LinkSensor
+from repro.obs.trace import get_tracer
 from repro.sim.testbeds import Testbed
 from repro.sim.topology import Topology
 from repro.util import perf
@@ -79,10 +80,18 @@ class NetworkWeatherService:
         check_nonnegative("t", t)
         if t < self.now:
             raise ValueError(f"cannot advance backwards: {t} < {self.now}")
-        for sensor in self.cpu_sensors.values():
-            sensor.advance_to(t)
-        for sensor in self.link_sensors.values():
-            sensor.advance_to(t)
+        tracer = get_tracer()
+        with tracer.span(
+            "nws.advance", layer="nws", t=self.now,
+            sensors=len(self.cpu_sensors) + len(self.link_sensors),
+        ) as span:
+            for sensor in self.cpu_sensors.values():
+                sensor.advance_to(t)
+            for sensor in self.link_sensors.values():
+                sensor.advance_to(t)
+            if tracer.enabled:
+                span.set_end(t)
+                tracer.metrics.counter("nws.advances").inc()
         self.now = t
         self.epoch += 1
         self._cpu_cache.clear()
@@ -99,10 +108,15 @@ class NetworkWeatherService:
         Falls back to a nominal (availability 1.0, infinite-uncertainty-free)
         forecast if the sensor has no data yet.
         """
+        tracer = get_tracer()
         if self._fast:
             cached = self._cpu_cache.get(host)
             if cached is not None:
+                if tracer.enabled:
+                    tracer.metrics.counter("nws.cpu_cache_hits").inc()
                 return cached
+        if tracer.enabled:
+            tracer.metrics.counter("nws.cpu_cache_misses").inc()
         sensor = self._cpu(host)
         if not sensor.ready:
             result = NOMINAL_FORECAST
@@ -129,10 +143,15 @@ class NetworkWeatherService:
 
     def path_bandwidth_forecast(self, a: str, b: str, flows: int = 1) -> float:
         """Predicted bottleneck bytes/s between hosts ``a`` and ``b``."""
+        tracer = get_tracer()
         if self._fast:
             cached = self._path_bw_cache.get((a, b, flows))
             if cached is not None:
+                if tracer.enabled:
+                    tracer.metrics.counter("nws.bandwidth_cache_hits").inc()
                 return cached
+        if tracer.enabled:
+            tracer.metrics.counter("nws.bandwidth_cache_misses").inc()
         links = self.topology.route(a, b)
         if not links:
             result = float("inf")

@@ -1,0 +1,79 @@
+"""``repro.obs`` — structured tracing & metrics across the whole stack.
+
+Scheduling quality is governed by the quality of information about the
+system (the paper's thesis); this subsystem applies the same principle to
+the reproduction itself.  Three modules:
+
+- :mod:`repro.obs.trace` — a thread-safe :class:`Tracer` of nested spans
+  and typed events, keyed to simulated time where one exists, with JSONL
+  export/import and schema validation;
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms;
+- :mod:`repro.obs.report` — summary tables and a trace diff
+  (``python -m repro obs-report``).
+
+Tracing is **off by default**: the active tracer is a no-op singleton
+until ``--trace PATH`` (any experiment subcommand) or
+:func:`tracing` installs a real one, and instrumented layers guard their
+payload construction behind ``tracer.enabled`` — so disabled runs pay
+near-zero overhead and runs with tracing on/off are bit-identical
+(asserted by the equivalence tests and
+``benchmarks/bench_obs_overhead.py``).
+
+Instrumented layers and their span/event prefixes:
+
+=========  =============================================================
+layer      what is recorded
+=========  =============================================================
+core       Coordinator decisions (candidates, pruning, incumbents),
+           selector candidate generation, adaptive reschedules
+service    batch sizes, vectorised vs surrendered rows, scalar configs
+sim        ``simulate_iterations`` runs (fast vs reference dispatch),
+           ``CompiledExecution`` compile stats and live-load fallbacks,
+           engine event counts
+nws        sensor advances, forecast cache hits/misses, per-forecaster
+           backtest error
+runner     per-task spans; worker traces merged deterministically
+=========  =============================================================
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    TraceData,
+    read_trace,
+    render_report,
+    trace_diff,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    load_records,
+    save_records,
+    set_tracer,
+    tracing,
+    validate_records,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceData",
+    "read_trace",
+    "render_report",
+    "trace_diff",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "load_records",
+    "save_records",
+    "set_tracer",
+    "tracing",
+    "validate_records",
+]

@@ -1,0 +1,229 @@
+"""Metrics: counters, gauges and histograms for the observability layer.
+
+GridSim ships statistics recording as a first-class simulation facility;
+this registry plays that role here.  Instrumented layers bump named
+instruments through the active tracer's ``metrics`` attribute::
+
+    tr.metrics.counter("core.pruned").inc(stats.pruned)
+    tr.metrics.gauge("nws.rmse.ensemble").set(result.rmse)
+    tr.metrics.histogram("service.batch_size").observe(len(requests))
+
+Instruments are created on first use and are additive-only observations —
+reading or writing them never perturbs an experiment.  The registry is
+thread-safe; cross-process aggregation goes through
+:meth:`MetricsRegistry.as_records`/:meth:`MetricsRegistry.merge_records`
+(the parallel runner merges each worker's metric records back into the
+parent: counters add, gauges last-write-wins, histograms combine their
+moments).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: cannot add {amount}")
+        self.value += amount
+
+    def as_record(self) -> dict:
+        """The JSONL metric record for this instrument."""
+        return {"kind": "metric", "metric": "counter", "name": self.name,
+                "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins observed value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def as_record(self) -> dict:
+        return {"kind": "metric", "metric": "gauge", "name": self.name,
+                "value": self.value}
+
+
+class Histogram:
+    """Moment-tracking summary of observed values.
+
+    Tracks count, sum, min and max — enough for the report's rate and
+    range columns without retaining every observation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_record(self) -> dict:
+        return {
+            "kind": "metric", "metric": "histogram", "name": self.name,
+            "count": self.count, "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    One instrument name maps to exactly one kind; asking for the same name
+    as a different kind raises (silent aliasing would corrupt reports).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name``."""
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_records(self) -> list[dict]:
+        """Every instrument as a JSONL metric record, sorted by name."""
+        with self._lock:
+            instruments = sorted(self._instruments.values(), key=lambda i: i.name)
+        return [inst.as_record() for inst in instruments]
+
+    def as_dict(self) -> dict[str, dict]:
+        """Name → record mapping (handy for assertions in tests)."""
+        return {r["name"]: r for r in self.as_records()}
+
+    def merge_records(self, records: Sequence[dict]) -> None:
+        """Fold exported metric records (e.g. from a worker) into this registry."""
+        for r in records:
+            kind = r.get("metric")
+            name = r.get("name", "")
+            if kind == "counter":
+                self.counter(name).inc(r.get("value") or 0.0)
+            elif kind == "gauge":
+                if r.get("value") is not None:
+                    self.gauge(name).set(r["value"])
+            elif kind == "histogram":
+                h = self.histogram(name)
+                count = int(r.get("count") or 0)
+                if count > 0:
+                    h.count += count
+                    h.total += float(r.get("total") or 0.0)
+                    if r.get("min") is not None and r["min"] < h.min:
+                        h.min = float(r["min"])
+                    if r.get("max") is not None and r["max"] > h.max:
+                        h.max = float(r["max"])
+            else:
+                raise ValueError(f"not a metric record: {r!r}")
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by the null registry."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every lookup returns the shared no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def as_records(self) -> list[dict]:
+        return []
+
+    def as_dict(self) -> dict[str, dict]:
+        return {}

@@ -1,0 +1,163 @@
+"""Trace reports: summary tables and run-to-run diffs.
+
+The reading half of ``repro.obs``: load a JSONL trace emitted by
+``--trace PATH`` and render what the run did — spans by layer, event
+counts, metric values — or diff two traces to see how a change (a new
+forecaster, a different selector) moved the recorded behaviour.  Exposed
+on the CLI as ``python -m repro obs-report <trace.jsonl> [--diff OTHER]``.
+
+Tables come from :mod:`repro.util.tables`, so reports are aligned,
+diff-friendly plain text like every other artifact in the repository.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.trace import load_records
+from repro.util.tables import Table
+
+__all__ = ["TraceData", "read_trace", "span_table", "event_table",
+           "metric_table", "render_report", "trace_diff"]
+
+
+@dataclass
+class TraceData:
+    """A parsed trace: records split by kind, with derived views."""
+
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def spans(self) -> list[dict]:
+        """All span records, in trace order."""
+        return [r for r in self.records if r["kind"] == "span"]
+
+    @property
+    def events(self) -> list[dict]:
+        """All event records, in trace order."""
+        return [r for r in self.records if r["kind"] == "event"]
+
+    @property
+    def metrics(self) -> dict[str, dict]:
+        """Metric name → record."""
+        return {r["name"]: r for r in self.records if r["kind"] == "metric"}
+
+    @property
+    def layers(self) -> set[str]:
+        """Every non-empty layer tag that appears on a span or event."""
+        return {
+            r["layer"]
+            for r in self.records
+            if r["kind"] in ("span", "event") and r.get("layer")
+        }
+
+    def span_children(self, span_id: int) -> list[dict]:
+        """Direct child spans of ``span_id``."""
+        return [s for s in self.spans if s.get("parent") == span_id]
+
+
+def read_trace(path: str | pathlib.Path) -> TraceData:
+    """Load and validate a JSONL trace from ``path``."""
+    return TraceData(records=load_records(path))
+
+
+def _span_groups(spans: Sequence[dict]) -> dict[tuple[str, str], list[dict]]:
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for s in spans:
+        groups.setdefault((s.get("layer", ""), s["name"]), []).append(s)
+    return groups
+
+
+def span_table(data: TraceData) -> Table:
+    """Spans grouped by (layer, name): count and wall-time totals."""
+    t = Table(["layer", "span", "count", "wall_total_s", "wall_mean_s"],
+              title="Spans")
+    for (layer, name), group in sorted(_span_groups(data.spans).items()):
+        walls = [s["wall_s"] for s in group if s.get("wall_s") is not None]
+        total = float(sum(walls))
+        mean = total / len(walls) if walls else 0.0
+        t.add(layer, name, len(group), total, mean)
+    return t
+
+
+def event_table(data: TraceData) -> Table:
+    """Events grouped by (layer, name): occurrence counts."""
+    counts: dict[tuple[str, str], int] = {}
+    for e in data.events:
+        key = (e.get("layer", ""), e["name"])
+        counts[key] = counts.get(key, 0) + 1
+    t = Table(["layer", "event", "count"], title="Events")
+    for (layer, name), n in sorted(counts.items()):
+        t.add(layer, name, n)
+    return t
+
+
+def _metric_value(record: dict) -> float | None:
+    if record["metric"] == "histogram":
+        return record.get("count")
+    return record.get("value")
+
+
+def metric_table(data: TraceData) -> Table:
+    """Every metric instrument with its aggregate value(s)."""
+    t = Table(["metric", "kind", "value", "detail"], title="Metrics")
+    for name, r in sorted(data.metrics.items()):
+        if r["metric"] == "histogram":
+            count = r.get("count") or 0
+            mean = (r.get("total") or 0.0) / count if count else 0.0
+            detail = (
+                f"mean={mean:.4g} min={r.get('min')} max={r.get('max')}"
+                if count else "empty"
+            )
+            t.add(name, "histogram", count, detail)
+        else:
+            t.add(name, r["metric"], r.get("value"), "")
+    return t
+
+
+def render_report(data: TraceData) -> str:
+    """The full plain-text report for one trace."""
+    lines = [
+        f"Trace report — {len(data.spans)} spans, {len(data.events)} events, "
+        f"{len(data.metrics)} metrics",
+        f"layers: {', '.join(sorted(data.layers)) or '(none)'}",
+        "",
+        span_table(data).render(),
+        "",
+        event_table(data).render(),
+        "",
+        metric_table(data).render(),
+    ]
+    return "\n".join(lines)
+
+
+def trace_diff(a: TraceData, b: TraceData, label_a: str = "A",
+               label_b: str = "B") -> Table:
+    """Compare two runs: span counts, event counts and metric values.
+
+    One row per observed quantity present in either trace, with both
+    values and the delta — how a change moved the recorded behaviour
+    (more pruning, fewer fallbacks, different forecast error).
+    """
+    def quantities(data: TraceData) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for (layer, name), group in _span_groups(data.spans).items():
+            out[f"span:{layer}:{name}"] = len(group)
+        for e in data.events:
+            key = f"event:{e.get('layer', '')}:{e['name']}"
+            out[key] = out.get(key, 0) + 1
+        for name, r in data.metrics.items():
+            value = _metric_value(r)
+            if value is not None:
+                out[f"metric:{name}"] = value
+        return out
+
+    qa, qb = quantities(a), quantities(b)
+    t = Table(["quantity", label_a, label_b, "delta"],
+              title=f"Trace diff — {label_a} vs {label_b}")
+    for key in sorted(set(qa) | set(qb)):
+        va, vb = qa.get(key, 0.0), qb.get(key, 0.0)
+        t.add(key, va, vb, vb - va)
+    return t

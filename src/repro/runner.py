@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.util.rng import derive_seed
 
 __all__ = ["Task", "ParallelRunner", "resolve_workers", "run_tasks", "derive_seed"]
@@ -78,6 +79,25 @@ def _invoke(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Any:
     return fn(**kwargs)
 
 
+def _invoke_traced(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> tuple[Any, list[dict]]:
+    """Trampoline for traced runs: a fresh tracer per worker invocation.
+
+    The worker's records (spans, events, metric dump — all plain dicts,
+    so they pickle) travel back with the result; the parent folds them
+    into its tracer in task order, so the merged trace is deterministic
+    regardless of which worker ran what.  The task's own result is
+    untouched — tracing on/off stays bit-identical.
+    """
+    worker_tracer = Tracer()
+    previous = get_tracer()
+    set_tracer(worker_tracer)
+    try:
+        result = fn(**kwargs)
+    finally:
+        set_tracer(previous)
+    return result, worker_tracer.records()
+
+
 class ParallelRunner:
     """Execute a task list serially or over a process pool.
 
@@ -124,13 +144,63 @@ class ParallelRunner:
         task builds the same state itself.
         """
         tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) < self.min_parallel_tasks:
-            return [task() for task in tasks]
-        if prime is not None:
-            prime()
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
-            futures = [pool.submit(_invoke, task.fn, dict(task.kwargs)) for task in tasks]
-            return [future.result() for future in futures]
+        tracer = get_tracer()
+        serial = self.workers <= 1 or len(tasks) < self.min_parallel_tasks
+        if not tracer.enabled:
+            if serial:
+                return [task() for task in tasks]
+            if prime is not None:
+                prime()
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+                futures = [pool.submit(_invoke, task.fn, dict(task.kwargs)) for task in tasks]
+                return [future.result() for future in futures]
+        return self._run_traced(tracer, tasks, prime, serial)
+
+    def _run_traced(
+        self,
+        tracer: Tracer,
+        tasks: list[Task],
+        prime: Callable[[], Any] | None,
+        serial: bool,
+    ) -> list[Any]:
+        """Traced twin of :meth:`run`: same execution, plus runner spans.
+
+        Serial tasks run inside the parent's tracer directly; pool tasks
+        run under :func:`_invoke_traced` and their records are absorbed in
+        task order, so the merged trace does not depend on worker timing.
+        """
+        tracer.metrics.counter("runner.batches").inc()
+        tracer.metrics.counter("runner.tasks").inc(len(tasks))
+        with tracer.span(
+            "runner.batch", layer="runner", tasks=len(tasks),
+            workers=1 if serial else min(self.workers, len(tasks)),
+            mode="serial" if serial else "pool",
+        ):
+            if serial:
+                results = []
+                for idx, task in enumerate(tasks):
+                    with tracer.span(
+                        "runner.task", layer="runner", index=idx,
+                        key=str(task.key), fn=getattr(task.fn, "__name__", str(task.fn)),
+                    ):
+                        results.append(task())
+                return results
+            if prime is not None:
+                prime()
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+                futures = [
+                    pool.submit(_invoke_traced, task.fn, dict(task.kwargs)) for task in tasks
+                ]
+                results = []
+                for idx, (task, future) in enumerate(zip(tasks, futures)):
+                    result, records = future.result()
+                    with tracer.span(
+                        "runner.task", layer="runner", index=idx,
+                        key=str(task.key), fn=getattr(task.fn, "__name__", str(task.fn)),
+                    ) as span:
+                        tracer.absorb(records, parent=span.id)
+                    results.append(result)
+                return results
 
     def map(self, fn: Callable[..., Any], kwargs_list: Sequence[Mapping[str, Any]]) -> list[Any]:
         """Shorthand: run ``fn`` once per kwargs mapping, preserving order."""

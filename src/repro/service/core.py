@@ -39,7 +39,9 @@ from repro.core.coordinator import (
     _PRUNE_RELATIVE_EPS,
     AppLeSAgent,
     PruningStats,
+    record_pruning_stats,
 )
+from repro.obs.trace import get_tracer
 from repro.core.resources import ResourcePool
 from repro.core.selector import ResourceSelector
 import numpy as np
@@ -97,17 +99,30 @@ class SchedulingService:
         """
         answers: list[ServiceAnswer | None] = [None] * len(requests)
         instants = sorted({r.at for r in requests})
-        for at in instants:
-            group = [i for i, r in enumerate(requests) if r.at == at]
-            self._advance(at)
-            if self._fast:
-                self._decide_group(requests, group, at, answers)
-            else:
-                for i in group:
-                    agent = self._agent(requests[i])
-                    answers[i] = ServiceAnswer.from_decision(
-                        agent.schedule(), at=at
-                    )
+        tracer = get_tracer()
+        with tracer.span(
+            "service.batch", layer="service",
+            t=instants[0] if instants else None,
+            requests=len(requests), instants=len(instants),
+            mode="batched" if self._fast else "sequential",
+        ) as span:
+            if tracer.enabled:
+                span.set_end(instants[-1] if instants else 0.0)
+                tracer.metrics.counter("service.batches").inc()
+                tracer.metrics.histogram("service.batch_size").observe(
+                    len(requests)
+                )
+            for at in instants:
+                group = [i for i, r in enumerate(requests) if r.at == at]
+                self._advance(at)
+                if self._fast:
+                    self._decide_group(requests, group, at, answers)
+                else:
+                    for i in group:
+                        agent = self._agent(requests[i])
+                        answers[i] = ServiceAnswer.from_decision(
+                            agent.schedule(), at=at
+                        )
         return [a for a in answers if a is not None]
 
     # -- internals --------------------------------------------------------
@@ -169,6 +184,9 @@ class SchedulingService:
             if not batchable:
                 # Sequential answer under the shared snapshot — still one
                 # solo decision, bit-identical by snapshot purity.
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.metrics.counter("service.scalar_configs").inc()
                 answer = ServiceAnswer.from_decision(
                     agent.schedule(snapshot=snapshot), at=at
                 )
@@ -197,6 +215,24 @@ class SchedulingService:
         # Phase B: one vectorised evaluation over every candidate set of
         # every staged request, then per-request sweep replays.
         evaluations = evaluate_strip_batch(jobs)
+        tracer = get_tracer()
+        if tracer.enabled and evaluations:
+            surrendered = sum(
+                int(np.count_nonzero(ev.fallback)) for ev in evaluations
+            )
+            total_rows = sum(len(ev.fallback) for ev in evaluations)
+            tracer.metrics.counter("service.batched_configs").inc(
+                len(evaluations)
+            )
+            tracer.metrics.counter("service.rows_vectorised").inc(
+                total_rows - surrendered
+            )
+            tracer.metrics.counter("service.rows_surrendered").inc(surrendered)
+            tracer.event(
+                "service.evaluate_batch", layer="service", t=at,
+                configs=len(evaluations), rows=total_rows,
+                surrendered=surrendered,
+            )
         for (idxs, agent, csets, bounds, planner, inputs), ev in zip(
             staged, evaluations
         ):
@@ -308,15 +344,26 @@ class SchedulingService:
                 "batched objective diverged from the scalar planner for "
                 f"candidate {csets[best_idx]!r} — fast-path defect"
             )
+        stats = PruningStats(
+            candidates=len(csets),
+            planned=len(csets) - pruned,
+            pruned=pruned,
+            bounded=bounds is not None,
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Batched decisions land in the same instruments as solo ones —
+            # one pruning history regardless of which path answered.
+            record_pruning_stats(tracer.metrics, stats)
+            tracer.event(
+                "service.decision", layer="service", t=at,
+                candidates=stats.candidates, pruned=stats.pruned,
+                best_objective=best_obj,
+            )
         return ServiceAnswer(
             best=best,
             best_objective=best_obj,
             metric=info.userspec.performance_metric,
-            pruning=PruningStats(
-                candidates=len(csets),
-                planned=len(csets) - pruned,
-                pruned=pruned,
-                bounded=bounds is not None,
-            ),
+            pruning=stats,
             at=at,
         )

@@ -23,6 +23,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.trace import get_tracer
 from repro.util import perf
 
 __all__ = ["Simulator", "Process", "Signal", "SimulationError"]
@@ -192,10 +193,12 @@ class Simulator:
         accidental infinite event storms.
         """
         count = 0
+        t_start = self.now
         while self._heap or self._ready:
             time = self._peek_time()
             if until is not None and time > until:
                 self.now = until
+                self._trace_run("run", t_start, count)
                 return self.now
             if count >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
@@ -208,7 +211,19 @@ class Simulator:
             count += 1
         if until is not None and until > self.now:
             self.now = until
+        self._trace_run("run", t_start, count)
         return self.now
+
+    def _trace_run(self, method: str, t_start: float, count: int) -> None:
+        """Emit one engine-run event when tracing is on (pure read)."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                f"sim.engine.{method}", layer="sim", t=self.now,
+                t_start=t_start, events=count, pending=self.pending_events,
+            )
+            tracer.metrics.counter("sim.engine.events").inc(count)
+            tracer.metrics.counter("sim.engine.runs").inc()
 
     def run_until_done(
         self,
@@ -226,9 +241,11 @@ class Simulator:
         procs = list(procs)
         deadline = until
         count = 0
+        t_start = self.now
         while True:
             pending = [p for p in procs if not p.done]
             if not pending:
+                self._trace_run("run_until_done", t_start, count)
                 return self.now
             if not self._heap and not self._ready:
                 raise SimulationError(

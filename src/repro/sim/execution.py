@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.trace import get_tracer
 from repro.sim.topology import RouteError, Topology
 from repro.util import perf
 from repro.util.validation import check_nonnegative, check_positive
@@ -190,11 +191,29 @@ def simulate_iterations(
     """
     check_positive("iterations", iterations)
     validate_assignments(topology, assignments)
-    if perf.fastpath_enabled():
-        from repro.sim.execution_fast import CompiledExecution
+    fast = perf.fastpath_enabled()
+    tracer = get_tracer()
+    with tracer.span(
+        "sim.execute", layer="sim", t=t0,
+        hosts=len(assignments), iterations=int(iterations),
+        mode="fast" if fast else "reference",
+    ) as span:
+        if fast:
+            from repro.sim.execution_fast import CompiledExecution
 
-        return CompiledExecution(topology, assignments).run(iterations, t0)
-    return simulate_iterations_reference(topology, assignments, iterations, t0)
+            result = CompiledExecution(topology, assignments).run(iterations, t0)
+        else:
+            result = simulate_iterations_reference(
+                topology, assignments, iterations, t0
+            )
+        if tracer.enabled:
+            span.set_end(t0 + result.total_time)
+            span.attrs["total_time"] = result.total_time
+            tracer.metrics.counter(
+                "sim.executions.fast" if fast else "sim.executions.reference"
+            ).inc()
+            tracer.metrics.counter("sim.iterations").inc(int(iterations))
+    return result
 
 
 def simulate_iterations_reference(

@@ -54,10 +54,12 @@ the differential oracle.
 from __future__ import annotations
 
 import math
+import time
 from bisect import bisect_left
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
 from repro.sim.execution import (
     IterationResult,
     WorkAssignment,
@@ -287,8 +289,13 @@ class CompiledExecution:
     def __init__(
         self, topology: Topology, assignments: list[WorkAssignment]
     ) -> None:
+        tracer = get_tracer()
+        compile_t0 = time.perf_counter() if tracer.enabled else 0.0
         validate_assignments(topology, assignments)
         flows = count_flows(topology, assignments)
+        live_hosts = 0
+        live_routes = 0
+        tabled_routes = 0
         plans: list[_HostPlan] = []
         for wa in assignments:
             host = topology.host(wa.host)
@@ -298,6 +305,7 @@ class CompiledExecution:
                 )
             else:
                 compute = _LiveCompute(host, wa.footprint_mb)
+                live_hosts += 1
             comm = []
             for peer, nbytes in wa.comm_bytes.items():
                 if nbytes <= 0 or peer == wa.host:
@@ -308,18 +316,34 @@ class CompiledExecution:
                 latency = topology.path_latency(wa.host, peer)
                 pair = _PairTable(topology, wa.host, peer, flows)
                 route: _PairTable | _LiveRoute = pair
-                if not pair.try_compile():
+                if pair.try_compile():
+                    tabled_routes += 1
+                else:
                     route = _LiveRoute(
                         [
                             (link, max(1, flows.get(link.name, 1)))
                             for link in links
                         ]
                     )
+                    live_routes += 1
                 comm.append((nbytes, latency, route))
             plans.append(
                 _HostPlan(wa.host, wa.work_mflop, wa.overhead_s, compute, comm)
             )
         self._plans = plans
+        if tracer.enabled:
+            tracer.event(
+                "sim.compile", layer="sim",
+                hosts=len(plans), live_hosts=live_hosts,
+                tabled_routes=tabled_routes, live_routes=live_routes,
+                wall_s=time.perf_counter() - compile_t0,
+            )
+            tracer.metrics.counter("sim.compiles").inc()
+            tracer.metrics.counter("sim.live_fallback_hosts").inc(live_hosts)
+            tracer.metrics.counter("sim.live_fallback_routes").inc(live_routes)
+            tracer.metrics.histogram("sim.compile_wall_s").observe(
+                time.perf_counter() - compile_t0
+            )
 
     def run(self, iterations: int, t0: float = 0.0) -> IterationResult:
         """Simulate ``iterations`` barrier steps; see ``simulate_iterations``."""

@@ -1,0 +1,122 @@
+"""Accounting tests for AdaptiveJacobiRunner results.
+
+The adaptive ablation reports ``migration_time``, ``chunks`` and the
+:class:`RescheduleEvent` log; these tests pin down that accounting on a
+quiet run (no reschedules) and on a run where rescheduling is forced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro.jacobi.adaptive as adaptive_mod
+from repro.jacobi.adaptive import AdaptiveJacobiRunner, RescheduleEvent
+from repro.jacobi.grid import JacobiProblem
+from repro.nws.service import NetworkWeatherService
+from repro.obs.trace import tracing
+
+
+def make_runner(testbed, iterations=50, check_every=20, **kwargs):
+    nws = NetworkWeatherService.for_testbed(testbed, seed=5)
+    nws.warmup(300.0)
+    problem = JacobiProblem(n=600, iterations=iterations)
+    return AdaptiveJacobiRunner(testbed, problem, nws,
+                                check_every=check_every, **kwargs)
+
+
+def force_reschedules(runner, monkeypatch, migration_s=3.5):
+    """Make every rescheduling check accept.
+
+    The keep-prediction (first ``_remaining_prediction`` call per check)
+    is inflated 100x, so the candidate always clears ``min_gain_fraction``;
+    the migration-cost model is pinned to a known constant so its
+    propagation into the accounting is exactly checkable.
+    """
+    calls = {"n": 0}
+    orig = runner._remaining_prediction
+
+    def fake(schedule, remaining):
+        calls["n"] += 1
+        value = orig(schedule, remaining)
+        return value * 100.0 if calls["n"] % 2 == 1 else value
+
+    monkeypatch.setattr(runner, "_remaining_prediction", fake)
+    monkeypatch.setattr(adaptive_mod, "migration_cost_s",
+                        lambda *a, **k: migration_s)
+
+
+class TestQuietRun:
+    def test_chunks_and_zero_migration(self, testbed):
+        runner = make_runner(testbed, iterations=50, check_every=20)
+        result = runner.run(t0=300.0)
+        assert result.iterations == 50
+        assert result.chunks == math.ceil(50 / 20) == 3
+        assert result.reschedules == []
+        assert result.reschedule_count == 0
+        assert result.migration_time == 0.0
+        assert result.total_time > 0.0
+
+    def test_short_run_single_chunk(self, testbed):
+        runner = make_runner(testbed, iterations=10, check_every=20)
+        result = runner.run(t0=300.0)
+        assert result.chunks == 1
+        assert result.reschedules == []
+
+
+class TestForcedReschedules:
+    def test_event_fields_and_migration_accounting(self, testbed, monkeypatch):
+        runner = make_runner(testbed, iterations=50, check_every=20)
+        force_reschedules(runner, monkeypatch, migration_s=3.5)
+        result = runner.run(t0=300.0)
+
+        # Checks fire after iterations 20 and 40 — never after the last chunk.
+        assert result.chunks == 3
+        assert result.reschedule_count == 2
+        assert result.migration_time == pytest.approx(2 * 3.5)
+
+        machines = set(runner.testbed.topology.hosts)
+        for event, after in zip(result.reschedules, (20, 40)):
+            assert isinstance(event, RescheduleEvent)
+            assert event.after_iteration == after
+            assert event.migration_s == pytest.approx(3.5)
+            assert event.predicted_gain_s > 0.0
+            assert event.time >= 300.0
+            assert set(event.old_machines) <= machines
+            assert set(event.new_machines) <= machines
+        # Events are logged in simulated-time order.
+        times = [e.time for e in result.reschedules]
+        assert times == sorted(times)
+
+    def test_migration_counts_toward_total_time(self, testbed, monkeypatch):
+        quiet = make_runner(testbed, iterations=50, check_every=20)
+        quiet_total = quiet.run(t0=300.0).total_time
+
+        forced = make_runner(testbed, iterations=50, check_every=20)
+        force_reschedules(forced, monkeypatch, migration_s=50.0)
+        result = forced.run(t0=300.0)
+        # Every accepted migration costs 50 s, which must show up both in
+        # the migration accounting and in the run's wall clock (50 s of
+        # pure migration dominates any plan delta at this size).  The
+        # second check may legitimately reject: with only 10 iterations
+        # left even the inflated gain cannot clear a 50 s migration.
+        assert result.reschedule_count >= 1
+        assert result.migration_time == pytest.approx(50.0 * result.reschedule_count)
+        assert result.total_time >= quiet_total + 50.0 * result.reschedule_count - 5.0
+
+    def test_reschedule_event_traced(self, testbed, monkeypatch):
+        runner = make_runner(testbed, iterations=50, check_every=20)
+        force_reschedules(runner, monkeypatch, migration_s=3.5)
+        with tracing() as tr:
+            result = runner.run(t0=300.0)
+        events = [r for r in tr.records()
+                  if r["kind"] == "event" and r["name"] == "core.reschedule"]
+        assert len(events) == result.reschedule_count == 2
+        for ev, logged in zip(events, result.reschedules):
+            assert ev["layer"] == "core"
+            assert ev["clock"] == "sim"
+            assert ev["fields"]["migration_s"] == pytest.approx(logged.migration_s)
+            assert ev["fields"]["after_iteration"] == logged.after_iteration
+        metrics = tr.metrics.as_dict()
+        assert metrics["core.reschedules"]["value"] == 2

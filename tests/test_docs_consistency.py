@@ -55,6 +55,33 @@ class TestExamplesListedInReadme:
             assert example.name in text, f"{example.name} missing from README"
 
 
+class TestObservabilityDocumented:
+    """README/TUTORIAL must document the tracing flags the CLI exposes."""
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md"])
+    def test_docs_mention_trace_flag_and_report(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("--trace", "obs-report", "repro.obs"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    def test_every_experiment_subcommand_accepts_trace_and_quick(self):
+        from repro.cli import _COMMANDS, build_parser
+
+        parser = build_parser()
+        for name in list(_COMMANDS) + ["all"]:
+            args = parser.parse_args([name])
+            assert hasattr(args, "trace"), f"{name} lacks --trace"
+            assert hasattr(args, "quick"), f"{name} lacks --quick"
+
+    def test_obs_report_subcommand_exists(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["obs-report", "some.jsonl"])
+        assert args.experiment == "obs-report"
+        assert args.trace == "some.jsonl"
+        assert args.diff is None
+
+
 class TestModulesReferencedExist:
     @pytest.mark.parametrize("doc", ["DESIGN.md", "docs/PAPER_MAP.md"])
     def test_repro_module_paths_resolve(self, doc):

@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry and the trace report/diff tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.report import (
+    TraceData,
+    event_table,
+    metric_table,
+    read_trace,
+    render_report,
+    span_table,
+    trace_diff,
+)
+from repro.obs.trace import Tracer, save_records
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.counter("x").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot add"):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(7.5)
+        assert reg.gauge("g").value == 7.5
+
+    def test_histogram_moments(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 2.0 and h.max == 6.0
+
+    def test_empty_histogram_record_has_null_range(self):
+        rec = MetricsRegistry().histogram("h").as_record()
+        assert rec["count"] == 0
+        assert rec["min"] is None and rec["max"] is None
+
+    def test_kind_aliasing_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("name")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("name")
+
+    def test_as_records_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.gauge("alpha").set(1)
+        names = [r["name"] for r in reg.as_records()]
+        assert names == sorted(names)
+
+
+class TestMerge:
+    def test_merge_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(5)
+        a.merge_records(b.as_records())
+        assert a.counter("n").value == 7
+
+    def test_merge_histograms_combine(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(9.0)
+        b.histogram("h").observe(5.0)
+        a.merge_records(b.as_records())
+        h = a.histogram("h")
+        assert h.count == 3
+        assert h.total == pytest.approx(15.0)
+        assert h.min == 1.0 and h.max == 9.0
+
+    def test_merge_empty_histogram_is_noop(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(2.0)
+        b.histogram("h")  # created but never observed
+        a.merge_records(b.as_records())
+        assert a.histogram("h").count == 1
+
+    def test_merge_rejects_non_metric(self):
+        with pytest.raises(ValueError, match="not a metric record"):
+            MetricsRegistry().merge_records([{"kind": "span"}])
+
+    def test_null_registry_len_zero(self):
+        null = NullMetricsRegistry()
+        null.counter("a").inc()
+        assert len(null) == 0
+        assert null.as_dict() == {}
+
+
+def sample_trace() -> Tracer:
+    tr = Tracer()
+    with tr.span("core.decision", layer="core", t=0.0) as sp:
+        sp.set_end(3.0)
+        sp.event("core.incumbent", t=1.0, idx=0)
+        with tr.span("sim.execute", layer="sim", t=1.0):
+            pass
+    tr.metrics.counter("core.pruned").inc(10)
+    tr.metrics.gauge("nws.rmse.mean").set(0.2)
+    tr.metrics.histogram("service.batch_size").observe(8)
+    return tr
+
+
+class TestReport:
+    def test_read_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_records(path, sample_trace().records())
+        data = read_trace(path)
+        assert len(data.spans) == 2
+        assert len(data.events) == 1
+        assert set(data.metrics) == {
+            "core.pruned", "nws.rmse.mean", "service.batch_size",
+        }
+        assert data.layers == {"core", "sim"}
+
+    def test_span_children(self):
+        data = TraceData(records=sample_trace().records())
+        root = next(s for s in data.spans if s["name"] == "core.decision")
+        kids = data.span_children(root["id"])
+        assert [k["name"] for k in kids] == ["sim.execute"]
+
+    def test_span_table_groups(self):
+        table = span_table(TraceData(records=sample_trace().records()))
+        text = table.render()
+        assert "core.decision" in text and "sim.execute" in text
+
+    def test_event_table_counts(self):
+        text = event_table(TraceData(records=sample_trace().records())).render()
+        assert "core.incumbent" in text
+
+    def test_metric_table_shows_all_kinds(self):
+        text = metric_table(TraceData(records=sample_trace().records())).render()
+        assert "core.pruned" in text
+        assert "histogram" in text and "gauge" in text
+
+    def test_render_report_mentions_layers(self):
+        report = render_report(TraceData(records=sample_trace().records()))
+        assert "layers: core, sim" in report
+        assert "Spans" in report and "Metrics" in report
+
+
+class TestDiff:
+    def test_diff_reports_deltas(self):
+        a = TraceData(records=sample_trace().records())
+        b_tracer = sample_trace()
+        b_tracer.metrics.counter("core.pruned").inc(5)  # 15 vs 10
+        with b_tracer.span("core.decision", layer="core", t=5.0):
+            pass  # extra span occurrence
+        b = TraceData(records=b_tracer.records())
+        table = trace_diff(a, b, label_a="before", label_b="after")
+        text = table.render()
+        assert "metric:core.pruned" in text
+        rows = {row[0]: row for row in table.rows}
+        assert rows["metric:core.pruned"][1:] == [10, 15, 5]
+        assert rows["span:core:core.decision"][1:] == [1, 2, 1]
+
+    def test_diff_handles_one_sided_quantities(self):
+        a = TraceData(records=sample_trace().records())
+        b = TraceData(records=Tracer().records())
+        rows = {row[0]: row for row in trace_diff(a, b).rows}
+        assert rows["metric:core.pruned"][2] == 0.0
