@@ -25,7 +25,11 @@ Experiments
 
 Every experiment accepts ``--trace PATH`` (write a ``repro.obs`` trace of
 the run) and ``--quick`` (a reduced preset for smoke tests); both are
-forwarded by ``all`` along with every other shared flag.
+forwarded by ``all`` along with every other shared flag.  The
+simulation-backed figure sweeps (``fig5``, ``fig6``) also accept
+``--replicates N``: N independently-seeded replicate worlds executed in
+one ensemble pass (:mod:`repro.sim.execution_ensemble`) and reported as
+mean ± confidence interval per size.
 """
 
 from __future__ import annotations
@@ -39,7 +43,9 @@ from repro.experiments import (
     run_adaptive_ablation,
     run_decomposition_ablation,
     run_fig5,
+    run_fig5_replicated,
     run_fig6,
+    run_fig6_replicated,
     run_fig34,
     run_information_ablation,
     run_metrics_comparison,
@@ -71,6 +77,11 @@ def _cmd_fig34(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> str:
+    if args.replicates > 1:
+        return run_fig5_replicated(
+            sizes=args.sizes, iterations=args.iterations, repeats=args.repeats,
+            seed=args.seed, replicates=args.replicates,
+        ).table().render()
     result = run_fig5(
         sizes=args.sizes, iterations=args.iterations, repeats=args.repeats,
         seed=args.seed, workers=args.workers,
@@ -83,6 +94,11 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
+    if args.replicates > 1:
+        return run_fig6_replicated(
+            sizes=args.sizes, iterations=args.iterations, seed=args.seed,
+            replicates=args.replicates,
+        ).table().render()
     result = run_fig6(sizes=args.sizes, iterations=args.iterations, seed=args.seed,
                       workers=args.workers)
     return result.table().render()
@@ -244,8 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig34", help="Figures 3 & 4: the two partitions")
     common(p, n_default=2000)
 
+    def replicates_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--replicates", type=int, default=1,
+                       help="independently-seeded replicate worlds executed "
+                            "in one ensemble pass; >1 reports mean ± CI "
+                            "per size (default 1: the point-estimate run)")
+
     p = sub.add_parser("fig5", help="Figure 5: execution-time comparison")
     common(p)
+    replicates_flag(p)
     p.add_argument("--sizes", type=_sizes,
                    default=(1000, 1200, 1400, 1600, 1800, 2000),
                    help="comma-separated problem sizes")
@@ -254,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig6", help="Figure 6: memory-aware scheduling")
     common(p)
+    replicates_flag(p)
     p.add_argument("--sizes", type=_sizes,
                    default=(1000, 2000, 3000, 3500, 3700, 3900, 4200, 4600))
     p.add_argument("--iterations", type=int, default=30)
@@ -290,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("all", help="run every experiment in order")
     common(p)
+    replicates_flag(p)  # forwarded to the subcommands that understand it
 
     p = sub.add_parser("obs-report",
                        help="summarise (or diff) a trace written by --trace")

@@ -29,8 +29,22 @@ from repro.experiments.decomposition_exp import (
     run_decomposition_ablation,
 )
 from repro.experiments.fig34 import Fig34Result, run_fig34
-from repro.experiments.fig5 import Fig5Result, Fig5Row, run_fig5
-from repro.experiments.fig6 import Fig6Result, Fig6Row, run_fig6
+from repro.experiments.fig5 import (
+    Fig5ReplicatedResult,
+    Fig5ReplicatedRow,
+    Fig5Result,
+    Fig5Row,
+    run_fig5,
+    run_fig5_replicated,
+)
+from repro.experiments.fig6 import (
+    Fig6ReplicatedResult,
+    Fig6ReplicatedRow,
+    Fig6Result,
+    Fig6Row,
+    run_fig6,
+    run_fig6_replicated,
+)
 from repro.experiments.metrics_exp import MetricsResult, run_metrics_comparison
 from repro.experiments.multiapp_exp import (
     MultiAppResult,
@@ -53,11 +67,17 @@ __all__ = [
     "DecompositionResult",
     "Fig34Result",
     "run_fig5",
+    "run_fig5_replicated",
     "Fig5Row",
     "Fig5Result",
+    "Fig5ReplicatedRow",
+    "Fig5ReplicatedResult",
     "run_fig6",
+    "run_fig6_replicated",
     "Fig6Row",
     "Fig6Result",
+    "Fig6ReplicatedRow",
+    "Fig6ReplicatedResult",
     "run_react",
     "ReactResult",
     "run_nile_skim",

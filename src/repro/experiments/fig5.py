@@ -28,13 +28,24 @@ from repro.jacobi.apples import (
     make_jacobi_agent,
 )
 from repro.jacobi.grid import JacobiProblem
-from repro.jacobi.runtime import simulated_execution
+from repro.jacobi.runtime import assignments_from_schedule, simulated_execution
 from repro.runner import ParallelRunner, Task
+from repro.sim.execution_ensemble import ReplicaSpec, run_ensemble
 from repro.sim.testbeds import sdsc_pcl_testbed
 from repro.sim.warmcache import warmed_state
+from repro.util.rng import derive_seed
+from repro.util.stats import MeanCI, mean_ci
 from repro.util.tables import Table
 
-__all__ = ["Fig5Row", "Fig5Result", "run_fig5", "DEFAULT_SIZES"]
+__all__ = [
+    "Fig5Row",
+    "Fig5Result",
+    "Fig5ReplicatedRow",
+    "Fig5ReplicatedResult",
+    "run_fig5",
+    "run_fig5_replicated",
+    "DEFAULT_SIZES",
+]
 
 DEFAULT_SIZES = (1000, 1200, 1400, 1600, 1800, 2000)
 
@@ -90,6 +101,30 @@ class Fig5Result:
         return (min(ratios), max(ratios))
 
 
+def _fig5_schedules(
+    n: int,
+    start: float,
+    iterations: int,
+    seed: int,
+    warmup_s: float,
+):
+    """Plan the three schedules of one (size, repeat) unit at ``start``.
+
+    Returns ``(topology, [apples, strip, blocked])`` without executing —
+    the seam the replicated runner uses to batch executions.
+    """
+    testbed, nws = warmed_state(
+        sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s, at=start
+    )
+    problem = JacobiProblem(n=n, iterations=iterations)
+    agent = make_jacobi_agent(testbed, problem, nws)
+    apples_sched = agent.schedule().best
+    info = agent.info
+    strip_sched = StaticStripPlanner(problem).plan(testbed.host_names, info)
+    blocked_sched = BlockedPlanner(problem).plan(testbed.host_names, info)
+    return testbed.topology, [apples_sched, strip_sched, blocked_sched]
+
+
 def _fig5_trial(
     n: int,
     start: float,
@@ -103,21 +138,11 @@ def _fig5_trial(
     function of its arguments — the warm-state cache only skips replaying
     sensor history the trial would otherwise regenerate identically.
     """
-    testbed, nws = warmed_state(
-        sdsc_pcl_testbed, seed=seed, warmup_s=warmup_s, at=start
-    )
-    problem = JacobiProblem(n=n, iterations=iterations)
-    agent = make_jacobi_agent(testbed, problem, nws)
-    apples_sched = agent.schedule().best
-    info = agent.info
-    strip_sched = StaticStripPlanner(problem).plan(testbed.host_names, info)
-    blocked_sched = BlockedPlanner(problem).plan(testbed.host_names, info)
+    topology, schedules = _fig5_schedules(n, start, iterations, seed, warmup_s)
     # Back-to-back under the same starting conditions.
-    topology = testbed.topology
-    return (
-        simulated_execution(topology, apples_sched, start).total_time,
-        simulated_execution(topology, strip_sched, start).total_time,
-        simulated_execution(topology, blocked_sched, start).total_time,
+    return tuple(
+        simulated_execution(topology, sched, start).total_time
+        for sched in schedules
     )
 
 
@@ -184,6 +209,119 @@ def run_fig5(
                 apples_s=sums["apples"] / repeats,
                 strip_s=sums["strip"] / repeats,
                 blocked_s=sums["blocked"] / repeats,
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class Fig5ReplicatedRow:
+    """Per-size means with confidence intervals across replicates."""
+
+    n: int
+    apples: MeanCI
+    strip: MeanCI
+    blocked: MeanCI
+
+
+@dataclass
+class Fig5ReplicatedResult:
+    """Figure 5 across independently-seeded replicate worlds."""
+
+    rows: list[Fig5ReplicatedRow] = field(default_factory=list)
+    per_replicate: list[Fig5Result] = field(default_factory=list)
+    iterations: int = 0
+    repeats: int = 0
+    replicates: int = 0
+
+    def table(self) -> Table:
+        t = Table(
+            ["n", "AppLeS_s", "Strip_s", "Blocked_s"],
+            title=(
+                "Figure 5 — Jacobi2D execution times, mean ± 95% CI "
+                f"({self.replicates} replicates x {self.repeats} repeats, "
+                f"{self.iterations} iterations)"
+            ),
+        )
+        for r in self.rows:
+            t.add(r.n, str(r.apples), str(r.strip), str(r.blocked))
+        return t
+
+
+def run_fig5_replicated(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    iterations: int = 60,
+    repeats: int = 3,
+    seed: int = 1996,
+    warmup_s: float = 600.0,
+    gap_s: float = 400.0,
+    replicates: int = 2,
+) -> Fig5ReplicatedResult:
+    """Figure 5 with Monte-Carlo confidence intervals over replicate worlds.
+
+    Replicate 0 is exactly the :func:`run_fig5` world (same seed); every
+    further replicate re-runs the whole protocol under the derived seed
+    ``(seed, "fig5-replicate", j)``.  Schedules are still planned serially
+    per replicate (planning consumes warmed sensor state), but **all**
+    ``replicates × sizes × repeats × 3`` executions are batched into one
+    :func:`~repro.sim.execution_ensemble.run_ensemble` pass — each
+    replica's time is bit-identical to the serial run under its seed.
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    seeds = [
+        seed if j == 0 else derive_seed(seed, "fig5-replicate", j)
+        for j in range(replicates)
+    ]
+    specs: list[ReplicaSpec] = []
+    for rep_seed in seeds:
+        for i, n in enumerate(sizes):
+            for rep in range(repeats):
+                start = warmup_s + (i * repeats + rep) * gap_s
+                topology, schedules = _fig5_schedules(
+                    n, start, iterations, rep_seed, warmup_s
+                )
+                for sched in schedules:
+                    specs.append(
+                        ReplicaSpec(
+                            topology,
+                            assignments_from_schedule(sched),
+                            t0=start,
+                        )
+                    )
+    timings = run_ensemble(specs, iterations=iterations)
+
+    per_replicate: list[Fig5Result] = []
+    idx = 0
+    for _ in seeds:
+        rep_result = Fig5Result(iterations=iterations, repeats=repeats)
+        for n in sizes:
+            sums = [0.0, 0.0, 0.0]
+            for _rep in range(repeats):
+                for s in range(3):
+                    sums[s] += timings[idx].total_time
+                    idx += 1
+            rep_result.rows.append(
+                Fig5Row(
+                    n=n,
+                    apples_s=sums[0] / repeats,
+                    strip_s=sums[1] / repeats,
+                    blocked_s=sums[2] / repeats,
+                )
+            )
+        per_replicate.append(rep_result)
+
+    result = Fig5ReplicatedResult(
+        per_replicate=per_replicate,
+        iterations=iterations, repeats=repeats, replicates=replicates,
+    )
+    for i, n in enumerate(sizes):
+        result.rows.append(
+            Fig5ReplicatedRow(
+                n=n,
+                apples=mean_ci([r.rows[i].apples_s for r in per_replicate]),
+                strip=mean_ci([r.rows[i].strip_s for r in per_replicate]),
+                blocked=mean_ci([r.rows[i].blocked_s for r in per_replicate]),
             )
         )
     return result

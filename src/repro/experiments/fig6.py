@@ -22,13 +22,24 @@ from dataclasses import dataclass, field
 
 from repro.jacobi.apples import BlockedPlanner, make_jacobi_agent
 from repro.jacobi.grid import JacobiProblem
-from repro.jacobi.runtime import simulated_execution
+from repro.jacobi.runtime import assignments_from_schedule, simulated_execution
 from repro.runner import ParallelRunner, Task
+from repro.sim.execution_ensemble import ReplicaSpec, run_ensemble
 from repro.sim.testbeds import sdsc_pcl_with_sp2
 from repro.sim.warmcache import warmed_state
+from repro.util.rng import derive_seed
+from repro.util.stats import MeanCI, mean_ci
 from repro.util.tables import Table
 
-__all__ = ["Fig6Row", "Fig6Result", "run_fig6", "DEFAULT_SIZES_FIG6"]
+__all__ = [
+    "Fig6Row",
+    "Fig6Result",
+    "Fig6ReplicatedRow",
+    "Fig6ReplicatedResult",
+    "run_fig6",
+    "run_fig6_replicated",
+    "DEFAULT_SIZES_FIG6",
+]
 
 DEFAULT_SIZES_FIG6 = (1000, 2000, 3000, 3500, 3700, 3900, 4200, 4600)
 
@@ -78,16 +89,17 @@ class Fig6Result:
         return t
 
 
-def _fig6_trial(
+def _fig6_schedules(
     n: int,
     iterations: int,
     seed: int,
     crossover_n: int,
     warmup_s: float,
-) -> tuple[float, float, tuple[str, ...], bool]:
-    """One problem size on the SP-2-augmented testbed.
+):
+    """Plan one problem size's pair of schedules without executing.
 
-    Returns ``(apples_s, blocked_sp2_s, apples_machines, blocked_spills)``.
+    Returns ``(topology, apples_sched, blocked_sched, blocked_spills)`` —
+    the seam the replicated runner uses to batch executions.
     """
     testbed, nws = warmed_state(
         sdsc_pcl_with_sp2,
@@ -101,16 +113,37 @@ def _fig6_trial(
     problem = JacobiProblem(n=n, iterations=iterations)
     agent = make_jacobi_agent(testbed, problem, nws)
     apples_sched = agent.schedule().best
-    apples = simulated_execution(testbed.topology, apples_sched, warmup_s)
-
     blocked_sched = BlockedPlanner(problem).plan(sp2_pair, agent.info)
-    blocked = simulated_execution(testbed.topology, blocked_sched, warmup_s)
     per_node_mb = problem.footprint_mb(problem.total_points / 2)
+    return (
+        testbed.topology,
+        apples_sched,
+        blocked_sched,
+        per_node_mb > sp2_capacity_mb,
+    )
+
+
+def _fig6_trial(
+    n: int,
+    iterations: int,
+    seed: int,
+    crossover_n: int,
+    warmup_s: float,
+) -> tuple[float, float, tuple[str, ...], bool]:
+    """One problem size on the SP-2-augmented testbed.
+
+    Returns ``(apples_s, blocked_sp2_s, apples_machines, blocked_spills)``.
+    """
+    topology, apples_sched, blocked_sched, spills = _fig6_schedules(
+        n, iterations, seed, crossover_n, warmup_s
+    )
+    apples = simulated_execution(topology, apples_sched, warmup_s)
+    blocked = simulated_execution(topology, blocked_sched, warmup_s)
     return (
         apples.total_time,
         blocked.total_time,
         tuple(apples_sched.resource_set),
-        per_node_mb > sp2_capacity_mb,
+        spills,
     )
 
 
@@ -149,6 +182,107 @@ def run_fig6(
                 blocked_sp2_s=blocked_s,
                 apples_machines=machines,
                 blocked_spills=spills,
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class Fig6ReplicatedRow:
+    """Per-size means with confidence intervals across replicates."""
+
+    n: int
+    apples: MeanCI
+    blocked_sp2: MeanCI
+    sp2_only_fraction: float
+    blocked_spills: bool
+
+
+@dataclass
+class Fig6ReplicatedResult:
+    """Figure 6 across independently-seeded replicate worlds."""
+
+    rows: list[Fig6ReplicatedRow] = field(default_factory=list)
+    crossover_n: int = 3700
+    iterations: int = 0
+    replicates: int = 0
+
+    def table(self) -> Table:
+        t = Table(
+            ["n", "AppLeS_s", "Blocked(SP2)_s", "sp2-only", "blocked spills"],
+            title=(
+                "Figure 6 — Jacobi2D with memory accounted, mean ± 95% CI "
+                f"({self.replicates} replicates, crossover n="
+                f"{self.crossover_n}, {self.iterations} iterations)"
+            ),
+        )
+        for r in self.rows:
+            t.add(
+                r.n, str(r.apples), str(r.blocked_sp2),
+                f"{r.sp2_only_fraction:.0%}", r.blocked_spills,
+            )
+        return t
+
+
+def run_fig6_replicated(
+    sizes: tuple[int, ...] = DEFAULT_SIZES_FIG6,
+    iterations: int = 30,
+    seed: int = 1996,
+    crossover_n: int = 3700,
+    warmup_s: float = 600.0,
+    replicates: int = 2,
+) -> Fig6ReplicatedResult:
+    """Figure 6 with Monte-Carlo confidence intervals over replicate worlds.
+
+    Replicate 0 uses ``seed`` itself; further replicates derive
+    ``(seed, "fig6-replicate", j)``.  Planning stays serial per replicate,
+    but all ``replicates × sizes × 2`` executions run in one
+    :func:`~repro.sim.execution_ensemble.run_ensemble` pass.
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    seeds = [
+        seed if j == 0 else derive_seed(seed, "fig6-replicate", j)
+        for j in range(replicates)
+    ]
+    specs: list[ReplicaSpec] = []
+    machine_sets: list[tuple[str, ...]] = []
+    spill_flags: list[bool] = []
+    for rep_seed in seeds:
+        for n in sizes:
+            topology, apples_sched, blocked_sched, spills = _fig6_schedules(
+                n, iterations, rep_seed, crossover_n, warmup_s
+            )
+            machine_sets.append(tuple(apples_sched.resource_set))
+            spill_flags.append(spills)
+            for sched in (apples_sched, blocked_sched):
+                specs.append(
+                    ReplicaSpec(
+                        topology,
+                        assignments_from_schedule(sched),
+                        t0=warmup_s,
+                    )
+                )
+    timings = run_ensemble(specs, iterations=iterations)
+
+    result = Fig6ReplicatedResult(
+        crossover_n=crossover_n, iterations=iterations, replicates=replicates,
+    )
+    for i, n in enumerate(sizes):
+        apples_times, blocked_times, sp2_only = [], [], 0
+        for j in range(replicates):
+            trial = j * len(sizes) + i
+            apples_times.append(timings[2 * trial].total_time)
+            blocked_times.append(timings[2 * trial + 1].total_time)
+            if all(m.startswith("sp2") for m in machine_sets[trial]):
+                sp2_only += 1
+        result.rows.append(
+            Fig6ReplicatedRow(
+                n=n,
+                apples=mean_ci(apples_times),
+                blocked_sp2=mean_ci(blocked_times),
+                sp2_only_fraction=sp2_only / replicates,
+                blocked_spills=spill_flags[i],
             )
         )
     return result

@@ -17,6 +17,11 @@ to the framework when its structure is simple:
 """
 
 from repro.montecarlo.apples import MonteCarloActuator, make_montecarlo_agent
+from repro.montecarlo.ensemble import (
+    AcceptanceEnsemble,
+    AcceptanceReplica,
+    run_acceptance_ensemble,
+)
 from repro.montecarlo.problem import MonteCarloProblem, montecarlo_hat
 from repro.montecarlo.simulation import (
     AcceptanceResult,
@@ -28,7 +33,10 @@ __all__ = [
     "MonteCarloProblem",
     "montecarlo_hat",
     "AcceptanceResult",
+    "AcceptanceEnsemble",
+    "AcceptanceReplica",
     "run_acceptance_batch",
+    "run_acceptance_ensemble",
     "true_acceptance",
     "MonteCarloActuator",
     "make_montecarlo_agent",

@@ -1,0 +1,160 @@
+"""Monte-Carlo acceptance sweeps over ensembles of metacomputers.
+
+The single-agent run of :mod:`repro.montecarlo.apples` answers "what does
+*this* metacomputer deliver"; the physicists of §2.1 also need the
+distribution — how the acceptance estimate and its turnaround time vary
+across plausible testbeds and load draws.  This module throws the same
+acceptance problem at ``n_replicas`` independently-seeded synthetic
+metacomputers and executes every replica's charge in **one**
+:func:`~repro.sim.execution_ensemble.run_ensemble` pass.
+
+Replica ``j`` depends only on ``(seed, j)`` — its testbed comes from the
+:func:`~repro.util.rng.derive_seed` spawn key ``(seed, "mc-ensemble", j)``
+and its generation sub-streams from the problem seed and ``j`` — so
+computing any partition of the replica indices and concatenating the
+records reproduces the single-pass sweep exactly (the batch-split
+invariance the tests assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.montecarlo.problem import MonteCarloProblem
+from repro.montecarlo.simulation import AcceptanceResult, run_acceptance_batch
+from repro.sim.execution import WorkAssignment
+from repro.sim.execution_ensemble import ReplicaSpec, run_ensemble
+from repro.sim.testbeds import synthetic_metacomputer
+from repro.util.rng import derive_seed
+from repro.util.stats import MeanCI, mean_ci
+from repro.util.tables import Table
+from repro.util.validation import check_positive
+
+__all__ = [
+    "AcceptanceReplica",
+    "AcceptanceEnsemble",
+    "run_acceptance_ensemble",
+]
+
+
+@dataclass(frozen=True)
+class AcceptanceReplica:
+    """One replica's physics + timing record."""
+
+    index: int
+    result: AcceptanceResult
+    elapsed_s: float
+    shares: dict[str, int]
+
+
+@dataclass(frozen=True)
+class AcceptanceEnsemble:
+    """The sweep's records plus the summary rows the tables consume."""
+
+    problem: MonteCarloProblem
+    replicas: list[AcceptanceReplica]
+    acceptance_ci: MeanCI
+    elapsed_ci: MeanCI
+
+    def table(self) -> Table:
+        t = Table(
+            ["replica", "acceptance", "stderr", "elapsed_s"],
+            title=(
+                f"MC acceptance ensemble "
+                f"({self.problem.samples} samples x {len(self.replicas)} replicas)"
+            ),
+        )
+        for rep in self.replicas:
+            t.add(
+                rep.index,
+                f"{rep.result.acceptance:.4f}",
+                f"{rep.result.stderr():.4f}",
+                f"{rep.elapsed_s:.1f}",
+            )
+        t.add(
+            "mean",
+            f"{self.acceptance_ci.mean:.4f} ± {self.acceptance_ci.half_width:.4f}",
+            "",
+            f"{self.elapsed_ci.mean:.1f} ± {self.elapsed_ci.half_width:.1f}",
+        )
+        return t
+
+
+def _replica_shares(testbed, samples: int) -> dict[str, int]:
+    """Deterministic speed-proportional split of ``samples`` across hosts."""
+    hosts = [testbed.topology.host(name) for name in testbed.host_names]
+    total_speed = sum(h.speed_mflops for h in hosts)
+    shares: dict[str, int] = {}
+    remaining = samples
+    for h in hosts[:-1]:
+        count = int(samples * h.speed_mflops / total_speed)
+        shares[h.name] = count
+        remaining -= count
+    shares[hosts[-1].name] = remaining
+    return {name: c for name, c in shares.items() if c > 0}
+
+
+def run_acceptance_ensemble(
+    problem: MonteCarloProblem,
+    n_replicas: int,
+    seed: int = 1996,
+    n_hosts: int = 8,
+    indices: Sequence[int] | None = None,
+    level: float = 0.95,
+) -> AcceptanceEnsemble:
+    """Estimate acceptance on ``n_replicas`` independent metacomputers.
+
+    Each replica builds its own :func:`synthetic_metacomputer`, splits the
+    samples speed-proportionally, runs the physics on per-replica
+    sub-streams, and charges the simulated compute; all charges execute in
+    a single ensemble pass.  Pass ``indices`` to compute a subset of the
+    replica axis (partition runs concatenate to the full sweep exactly).
+    """
+    check_positive("n_replicas", n_replicas)
+    if indices is None:
+        indices = range(int(n_replicas))
+    replica_shares: list[dict[str, int]] = []
+    specs: list[ReplicaSpec] = []
+    for j in indices:
+        testbed = synthetic_metacomputer(
+            n_hosts, seed=derive_seed(seed, "mc-ensemble", int(j))
+        )
+        shares = _replica_shares(testbed, problem.samples)
+        replica_shares.append(shares)
+        specs.append(
+            ReplicaSpec(
+                testbed.topology,
+                [
+                    WorkAssignment(
+                        host=name, work_mflop=count * problem.flop_per_sample
+                    )
+                    for name, count in shares.items()
+                ],
+                label=f"mc-{j}",
+            )
+        )
+    timings = run_ensemble(specs, iterations=1)
+
+    replicas = []
+    for j, shares, timing in zip(indices, replica_shares, timings):
+        merged = AcceptanceResult(0, 0)
+        mc_seed = derive_seed(problem.seed, "mc-replicate", int(j))
+        for idx, (_machine, count) in enumerate(sorted(shares.items())):
+            merged = merged.merge(
+                run_acceptance_batch(count, mc_seed, share_index=idx)
+            )
+        replicas.append(
+            AcceptanceReplica(
+                index=int(j), result=merged,
+                elapsed_s=timing.total_time, shares=shares,
+            )
+        )
+    return AcceptanceEnsemble(
+        problem=problem,
+        replicas=replicas,
+        acceptance_ci=mean_ci(
+            [r.result.acceptance for r in replicas], level=level
+        ),
+        elapsed_ci=mean_ci([r.elapsed_s for r in replicas], level=level),
+    )

@@ -15,6 +15,8 @@ that hardware with an explicit simulation:
 - :mod:`repro.sim.execution` — epoch-based execution of work allocations,
 - :mod:`repro.sim.execution_fast` — the vectorised (compiled) executor the
   fast-path gate dispatches to,
+- :mod:`repro.sim.execution_ensemble` — the ensemble tensor backend that
+  batches many replicas into one struct-of-arrays pass,
 - :mod:`repro.sim.testbeds` — canned topologies (Figure 2 and variants,
   plus the parameterised :func:`~repro.sim.testbeds.synthetic_metacomputer`
   for scaling studies).
@@ -28,6 +30,14 @@ from repro.sim.execution import (
     simulate_iterations,
     simulate_iterations_reference,
     validate_assignments,
+)
+from repro.sim.execution_ensemble import (
+    EnsembleExecution,
+    ReplicaSpec,
+    ensemble_summary,
+    replicated,
+    ring_assignments,
+    run_ensemble,
 )
 from repro.sim.execution_fast import CompiledExecution
 from repro.sim.host import Host
@@ -90,6 +100,12 @@ __all__ = [
     "simulate_iterations_reference",
     "validate_assignments",
     "CompiledExecution",
+    "EnsembleExecution",
+    "ReplicaSpec",
+    "run_ensemble",
+    "replicated",
+    "ring_assignments",
+    "ensemble_summary",
     "epoch_cached",
     "Testbed",
     "sdsc_pcl_testbed",

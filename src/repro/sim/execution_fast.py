@@ -57,8 +57,6 @@ import math
 import time
 from bisect import bisect_left
 
-import numpy as np
-
 from repro.obs.trace import get_tracer
 from repro.sim.execution import (
     IterationResult,
@@ -104,11 +102,12 @@ class _TableCompute:
     def _materialise(self, n_target: int) -> None:
         """Grow the rate/prefix tables to at least ``n_target`` epochs."""
         n_new = max(_GROW_MIN, n_target, 2 * self.n)
-        rates = self.host.rate_table(n_new, self.footprint_mb)
+        # The prefix holds approximate full-epoch capacities; it is used
+        # only to bracket the completion epoch, never to produce a result
+        # float.
+        rates, prefix = self.host.capacity_prefix(n_new, self.footprint_mb)
         self.rates = rates.tolist()
-        # Approximate full-epoch capacities; used only to bracket the
-        # completion epoch, never to produce a result float.
-        self.prefix = np.cumsum(rates * self.dt).tolist()
+        self.prefix = prefix.tolist()
         self.n = n_new
 
     def _presize(self, k0: int, work: float) -> None:

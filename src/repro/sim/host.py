@@ -67,6 +67,10 @@ class Host:
         if not self.name:
             raise ValueError("host name must be non-empty")
         self.capabilities = frozenset(self.capabilities)
+        # Grown rate/prefix table exports, keyed by footprint (valid only
+        # for epoch-cached loads, which are append-only — see
+        # :meth:`capacity_prefix`).
+        self._tables: dict[float, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- instantaneous quantities -----------------------------------------
     def availability(self, t: float) -> float:
@@ -134,6 +138,37 @@ class Host:
             check_nonnegative("footprint_mb", footprint_mb)
         )
         return (self.speed_mflops * self.load.availability_array(n)) / slowdown
+
+    def capacity_prefix(
+        self, n: int, footprint_mb: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rate table plus cumulative-capacity prefix for epochs ``[0, n)``.
+
+        Array-export hook shared by the vectorised executors: the first
+        array is :meth:`rate_table`; the second is the running sum of
+        ``rate * dt`` — the MFLOP deliverable through the *end* of each
+        epoch.  A work integration inverts the prefix with a searchsorted
+        to bracket its completion epoch in one step.  The prefix only ever
+        *brackets* (the exact answer comes from replaying the reference
+        subtraction sequence), so its summation order is uncritical.
+
+        Returns **read-only views** of per-footprint export buffers grown
+        geometrically, so executors that repeatedly deepen their tables
+        pay the elementwise rate computation once per doubling, not per
+        query.  Epoch-cached loads are append-only, which keeps old views
+        valid; rates computed at a larger ``n`` are the same elementwise
+        expression, hence bit-identical prefixes of the longer table.
+        """
+        cached = self._tables.get(footprint_mb)
+        if cached is None or cached[0].shape[0] < n:
+            n_new = max(n, 2 * cached[0].shape[0]) if cached else n
+            rates = self.rate_table(n_new, footprint_mb)
+            prefix = np.cumsum(rates * self.load.dt)
+            rates.setflags(write=False)
+            prefix.setflags(write=False)
+            cached = (rates, prefix)
+            self._tables[footprint_mb] = cached
+        return cached[0][:n], cached[1][:n]
 
     def mean_effective_speed(self, t0: float, t1: float, footprint_mb: float = 0.0) -> float:
         """Average deliverable MFLOP/s over ``[t0, t1]``."""

@@ -56,6 +56,9 @@ class Link:
         check_nonnegative("latency_s", self.latency_s)
         if not self.name:
             raise ValueError("link name must be non-empty")
+        # Grown per-flow bandwidth-table exports (valid only for
+        # epoch-cached loads, which are append-only).
+        self._bw_tables: dict[int, np.ndarray] = {}
 
     def deliverable_bandwidth(self, t: float, flows: int = 1) -> float:
         """Deliverable bytes/s at time ``t`` for one of ``flows`` concurrent flows."""
@@ -84,10 +87,24 @@ class Link:
         ``k`` — the scalar expression applied elementwise in the same
         operation order, so tables are bit-identical to live queries.
         Only valid for :func:`~repro.sim.load.epoch_cached` loads.
+
+        Returns a **read-only view** of a per-flow export buffer grown
+        geometrically: repeated deepening pays the elementwise product
+        once per doubling.  The longer table is the same elementwise
+        expression, hence bit-identical on its prefix.
         """
         if flows < 1:
             raise ValueError(f"flows must be >= 1, got {flows}")
-        return self.bandwidth_mbit * MBIT * self.load.availability_array(n) / flows
+        cached = self._bw_tables.get(flows)
+        if cached is None or cached.shape[0] < n:
+            n_new = max(n, 2 * cached.shape[0]) if cached is not None else n
+            table = (
+                self.bandwidth_mbit * MBIT * self.load.availability_array(n_new) / flows
+            )
+            table.setflags(write=False)
+            cached = table
+            self._bw_tables[flows] = cached
+        return cached[:n]
 
     @property
     def is_shared(self) -> bool:

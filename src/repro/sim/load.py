@@ -62,6 +62,7 @@ class LoadProcess:
     def __init__(self, dt: float = 10.0) -> None:
         self.dt = check_positive("dt", dt)
         self._cache: list[float] = []
+        self._export = np.empty(0)
         self._bulk = perf.fastpath_enabled()
 
     # -- subclass interface ------------------------------------------------
@@ -128,10 +129,19 @@ class LoadProcess:
         and a sequence of scalar queries see bit-identical numbers.  Only
         meaningful for :func:`epoch_cached` processes — mutable processes
         do not use the cache and raise from their ``_generate``.
+
+        Returns a **read-only view** of a persistent export buffer, so a
+        grown executor re-reading a table it already exported pays no
+        list-to-array conversion.  Epoch values are append-only, which is
+        what keeps old views valid.
         """
         check_positive("n", n)
-        self._fill_to(n - 1)
-        return np.asarray(self._cache[:n], dtype=np.float64)
+        if self._export.shape[0] < n:
+            self._fill_to(n - 1)
+            arr = np.asarray(self._cache, dtype=np.float64)
+            arr.setflags(write=False)
+            self._export = arr
+        return self._export[:n]
 
     def _fill_to(self, k: int) -> None:
         cache = self._cache
@@ -140,8 +150,12 @@ class LoadProcess:
             return
         if self._bulk and missing > 1:
             prev = cache[-1] if cache else None
-            for value in self._generate_many(len(cache), missing, prev):
-                cache.append(check_fraction("availability", value))
+            values = self._generate_many(len(cache), missing, prev)
+            arr = np.asarray(values, dtype=np.float64)
+            if not np.all((arr >= 0.0) & (arr <= 1.0)):
+                for value in values:  # re-check scalar-wise for the message
+                    check_fraction("availability", value)
+            cache.extend(arr.tolist())
             return
         while len(cache) <= k:
             prev = cache[-1] if cache else None

@@ -10,8 +10,10 @@ import numpy as np
 
 __all__ = [
     "OnlineStats",
+    "MeanCI",
     "confidence_interval",
     "geometric_mean",
+    "mean_ci",
     "mean_squared_error",
     "mean_absolute_error",
     "summarize",
@@ -106,6 +108,75 @@ def confidence_interval(xs: Sequence[float], level: float = 0.95) -> tuple[float
             z = 1.96
     half = z * float(xs.std(ddof=1)) / math.sqrt(xs.size)
     return (m - half, m + half)
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with its confidence interval, as one reportable row.
+
+    ``lo``/``hi`` bound the mean at ``level`` confidence by ``method``
+    (``"normal"`` or ``"bootstrap"``).  With one sample or zero variance
+    the interval collapses to the mean.
+    """
+
+    mean: float
+    lo: float
+    hi: float
+    n: int
+    level: float
+    method: str
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width (0.0 for a collapsed interval)."""
+        return (self.hi - self.lo) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(
+    xs: Sequence[float],
+    level: float = 0.95,
+    method: str = "normal",
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> MeanCI:
+    """Mean of ``xs`` with a confidence interval.
+
+    ``method="normal"`` uses the normal approximation of
+    :func:`confidence_interval`; ``method="bootstrap"`` draws ``n_boot``
+    seeded resamples (percentile interval), reproducible via the
+    :func:`repro.util.rng.spawn_rng` substream ``(seed,
+    "stats/bootstrap")`` so results are independent of call order.  Either
+    way a
+    single sample or zero variance collapses the interval to the mean,
+    and an empty sample raises ``ValueError``.
+    """
+    vals = [float(x) for x in xs]
+    if not vals:
+        raise ValueError("mean_ci needs at least one sample")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    arr = np.asarray(vals, dtype=float)
+    m = float(arr.mean())
+    n = int(arr.size)
+    if n < 2 or float(arr.std(ddof=1)) == 0.0:
+        return MeanCI(m, m, m, n, level, method)
+    if method == "normal":
+        lo, hi = confidence_interval(vals, level)
+    elif method == "bootstrap":
+        from repro.util.rng import spawn_rng
+
+        rng = spawn_rng(seed, "stats/bootstrap")
+        idx = rng.integers(0, n, size=(int(n_boot), n))
+        means = arr[idx].mean(axis=1)
+        tail = (1.0 - level) / 2.0
+        lo = float(np.quantile(means, tail))
+        hi = float(np.quantile(means, 1.0 - tail))
+    else:
+        raise ValueError(f"unknown mean_ci method {method!r}")
+    return MeanCI(m, float(lo), float(hi), n, level, method)
 
 
 def geometric_mean(xs: Sequence[float]) -> float:

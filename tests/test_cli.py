@@ -34,6 +34,15 @@ class TestParser:
         args = build_parser().parse_args(["react", "--seed", "7"])
         assert args.seed == 7
 
+    def test_replicates_option(self):
+        args = build_parser().parse_args(["fig5", "--replicates", "4"])
+        assert args.replicates == 4
+        args = build_parser().parse_args(["fig6"])
+        assert args.replicates == 1
+        # `all` carries the flag so generic forwarding can hand it down.
+        args = build_parser().parse_args(["all", "--replicates", "2"])
+        assert args.replicates == 2
+
 
 class TestMain:
     def test_fig34_runs(self, capsys):
@@ -48,6 +57,24 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "ratio range" in out
+
+    def test_fig5_replicated(self, capsys):
+        assert main([
+            "fig5", "--sizes", "600", "--iterations", "5", "--repeats", "1",
+            "--replicates", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean ± 95% CI" in out
+        assert "2 replicates" in out
+
+    def test_fig6_replicated(self, capsys):
+        assert main([
+            "fig6", "--sizes", "1000", "--iterations", "5",
+            "--replicates", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean ± 95% CI" in out
+        assert "sp2-only" in out
 
     def test_nile_runs(self, capsys):
         assert main(["nile", "--events", "50000"]) == 0

@@ -233,6 +233,85 @@ class TestAllForwarding:
         assert seen["fig5"].repeats == 9          # explicit wins
         assert seen["fig5"].sizes == (1000, 1400)  # preset fills the rest
 
+    def test_forwards_replicates_to_ensemble_subcommands(self, monkeypatch, capsys):
+        """--replicates rides the generic forwarding, like --trace/--quick."""
+        seen = self.run_all(monkeypatch, ["all", "--replicates", "3"])
+        import repro.cli as cli
+
+        assert set(seen) == set(cli._COMMANDS)
+        # Only the simulation-backed figure sweeps understand the flag.
+        assert seen["fig5"].replicates == 3
+        assert seen["fig6"].replicates == 3
+        for name in set(seen) - {"fig5", "fig6"}:
+            assert not hasattr(seen[name], "replicates"), name
+
+    def test_replicates_default_is_point_estimate(self, monkeypatch, capsys):
+        seen = self.run_all(monkeypatch, ["all"])
+        assert seen["fig5"].replicates == 1
+        assert seen["fig6"].replicates == 1
+
+
+class TestEnsembleObs:
+    """EnsembleExecution instrumentation mirrors CompiledExecution's."""
+
+    def _specs(self, n=3):
+        from repro.sim.execution_ensemble import replicated
+
+        return replicated(n, n_hosts=6, seed=5)
+
+    def test_traced_untraced_bit_identical(self):
+        from repro.sim.execution_ensemble import run_ensemble
+
+        base = run_ensemble(self._specs(), 8)
+        with tracing() as tr:
+            traced = run_ensemble(self._specs(), 8)
+        for a, b in zip(base, traced):
+            assert a.total_time == b.total_time
+            assert a.iteration_times == b.iteration_times
+            assert a.host_busy_time == b.host_busy_time
+        assert any(r["kind"] == "span" and r["name"] == "sim.ensemble.execute"
+                   for r in tr.records())
+
+    def test_compile_event_and_counters(self):
+        from repro.sim.execution_ensemble import run_ensemble
+        from repro.sim.jobs import make_injectable
+        from repro.sim.execution_ensemble import ReplicaSpec, ring_assignments
+        from repro.sim.testbeds import sdsc_pcl_testbed
+
+        testbed = sdsc_pcl_testbed(seed=9)
+        for injector in make_injectable(testbed).values():
+            injector.occupy(5.0, 100.0, 0.5)
+        specs = self._specs(2) + [
+            ReplicaSpec(testbed.topology, ring_assignments(testbed))
+        ]
+        with tracing() as tr:
+            run_ensemble(specs, 5)
+        events = [r for r in tr.records()
+                  if r["kind"] == "event" and r["name"] == "sim.ensemble.compile"]
+        assert len(events) == 1
+        fields = events[0]["fields"]
+        assert fields["replicas"] == 3
+        assert fields["vectorised"] == 2
+        assert fields["surrendered"] == 1
+        assert fields["entries"] > 0
+        metrics = tr.metrics.as_dict()
+        assert metrics["sim.ensemble.compiles"]["value"] == 1
+        assert metrics["sim.ensemble.replicas_vectorised"]["value"] == 2
+        assert metrics["sim.ensemble.replicas_surrendered"]["value"] == 1
+        assert metrics["sim.ensemble.runs"]["value"] == 1
+        assert metrics["sim.ensemble.replica_iterations"]["value"] == 15
+        # The surrendered replica runs through CompiledExecution, whose own
+        # instrumentation must fire under the same tracer.
+        assert metrics["sim.compiles"]["value"] >= 1
+
+    def test_compile_report_without_tracing(self):
+        from repro.sim.execution_ensemble import EnsembleExecution
+
+        ex = EnsembleExecution(self._specs(), 5)
+        assert ex.compile_report["replicas"] == 3
+        assert ex.compile_report["vectorised"] == 3
+        assert ex.compile_report["surrendered"] == 0
+
 
 class TestPruningMetrics:
     """PruningStats wired into the metrics registry (12-machine pool)."""

@@ -14,6 +14,7 @@ from repro.util.stats import (
     confidence_interval,
     geometric_mean,
     mean_absolute_error,
+    mean_ci,
     mean_squared_error,
     summarize,
 )
@@ -79,6 +80,56 @@ class TestConfidenceInterval:
         data = list(range(10))
         lo, hi = confidence_interval(data, 0.5)
         assert lo < np.mean(data) < hi
+
+
+class TestMeanCI:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_single_sample_collapses(self):
+        ci = mean_ci([3.0])
+        assert ci.mean == ci.lo == ci.hi == 3.0
+        assert ci.n == 1
+        assert ci.half_width == 0.0
+
+    def test_zero_variance_collapses(self):
+        ci = mean_ci([2.0, 2.0, 2.0])
+        assert ci.lo == ci.hi == 2.0
+        assert ci.n == 3
+
+    def test_normal_matches_confidence_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ci = mean_ci(data)
+        assert (ci.lo, ci.hi) == confidence_interval(data)
+        assert ci.lo < ci.mean < ci.hi
+        assert ci.method == "normal"
+
+    def test_bootstrap_seeded_reproducible(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0]
+        a = mean_ci(data, method="bootstrap", seed=4)
+        b = mean_ci(data, method="bootstrap", seed=4)
+        assert a == b
+        c = mean_ci(data, method="bootstrap", seed=5)
+        assert (c.lo, c.hi) != (a.lo, a.hi)
+        assert a.lo <= a.mean <= a.hi
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            mean_ci([1.0, 2.0], level=1.5)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            mean_ci([1.0, 2.0], method="jackknife")
+
+    def test_str_renders(self):
+        assert "±" in str(mean_ci([1.0, 2.0, 3.0]))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_property_interval_brackets_mean(self, data):
+        ci = mean_ci(data)
+        assert ci.lo <= ci.mean <= ci.hi
+        assert ci.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-9)
 
 
 class TestGeometricMean:
