@@ -21,6 +21,8 @@ Experiments
 ``metrics``    METRIC-A6: three user metrics, three schedules (§3.1).
 ``decomposition``  ABL-A7: strip vs generalised-block planning (extension).
 ``all``        Everything above, in order.
+``serve``      Always-on sharded scheduling daemon under synthetic load
+               (``--smoke`` runs the short self-checking preset).
 ``obs-report`` Summarise (or diff) a JSONL trace written by ``--trace``.
 
 Every experiment accepts ``--trace PATH`` (write a ``repro.obs`` trace of
@@ -36,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from contextlib import nullcontext
 from typing import Any, Callable, Sequence
 
@@ -178,6 +181,131 @@ def _cmd_decomposition(args: argparse.Namespace) -> str:
     return run_decomposition_ablation(n=args.n, seed=args.seed).table().render()
 
 
+# Pools the daemon can serve, by shard name.  All take a ``seed`` kwarg.
+def _pools() -> dict[str, Callable[..., Any]]:
+    from repro.sim import casa_testbed, nile_testbed, sdsc_pcl_testbed
+
+    return {"sdsc": sdsc_pcl_testbed, "casa": casa_testbed, "nile": nile_testbed}
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Drive the always-on daemon with seeded open-loop traffic, then report.
+
+    With ``--smoke``: a reduced preset that additionally re-derives every
+    answered request's decision through a fresh one-shot
+    ``SchedulingService`` and fails loudly on any mismatch — the CI
+    health check for the daemon path (run it under both gate modes).
+    """
+    from repro.nws import NetworkWeatherService
+    from repro.service import SchedulingDaemon, SchedulingService, ShardSpec
+    from repro.service.daemon import ANSWERED, FAILED
+    from repro.service.loadgen import (
+        SyntheticPopulation,
+        open_loop_events,
+        run_open_loop,
+    )
+
+    pools = _pools()
+    names = [s for s in args.shards.split(",") if s]
+    unknown = [s for s in names if s not in pools]
+    if unknown:
+        raise SystemExit(
+            f"unknown pool(s) {unknown}; available: {sorted(pools)}"
+        )
+    warmup_s = 600.0
+    n_requests = 24 if args.smoke else args.requests
+    speed = 50.0 if args.smoke else args.speed
+    specs = [
+        ShardSpec(name, pools[name], seed=args.seed, warmup_s=warmup_s)
+        for name in names
+    ]
+    population = SyntheticPopulation(
+        names, seed=args.seed + 17, base_at=warmup_s,
+        instant_every=0 if args.smoke else 128,
+    )
+    events = open_loop_events(
+        population, rate_hz=args.rate, n_requests=n_requests
+    )
+    daemon = SchedulingDaemon(
+        specs, queue_capacity=args.queue_capacity,
+        workers=max(1, args.workers),
+    )
+    daemon.start()
+    t0 = time.perf_counter()
+    tickets = run_open_loop(daemon, events, speed=speed)
+    daemon.drain(timeout=600.0)
+    elapsed = time.perf_counter() - t0
+    daemon.shutdown()
+
+    replies = [t.result(0.0) for t in tickets]
+    answered = [r for r in replies if r.status == ANSWERED]
+    failed = [r for r in replies if r.status == FAILED]
+    latencies = sorted(r.latency_s for r in answered)
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return float("nan")
+        return latencies[min(len(latencies) - 1,
+                             int(round(q * (len(latencies) - 1))))] * 1e3
+
+    lines = [
+        f"scheduling daemon: {len(names)} shard(s), "
+        f"{n_requests} requests @ {args.rate:.0f} req/s offered "
+        f"(speed {speed:g}x), workers={max(1, args.workers)}",
+        f"answered {len(answered)}  shed {sum(r.status == 'shed' for r in replies)}"
+        f"  rejected {sum(r.status == 'rejected' for r in replies)}"
+        f"  failed {len(failed)}"
+        f"  in {elapsed:.2f}s ({len(answered) / elapsed:.1f} dec/s)",
+        f"latency p50 {pct(0.50):.1f} ms  p99 {pct(0.99):.1f} ms",
+        "",
+        f"{'shard':>8}{'answered':>10}{'shed':>6}{'batches':>9}{'max batch':>11}",
+    ]
+    for name, row in sorted(daemon.stats().items()):
+        lines.append(
+            f"{name:>8}{row['answered']:>10}{row['shed']:>6}"
+            f"{row['batches']:>9}{row['max_batch']:>11}"
+        )
+
+    if failed:
+        raise SystemExit("daemon reported failed batches:\n" + "\n".join(lines))
+    if args.smoke:
+        if not answered:
+            raise SystemExit("smoke answered nothing:\n" + "\n".join(lines))
+        # Re-derive every answered decision through a fresh one-shot
+        # service on a private world: the daemon must be bit-identical.
+        by_shard: dict[str, list] = {}
+        for ticket in tickets:
+            reply = ticket.result(0.0)
+            if reply.status == ANSWERED:
+                by_shard.setdefault(ticket.shard, []).append((ticket.request, reply))
+        checked = 0
+        for name, pairs in sorted(by_shard.items()):
+            testbed = pools[name](seed=args.seed)
+            nws = NetworkWeatherService.for_testbed(testbed, seed=args.seed + 1)
+            nws.warmup(warmup_s)
+            reference = SchedulingService(testbed, nws).decide(
+                [request for request, _ in pairs]
+            )
+            for (request, reply), ref in zip(pairs, reference):
+                same = (
+                    reply.answer.best_objective == ref.best_objective
+                    and reply.answer.predicted_time == ref.predicted_time
+                    and reply.answer.machines == ref.machines
+                )
+                if not same:
+                    raise SystemExit(
+                        f"daemon answer diverged from SchedulingService on "
+                        f"shard {name!r}: {request!r}"
+                    )
+                checked += 1
+        lines.append("")
+        lines.append(
+            f"smoke: {checked} answers re-derived through a one-shot "
+            "service — bit-identical"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> str:
     data = read_trace(args.trace)
     if args.diff is not None:
@@ -316,6 +444,29 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     replicates_flag(p)  # forwarded to the subcommands that understand it
 
+    p = sub.add_parser(
+        "serve",
+        help="always-on sharded scheduling daemon under synthetic load",
+    )
+    common(p)
+    p.add_argument("--shards", default="sdsc,casa",
+                   help="comma-separated pool names to serve "
+                        "(sdsc, casa, nile; default sdsc,casa)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="open-loop requests to offer (default 200)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="offered arrival rate in requests/sec (default 50)")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="replay compression: 10 plays the arrival plan "
+                        "10x faster (default 1)")
+    p.add_argument("--queue-capacity", type=int, default=256,
+                   dest="queue_capacity",
+                   help="per-shard admission queue bound (default 256)")
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced self-checking run: 24 requests at 50x "
+                        "speed, every answer re-derived through a "
+                        "one-shot SchedulingService (CI health check)")
+
     p = sub.add_parser("obs-report",
                        help="summarise (or diff) a trace written by --trace")
     p.add_argument("trace", help="path to a repro.obs JSONL trace")
@@ -336,6 +487,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     # One tracer for the whole invocation: `all` merges every experiment
     # into a single trace, exported when the block exits.
     with tracing(path=trace_path) if trace_path else nullcontext():
+        if args.experiment == "serve":
+            print(_cmd_serve(args))
+            return 0
         if args.experiment == "all":
             for name in _COMMANDS:
                 # Forward every shared flag the subcommand understands —

@@ -25,7 +25,7 @@ task's stream.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -114,6 +114,15 @@ class ParallelRunner:
         amortise — the Figure 6 quick benchmark *regressed* under
         ``workers=2`` for exactly this reason.  Determinism is unaffected;
         serial and parallel execution are bit-identical by contract.
+    persistent:
+        Keep one process pool alive across :meth:`run` / :meth:`submit`
+        calls instead of spawning and tearing one down per batch.  This
+        is the long-lived-service mode (the scheduling daemon dispatches
+        a micro-batch every few milliseconds; per-batch pool spawn would
+        dwarf the work).  A persistent runner must be :meth:`close`\\ d —
+        or used as a context manager — when its owner shuts down.
+        ``min_parallel_tasks`` does not apply to :meth:`submit`, whose
+        single-task latency is the point.
 
     Examples
     --------
@@ -123,11 +132,79 @@ class ParallelRunner:
     [0, 1, 4, 9]
     """
 
-    def __init__(self, workers: int | None = 1, min_parallel_tasks: int = 4) -> None:
+    def __init__(
+        self,
+        workers: int | None = 1,
+        min_parallel_tasks: int = 4,
+        persistent: bool = False,
+    ) -> None:
         if min_parallel_tasks < 2:
             raise ValueError("min_parallel_tasks must be >= 2")
         self.workers = resolve_workers(workers)
         self.min_parallel_tasks = min_parallel_tasks
+        self.persistent = bool(persistent)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _executor(self, width: int) -> ProcessPoolExecutor:
+        """A pool of ``width`` workers — the shared one when persistent."""
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+        return ProcessPoolExecutor(max_workers=width)
+
+    def close(self) -> None:
+        """Shut the persistent pool down (no-op otherwise; idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def submit(self, task: Task) -> Future:
+        """Dispatch one task asynchronously; returns a future of its result.
+
+        The long-lived-service primitive: a serial runner executes the
+        task inline and returns an already-resolved future, so callers
+        write one code path; a parallel runner submits to the (persistent,
+        when so configured) pool.  Under an enabled tracer, pool tasks run
+        through :func:`_invoke_traced` and their records are absorbed into
+        the parent tracer when the future's result is collected — results
+        stay bit-identical either way.
+        """
+        if self.workers <= 1:
+            future: Future = Future()
+            try:
+                future.set_result(task())
+            except BaseException as exc:  # mirror executor semantics
+                future.set_exception(exc)
+            return future
+        tracer = get_tracer()
+        pool = self._executor(self.workers)
+        if not tracer.enabled:
+            return pool.submit(_invoke, task.fn, dict(task.kwargs))
+        inner = pool.submit(_invoke_traced, task.fn, dict(task.kwargs))
+        outer: Future = Future()
+
+        def _absorb(done: Future) -> None:
+            try:
+                result, records = done.result()
+            except BaseException as exc:
+                outer.set_exception(exc)
+                return
+            with tracer.span(
+                "runner.task", layer="runner",
+                key=str(task.key), fn=getattr(task.fn, "__name__", str(task.fn)),
+            ) as span:
+                tracer.absorb(records, parent=span.id)
+            outer.set_result(result)
+
+        inner.add_done_callback(_absorb)
+        return outer
 
     def run(self, tasks: Iterable[Task], prime: Callable[[], Any] | None = None) -> list[Any]:
         """Run every task; results come back in task order.
@@ -151,9 +228,13 @@ class ParallelRunner:
                 return [task() for task in tasks]
             if prime is not None:
                 prime()
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+            pool = self._executor(min(self.workers, len(tasks)))
+            try:
                 futures = [pool.submit(_invoke, task.fn, dict(task.kwargs)) for task in tasks]
                 return [future.result() for future in futures]
+            finally:
+                if not self.persistent:
+                    pool.shutdown(wait=True)
         return self._run_traced(tracer, tasks, prime, serial)
 
     def _run_traced(
@@ -187,7 +268,8 @@ class ParallelRunner:
                 return results
             if prime is not None:
                 prime()
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+            pool = self._executor(min(self.workers, len(tasks)))
+            try:
                 futures = [
                     pool.submit(_invoke_traced, task.fn, dict(task.kwargs)) for task in tasks
                 ]
@@ -201,6 +283,9 @@ class ParallelRunner:
                         tracer.absorb(records, parent=span.id)
                     results.append(result)
                 return results
+            finally:
+                if not self.persistent:
+                    pool.shutdown(wait=True)
 
     def map(self, fn: Callable[..., Any], kwargs_list: Sequence[Mapping[str, Any]]) -> list[Any]:
         """Shorthand: run ``fn`` once per kwargs mapping, preserving order."""

@@ -1,6 +1,25 @@
-"""Batched multi-decision scheduling service (see :mod:`repro.service.core`)."""
+"""Batched multi-decision scheduling service (see :mod:`repro.service.core`)
+and its always-on daemon front end (:mod:`repro.service.daemon`), fed by the
+synthetic user-population load generator (:mod:`repro.service.loadgen`).
+"""
 
 from repro.service.core import SchedulingService
+from repro.service.daemon import (
+    DaemonReply,
+    MicroBatcher,
+    SchedulingDaemon,
+    ShardSpec,
+    Ticket,
+)
 from repro.service.requests import DecisionRequest, ServiceAnswer
 
-__all__ = ["SchedulingService", "DecisionRequest", "ServiceAnswer"]
+__all__ = [
+    "SchedulingService",
+    "DecisionRequest",
+    "ServiceAnswer",
+    "SchedulingDaemon",
+    "ShardSpec",
+    "MicroBatcher",
+    "DaemonReply",
+    "Ticket",
+]

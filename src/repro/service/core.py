@@ -29,6 +29,21 @@ request's own agent would have decided alone:
 With the fast path disabled (``REPRO_NO_FASTPATH=1``) the service
 degenerates to a plain sequential loop of solo ``schedule()`` calls — the
 oracle the differential test harness compares against.
+
+Cross-call reuse (the always-on daemon's amortisation)
+------------------------------------------------------
+A service constructed with ``reuse=True`` keeps everything derived from
+one *pool state* — the :class:`~repro.nws.snapshot.ForecastSnapshot`, the
+per-configuration staging (candidate sets, membership matrices, pruning
+bounds, batch inputs), the per-configuration
+:class:`~repro.core.infopool.DecisionCache` memos, and whole answers —
+alive across ``decide()`` calls, invalidating the lot the moment
+:attr:`ForecastSnapshot.stale` turns true (the NWS advanced, so the pool
+is in a new state).  Every cached value is a pure function of the
+snapshot, so reuse is bit-identical by the same argument as the snapshot
+itself; it only changes how often the same floats are recomputed.  Reuse
+requires an attached NWS (staleness is keyed on the NWS clock/epoch) and
+is inert on the reference path.
 """
 
 from __future__ import annotations
@@ -61,6 +76,39 @@ from repro.util import perf
 __all__ = ["SchedulingService"]
 
 
+class _Staged:
+    """Per-configuration staging for one pool state (pure snapshot functions)."""
+
+    __slots__ = ("agent", "planner", "csets", "bounds", "inputs", "perm_masks")
+
+    def __init__(self, agent, planner, csets, bounds, inputs, perm_masks) -> None:
+        self.agent = agent
+        self.planner = planner
+        self.csets = csets
+        self.bounds = bounds
+        self.inputs = inputs
+        self.perm_masks = perm_masks
+
+
+class _PoolState:
+    """Everything the service derived from one pool state.
+
+    Valid exactly while ``snapshot.stale`` is false; the service drops the
+    whole object the moment the NWS advances.  ``answers`` memoises whole
+    decisions per request configuration, ``staged`` the batch-evaluation
+    inputs, and ``decisions`` the per-configuration
+    :class:`~repro.core.infopool.DecisionCache` (planner/estimator memos).
+    """
+
+    __slots__ = ("snapshot", "staged", "answers", "decisions")
+
+    def __init__(self, snapshot) -> None:
+        self.snapshot = snapshot
+        self.staged: dict = {}
+        self.answers: dict = {}
+        self.decisions: dict = {}
+
+
 class SchedulingService:
     """Answer batches of scheduling requests over one testbed + NWS.
 
@@ -74,6 +122,11 @@ class SchedulingService:
     selector:
         Resource Selector shared by every request's agent (defaults to
         the exhaustive enumerator, matching solo agents).
+    reuse:
+        Keep snapshot, staging, decision memos and answers alive across
+        ``decide()`` calls while the pool state is unchanged (see the
+        module docstring).  Requires ``nws``; the always-on daemon turns
+        this on, the one-shot batch API defaults to off.
     """
 
     def __init__(
@@ -81,6 +134,7 @@ class SchedulingService:
         testbed: Testbed,
         nws: NetworkWeatherService | None = None,
         selector: ResourceSelector | None = None,
+        reuse: bool = False,
     ) -> None:
         self.testbed = testbed
         self.nws = nws
@@ -88,6 +142,18 @@ class SchedulingService:
         # Read once at construction, like AppLeSAgent: a service answers
         # every batch on the path chosen when it was built.
         self._fast = perf.fastpath_enabled()
+        if reuse and nws is None:
+            raise ValueError(
+                "SchedulingService(reuse=True) needs an NWS: cross-call "
+                "reuse is invalidated by the NWS clock, and a pool without "
+                "one has no staleness signal"
+            )
+        self._reuse = bool(reuse) and self._fast
+        # Agents are pure functions of the request configuration (the
+        # dynamic state flows in per decision through the snapshot), so
+        # they may be kept across pool states.
+        self._agents: dict = {}
+        self._state: _PoolState | None = None
 
     # -- public API -------------------------------------------------------
     def decide(self, requests: Sequence[DecisionRequest]) -> list[ServiceAnswer]:
@@ -137,8 +203,12 @@ class SchedulingService:
                 f"t={self.nws.now}"
             )
 
-    def _agent(self, request: DecisionRequest) -> AppLeSAgent:
-        return make_jacobi_agent(
+    def _agent(self, request: DecisionRequest, key=None) -> AppLeSAgent:
+        if self._reuse and key is not None:
+            agent = self._agents.get(key)
+            if agent is not None:
+                return agent
+        agent = make_jacobi_agent(
             self.testbed,
             request.problem,
             self.nws,
@@ -146,6 +216,29 @@ class SchedulingService:
             selector=self.selector,
             account_memory=request.account_memory,
         )
+        if self._reuse and key is not None:
+            self._agents[key] = agent
+        return agent
+
+    def _pool_state(self) -> _PoolState:
+        """The pool-state cache for the current NWS instant.
+
+        With reuse on, the previous state survives while its snapshot is
+        fresh; :attr:`ForecastSnapshot.stale` is the sole invalidation
+        signal (the NWS epoch/clock), so a mutated pool can never serve a
+        stale staged value or answer.  Without reuse, every call gets a
+        private state — the pre-daemon one-snapshot-per-batch behaviour.
+        """
+        state = self._state
+        if state is not None and not state.snapshot.stale:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.metrics.counter("service.reuse.snapshot_hits").inc()
+            return state
+        state = _PoolState(ResourcePool(self.testbed.topology, self.nws).snapshot())
+        if self._reuse:
+            self._state = state
+        return state
 
     @staticmethod
     def _strip_planner(agent: AppLeSAgent) -> JacobiPlanner | None:
@@ -162,7 +255,11 @@ class SchedulingService:
         # One snapshot for the whole instant: every agent's pool wraps the
         # same topology and NWS, so forecasts read through this snapshot
         # are the same floats each agent's private snapshot would return.
-        snapshot = ResourcePool(self.testbed.topology, self.nws).snapshot()
+        # With reuse on, the snapshot — and everything staged from it —
+        # survives from earlier calls at the same pool state.
+        state = self._pool_state()
+        snapshot = state.snapshot
+        tracer = get_tracer()
 
         configs: dict = {}  # config_key -> [request indices]
         for i in group:
@@ -171,51 +268,71 @@ class SchedulingService:
         # Phase A: per unique config, build the agent, enumerate candidate
         # sets (outside the decision, like schedule()), take bounds and
         # rank-space batch inputs inside a shared-snapshot decision scope.
-        staged = []  # (indices, agent, csets, bounds, planner|None, inputs|None)
+        staged = []  # (indices, config key, _Staged)
         jobs = []
         for key, idxs in configs.items():
-            agent = self._agent(requests[idxs[0]])
-            planner = self._strip_planner(agent)
-            batchable = (
-                agent._fast
-                and planner is not None
-                and hasattr(agent.estimator, "objective_from_prediction")
-            )
-            if not batchable:
-                # Sequential answer under the shared snapshot — still one
-                # solo decision, bit-identical by snapshot purity.
-                tracer = get_tracer()
+            answer = state.answers.get(key)
+            if answer is not None:
+                # This configuration was already decided at this pool
+                # state — the decision is a pure function of (config,
+                # snapshot), so the earlier answer *is* the answer.
                 if tracer.enabled:
-                    tracer.metrics.counter("service.scalar_configs").inc()
-                answer = ServiceAnswer.from_decision(
-                    agent.schedule(snapshot=snapshot), at=at
-                )
+                    tracer.metrics.counter("service.reuse.answer_hits").inc()
                 for i in idxs:
                     answers[i] = answer
                 continue
-            csets = agent.selector.candidate_sets(agent.info)
-            if not csets:
-                raise RuntimeError(
-                    "Resource Selector produced no candidate sets "
-                    "(User Specification too restrictive?)"
+            st = state.staged.get(key)
+            if st is None:
+                agent = self._agent(requests[idxs[0]], key)
+                planner = self._strip_planner(agent)
+                batchable = (
+                    agent._fast
+                    and planner is not None
+                    and hasattr(agent.estimator, "objective_from_prediction")
                 )
-            # One membership matrix per request, shared by the bounds
-            # computation and the batched evaluator (pool-name order here,
-            # permuted to locality-rank order below).
-            names = agent.info.pool.machine_names()
-            name_masks = member_masks_over(csets, names)
-            with agent.info.decision_scope(snapshot):
-                bounds = self._bounds(agent, planner, csets, name_masks)
-                inputs = planner.batch_inputs(agent.info)
-            name_index = {m: k for k, m in enumerate(names)}
-            perm = np.array([name_index[m] for m in inputs.rank_names])
-            staged.append((idxs, agent, csets, bounds, planner, inputs))
-            jobs.append((inputs, name_masks[:, perm]))
+                if not batchable:
+                    # Sequential answer under the shared snapshot — still
+                    # one solo decision, bit-identical by snapshot purity.
+                    if tracer.enabled:
+                        tracer.metrics.counter("service.scalar_configs").inc()
+                    answer = ServiceAnswer.from_decision(
+                        agent.schedule(snapshot=snapshot), at=at
+                    )
+                    state.answers[key] = answer
+                    for i in idxs:
+                        answers[i] = answer
+                    continue
+                csets = agent.selector.candidate_sets(agent.info)
+                if not csets:
+                    raise RuntimeError(
+                        "Resource Selector produced no candidate sets "
+                        "(User Specification too restrictive?)"
+                    )
+                # One membership matrix per request, shared by the bounds
+                # computation and the batched evaluator (pool-name order
+                # here, permuted to locality-rank order below).
+                names = agent.info.pool.machine_names()
+                name_masks = member_masks_over(csets, names)
+                with agent.info.decision_scope(
+                    snapshot, reuse=state.decisions.get(key)
+                ) as cache:
+                    state.decisions[key] = cache
+                    bounds = self._bounds(agent, planner, csets, name_masks)
+                    inputs = planner.batch_inputs(agent.info)
+                name_index = {m: k for k, m in enumerate(names)}
+                perm = np.array([name_index[m] for m in inputs.rank_names])
+                st = _Staged(
+                    agent, planner, csets, bounds, inputs, name_masks[:, perm]
+                )
+                state.staged[key] = st
+            elif tracer.enabled:
+                tracer.metrics.counter("service.reuse.staged_hits").inc()
+            staged.append((idxs, key, st))
+            jobs.append((st.inputs, st.perm_masks))
 
         # Phase B: one vectorised evaluation over every candidate set of
         # every staged request, then per-request sweep replays.
         evaluations = evaluate_strip_batch(jobs)
-        tracer = get_tracer()
         if tracer.enabled and evaluations:
             surrendered = sum(
                 int(np.count_nonzero(ev.fallback)) for ev in evaluations
@@ -233,19 +350,24 @@ class SchedulingService:
                 configs=len(evaluations), rows=total_rows,
                 surrendered=surrendered,
             )
-        for (idxs, agent, csets, bounds, planner, inputs), ev in zip(
-            staged, evaluations
-        ):
-            with agent.info.decision_scope(snapshot):
+        for (idxs, key, st), ev in zip(staged, evaluations):
+            agent = st.agent
+            with agent.info.decision_scope(
+                snapshot, reuse=state.decisions.get(key)
+            ) as cache:
+                state.decisions[key] = cache
                 begin = getattr(agent.planner, "begin_decision", None)
                 end = getattr(agent.planner, "end_decision", None)
                 if begin is not None:
                     begin(agent.info)
                 try:
-                    answer = self._sweep(agent, csets, bounds, inputs, ev, at)
+                    answer = self._sweep(
+                        agent, st.csets, st.bounds, st.inputs, ev, at
+                    )
                 finally:
                     if end is not None:
                         end(agent.info)
+            state.answers[key] = answer
             for i in idxs:
                 answers[i] = answer
 

@@ -1,0 +1,237 @@
+"""Synthetic user-population load for the scheduling daemon.
+
+The ROADMAP north-star is decision traffic from a large user population,
+not a hand-assembled request list.  This module generates that traffic —
+seeded and bit-reproducible — in the two canonical shapes of the load
+literature:
+
+- **Open loop** (:func:`open_loop_events` + :func:`run_open_loop`): users
+  arrive by a Poisson process at a fixed offered rate, indifferent to how
+  the daemon is coping.  This is the arrival model that exposes tail
+  latency and shedding — the queue grows whenever the service falls
+  behind, because arrivals do not wait for answers.
+
+- **Closed loop** (:func:`run_closed_loop`): a fixed population of users,
+  each submitting, waiting for the answer, thinking (exponentially
+  distributed, per-user seeded), then submitting again.  Offered load is
+  self-limited by the population size, so this shape measures sustainable
+  throughput rather than overload behaviour.
+
+Reproducibility contract: *what* is asked is always a pure function of
+``(population seed, request index)`` — the request multiset never depends
+on wall-clock timing or thread interleaving.  *When* requests are
+submitted is wall-clock (that is the point of a load test), so latency
+numbers vary run to run while answers do not.  Simulated decision
+instants advance with the request index (``instant_every`` requests per
+step), never with wall time, keeping each shard's instants monotone and
+the answers deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.jacobi.grid import JacobiProblem
+from repro.service.daemon import SchedulingDaemon, Ticket
+from repro.service.requests import DecisionRequest
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_positive
+
+__all__ = [
+    "LoadEvent",
+    "SyntheticPopulation",
+    "open_loop_events",
+    "run_open_loop",
+    "run_closed_loop",
+]
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One planned submission: send ``request`` to ``shard`` at ``offset_s``
+    wall-clock seconds after the run starts."""
+
+    offset_s: float
+    shard: str
+    request: DecisionRequest
+
+
+class SyntheticPopulation:
+    """A seeded population of users issuing :class:`DecisionRequest`\\ s.
+
+    The ``k``-th request is a pure function of ``(seed, k)``: problem
+    size, iteration count, user specification variant, memory policy and
+    target shard are all drawn from a private stream keyed by ``k``, so
+    any slice of the population can be regenerated independently (the
+    bench regenerates sampled requests to verify answers offline).
+
+    Parameters
+    ----------
+    shards:
+        Shard names to spread users over (round-robin by request index,
+        so each shard sees a deterministic subsequence).
+    seed:
+        Population master seed.
+    base_at:
+        Simulated instant of the first decision.
+    step_s / instant_every:
+        Every ``instant_every`` requests, the decision instant advances by
+        ``step_s`` simulated seconds — index-driven, never wall-driven, so
+        instants stay monotone per shard and answers reproducible.
+        ``instant_every=0`` pins every request to ``base_at``.
+    sizes / iterations:
+        Candidate Jacobi problem sizes and iteration counts.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        seed: int = 2024,
+        base_at: float = 420.0,
+        step_s: float = 60.0,
+        instant_every: int = 128,
+        sizes: Sequence[int] = (600, 700, 800),
+        iterations: Sequence[int] = (40, 50, 60),
+    ) -> None:
+        if not shards:
+            raise ValueError("population needs at least one shard name")
+        self.shards = list(shards)
+        self.seed = int(seed)
+        self.base_at = float(base_at)
+        self.step_s = float(step_s)
+        self.instant_every = int(instant_every)
+        self.sizes = tuple(int(s) for s in sizes)
+        self.iterations = tuple(int(i) for i in iterations)
+
+    def request(self, k: int) -> tuple[str, DecisionRequest]:
+        """The ``k``-th user's ask: ``(shard name, request)``."""
+        from repro.core.userspec import UserSpecification
+
+        rng = spawn_rng(self.seed, f"user:{k}")
+        shard = self.shards[k % len(self.shards)]
+        at = self.base_at
+        if self.instant_every > 0:
+            at += self.step_s * (k // self.instant_every)
+        variant = int(rng.integers(0, 3))
+        if variant == 1:
+            spec = UserSpecification(max_machines=3)
+        elif variant == 2:
+            spec = UserSpecification(max_machines=2)
+        else:
+            spec = UserSpecification()
+        request = DecisionRequest(
+            problem=JacobiProblem(
+                n=int(rng.choice(self.sizes)),
+                iterations=int(rng.choice(self.iterations)),
+            ),
+            userspec=spec,
+            account_memory=bool(rng.integers(0, 5) != 0),
+            at=at,
+        )
+        return shard, request
+
+    def requests(self, n: int) -> list[tuple[str, DecisionRequest]]:
+        """The first ``n`` users' asks, in index order."""
+        return [self.request(k) for k in range(int(n))]
+
+
+def open_loop_events(
+    population: SyntheticPopulation,
+    rate_hz: float,
+    n_requests: int,
+    seed: int | None = None,
+) -> list[LoadEvent]:
+    """A seeded Poisson arrival plan at ``rate_hz`` offered requests/sec.
+
+    Inter-arrival gaps are exponential draws from a stream independent of
+    the population's request stream (same master seed by default), so the
+    offered timeline and the asked work can be varied independently.
+    """
+    check_positive("rate_hz", rate_hz)
+    check_positive("n_requests", n_requests)
+    rng = spawn_rng(population.seed if seed is None else seed, "arrivals")
+    gaps = rng.exponential(1.0 / float(rate_hz), size=int(n_requests))
+    events, offset = [], 0.0
+    for k, gap in enumerate(gaps):
+        offset += float(gap)
+        shard, request = population.request(k)
+        events.append(LoadEvent(offset_s=offset, shard=shard, request=request))
+    return events
+
+
+def run_open_loop(
+    daemon: SchedulingDaemon,
+    events: Sequence[LoadEvent],
+    speed: float = 1.0,
+) -> list[Ticket]:
+    """Replay an arrival plan against a started daemon; returns tickets.
+
+    Arrivals never wait for answers (open loop): each event is submitted
+    at its planned offset (divided by ``speed`` — ``speed=10`` compresses
+    the plan tenfold) whether or not earlier tickets have resolved.
+    Backpressure shows up as shed tickets, not as a slowed generator.
+    """
+    check_positive("speed", speed)
+    start = time.perf_counter()
+    tickets = []
+    for event in sorted(events, key=lambda e: e.offset_s):
+        delay = start + event.offset_s / speed - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        tickets.append(daemon.submit(event.shard, event.request))
+    return tickets
+
+
+def run_closed_loop(
+    daemon: SchedulingDaemon,
+    population: SyntheticPopulation,
+    users: int,
+    requests_per_user: int,
+    think_s: float = 0.0,
+    timeout_s: float = 60.0,
+) -> list[Ticket]:
+    """A closed-loop population: ``users`` threads submit → wait → think.
+
+    User ``u`` plays population indices ``u, u + users, u + 2·users, …``
+    so the submitted request multiset equals the open-loop plan's prefix
+    regardless of interleaving.  Think times are exponential with mean
+    ``think_s``, per-user seeded.  Tickets come back grouped by user,
+    in submission order.
+
+    Note: closed-loop interleaving is wall-clock, so the population
+    should pin instants (``instant_every=0``) — otherwise a fast user
+    could race a shard's clock ahead and legitimately get later requests
+    rejected as stale.
+    """
+    check_positive("users", users)
+    check_positive("requests_per_user", requests_per_user)
+    tickets: list[list[Ticket]] = [[] for _ in range(users)]
+    errors: list[BaseException] = []
+
+    def _user(u: int) -> None:
+        rng = spawn_rng(population.seed, f"think:{u}")
+        try:
+            for j in range(requests_per_user):
+                shard, request = population.request(u + j * users)
+                ticket = daemon.submit(shard, request)
+                tickets[u].append(ticket)
+                ticket.result(timeout_s)  # closed loop: wait for the answer
+                if think_s > 0:
+                    time.sleep(float(rng.exponential(think_s)))
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=_user, args=(u,), name=f"user-{u}", daemon=True)
+        for u in range(users)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return [t for per_user in tickets for t in per_user]

@@ -14,15 +14,21 @@ All per-host plans of all vectorisable replicas are flattened into one
 *entry* axis (replicas stay contiguous, so per-replica reductions are
 ``reduceat`` segments):
 
-- ``rates[entry, epoch]`` — stacked per-host deliverable-rate tables,
-  copied from the read-only exports of
-  :meth:`repro.sim.host.Host.capacity_prefix`; each row is materialised
-  lazily to its own doubling horizon, so a short-horizon replica never
-  pays for the epochs a long-horizon batch-mate walks.
-- ``pair_bw[pair, epoch]`` — stacked per-pair bottleneck-bandwidth tables
+- ``rates[row, epoch]`` — per-host deliverable-rate tables, copied from
+  the read-only exports of :meth:`repro.sim.host.Host.capacity_prefix`;
+  each row is materialised lazily to its own doubling horizon, so a
+  short-horizon replica never pays for the epochs a long-horizon
+  batch-mate walks.  Rows are **shared-world deduplicated**: replicas
+  that differ only in assignments (Monte-Carlo sweeps over allocations
+  of one world) reference one row per ``(host, footprint)`` instead of
+  stacking identical copies — the entry axis maps into the row axis via
+  ``_row[entry]``.  Table content is epoch-indexed from absolute time
+  zero, so sharing is t0-safe by construction.
+- ``pair_bw[pair, epoch]`` — per-pair bottleneck-bandwidth tables
   (:meth:`repro.sim.topology.Topology.pair_bandwidth_table`), deduplicated
-  per unordered pair within a replica; latencies and flow counts resolve
-  at compile time.
+  by route content — the resolved ``(link, flow count)`` sequence — so
+  identical pairs collapse across replicas of one world, not just within
+  a replica; latencies and flow counts resolve at compile time.
 - comm *slots* — the ``s``-th communication entry of every host forms one
   vector, so per-peer charges accumulate slot by slot: the float additions
   happen in exactly the reference loop's per-host order while each slot is
@@ -148,7 +154,10 @@ class EnsembleExecution:
     """
 
     def __init__(
-        self, replicas: Sequence[ReplicaSpec], iterations: int
+        self,
+        replicas: Sequence[ReplicaSpec],
+        iterations: int,
+        share_tables: bool = True,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -157,6 +166,12 @@ class EnsembleExecution:
         compile_t0 = time.perf_counter() if tracer.enabled else 0.0
         self.iterations = int(iterations)
         self.replicas = list(replicas)
+        # Shared-world dedupe: identical rate/pair rows collapse across
+        # replicas.  Off builds one row per entry/pair occurrence — kept
+        # selectable so the compile-overhead benchmark can measure the
+        # delta; results are bit-identical either way (rows are filled
+        # from the same read-only prefix exports).
+        self.share_tables = bool(share_tables)
         for spec in self.replicas:
             validate_assignments(spec.topology, spec.assignments)
 
@@ -177,7 +192,9 @@ class EnsembleExecution:
             "vectorised": len(self._vec),
             "surrendered": len(self._surrendered),
             "entries": self._n_entries,
+            "rate_rows": self._n_rows,
             "pairs": len(self._pair_links),
+            "pair_refs": self._pair_refs,
             "comm_slots": len(self._slots),
         }
         if tracer.enabled:
@@ -221,16 +238,22 @@ class EnsembleExecution:
     def _compile_vectorised(self) -> None:
         """Flatten vectorised replicas into the shared entry-axis tensors."""
         entry_hosts: list[tuple] = []     # (host, footprint_mb) per entry
+        entry_rows: list[int] = []        # entry -> shared rate-table row
+        row_index: dict[tuple, int] = {}  # (id(host), footprint) -> row
+        row_hosts: list[tuple] = []       # (host, footprint_mb) per row
         work: list[float] = []
         overhead: list[float] = []
         dts: list[float] = []
         seg_starts: list[int] = []
         rep_counts: list[int] = []
         t0s: list[float] = []
-        # Pair-table bookkeeping: dedupe per (replica, unordered pair).
-        pair_index: dict[tuple[int, tuple[str, str]], int] = {}
+        # Pair-table bookkeeping: dedupe by resolved route content (the
+        # (link, flow count) sequence), so the same pair of one shared
+        # world compiles to one row however many replicas reference it.
+        pair_index: dict[tuple, int] = {}
         pair_links: list[list[tuple[Link, int]]] = []
         pair_dts: list[float] = []
+        pair_refs = 0  # references before dedupe (the delta's denominator)
         # comm[s] collects the s-th comm entry of every host that has one.
         comm_raw: list[list[tuple[int, float, float, int]]] = []
 
@@ -245,6 +268,21 @@ class EnsembleExecution:
                 host = topology.host(wa.host)
                 entry = len(entry_hosts)
                 entry_hosts.append((host, wa.footprint_mb))
+                # Rate-table row: shared across every entry whose table
+                # would be byte-identical — same host object (covers the
+                # shared-topology case), same memory footprint.  Epoch
+                # tables are absolute-time-indexed, so t0 never enters.
+                row_key = (
+                    (id(host), float(wa.footprint_mb))
+                    if self.share_tables
+                    else entry
+                )
+                row = row_index.get(row_key)
+                if row is None:
+                    row = len(row_hosts)
+                    row_index[row_key] = row
+                    row_hosts.append((host, wa.footprint_mb))
+                entry_rows.append(row)
                 work.append(float(wa.work_mflop))
                 overhead.append(float(wa.overhead_s))
                 dts.append(float(host.load.dt))
@@ -254,21 +292,25 @@ class EnsembleExecution:
                         continue
                     if not topology.route(wa.host, peer):
                         continue
-                    key = (r, tuple(sorted((wa.host, peer))))
+                    # Resolve the route and per-link flow counts once;
+                    # fills min-reduce the link tables directly instead
+                    # of re-walking route/flow lookups per deepening.
+                    links = topology.route(wa.host, peer)
+                    resolved = [
+                        (link, max(1, flows.get(link.name, 1)))
+                        for link in links
+                    ]
+                    pair_refs += 1
+                    key = (
+                        tuple((id(link), fc) for link, fc in resolved)
+                        if self.share_tables
+                        else (r, tuple(sorted((wa.host, peer))))
+                    )
                     pair = pair_index.get(key)
                     if pair is None:
                         pair = len(pair_links)
                         pair_index[key] = pair
-                        # Resolve the route and per-link flow counts once;
-                        # fills min-reduce the link tables directly instead
-                        # of re-walking route/flow lookups per deepening.
-                        links = topology.route(wa.host, peer)
-                        pair_links.append(
-                            [
-                                (link, max(1, flows.get(link.name, 1)))
-                                for link in links
-                            ]
-                        )
+                        pair_links.append(resolved)
                         # dt is uniform along the route (surrender-screened)
                         pair_dts.append(links[0].load.dt)
                     latency = topology.path_latency(wa.host, peer)
@@ -279,6 +321,10 @@ class EnsembleExecution:
 
         self._entry_hosts = entry_hosts
         self._n_entries = len(entry_hosts)
+        self._row_hosts = row_hosts
+        self._n_rows = len(row_hosts)
+        self._row = np.asarray(entry_rows, dtype=np.intp)
+        self._pair_refs = pair_refs
         self._work = np.asarray(work, dtype=np.float64)
         self._overhead = np.asarray(overhead, dtype=np.float64)
         self._dt = np.asarray(dts, dtype=np.float64)
@@ -293,15 +339,17 @@ class EnsembleExecution:
         )
 
         # Shared tensors.  Width (the epoch axis) grows by reallocation
-        # only; *generation* is per row: ``_fill[i]`` epochs of entry
+        # only; *generation* is per row: ``_fill[i]`` epochs of row
         # ``i``'s tables are materialised, everything beyond is garbage
         # that is never read.  Rows deepen on their own doubling schedule,
         # so a short-horizon replica never pays for the epochs a
         # long-horizon batch-mate walks — the same generation economics
         # as one table per replica, without giving up the shared axis.
+        # Entries address rows through ``_row``; deduped entries share
+        # one row's generation work and memory.
         self._epochs = 0
-        self._rates = np.zeros((self._n_entries, 0))
-        self._fill = np.zeros(self._n_entries, dtype=np.intp)
+        self._rates = np.zeros((self._n_rows, 0))
+        self._fill = np.zeros(self._n_rows, dtype=np.intp)
         self._pair_epochs = 0
         self._pair_bw = np.zeros((len(pair_links), 0))
         self._pair_dt = np.asarray(pair_dts, dtype=np.float64)
@@ -314,17 +362,22 @@ class EnsembleExecution:
     def _grow_rates(self, n_target: int) -> None:
         """Widen the rate tensor (reallocation only, no generation)."""
         n_new = max(_GROW_MIN, int(n_target), 2 * self._epochs)
-        rates = np.empty((self._n_entries, n_new))
+        rates = np.empty((self._n_rows, n_new))
         if self._epochs:
             rates[:, : self._epochs] = self._rates
         self._rates = rates
         self._epochs = n_new
 
     def _fill_rows(self, rows: np.ndarray, needs: np.ndarray) -> None:
-        """Deepen entry rows so row ``i`` is materialised past ``needs``.
+        """Deepen rate rows so row ``i`` is materialised past ``needs``.
 
+        ``rows`` are *row* indices (map entries through ``_row`` first;
+        duplicates are fine — later occurrences see the updated fill).
         Each row doubles independently (bounded below by the global
-        minimum), exactly like a per-replica table would.
+        minimum), exactly like a per-replica table would, and each is
+        regenerated from the same ``capacity_prefix`` export a private
+        table would copy — prefix-stable, so a row deepened for one
+        sharer is byte-identical to what any other sharer would build.
         """
         depths = np.maximum(needs, np.maximum(2 * self._fill[rows], _GROW_MIN))
         if int(depths.max()) > self._epochs:
@@ -333,7 +386,7 @@ class EnsembleExecution:
             d = int(depth)
             if d <= int(self._fill[i]):
                 continue
-            host, footprint_mb = self._entry_hosts[int(i)]
+            host, footprint_mb = self._row_hosts[int(i)]
             self._rates[i, :d] = host.capacity_prefix(d, footprint_mb)[0]
             self._fill[i] = d
 
@@ -403,10 +456,11 @@ class EnsembleExecution:
         k_m = (t_m / dt_m).astype(np.int64)
         np.maximum(k_m, 0, out=k_m)
         for _ in range(_MAX_EPOCHS):
-            wlag = np.nonzero(k_m + 2 > self._fill[idx])[0]
+            rows = self._row[idx]
+            wlag = np.nonzero(k_m + 2 > self._fill[rows])[0]
             if wlag.size:
-                self._fill_rows(idx[wlag], k_m[wlag] + 2)
-            rate = self._rates[idx, k_m]
+                self._fill_rows(rows[wlag], k_m[wlag] + 2)
+            rate = self._rates[rows, k_m]
             epoch_end = (k_m + 1) * dt_m
             cap = rate * (epoch_end - t_m)
             fits = (rate > 0.0) & (rem <= cap)
@@ -458,7 +512,6 @@ class EnsembleExecution:
 
     def _run_vectorised(self) -> list[IterationResult]:
         n = self._n_entries
-        ar = np.arange(n)
         work = self._work
         dt = self._dt
         t = self._t0.copy()
@@ -480,10 +533,10 @@ class EnsembleExecution:
                 # both land on the same clamped 0 for negative ones.
                 k = (t_ent / dt).astype(np.int64)
                 np.maximum(k, 0, out=k)
-                lag = np.nonzero(k + 2 > self._fill)[0]
+                lag = np.nonzero(k + 2 > self._fill[self._row])[0]
                 if lag.size:
-                    self._fill_rows(lag, k[lag] + 2)
-                rate = self._rates[ar, k]
+                    self._fill_rows(self._row[lag], k[lag] + 2)
+                rate = self._rates[self._row, k]
                 upper = rate * ((k + 1) * dt - t_ent)
                 single = (rate > 0.0) & (work <= upper)
                 compute = np.where(single, (t_ent + work / rate) - t_ent, 0.0)

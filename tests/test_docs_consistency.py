@@ -82,6 +82,26 @@ class TestObservabilityDocumented:
         assert args.diff is None
 
 
+class TestDaemonDocumented:
+    """The always-on daemon and its load generator must stay documented."""
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md", "DESIGN.md"])
+    def test_docs_cover_daemon_and_loadgen(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("SchedulingDaemon", "MicroBatcher", "loadgen",
+                       "serve --smoke", "bench_service_daemon"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    def test_serve_subcommand_exists(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--smoke"])
+        assert args.experiment == "serve"
+        assert args.smoke is True
+        assert args.queue_capacity == 256
+        assert hasattr(args, "trace") and hasattr(args, "workers")
+
+
 class TestModulesReferencedExist:
     @pytest.mark.parametrize("doc", ["DESIGN.md", "docs/PAPER_MAP.md"])
     def test_repro_module_paths_resolve(self, doc):

@@ -1,0 +1,538 @@
+"""The scheduling daemon's contracts: admission, batching, isolation,
+drain, cross-call reuse staleness, and bit-identity with the service.
+
+The daemon adds queueing and amortisation — never arithmetic.  These
+tests pin the edges of that claim:
+
+- admission control answers explicitly (shed on a full queue, reject on
+  a stale instant or after shutdown) instead of blocking or dropping;
+- micro-batch policy lingers only when arrivals will fill the batch;
+- shards are isolated (a backlogged pool does not stall another's
+  answers) and drain-on-shutdown answers everything already queued;
+- the cross-call reuse layer (`SchedulingService(reuse=True)`,
+  `DecisionCache` adoption in `begin_decision`) never serves an answer
+  derived from a stale pool state — the regression tests mutate the NWS
+  between calls and compare against fresh solo agents;
+- a Hypothesis property: however a request multiset is sliced into
+  submissions, daemon answers equal one `SchedulingService.decide()`;
+- traced and untraced daemon runs are bit-identical, with the queue
+  gauge / admission counters / batch spans present when traced.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.infopool import DecisionCache
+from repro.core.userspec import UserSpecification
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.nws import NetworkWeatherService
+from repro.obs.trace import tracing
+from repro.service import (
+    DecisionRequest,
+    MicroBatcher,
+    SchedulingDaemon,
+    SchedulingService,
+    ShardSpec,
+)
+from repro.service.daemon import ANSWERED, FAILED, REJECTED, SHED
+from repro.service.loadgen import (
+    SyntheticPopulation,
+    open_loop_events,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.sim import casa_testbed, nile_testbed, sdsc_pcl_testbed
+from repro.util import perf
+
+AT = 420.0
+
+
+def _request(k: int = 0, at: float = AT) -> DecisionRequest:
+    userspec = UserSpecification(max_machines=3) if k % 3 == 1 else UserSpecification()
+    return DecisionRequest(
+        problem=JacobiProblem(n=600 + 100 * (k % 3), iterations=20 + k),
+        userspec=userspec,
+        account_memory=(k % 4 != 2),
+        at=at,
+    )
+
+
+def _spec(name="sdsc", builder=sdsc_pcl_testbed, seed=1996) -> ShardSpec:
+    return ShardSpec(name, builder, seed=seed, nws_seed=7, warmup_s=0.0)
+
+
+def _service_answers(requests, builder=sdsc_pcl_testbed, seed=1996, fast=None):
+    # fast=None follows the ambient gate, so the whole suite also runs
+    # under REPRO_NO_FASTPATH=1 comparing daemon and service like-for-like
+    # (pruning statistics legitimately differ between gate modes).
+    if fast is None:
+        fast = perf.fastpath_enabled()
+    testbed = builder(seed=seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    with perf.fastpath(fast):
+        return SchedulingService(testbed, nws).decide(requests)
+
+
+def _sig(answer):
+    return (
+        answer.best_objective,
+        answer.predicted_time,
+        answer.machines,
+        answer.pruning,
+        tuple(a.work_units for a in answer.best.allocations),
+    )
+
+
+# -- admission control ----------------------------------------------------
+class TestAdmission:
+    def test_queue_full_sheds_explicitly(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=2)
+        tickets = daemon.submit_many("sdsc", [_request(k) for k in range(5)])
+        replies = [t._reply for t in tickets]
+        assert [r.status if r else "pending" for r in replies] == [
+            "pending", "pending", SHED, SHED, SHED,
+        ]
+        shed = tickets[2].result(0.0)
+        assert shed.status == SHED
+        assert shed.reason == "queue-full"
+        assert shed.answer is None
+        daemon.pump()
+        assert [t.result(0.0).status for t in tickets[:2]] == [ANSWERED] * 2
+        stats = daemon.stats()["sdsc"]
+        assert stats["shed"] == 3 and stats["answered"] == 2
+
+    def test_stale_instant_rejected(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        daemon.submit("sdsc", _request(0, at=AT))
+        late = daemon.submit("sdsc", _request(1, at=AT - 60.0))
+        reply = late.result(0.0)
+        assert reply.status == REJECTED
+        assert "stale-instant" in reply.reason
+        daemon.pump()
+        assert daemon.stats()["sdsc"]["rejected"] == 1
+
+    def test_unknown_shard_raises(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        with pytest.raises(KeyError, match="unknown shard"):
+            daemon.submit("nope", _request())
+
+    def test_submit_after_shutdown_rejected(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        daemon.shutdown()
+        reply = daemon.submit("sdsc", _request()).result(0.0)
+        assert reply.status == REJECTED
+        assert reply.reason == "shutdown"
+
+    def test_duplicate_shard_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate shard"):
+            SchedulingDaemon([_spec(), _spec()])
+
+
+# -- shutdown and drain ---------------------------------------------------
+class TestShutdown:
+    def test_drain_on_shutdown_answers_queued(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+        tickets = daemon.submit_many("sdsc", [_request(k) for k in range(4)])
+        daemon.shutdown(drain=True)  # never start()ed: drains in this thread
+        assert [t.result(0.0).status for t in tickets] == [ANSWERED] * 4
+
+    def test_shutdown_without_drain_rejects_queued(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+        tickets = daemon.submit_many("sdsc", [_request(k) for k in range(3)])
+        daemon.shutdown(drain=False)
+        replies = [t.result(0.0) for t in tickets]
+        assert all(r.status == REJECTED and r.reason == "shutdown" for r in replies)
+
+    def test_threaded_drain_on_shutdown(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=64)
+        daemon.start()
+        tickets = daemon.submit_many("sdsc", [_request(k) for k in range(6)])
+        daemon.shutdown(drain=True)
+        assert [t.result(1.0).status for t in tickets] == [ANSWERED] * 6
+
+    def test_shutdown_idempotent_and_context_manager(self):
+        with SchedulingDaemon([_spec()], queue_capacity=8) as daemon:
+            ticket = daemon.submit("sdsc", _request())
+        assert ticket.result(0.0).status == ANSWERED
+        daemon.shutdown()  # second call is a no-op
+
+    def test_result_timeout(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        ticket = daemon.submit("sdsc", _request())
+        with pytest.raises(TimeoutError):
+            ticket.result(0.01)  # nothing pumps this daemon
+        daemon.shutdown(drain=False)
+
+
+# -- batching policy ------------------------------------------------------
+class TestMicroBatcher:
+    def test_saturated_queue_dispatches_immediately(self):
+        mb = MicroBatcher(max_batch=64, target_batch=32, max_linger_s=0.005)
+        assert mb.wait_budget(32, 0.0) == 0.0
+        assert mb.wait_budget(64, 0.0) == 0.0
+
+    def test_no_rate_estimate_never_lingers(self):
+        mb = MicroBatcher()
+        assert mb.wait_budget(1, 0.0) == 0.0
+
+    def test_lingers_only_while_arrivals_will_fill(self):
+        mb = MicroBatcher(max_batch=64, target_batch=4, max_linger_s=0.010)
+        for i in range(8):  # 1 ms gaps -> ewma ~1 ms
+            mb.note_arrival(i * 0.001)
+        wait = mb.wait_budget(2, oldest_wait_s=0.0)
+        assert 0.0 < wait <= 0.010  # 2 more needed at ~1 ms each
+        # Trickle traffic (1 s gaps): filling 2 more would blow the
+        # linger budget, so dispatch now.
+        slow = MicroBatcher(max_batch=64, target_batch=4, max_linger_s=0.010)
+        for i in range(4):
+            slow.note_arrival(i * 1.0)
+        assert slow.wait_budget(2, oldest_wait_s=0.0) == 0.0
+
+    def test_linger_budget_exhausted_dispatches(self):
+        mb = MicroBatcher(max_batch=64, target_batch=32, max_linger_s=0.005)
+        for i in range(8):
+            mb.note_arrival(i * 0.0001)
+        assert mb.wait_budget(2, oldest_wait_s=0.005) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=8, target_batch=16)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_linger_s=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(ewma_alpha=0.0)
+
+    def test_max_batch_bounds_dispatch(self):
+        daemon = SchedulingDaemon(
+            [_spec()], queue_capacity=64,
+            batcher=MicroBatcher(max_batch=3, target_batch=2),
+        )
+        tickets = daemon.submit_many("sdsc", [_request(k) for k in range(7)])
+        daemon.pump()
+        sizes = {t.result(0.0).batch_size for t in tickets}
+        assert max(sizes) <= 3
+        assert daemon.stats()["sdsc"]["batches"] == 3  # 3 + 3 + 1
+
+
+# -- shard isolation ------------------------------------------------------
+class TestShardIsolation:
+    def test_backlogged_shard_does_not_stall_another(self):
+        daemon = SchedulingDaemon(
+            [_spec("slow", nile_testbed), _spec("fast", sdsc_pcl_testbed)],
+            queue_capacity=64,
+        )
+        daemon.start()
+        # Backlog the slow shard (12-machine pool, 4095 candidate sets per
+        # request), then ask the fast shard for one answer.
+        slow_tickets = daemon.submit_many("slow", [_request(k) for k in range(10)])
+        fast_ticket = daemon.submit("fast", _request())
+        reply = fast_ticket.result(120.0)  # generous: reference path is slow
+        assert reply.status == ANSWERED
+        # The point of shard-per-pool workers: the fast answer must not
+        # have waited for the slow backlog to clear.
+        assert not all(t.done for t in slow_tickets)
+        daemon.shutdown(drain=True, timeout=600.0)
+        assert all(t.result(0.0).status == ANSWERED for t in slow_tickets)
+
+    def test_pump_processes_all_shards(self):
+        daemon = SchedulingDaemon(
+            [_spec("a", sdsc_pcl_testbed), _spec("b", casa_testbed)],
+            queue_capacity=8,
+        )
+        ta = daemon.submit_many("a", [_request(k) for k in range(2)])
+        tb = daemon.submit_many("b", [_request(k) for k in range(2)])
+        assert daemon.pump() == 4
+        assert all(t.result(0.0).status == ANSWERED for t in ta + tb)
+
+    def test_shard_failure_resolves_tickets(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        request = DecisionRequest(problem=JacobiProblem(n=600, iterations=10), at=AT)
+        ticket = daemon.submit("sdsc", request)
+        # Force a failure inside the batch: monkeypatch the shard service.
+        shard = daemon.shards["sdsc"]
+
+        class _Boom:
+            def decide(self, requests):
+                raise RuntimeError("boom")
+
+        shard.service = _Boom()
+        daemon.pump()
+        reply = ticket.result(0.0)  # resolved, never hung
+        assert reply.status == FAILED
+        assert "boom" in reply.reason
+        assert daemon.stats()["sdsc"]["failed"] == 1
+        # The shard keeps serving once the fault clears.
+        shard.service = None
+        healed = daemon.submit("sdsc", request)
+        daemon.pump()
+        assert healed.result(0.0).status == ANSWERED
+
+
+# -- bit-identity with the service ---------------------------------------
+class TestBitIdentity:
+    def test_pump_equals_service(self):
+        requests = [_request(k) for k in range(6)]
+        daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+        tickets = daemon.submit_many("sdsc", requests)
+        daemon.pump()
+        reference = _service_answers(requests)
+        for ticket, ref in zip(tickets, reference):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+    def test_threaded_equals_service_across_instants(self):
+        requests = [_request(k) for k in range(4)]
+        later = [_request(k, at=AT + 120.0) for k in range(4)]
+        daemon = SchedulingDaemon([_spec()], queue_capacity=32)
+        daemon.start()
+        tickets = daemon.submit_many("sdsc", requests)
+        for t in tickets:  # force instant separation: first wave answered
+            t.result(10.0)
+        tickets += daemon.submit_many("sdsc", later)
+        daemon.shutdown(drain=True)
+        reference = _service_answers(requests + later)
+        for ticket, ref in zip(tickets, reference):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+    def test_oracle_gate_equals_its_service(self):
+        requests = [_request(k) for k in range(3)]
+        with perf.fastpath(False):
+            daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+            tickets = daemon.submit_many("sdsc", requests)
+            daemon.pump()
+        reference = _service_answers(requests, fast=False)
+        for ticket, ref in zip(tickets, reference):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+    @pytest.mark.slow
+    def test_process_mode_equals_service(self):
+        requests = [_request(k) for k in range(5)]
+        daemon = SchedulingDaemon(
+            [_spec("sdsc"), _spec("casa", casa_testbed)],
+            queue_capacity=16, workers=2,
+        )
+        daemon.start()
+        ta = daemon.submit_many("sdsc", requests)
+        tb = daemon.submit_many("casa", requests)
+        daemon.shutdown(drain=True)
+        for ticket, ref in zip(ta, _service_answers(requests)):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+        for ticket, ref in zip(tb, _service_answers(requests, builder=casa_testbed)):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+    def test_process_mode_requires_specs(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        with pytest.raises(ValueError, match="ShardSpec"):
+            SchedulingDaemon({"sdsc": (testbed, nws)}, workers=2)
+
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        ks=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=8),
+        split=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_any_multiset_matches_service(self, ks, split):
+        """However the multiset is sliced into submissions, daemon
+        answers equal one SchedulingService.decide() over the same list."""
+        requests = [_request(k) for k in ks]
+        daemon = SchedulingDaemon(
+            [_spec()], queue_capacity=len(requests),
+            batcher=MicroBatcher(max_batch=max(1, split), target_batch=1),
+        )
+        tickets = []
+        for i in range(0, len(requests), split):
+            tickets += daemon.submit_many("sdsc", requests[i : i + split])
+            daemon.pump()
+        reference = _service_answers(requests)
+        for ticket, ref in zip(tickets, reference):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+
+# -- cross-call reuse staleness (the satellite regression) ----------------
+class TestReuseStaleness:
+    def test_decision_cache_stale_property(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        agent = make_jacobi_agent(
+            testbed, JacobiProblem(n=600, iterations=10), nws
+        )
+        cache = agent.info.begin_decision()
+        assert isinstance(cache, DecisionCache)
+        assert not cache.stale
+        nws.advance_to(100.0)
+        assert cache.stale
+
+    def test_begin_decision_discards_stale_reuse(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        agent = make_jacobi_agent(
+            testbed, JacobiProblem(n=600, iterations=10), nws
+        )
+        first = agent.info.begin_decision()
+        first.memo[("probe",)] = "from-stale-state"
+        nws.advance_to(60.0)
+        second = agent.info.begin_decision(reuse=first)
+        assert second is not first
+        assert ("probe",) not in second.memo
+
+    def test_begin_decision_discards_mismatched_snapshot(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        agent = make_jacobi_agent(
+            testbed, JacobiProblem(n=600, iterations=10), nws
+        )
+        cache = agent.info.begin_decision()
+        other = agent.info.pool.snapshot()
+        fresh = agent.info.begin_decision(snapshot=other, reuse=cache)
+        assert fresh is not cache
+        assert fresh.snapshot is other
+
+    def test_begin_decision_adopts_current_reuse(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        agent = make_jacobi_agent(
+            testbed, JacobiProblem(n=600, iterations=10), nws
+        )
+        cache = agent.info.begin_decision()
+        cache.memo[("probe",)] = 42
+        again = agent.info.begin_decision(reuse=cache)
+        assert again is cache
+        assert again.memo[("probe",)] == 42
+
+    def test_reuse_requires_nws(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        with pytest.raises(ValueError, match="reuse"):
+            SchedulingService(testbed, None, reuse=True)
+
+    def test_mutated_pool_never_serves_stale_decision(self):
+        """The regression the daemon path depends on: advance the NWS
+        between decides of one reusing service; every answer must equal a
+        fresh solo agent's at that instant, never the cached earlier one."""
+        requests = [_request(k) for k in range(3)]
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        service = SchedulingService(testbed, nws, reuse=True)
+        first = service.decide(requests)
+        again = service.decide(requests)  # same pool state: cached answers
+        for a, b in zip(first, again):
+            assert _sig(a) == _sig(b)
+        # Mutate the pool (the NWS advances; snapshot goes stale).
+        later = [_request(k, at=AT + 300.0) for k in range(3)]
+        moved = service.decide(later)
+        # Fresh world, fresh solo agents, same instants: the oracle.
+        oracle = _service_answers(requests + later)
+        for answer, ref in zip(first + moved, oracle):
+            assert _sig(answer) == _sig(ref)
+        # And the moved answers must differ from a stale replay wherever
+        # the pool state actually changed the prediction.
+        assert [a.at for a in moved] == [AT + 300.0] * 3
+
+    def test_daemon_path_staleness(self):
+        """Same regression through the daemon: one shard, two instants."""
+        daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+        early = [_request(k) for k in range(2)]
+        late = [_request(k, at=AT + 240.0) for k in range(2)]
+        t_early = daemon.submit_many("sdsc", early)
+        daemon.pump()
+        t_late = daemon.submit_many("sdsc", late)
+        daemon.pump()
+        reference = _service_answers(early + late)
+        for ticket, ref in zip(t_early + t_late, reference):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+
+# -- observability --------------------------------------------------------
+class TestObservability:
+    def test_traced_untraced_bit_identical_with_instruments(self):
+        requests = [_request(k) for k in range(5)]
+        daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+        tickets = daemon.submit_many("sdsc", requests)
+        daemon.pump()
+        base = [_sig(t.result(0.0).answer) for t in tickets]
+
+        with tracing() as tr:
+            traced_daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+            traced_tickets = traced_daemon.submit_many("sdsc", requests)
+            traced_daemon.pump()
+        assert [_sig(t.result(0.0).answer) for t in traced_tickets] == base
+
+        metrics = tr.metrics.as_dict()
+        assert metrics["daemon.submitted"]["value"] == len(requests)
+        assert metrics["daemon.answered"]["value"] == len(requests)
+        assert metrics["daemon.batches"]["value"] >= 1
+        assert "daemon.queue_depth.sdsc" in metrics
+        assert metrics["daemon.batch_size"]["count"] >= 1
+        assert any(
+            r["kind"] == "span" and r["name"] == "daemon.batch"
+            for r in tr.records()
+        )
+
+    def test_shed_and_reject_counters(self):
+        with tracing() as tr:
+            daemon = SchedulingDaemon([_spec()], queue_capacity=1)
+            daemon.submit_many("sdsc", [_request(k) for k in range(3)])
+            daemon.submit("sdsc", _request(0, at=AT - 60.0))
+            daemon.pump()
+        metrics = tr.metrics.as_dict()
+        assert metrics["daemon.shed"]["value"] == 2
+        assert metrics["daemon.rejected"]["value"] == 1
+
+
+# -- load generator -------------------------------------------------------
+class TestLoadGenerator:
+    def test_population_deterministic(self):
+        pop = SyntheticPopulation(["a", "b"], seed=5)
+        assert pop.requests(6) == SyntheticPopulation(["a", "b"], seed=5).requests(6)
+        shards = [s for s, _ in pop.requests(6)]
+        assert shards == ["a", "b", "a", "b", "a", "b"]
+
+    def test_population_instants_advance_by_index(self):
+        pop = SyntheticPopulation(
+            ["a"], seed=5, base_at=100.0, step_s=50.0, instant_every=2
+        )
+        ats = [r.at for _, r in pop.requests(5)]
+        assert ats == [100.0, 100.0, 150.0, 150.0, 200.0]
+
+    def test_open_loop_events_seeded(self):
+        pop = SyntheticPopulation(["a"], seed=5)
+        one = open_loop_events(pop, rate_hz=100.0, n_requests=10)
+        two = open_loop_events(pop, rate_hz=100.0, n_requests=10)
+        assert one == two
+        offsets = [e.offset_s for e in one]
+        assert offsets == sorted(offsets)
+        assert all(o > 0 for o in offsets)
+
+    def test_open_loop_run_answers_match_service(self):
+        pop = SyntheticPopulation(["sdsc"], seed=5, instant_every=0)
+        events = open_loop_events(pop, rate_hz=2000.0, n_requests=6)
+        daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+        daemon.start()
+        tickets = run_open_loop(daemon, events, speed=100.0)
+        daemon.shutdown(drain=True)
+        reference = _service_answers([e.request for e in events])
+        for ticket, ref in zip(tickets, reference):
+            assert _sig(ticket.result(0.0).answer) == _sig(ref)
+
+    def test_closed_loop_multiset_matches_population(self):
+        pop = SyntheticPopulation(["sdsc"], seed=5, instant_every=0)
+        daemon = SchedulingDaemon([_spec()], queue_capacity=32)
+        daemon.start()
+        tickets = run_closed_loop(daemon, pop, users=3, requests_per_user=2)
+        daemon.shutdown(drain=True)
+        assert len(tickets) == 6
+        assert all(t.result(0.0).status == ANSWERED for t in tickets)
+        submitted = sorted(
+            (t.request.problem.n, t.request.problem.iterations) for t in tickets
+        )
+        expected = sorted(
+            (r.problem.n, r.problem.iterations) for _, r in pop.requests(6)
+        )
+        assert submitted == expected
