@@ -1,0 +1,105 @@
+"""Regret-vs-exhaustive for the selector portfolio, on frozen arena instances.
+
+The arena (:mod:`repro.arena`) freezes seeded scheduling instances, runs
+every baseline policy over them, and scores the emitted allocations with
+the standalone verifier — the exhaustive AppLeS decision is the oracle.
+This benchmark records the resulting regret table:
+
+- ``static``      compile-time strip partition over the whole pool
+- ``greedy``      the greedy candidate ladder (what big pools used to get)
+- ``exhaustive``  every non-empty subset — regret 0.0 by construction
+- ``seeded``      PruningStats-adapted previous-winner neighbourhoods
+- ``locality``    site-local prefixes plus cross-site unions
+
+The headline check: on the >12-machine pool (``synth14``), where the
+exhaustive oracle is still affordable but the production selector would
+fall back to the greedy ladder, at least one PruningStats-seeded
+generator must achieve *strictly lower* mean regret than greedy.
+
+Results go to ``benchmarks/results/arena_regret.txt`` and merge into
+``benchmarks/results/perf_suite.json`` under ``arena``.
+
+Set ``ARENA_REGRET_QUICK=1`` (or ``PERF_SUITE_QUICK=1``) for the reduced
+CI smoke run; the strict seeded-beats-greedy assertion only runs at full
+scale, where per-class sample counts make the means meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.arena import run_regret_bench
+
+QUICK = any(
+    os.environ.get(var, "").strip().lower() in ("1", "true", "yes")
+    for var in ("ARENA_REGRET_QUICK", "PERF_SUITE_QUICK")
+)
+
+SEED = 2024
+CLASSES = ("sdsc8", "synth14")
+
+
+def bench_arena_regret(report, merge_json):
+    if QUICK:
+        instances, allocations, result = run_regret_bench(
+            classes=CLASSES, per_class=3, seed=SEED, sizes=(400, 700), iterations=20
+        )
+    else:
+        instances, allocations, result = run_regret_bench(
+            classes=CLASSES, per_class=6, seed=SEED, iterations=40
+        )
+
+    lines = [
+        "Arena regret vs exhaustive oracle",
+        f"(quick_mode={QUICK}, {len(instances)} instances,"
+        f" {len(allocations)} allocations, seed={SEED})",
+        "",
+        result.table(),
+    ]
+    data = {
+        "quick_mode": QUICK,
+        "seed": SEED,
+        "classes": list(CLASSES),
+        "instances": len(instances),
+        "allocations": len(allocations),
+        **result.as_json(),
+    }
+    report("arena_regret", "\n".join(lines))
+    merge_json("perf_suite", {"arena": data})
+
+    # Smoke assertions hold in any mode: the oracle beats itself exactly,
+    # nobody beats it, and every agent policy's allocation was feasible.
+    for klass in CLASSES:
+        oracle = result.score(klass, "exhaustive")
+        assert oracle.mean_regret == 0.0, oracle
+        for policy in ("greedy", "seeded", "locality"):
+            score = result.score(klass, policy)
+            assert score.infeasible == 0, score
+            assert all(r >= 0.0 for r in score.regrets), score
+    if not QUICK:
+        # The headline acceptance target: a PruningStats-seeded candidate
+        # generator strictly beats the greedy ladder on the >12-machine
+        # pool, measured only at full scale.
+        greedy = result.score("synth14", "greedy").mean_regret
+        best_seeded = min(
+            result.score("synth14", name).mean_regret
+            for name in ("seeded", "locality")
+        )
+        assert best_seeded < greedy, (best_seeded, greedy)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv[1:]:
+        os.environ["ARENA_REGRET_QUICK"] = "1"
+        QUICK = True
+
+    from conftest import RESULTS_DIR, merge_json_results  # noqa: F401
+
+    def _report(name, text, data=None):
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    bench_arena_regret(_report, merge_json_results)

@@ -1,0 +1,70 @@
+"""The scheduler arena: frozen instances, standalone verification, regret.
+
+Three pieces, deliberately decoupled:
+
+- :mod:`repro.arena.instances` — seeded generation and JSONL persistence
+  of frozen scheduling problems (pool + request + NWS forecast state);
+- :mod:`repro.arena.verifier` — feasibility and exact reference-objective
+  scoring of any emitted allocation, importing zero scheduler code;
+- :mod:`repro.arena.policies` / :mod:`repro.arena.bench` — the baseline
+  portfolio and regret-vs-exhaustive aggregation.
+
+``python -m repro arena`` drives generate / score / verify / report from
+the command line; ``--smoke`` runs a self-checking end-to-end pass.
+"""
+
+from repro.arena.bench import (
+    PolicyScore,
+    RegretResult,
+    run_regret_bench,
+    score_allocations,
+)
+from repro.arena.instances import (
+    ALLOCATION_SCHEMA,
+    INSTANCE_CLASSES,
+    INSTANCE_SCHEMA,
+    ArenaAllocation,
+    ArenaInstance,
+    MachineState,
+    build_world,
+    capture_instance,
+    generate_instances,
+    load_allocations,
+    load_instances,
+    save_allocations,
+    save_instances,
+)
+from repro.arena.policies import (
+    EXHAUSTIVE_CEILING,
+    POLICY_NAMES,
+    make_policy,
+    run_policies,
+)
+from repro.arena.verifier import VerifierReport, score_allocation, verify_allocation
+
+__all__ = [
+    "ALLOCATION_SCHEMA",
+    "INSTANCE_CLASSES",
+    "INSTANCE_SCHEMA",
+    "EXHAUSTIVE_CEILING",
+    "POLICY_NAMES",
+    "ArenaAllocation",
+    "ArenaInstance",
+    "MachineState",
+    "PolicyScore",
+    "RegretResult",
+    "VerifierReport",
+    "build_world",
+    "capture_instance",
+    "generate_instances",
+    "load_allocations",
+    "load_instances",
+    "make_policy",
+    "run_policies",
+    "run_regret_bench",
+    "save_allocations",
+    "save_instances",
+    "score_allocation",
+    "score_allocations",
+    "verify_allocation",
+]

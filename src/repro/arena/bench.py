@@ -1,0 +1,246 @@
+"""Regret-vs-exhaustive scoring: the arena's scoreboard.
+
+For every (instance, policy) pair the verifier produces an objective; the
+exhaustive AppLeS oracle's verified objective on the same instance is the
+ground truth.  A policy's **regret** on an instance is::
+
+    regret = (objective - oracle_objective) / oracle_objective
+
+so 0.0 means "as good as trying every subset" and 0.10 means 10% slower
+than optimal.  Regret is aggregated per (class, policy): mean and max over
+the instances where the policy's allocation was *feasible* (infeasible
+answers are counted separately — they score infinity, and averaging
+infinities tells you nothing a count doesn't).
+
+Everything here consumes frozen instances and allocations; the scoring
+path never imports policy code (see :mod:`repro.arena.verifier`).  The
+``fractional_floor`` column is informational: the uncapacitated fractional
+balance over the whole pool (:func:`repro.core.planner.fractional_time_floor`)
+— a bound no integer strip schedule can beat, showing how much of the
+oracle's time is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arena.instances import (
+    ArenaAllocation,
+    ArenaInstance,
+    generate_instances,
+)
+from repro.arena.policies import POLICY_NAMES, run_policies
+from repro.arena.verifier import verify_allocation
+from repro.core.planner import fractional_time_floor
+from repro.util.tables import Table
+
+__all__ = ["PolicyScore", "RegretResult", "score_allocations", "run_regret_bench"]
+
+ORACLE = "exhaustive"
+
+
+@dataclass
+class PolicyScore:
+    """Aggregated verdicts for one (class, policy) pair."""
+
+    instance_class: str
+    policy: str
+    regrets: list[float] = field(default_factory=list)
+    objectives: list[float] = field(default_factory=list)
+    wins: int = 0
+    infeasible: int = 0
+    scored: int = 0
+
+    @property
+    def mean_regret(self) -> float:
+        return sum(self.regrets) / len(self.regrets) if self.regrets else float("inf")
+
+    @property
+    def max_regret(self) -> float:
+        return max(self.regrets) if self.regrets else float("inf")
+
+    @property
+    def mean_objective(self) -> float:
+        return (
+            sum(self.objectives) / len(self.objectives)
+            if self.objectives
+            else float("inf")
+        )
+
+    def as_json(self) -> dict:
+        return {
+            "class": self.instance_class,
+            "policy": self.policy,
+            "scored": self.scored,
+            "feasible": len(self.regrets),
+            "infeasible": self.infeasible,
+            "wins": self.wins,
+            "mean_regret": self.mean_regret,
+            "max_regret": self.max_regret,
+            "mean_objective": self.mean_objective,
+        }
+
+
+@dataclass
+class RegretResult:
+    """One regret-bench run: per-pair scores plus per-instance detail."""
+
+    scores: list[PolicyScore]
+    detail: list[dict]
+    floors: dict[str, float]
+
+    def score(self, instance_class: str, policy: str) -> PolicyScore:
+        for s in self.scores:
+            if s.instance_class == instance_class and s.policy == policy:
+                return s
+        raise KeyError((instance_class, policy))
+
+    def table(self) -> str:
+        table = Table(
+            [
+                "class",
+                "policy",
+                "instances",
+                "feasible",
+                "wins",
+                "mean regret %",
+                "max regret %",
+                "mean objective s",
+            ],
+            title="Arena: regret vs exhaustive oracle",
+        )
+        for s in self.scores:
+            table.add(
+                s.instance_class,
+                s.policy,
+                s.scored,
+                len(s.regrets),
+                s.wins,
+                "inf" if s.mean_regret == float("inf") else f"{100 * s.mean_regret:.3f}",
+                "inf" if s.max_regret == float("inf") else f"{100 * s.max_regret:.3f}",
+                "inf"
+                if s.mean_objective == float("inf")
+                else f"{s.mean_objective:.2f}",
+            )
+        lines = [table.render(), ""]
+        for klass in sorted(self.floors):
+            lines.append(
+                f"fractional floor ({klass}): {self.floors[klass]:.2f} s "
+                f"mean uncapacitated balance over the full pool"
+            )
+        return "\n".join(lines)
+
+    def as_json(self) -> dict:
+        return {
+            "scores": [s.as_json() for s in self.scores],
+            "floors": dict(self.floors),
+            "detail": self.detail,
+        }
+
+
+def score_allocations(
+    instances: list[ArenaInstance],
+    allocations: list[ArenaAllocation],
+    oracle: str = ORACLE,
+) -> RegretResult:
+    """Verify every allocation and aggregate regret against the oracle.
+
+    Pure scoring: both inputs may come straight from JSONL files written by
+    processes this one has never imported.  Instances without a feasible
+    oracle answer get ``None`` regret (their objectives still aggregate).
+    """
+    by_id = {inst.instance_id: inst for inst in instances}
+    reports = []
+    for alloc in allocations:
+        inst = by_id.get(alloc.instance_id)
+        if inst is None:
+            raise ValueError(
+                f"allocation references unknown instance {alloc.instance_id!r}"
+            )
+        reports.append((inst, alloc, verify_allocation(inst, alloc)))
+
+    oracle_objective: dict[str, float] = {}
+    for inst, alloc, report in reports:
+        if alloc.policy == oracle and report.feasible:
+            oracle_objective[inst.instance_id] = report.objective
+
+    scores: dict[tuple[str, str], PolicyScore] = {}
+    detail = []
+    for inst, alloc, report in reports:
+        key = (inst.instance_class, alloc.policy)
+        score = scores.get(key)
+        if score is None:
+            score = PolicyScore(inst.instance_class, alloc.policy)
+            scores[key] = score
+        score.scored += 1
+        base = oracle_objective.get(inst.instance_id)
+        regret = None
+        if not report.feasible:
+            score.infeasible += 1
+        else:
+            score.objectives.append(report.objective)
+            if base is not None:
+                regret = (report.objective - base) / base
+                score.regrets.append(regret)
+                if regret <= 0.0:
+                    score.wins += 1
+        detail.append(
+            {
+                "instance": inst.instance_id,
+                "class": inst.instance_class,
+                "policy": alloc.policy,
+                "feasible": report.feasible,
+                "reason": report.reason,
+                "objective": report.objective,
+                "claimed": alloc.claimed_objective,
+                "regret": regret,
+            }
+        )
+
+    ordered = sorted(
+        scores.values(), key=lambda s: (s.instance_class, s.mean_regret, s.policy)
+    )
+    floors = _fractional_floors(instances)
+    return RegretResult(scores=ordered, detail=detail, floors=floors)
+
+
+def _fractional_floors(instances: list[ArenaInstance]) -> dict[str, float]:
+    """Mean uncapacitated fractional balance time per instance class."""
+    sums: dict[str, list[float]] = {}
+    for inst in instances:
+        sigmas = float(inst.params["conservatism_sigmas"])
+        flop = float(inst.problem["flop_per_point"])
+        sync = float(inst.problem["sync_overhead_s"])
+        rates = []
+        for m in inst.machines:
+            pessimistic = max(
+                m.availability - sigmas * m.availability_error,
+                0.05 * m.availability,
+            )
+            rates.append(m.speed_mflops * pessimistic / flop)
+        floor = fractional_time_floor(
+            rates, [sync] * len(rates), inst.total_points
+        ) * float(inst.problem["iterations"])
+        sums.setdefault(inst.instance_class, []).append(floor)
+    return {k: sum(v) / len(v) for k, v in sums.items()}
+
+
+def run_regret_bench(
+    classes: tuple[str, ...] = ("sdsc8", "synth14"),
+    per_class: int = 6,
+    seed: int = 2024,
+    sizes: tuple[int, ...] | None = None,
+    iterations: int = 40,
+    policies: tuple[str, ...] = POLICY_NAMES,
+) -> tuple[list[ArenaInstance], list[ArenaAllocation], RegretResult]:
+    """Generate → run the portfolio → verify → aggregate, in one call."""
+    instances: list[ArenaInstance] = []
+    for klass in classes:
+        kwargs = {} if sizes is None else {"sizes": sizes}
+        instances.extend(
+            generate_instances(
+                klass, per_class, seed=seed, iterations=iterations, **kwargs
+            )
+        )
+    allocations = run_policies(instances, policies)
+    return instances, allocations, score_allocations(instances, allocations)

@@ -1,0 +1,465 @@
+"""Arena instances: frozen scheduling problems, serialised like traces.
+
+An :class:`ArenaInstance` is everything a scheduler was looking at when it
+made one decision — the machine pool with its static capability, the NWS
+forecast state at the decision instant (availability, forecast error), the
+full pairwise latency/bandwidth matrices, the application request, and the
+planning parameters — frozen into plain JSON.  Two consumers read it:
+
+- **policies** rebuild the live world from the ``world`` spec (testbeds
+  and the NWS are reproducible from their seeds alone) and schedule
+  however they like;
+- the **standalone verifier** (:mod:`repro.arena.verifier`) reads *only*
+  the frozen arrays, so it can score any emitted allocation without a
+  line of scheduler code.
+
+Because the capture path uses the pool's own prediction interface and
+Python's JSON round-trips floats via shortest-repr, a rebuilt world and a
+loaded instance agree bit-for-bit — the property the differential tests
+pin down.
+
+The JSONL format follows :mod:`repro.sim.trace_io`: deliberately plain
+JSON, one self-describing object per line, explicit ``ValueError`` on
+anything malformed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.core.resources import ResourcePool
+from repro.jacobi.grid import JacobiProblem
+from repro.nws.service import NetworkWeatherService
+from repro.sim.testbeds import Testbed, sdsc_pcl_testbed, synthetic_metacomputer
+
+__all__ = [
+    "INSTANCE_SCHEMA",
+    "ALLOCATION_SCHEMA",
+    "INSTANCE_CLASSES",
+    "MachineState",
+    "ArenaInstance",
+    "ArenaAllocation",
+    "build_world",
+    "capture_instance",
+    "generate_instances",
+    "save_instances",
+    "load_instances",
+    "save_allocations",
+    "load_allocations",
+]
+
+INSTANCE_SCHEMA = "repro.arena.instance/v1"
+ALLOCATION_SCHEMA = "repro.arena.allocation/v1"
+
+#: Instance classes, stratified by pool size: ``sdsc8`` is the paper's
+#: 8-host SDSC/PCL testbed (exhaustive enumeration reaches it), ``synth14``
+#: a 14-host synthetic metacomputer — beyond the selector's 2^12 - 1
+#: exhaustive bound, where the greedy ladder used to be an unmeasured
+#: fallback.
+INSTANCE_CLASSES: dict[str, dict] = {
+    "sdsc8": {"generator": "sdsc", "n_hosts": 8, "n_segments": None},
+    "synth14": {"generator": "synthetic", "n_hosts": 14, "n_segments": 3},
+}
+
+#: Default problem edge lengths cycled across the instances of one class.
+DEFAULT_SIZES = (600, 900, 1200)
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """One machine's frozen static + forecast state."""
+
+    name: str
+    site: str
+    arch: str
+    speed_mflops: float
+    memory_available_mb: float
+    availability: float
+    availability_error: float
+
+
+@dataclass(frozen=True)
+class ArenaInstance:
+    """One frozen scheduling problem.
+
+    ``latency_s``/``bandwidth_bps`` are full directed matrices over the
+    machines in order (diagonal: 0 latency, infinite bandwidth); entries
+    come verbatim from the pool's prediction interface, so the verifier's
+    ``latency + bytes / bandwidth`` reproduces the pool's transfer
+    forecasts bit-for-bit.
+    """
+
+    instance_id: str
+    instance_class: str
+    world: dict
+    machines: tuple[MachineState, ...]
+    latency_s: tuple[tuple[float, ...], ...]
+    bandwidth_bps: tuple[tuple[float, ...], ...]
+    problem: dict
+    params: dict = field(
+        default_factory=lambda: {
+            "conservatism_sigmas": 1.0,
+            "risk_aversion": 2.0,
+            "metric": "execution_time",
+            "account_memory": True,
+        }
+    )
+
+    @property
+    def machine_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.machines)
+
+    @property
+    def total_points(self) -> float:
+        n = int(self.problem["n"])
+        return float(n * n)
+
+    def machine(self, name: str) -> MachineState:
+        for m in self.machines:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    def jacobi_problem(self) -> JacobiProblem:
+        """The request as a live :class:`JacobiProblem`."""
+        p = self.problem
+        return JacobiProblem(
+            n=int(p["n"]),
+            iterations=int(p["iterations"]),
+            flop_per_point=float(p["flop_per_point"]),
+            bytes_per_point=float(p["bytes_per_point"]),
+            border_bytes_per_point=float(p["border_bytes_per_point"]),
+            sync_overhead_s=float(p["sync_overhead_s"]),
+        )
+
+    # -- serialisation -----------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": INSTANCE_SCHEMA,
+            "instance_id": self.instance_id,
+            "class": self.instance_class,
+            "world": self.world,
+            "machines": [vars(m).copy() for m in self.machines],
+            "latency_s": [list(row) for row in self.latency_s],
+            "bandwidth_bps": [list(row) for row in self.bandwidth_bps],
+            "problem": self.problem,
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ArenaInstance":
+        """Parse and validate one instance object (raises ``ValueError``)."""
+        if not isinstance(payload, dict):
+            raise ValueError("instance record must be a JSON object")
+        schema = payload.get("schema")
+        if schema != INSTANCE_SCHEMA:
+            raise ValueError(
+                f"unsupported instance schema {schema!r} (want {INSTANCE_SCHEMA})"
+            )
+        try:
+            machines = tuple(
+                MachineState(
+                    name=str(m["name"]),
+                    site=str(m["site"]),
+                    arch=str(m["arch"]),
+                    speed_mflops=float(m["speed_mflops"]),
+                    memory_available_mb=float(m["memory_available_mb"]),
+                    availability=float(m["availability"]),
+                    availability_error=float(m["availability_error"]),
+                )
+                for m in payload["machines"]
+            )
+            instance = cls(
+                instance_id=str(payload["instance_id"]),
+                instance_class=str(payload["class"]),
+                world=dict(payload["world"]),
+                machines=machines,
+                latency_s=tuple(
+                    tuple(float(v) for v in row) for row in payload["latency_s"]
+                ),
+                bandwidth_bps=tuple(
+                    tuple(float(v) for v in row) for row in payload["bandwidth_bps"]
+                ),
+                problem=dict(payload["problem"]),
+                params=dict(payload["params"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed instance record: {exc!r}") from exc
+        instance.validate()
+        return instance
+
+    def validate(self) -> None:
+        """Structural sanity; every violation is a ``ValueError``."""
+        n = len(self.machines)
+        if n < 1:
+            raise ValueError("instance needs at least one machine")
+        names = [m.name for m in self.machines]
+        if len(set(names)) != n:
+            raise ValueError(f"duplicate machine names: {names}")
+        for m in self.machines:
+            if m.speed_mflops <= 0:
+                raise ValueError(f"{m.name}: speed_mflops must be > 0")
+            if m.memory_available_mb < 0:
+                raise ValueError(f"{m.name}: memory_available_mb must be >= 0")
+            if not (0.0 <= m.availability <= 1.0):
+                raise ValueError(f"{m.name}: availability outside [0, 1]")
+            if m.availability_error < 0:
+                raise ValueError(f"{m.name}: availability_error must be >= 0")
+        for label, matrix in (
+            ("latency_s", self.latency_s),
+            ("bandwidth_bps", self.bandwidth_bps),
+        ):
+            if len(matrix) != n or any(len(row) != n for row in matrix):
+                raise ValueError(f"{label} must be a {n}x{n} matrix")
+            for row in matrix:
+                for v in row:
+                    if v < 0:
+                        raise ValueError(f"{label} entries must be >= 0")
+        for key in ("n", "iterations", "flop_per_point", "bytes_per_point",
+                    "border_bytes_per_point", "sync_overhead_s"):
+            if key not in self.problem:
+                raise ValueError(f"problem is missing {key!r}")
+        if int(self.problem["n"]) < 1 or int(self.problem["iterations"]) < 1:
+            raise ValueError("problem n and iterations must be >= 1")
+        for key in ("conservatism_sigmas", "risk_aversion", "metric",
+                    "account_memory"):
+            if key not in self.params:
+                raise ValueError(f"params is missing {key!r}")
+        if self.params["metric"] != "execution_time":
+            raise ValueError(
+                f"unsupported metric {self.params['metric']!r}: the arena "
+                f"verifier scores execution_time instances"
+            )
+
+
+@dataclass(frozen=True)
+class ArenaAllocation:
+    """One scheduler's emitted answer for one instance.
+
+    ``machines`` in strip order with ``points`` grid points each — the
+    complete observable outcome.  ``claimed_objective`` is whatever the
+    producing policy *believed* its objective was (``None`` when it makes
+    no forecast-based claim); the verifier never trusts it.
+    """
+
+    instance_id: str
+    policy: str
+    machines: tuple[str, ...]
+    points: tuple[float, ...]
+    claimed_objective: float | None = None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": ALLOCATION_SCHEMA,
+            "instance_id": self.instance_id,
+            "policy": self.policy,
+            "machines": list(self.machines),
+            "points": list(self.points),
+            "claimed_objective": self.claimed_objective,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ArenaAllocation":
+        if not isinstance(payload, dict):
+            raise ValueError("allocation record must be a JSON object")
+        schema = payload.get("schema")
+        if schema != ALLOCATION_SCHEMA:
+            raise ValueError(
+                f"unsupported allocation schema {schema!r} "
+                f"(want {ALLOCATION_SCHEMA})"
+            )
+        try:
+            claimed = payload["claimed_objective"]
+            return cls(
+                instance_id=str(payload["instance_id"]),
+                policy=str(payload["policy"]),
+                machines=tuple(str(m) for m in payload["machines"]),
+                points=tuple(float(p) for p in payload["points"]),
+                claimed_objective=None if claimed is None else float(claimed),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed allocation record: {exc!r}") from exc
+
+
+# -- world construction ----------------------------------------------------
+def build_world(world: dict) -> tuple[Testbed, NetworkWeatherService]:
+    """Rebuild the live testbed + NWS a ``world`` spec describes.
+
+    Worlds are pure functions of their seeds, so a policy rebuilding one
+    sees bit-for-bit the forecasts the instance captured.
+    """
+    generator = world.get("generator")
+    if generator == "sdsc":
+        testbed = sdsc_pcl_testbed(seed=int(world["seed"]))
+    elif generator == "synthetic":
+        testbed = synthetic_metacomputer(
+            int(world["n_hosts"]),
+            int(world["n_segments"]),
+            seed=int(world["seed"]),
+        )
+    else:
+        raise ValueError(f"unknown world generator {generator!r}")
+    nws = NetworkWeatherService.for_testbed(testbed, seed=int(world["nws_seed"]))
+    nws.warmup(float(world["warmup_s"]))
+    return testbed, nws
+
+
+def capture_instance(
+    testbed: Testbed,
+    nws: NetworkWeatherService,
+    problem: JacobiProblem,
+    world: dict,
+    instance_id: str,
+    instance_class: str,
+) -> ArenaInstance:
+    """Freeze the pool's current forecast state into an instance."""
+    pool = ResourcePool(testbed.topology, nws)
+    forecasts = pool.snapshot().export_forecasts()
+    names = pool.machine_names()
+    machines = []
+    for name in names:
+        info = pool.machine_info(name)
+        f = forecasts[name]
+        machines.append(
+            MachineState(
+                name=name,
+                site=info.site,
+                arch=info.arch,
+                speed_mflops=info.speed_mflops,
+                memory_available_mb=info.memory_available_mb,
+                availability=f["availability"],
+                availability_error=f["availability_error"],
+            )
+        )
+    latency = tuple(
+        tuple(
+            0.0 if a == b else testbed.topology.path_latency(a, b) for b in names
+        )
+        for a in names
+    )
+    bandwidth = tuple(
+        tuple(
+            float("inf") if a == b else pool.predicted_bandwidth(a, b)
+            for b in names
+        )
+        for a in names
+    )
+    return ArenaInstance(
+        instance_id=instance_id,
+        instance_class=instance_class,
+        world=dict(world),
+        machines=tuple(machines),
+        latency_s=latency,
+        bandwidth_bps=bandwidth,
+        problem={
+            "n": problem.n,
+            "iterations": problem.iterations,
+            "flop_per_point": problem.flop_per_point,
+            "bytes_per_point": problem.bytes_per_point,
+            "border_bytes_per_point": problem.border_bytes_per_point,
+            "sync_overhead_s": problem.sync_overhead_s,
+        },
+    )
+
+
+def generate_instances(
+    instance_class: str,
+    count: int,
+    seed: int = 2024,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    iterations: int = 40,
+) -> list[ArenaInstance]:
+    """Seeded, stratified instance generation for one class.
+
+    Instance ``k`` of a class gets its own world seed, NWS seed and warmup
+    horizon, and cycles the problem edge length through ``sizes`` — so one
+    class spans several load states and problem scales while staying fully
+    reproducible from ``(instance_class, count, seed, sizes, iterations)``.
+    """
+    spec = INSTANCE_CLASSES.get(instance_class)
+    if spec is None:
+        raise ValueError(
+            f"unknown instance class {instance_class!r} "
+            f"(have: {sorted(INSTANCE_CLASSES)})"
+        )
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    instances = []
+    for k in range(count):
+        world = {
+            "generator": spec["generator"],
+            "n_hosts": spec["n_hosts"],
+            "n_segments": spec["n_segments"],
+            "seed": seed + 17 * k,
+            "nws_seed": seed + 1009 + k,
+            "warmup_s": 300.0 + 60.0 * (k % 5),
+        }
+        testbed, nws = build_world(world)
+        problem = JacobiProblem(n=sizes[k % len(sizes)], iterations=iterations)
+        instances.append(
+            capture_instance(
+                testbed,
+                nws,
+                problem,
+                world,
+                instance_id=f"{instance_class}-s{seed}-{k:03d}",
+                instance_class=instance_class,
+            )
+        )
+    return instances
+
+
+# -- JSONL persistence ------------------------------------------------------
+def save_instances(
+    path: str | pathlib.Path, instances: list[ArenaInstance]
+) -> None:
+    """Write instances to ``path``, one JSON object per line."""
+    if not instances:
+        raise ValueError("refusing to write an empty instance file")
+    lines = [json.dumps(inst.to_json_dict()) for inst in instances]
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_instances(path: str | pathlib.Path) -> list[ArenaInstance]:
+    """Read an instance JSONL file back (``ValueError`` on malformed lines)."""
+    return _load_jsonl(path, ArenaInstance.from_json_dict, "instance")
+
+
+def save_allocations(
+    path: str | pathlib.Path, allocations: list[ArenaAllocation]
+) -> None:
+    """Write allocations to ``path``, one JSON object per line."""
+    if not allocations:
+        raise ValueError("refusing to write an empty allocation file")
+    lines = [json.dumps(a.to_json_dict()) for a in allocations]
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_allocations(path: str | pathlib.Path) -> list[ArenaAllocation]:
+    """Read an allocation JSONL file back (``ValueError`` on malformed lines)."""
+    return _load_jsonl(path, ArenaAllocation.from_json_dict, "allocation")
+
+
+def _load_jsonl(path, parse, kind):
+    records = []
+    text = pathlib.Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not a JSON {kind} record"
+            ) from exc
+        try:
+            records.append(parse(payload))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    if not records:
+        raise ValueError(f"{path}: no {kind} records found")
+    return records

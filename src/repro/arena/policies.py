@@ -1,0 +1,222 @@
+"""Arena baselines: every policy emits allocations, the verifier scores them.
+
+A policy here is anything that turns an :class:`ArenaInstance` into an
+:class:`ArenaAllocation` — machines in strip order plus the grid points
+each gets.  The arena's contract is one-directional: policies may import
+whatever scheduler machinery they like, but the verifier never imports
+them back; all comparison happens on the emitted allocations.
+
+Portfolio:
+
+``static``
+    :class:`~repro.jacobi.apples.StaticStripPlanner` over the whole pool —
+    the compile-time Figure 4 baseline.  Its ``claimed_objective`` is the
+    nominal prediction, which the verifier routinely contradicts: that gap
+    *is* the paper's point.
+``greedy``
+    The AppLeS agent restricted to the greedy candidate ladder
+    (``regime="greedy"``) — what large pools used to silently get.
+``exhaustive``
+    The AppLeS agent over every non-empty subset — the regret oracle.
+    Refuses pools above :data:`EXHAUSTIVE_CEILING` machines.
+``seeded``
+    :class:`~repro.core.selector.SeededSelector` — the greedy ladder plus
+    conservative-speed-ranked prefixes and previous-winner neighbourhoods,
+    with breadth adapted from each decision's :class:`PruningStats`.
+``locality``
+    :class:`~repro.core.selector.LocalitySelector` — the ladder plus
+    site-local prefixes and cross-site unions.
+
+``seeded`` and ``locality`` runners are *stateful*: one selector instance
+persists across a class's instance sequence and is fed each decision's
+winner and pruning statistics, so candidate generation on instance *k*
+benefits from instances ``0..k-1``.
+"""
+
+from __future__ import annotations
+
+from repro.arena.instances import ArenaAllocation, ArenaInstance, build_world
+from repro.core.infopool import InformationPool
+from repro.core.resources import ResourcePool
+from repro.core.selector import LocalitySelector, ResourceSelector, SeededSelector
+from repro.core.userspec import UserSpecification
+from repro.jacobi.apples import StaticStripPlanner, make_jacobi_agent
+from repro.jacobi.grid import jacobi_hat
+
+__all__ = [
+    "POLICY_NAMES",
+    "EXHAUSTIVE_CEILING",
+    "PolicyRunner",
+    "make_policy",
+    "run_policies",
+]
+
+POLICY_NAMES = ("static", "greedy", "exhaustive", "seeded", "locality")
+
+#: Hard ceiling for the exhaustive oracle: 2^16 - 1 candidate sets is the
+#: most the batched evaluator chews through in reasonable bench time.
+EXHAUSTIVE_CEILING = 16
+
+
+class PolicyRunner:
+    """Base: rebuild the instance's world, schedule, emit the allocation."""
+
+    name: str = "abstract"
+
+    def run(self, instance: ArenaInstance) -> ArenaAllocation | None:
+        raise NotImplementedError
+
+
+class _StaticPolicy(PolicyRunner):
+    name = "static"
+
+    def run(self, instance: ArenaInstance) -> ArenaAllocation | None:
+        testbed, nws = build_world(instance.world)
+        problem = instance.jacobi_problem()
+        pool = ResourcePool(testbed.topology, nws)
+        info = InformationPool(
+            pool=pool, hat=jacobi_hat(problem), userspec=UserSpecification()
+        )
+        schedule = StaticStripPlanner(problem).plan(pool.machine_names(), info)
+        if schedule is None:
+            return None
+        return ArenaAllocation(
+            instance_id=instance.instance_id,
+            policy=self.name,
+            machines=tuple(a.machine for a in schedule.allocations),
+            points=tuple(float(a.work_units) for a in schedule.allocations),
+            claimed_objective=schedule.predicted_time,
+        )
+
+
+class _AgentPolicy(PolicyRunner):
+    """An AppLeS agent with a per-run selector."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _selector(self, instance: ArenaInstance) -> ResourceSelector:
+        raise NotImplementedError
+
+    def _after_decision(self, selector, decision) -> None:
+        """Hook for stateful selectors (default: stateless)."""
+
+    def run(self, instance: ArenaInstance) -> ArenaAllocation | None:
+        testbed, nws = build_world(instance.world)
+        problem = instance.jacobi_problem()
+        selector = self._selector(instance)
+        agent = make_jacobi_agent(
+            testbed,
+            problem,
+            nws,
+            selector=selector,
+            account_memory=bool(instance.params["account_memory"]),
+        )
+        decision = agent.schedule()
+        self._after_decision(selector, decision)
+        schedule = decision.best
+        return ArenaAllocation(
+            instance_id=instance.instance_id,
+            policy=self.name,
+            machines=tuple(a.machine for a in schedule.allocations),
+            points=tuple(float(a.work_units) for a in schedule.allocations),
+            claimed_objective=decision.best_objective,
+        )
+
+
+class _GreedyPolicy(_AgentPolicy):
+    def __init__(self) -> None:
+        super().__init__("greedy")
+
+    def _selector(self, instance: ArenaInstance) -> ResourceSelector:
+        return ResourceSelector(regime="greedy")
+
+
+class _ExhaustivePolicy(_AgentPolicy):
+    def __init__(self) -> None:
+        super().__init__("exhaustive")
+
+    def _selector(self, instance: ArenaInstance) -> ResourceSelector:
+        n = len(instance.machines)
+        if n > EXHAUSTIVE_CEILING:
+            raise ValueError(
+                f"exhaustive oracle refuses {n} machines "
+                f"(ceiling {EXHAUSTIVE_CEILING}): 2^{n} - 1 candidate sets"
+            )
+        return ResourceSelector(
+            exhaustive_limit=max(12, n),
+            max_sets=2**n - 1,
+            regime="exhaustive",
+        )
+
+
+class _AdaptiveAgentPolicy(_AgentPolicy):
+    """Seeded/locality: one persistent selector per instance class."""
+
+    selector_cls: type
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._selectors: dict[str, ResourceSelector] = {}
+
+    def _selector(self, instance: ArenaInstance) -> ResourceSelector:
+        selector = self._selectors.get(instance.instance_class)
+        if selector is None:
+            selector = self.selector_cls()
+            self._selectors[instance.instance_class] = selector
+        return selector
+
+    def _after_decision(self, selector, decision) -> None:
+        selector.observe(decision.best.resource_set, decision.pruning)
+
+
+class _SeededPolicy(_AdaptiveAgentPolicy):
+    selector_cls = SeededSelector
+
+    def __init__(self) -> None:
+        super().__init__("seeded")
+
+
+class _LocalityPolicy(_AdaptiveAgentPolicy):
+    selector_cls = LocalitySelector
+
+    def __init__(self) -> None:
+        super().__init__("locality")
+
+
+_FACTORIES = {
+    "static": _StaticPolicy,
+    "greedy": _GreedyPolicy,
+    "exhaustive": _ExhaustivePolicy,
+    "seeded": _SeededPolicy,
+    "locality": _LocalityPolicy,
+}
+
+
+def make_policy(name: str) -> PolicyRunner:
+    """A fresh (stateful where applicable) runner for one policy name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown policy {name!r} (have: {sorted(_FACTORIES)})")
+    return factory()
+
+
+def run_policies(
+    instances: list[ArenaInstance], policies: tuple[str, ...] = POLICY_NAMES
+) -> list[ArenaAllocation]:
+    """Run each policy across ``instances`` (in order) and collect answers.
+
+    Instances are grouped per policy in sequence order so stateful
+    selectors see a class's instances as a stream, the way a long-running
+    scheduling service would.
+    """
+    allocations: list[ArenaAllocation] = []
+    for name in policies:
+        runner = make_policy(name)
+        for instance in instances:
+            if name == "exhaustive" and len(instance.machines) > EXHAUSTIVE_CEILING:
+                continue
+            answer = runner.run(instance)
+            if answer is not None:
+                allocations.append(answer)
+    return allocations

@@ -23,6 +23,10 @@ Experiments
 ``all``        Everything above, in order.
 ``serve``      Always-on sharded scheduling daemon under synthetic load
                (``--smoke`` runs the short self-checking preset).
+``arena``      Scheduler arena: generate frozen instances, score the
+               policy portfolio, verify emitted allocations, report
+               regret vs the exhaustive oracle (``--smoke`` runs the
+               short self-checking preset).
 ``obs-report`` Summarise (or diff) a JSONL trace written by ``--trace``.
 
 Every experiment accepts ``--trace PATH`` (write a ``repro.obs`` trace of
@@ -306,6 +310,153 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_arena(args: argparse.Namespace) -> str:
+    """Drive the scheduler arena: generate / score / verify / report.
+
+    The four actions share one contract: instances and allocations live in
+    plain JSONL files, and everything downstream of ``score`` is driven by
+    the standalone verifier alone — ``verify`` and ``report`` work on
+    files produced by processes this one has never imported.
+    """
+    from repro import arena
+
+    if args.smoke:
+        return _arena_smoke(args)
+    if args.action is None:
+        raise SystemExit(
+            "arena needs an action (generate / score / verify / report) "
+            "or --smoke"
+        )
+    classes = tuple(c for c in args.classes.split(",") if c)
+    policies = tuple(p for p in args.policies.split(",") if p)
+
+    if args.action == "generate":
+        instances = []
+        for klass in classes:
+            kwargs = {} if args.sizes is None else {"sizes": args.sizes}
+            instances.extend(
+                arena.generate_instances(
+                    klass, args.per_class, seed=args.seed,
+                    iterations=args.iterations, **kwargs,
+                )
+            )
+        out = args.out or "arena_instances.jsonl"
+        arena.save_instances(out, instances)
+        return (
+            f"wrote {len(instances)} instances "
+            f"({', '.join(classes)}) to {out}"
+        )
+
+    if args.instances is None:
+        raise SystemExit(f"arena {args.action} requires --instances PATH")
+    instances = arena.load_instances(args.instances)
+
+    if args.action == "score":
+        allocations = arena.run_policies(instances, policies)
+        out = args.out or "arena_allocations.jsonl"
+        arena.save_allocations(out, allocations)
+        result = arena.score_allocations(instances, allocations)
+        return (
+            f"wrote {len(allocations)} allocations to {out}\n\n"
+            + result.table()
+        )
+
+    if args.allocations is None:
+        raise SystemExit(f"arena {args.action} requires --allocations PATH")
+    allocations = arena.load_allocations(args.allocations)
+
+    if args.action == "verify":
+        lines = []
+        rejected = 0
+        for alloc in allocations:
+            inst = next(
+                (i for i in instances if i.instance_id == alloc.instance_id),
+                None,
+            )
+            if inst is None:
+                raise SystemExit(
+                    f"allocation references unknown instance "
+                    f"{alloc.instance_id!r}"
+                )
+            report = arena.verify_allocation(inst, alloc)
+            rejected += not report.feasible
+            verdict = (
+                f"ok  objective={report.objective:.6f}"
+                if report.feasible
+                else f"REJECTED ({report.reason})"
+            )
+            lines.append(f"{alloc.instance_id}  {alloc.policy:<12} {verdict}")
+        lines.append("")
+        lines.append(
+            f"{len(allocations)} allocations verified, {rejected} rejected"
+        )
+        return "\n".join(lines)
+
+    # report: aggregate regret purely from the two files.
+    return arena.score_allocations(instances, allocations).table()
+
+
+def _arena_smoke(args: argparse.Namespace) -> str:
+    """Tiny end-to-end self-check (run it under both gate modes in CI).
+
+    Generates two 8-host instances, runs the full policy portfolio,
+    round-trips everything through JSONL, and asserts the arena's core
+    invariants: verifier/decision bit-identity, regret >= 0 everywhere,
+    and exactly 0 for the exhaustive oracle.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro import arena
+
+    instances = arena.generate_instances(
+        "sdsc8", 2, seed=args.seed, sizes=(400,), iterations=20
+    )
+    allocations = arena.run_policies(instances)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        inst_path = Path(tmp) / "instances.jsonl"
+        alloc_path = Path(tmp) / "allocations.jsonl"
+        arena.save_instances(inst_path, instances)
+        arena.save_allocations(alloc_path, allocations)
+        if arena.load_instances(inst_path) != instances:
+            raise SystemExit("smoke: instance JSONL round-trip diverged")
+        if arena.load_allocations(alloc_path) != allocations:
+            raise SystemExit("smoke: allocation JSONL round-trip diverged")
+
+    by_id = {inst.instance_id: inst for inst in instances}
+    checked = 0
+    for alloc in allocations:
+        report = arena.verify_allocation(by_id[alloc.instance_id], alloc)
+        if alloc.policy != "static":
+            if not report.feasible:
+                raise SystemExit(
+                    f"smoke: {alloc.policy} emitted an infeasible allocation "
+                    f"({report.reason})"
+                )
+            if report.objective != alloc.claimed_objective:
+                raise SystemExit(
+                    f"smoke: verifier objective {report.objective!r} != "
+                    f"decision objective {alloc.claimed_objective!r} "
+                    f"for {alloc.policy} on {alloc.instance_id}"
+                )
+            checked += 1
+
+    result = arena.score_allocations(instances, allocations)
+    for score in result.scores:
+        if any(r < 0.0 for r in score.regrets):
+            raise SystemExit(f"smoke: negative regret for {score.policy}")
+        if score.policy == "exhaustive" and score.regrets and (
+            score.mean_regret != 0.0
+        ):
+            raise SystemExit("smoke: exhaustive oracle has nonzero regret")
+    return (
+        result.table()
+        + f"\n\nsmoke: {checked} decision objectives re-derived by the "
+        "standalone verifier — bit-identical; JSONL round-trips exact"
+    )
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> str:
     data = read_trace(args.trace)
     if args.diff is not None:
@@ -329,6 +480,7 @@ _QUICK: dict[str, dict[str, Any]] = {
     "contention": {"n": 800, "apps": 3},
     "metrics": {"n": 800},
     "decomposition": {"n": 800},
+    "arena": {"per_class": 3, "sizes": (400, 700), "iterations": 20},
 }
 
 
@@ -467,6 +619,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "speed, every answer re-derived through a "
                         "one-shot SchedulingService (CI health check)")
 
+    p = sub.add_parser(
+        "arena",
+        help="scheduler arena: instance dataset, verifier, regret report",
+    )
+    common(p)
+    p.add_argument("action", nargs="?", default=None,
+                   choices=("generate", "score", "verify", "report"),
+                   help="generate instances / run + score the portfolio / "
+                        "verify saved allocations / report regret from "
+                        "saved files")
+    p.add_argument("--classes", default="sdsc8,synth14",
+                   help="comma-separated instance classes (default "
+                        "sdsc8,synth14)")
+    p.add_argument("--per-class", type=int, default=6, dest="per_class",
+                   help="instances generated per class (default 6)")
+    p.add_argument("--sizes", type=_sizes, default=None,
+                   help="comma-separated problem edge lengths cycled "
+                        "across each class's instances")
+    p.add_argument("--iterations", type=int, default=40,
+                   help="Jacobi iterations per instance (default 40)")
+    p.add_argument("--instances", metavar="PATH", default=None,
+                   help="instance JSONL file (input to score/verify/report)")
+    p.add_argument("--allocations", metavar="PATH", default=None,
+                   help="allocation JSONL file (input to verify/report)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output path (generate: instances JSONL, "
+                        "score: allocations JSONL)")
+    p.add_argument("--policies",
+                   default="static,greedy,exhaustive,seeded,locality",
+                   help="comma-separated policy portfolio for score")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny self-checking end-to-end run: JSONL "
+                        "round-trips exact, verifier bit-identical to "
+                        "decisions, regret >= 0, oracle regret 0 "
+                        "(CI health check; run under both gate modes)")
+
     p = sub.add_parser("obs-report",
                        help="summarise (or diff) a trace written by --trace")
     p.add_argument("trace", help="path to a repro.obs JSONL trace")
@@ -489,6 +677,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     with tracing(path=trace_path) if trace_path else nullcontext():
         if args.experiment == "serve":
             print(_cmd_serve(args))
+            return 0
+        if args.experiment == "arena":
+            _apply_quick(args, "arena", parser.parse_args(["arena"]))
+            print(_cmd_arena(args))
             return 0
         if args.experiment == "all":
             for name in _COMMANDS:

@@ -53,6 +53,7 @@ __all__ = [
     "balance_divisible_work",
     "balance_divisible_work_batched",
     "balance_prefix_exact_batched",
+    "fractional_time_floor",
     "TimeBalancedPlanner",
 ]
 
@@ -148,6 +149,26 @@ def balance_divisible_work(
     if perf.fastpath_enabled():
         return _balance_fast(rates, fixed_costs, float(total_units), caps)
     return _balance_reference(rates, fixed_costs, float(total_units), caps)
+
+
+def fractional_time_floor(
+    rates: Sequence[float],
+    fixed_costs: Sequence[float],
+    total_units: float,
+) -> float:
+    """Uncapacitated fractional balanced time for one machine set.
+
+    The makespan of :func:`balance_divisible_work` with capacities relaxed
+    away: an admissible floor on the per-step time of *any* schedule a
+    time-balancing planner could produce on these machines.  The scheduling
+    arena reports it next to each instance's best verified objective, so a
+    regret table separates "the search missed a better set" from "the
+    partition itself is near its fractional optimum".  Machines predicted
+    to deliver nothing must be excluded by the caller, mirroring the
+    planners.  Returns ``inf`` when no machine can be loaded.
+    """
+    result = balance_divisible_work(rates, fixed_costs, total_units)
+    return float("inf") if result is None else result.makespan
 
 
 def _balance_reference(

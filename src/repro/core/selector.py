@@ -17,13 +17,18 @@ tightened prefixes per site.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.distance import set_diameter
 from repro.core.infopool import InformationPool
 from repro.obs.trace import get_tracer
 
-__all__ = ["ResourceSelector"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.coordinator import PruningStats
+
+__all__ = ["ResourceSelector", "SeededSelector", "LocalitySelector"]
+
+_REGIMES = ("auto", "exhaustive", "greedy")
 
 
 class ResourceSelector:
@@ -41,15 +46,31 @@ class ResourceSelector:
         deterministic: enumeration emits sizes ascending and, within a
         size, machines in feasible-pool order (``itertools.combinations``),
         so the same pool always keeps the same prefix.
+    regime:
+        ``"auto"`` (default) enumerates exhaustively up to
+        ``exhaustive_limit`` machines and falls back to the greedy ladder
+        beyond it.  ``"greedy"`` always uses the ladder.  ``"exhaustive"``
+        demands full enumeration and raises ``ValueError`` — naming the
+        machine count — when the feasible pool exceeds the limit, instead
+        of silently degrading to the ladder (the arena's exhaustive oracle
+        must never quietly stop being an oracle).
     """
 
-    def __init__(self, exhaustive_limit: int = 12, max_sets: int = 8192) -> None:
+    def __init__(
+        self,
+        exhaustive_limit: int = 12,
+        max_sets: int = 8192,
+        regime: str = "auto",
+    ) -> None:
         if exhaustive_limit < 1:
             raise ValueError("exhaustive_limit must be >= 1")
         if max_sets < 1:
             raise ValueError("max_sets must be >= 1")
+        if regime not in _REGIMES:
+            raise ValueError(f"regime must be one of {_REGIMES}, got {regime!r}")
         self.exhaustive_limit = exhaustive_limit
         self.max_sets = max_sets
+        self.regime = regime
 
     @staticmethod
     def exhaustive_count(n_machines: int) -> int:
@@ -90,12 +111,30 @@ class ResourceSelector:
         max_machines = info.userspec.max_machines or len(feasible)
         max_machines = min(max_machines, len(feasible))
 
-        if len(feasible) <= self.exhaustive_limit:
+        if self.regime == "exhaustive" and len(feasible) > self.exhaustive_limit:
+            raise ValueError(
+                f"exhaustive selection requested for {len(feasible)} feasible "
+                f"machines, above the 2^{self.exhaustive_limit} - 1 bound "
+                f"(exhaustive_limit={self.exhaustive_limit}); raise "
+                f"exhaustive_limit explicitly or use regime='greedy'"
+            )
+        exhaustive = self.regime == "exhaustive" or (
+            self.regime == "auto" and len(feasible) <= self.exhaustive_limit
+        )
+        if exhaustive:
             regime = "exhaustive"
             sets = self._exhaustive(feasible, max_machines)
         else:
             regime = "greedy"
             sets = self._greedy(feasible, info, max_machines)
+
+        extras = self._extra_sets(feasible, info, max_machines)
+        if extras:
+            seen = set(sets)
+            for candidate in extras:
+                if candidate and candidate not in seen:
+                    seen.add(candidate)
+                    sets.append(candidate)
 
         coupling = self._coupling_bytes(info)
         if coupling > 0.0 and len(sets) <= 1024:
@@ -115,6 +154,15 @@ class ResourceSelector:
             tracer.metrics.counter("core.selector.candidate_sets").inc(len(sets))
             tracer.metrics.counter(f"core.selector.regime.{regime}").inc()
         return sets
+
+    def _extra_sets(
+        self, feasible: Sequence[str], info: InformationPool, max_machines: int
+    ) -> list[tuple[str, ...]]:
+        """Additional candidate sets appended (deduplicated) to the base
+        enumeration.  Subclasses — the arena's portfolio generators — add
+        their learned or locality-expanded sets here; the base selector
+        adds none."""
+        return []
 
     def _coupling_bytes(self, info: InformationPool) -> float:
         comm = info.hat.communication
@@ -162,3 +210,217 @@ class ResourceSelector:
             for k in range(1, min(len(members), max_machines) + 1):
                 push(tuple(members[:k]))
         return sets[: self.max_sets]
+
+
+class _AdaptiveSelector(ResourceSelector):
+    """Greedy-ladder selector with a :class:`PruningStats` feedback loop.
+
+    The ROADMAP's "selector learning" direction: the Coordinator's
+    candidate-search statistics (how much of the last candidate space the
+    admissible bounds pruned) plus the winning resource set are fed back
+    via :meth:`observe`, and the generator adapts how *wide* it casts its
+    extra candidate sets.  A heavily-pruned search means bounds are strong
+    and extra candidates are nearly free, so breadth grows; a search that
+    planned almost everything means candidates are expensive, so breadth
+    shrinks.
+
+    The base enumeration is always the greedy ladder (``regime="greedy"``),
+    so on any pool these generators cost O(n log n) + O(breadth) planner
+    calls — and because every extra set is *appended* to the ladder, their
+    best objective can never be worse than the plain ladder's.
+    """
+
+    #: Breadth bounds for the PruningStats adaptation.  The floor keeps
+    #: three sites in play — cross-site unions need at least the strongest
+    #: site *pairs* even when pruning feedback argues for a narrow cast.
+    min_breadth = 3
+    max_breadth = 8
+
+    def __init__(
+        self,
+        exhaustive_limit: int = 12,
+        max_sets: int = 8192,
+        breadth: int = 4,
+        memory: int = 4,
+    ) -> None:
+        super().__init__(exhaustive_limit, max_sets, regime="greedy")
+        if breadth < 1:
+            raise ValueError("breadth must be >= 1")
+        if memory < 1:
+            raise ValueError("memory must be >= 1")
+        self.breadth = breadth
+        self.memory = memory
+        self._winners: list[tuple[str, ...]] = []  # most recent first
+
+    def observe(
+        self, winner: Sequence[str], stats: "PruningStats | None" = None
+    ) -> None:
+        """Feed back one decision's winning resource set and search stats."""
+        key = tuple(sorted(winner))
+        if key:
+            self._winners = [key] + [w for w in self._winners if w != key]
+            del self._winners[self.memory:]
+        if stats is not None and stats.bounded:
+            if stats.pruned_fraction > 0.5:
+                self.breadth = min(self.max_breadth, self.breadth + 1)
+            else:
+                self.breadth = max(self.min_breadth, self.breadth - 1)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("core.selector.observed_winners").inc()
+
+    def _conservative_ranked(
+        self, feasible: Sequence[str], info: InformationPool
+    ) -> list[str]:
+        """Feasible machines by *conservative* deliverable speed, fastest
+        first.  The greedy ladder ranks by the mean forecast; under volatile
+        loads the error-discounted ranking the planner actually budgets
+        with can differ — which is exactly the gap these generators mine."""
+        return sorted(
+            feasible,
+            key=lambda n: info.pool.predicted_speed_conservative(n),
+            reverse=True,
+        )
+
+    def _risk_ordered(
+        self, feasible: Sequence[str], info: InformationPool
+    ) -> list[str]:
+        """Feasible machines by ascending forecast risk.
+
+        Risk is the relative availability-forecast error
+        (``error / availability``) — the exact per-member term whose
+        maximum multiplies a schedule's objective.  Ties break toward
+        higher conservative speed.
+        """
+        pool = info.pool
+
+        def risk(name: str) -> float:
+            avail = pool.predicted_availability(name)
+            err = pool.predicted_availability_error(name)
+            return err / max(avail, 0.05) if avail > 0 else float("inf")
+
+        return sorted(
+            feasible,
+            key=lambda n: (risk(n), -pool.predicted_speed_conservative(n), n),
+        )
+
+    def _risk_ladder(
+        self, feasible: Sequence[str], info: InformationPool, max_machines: int
+    ) -> list[tuple[str, ...]]:
+        """Prefixes of the pool ordered by ascending forecast risk.
+
+        A schedule's objective is multiplied by ``1 + aversion × worst
+        member risk``, so the best set at a given risk tolerance is drawn
+        from the machines *below* that risk.  Each prefix of the
+        risk-ascending order is exactly the pool at one risk cutoff; the
+        planner's own drop/re-balance pass then discards members whose
+        border cost outweighs their rate, so one candidate per cutoff lets
+        the planner explore the whole speed-vs-volatility frontier — sets
+        the mean-speed ladder cannot express.
+        """
+        ordered = self._risk_ordered(feasible, info)
+        return [
+            tuple(ordered[:k])
+            for k in range(1, min(len(ordered), max_machines) + 1)
+        ]
+
+
+class SeededSelector(_AdaptiveSelector):
+    """Previous-winner seeding: the greedy ladder plus remembered winners
+    and single-machine variations around them.
+
+    Scheduling decisions over one slowly-drifting pool tend to keep
+    choosing near-identical resource sets; re-proposing recent winners (and
+    their add-one/drop-one neighbourhood, strongest machines first) lets a
+    big pool benefit from yesterday's search without exhaustive cost.
+    """
+
+    def _extra_sets(
+        self, feasible: Sequence[str], info: InformationPool, max_machines: int
+    ) -> list[tuple[str, ...]]:
+        pool = set(feasible)
+        ranked = self._conservative_ranked(feasible, info)
+        extras: list[tuple[str, ...]] = []
+        for k in range(1, max_machines + 1):
+            extras.append(tuple(ranked[:k]))
+        extras.extend(self._risk_ladder(feasible, info, max_machines))
+        for winner in self._winners:
+            members = [m for m in winner if m in pool]
+            if not members:
+                continue
+            extras.append(tuple(members))
+            member_set = set(members)
+            added = 0
+            if len(members) < max_machines:
+                for m in ranked:  # add-one, strongest candidates first
+                    if m in member_set:
+                        continue
+                    extras.append(tuple(members + [m]))
+                    added += 1
+                    if added >= self.breadth:
+                        break
+            if len(members) > 1:
+                for dropped in members[: self.breadth]:  # drop-one
+                    extras.append(tuple(m for m in members if m != dropped))
+        return extras
+
+
+class LocalitySelector(_AdaptiveSelector):
+    """Locality-neighbourhood expansion: conservative-speed prefixes per
+    site and unions of the strongest sites' prefixes.
+
+    Site-restricted sets keep every strip border on a fast local segment;
+    expanding the best site's prefix with its strongest neighbours explores
+    the boundary where adding remote rate stops paying for WAN borders —
+    candidate shapes the global ladder never proposes.
+    """
+
+    def _extra_sets(
+        self, feasible: Sequence[str], info: InformationPool, max_machines: int
+    ) -> list[tuple[str, ...]]:
+        ranked = self._conservative_ranked(feasible, info)
+        extras: list[tuple[str, ...]] = []
+        for k in range(1, max_machines + 1):
+            extras.append(tuple(ranked[:k]))
+        extras.extend(self._risk_ladder(feasible, info, max_machines))
+        # Two within-site orderings: by conservative speed (pure rate) and
+        # by ascending risk (the multiplier the balance cannot see).  The
+        # risk ordering matters because the planner never drops a member to
+        # lower the set's risk multiplier — only candidates that already
+        # exclude the volatile machines can reach low-risk optima.
+        orderings = (ranked, self._risk_ordered(feasible, info))
+        for ordering in orderings:
+            sites: dict[str, list[str]] = {}
+            for name in ordering:
+                sites.setdefault(info.pool.machine_info(name).site, []).append(name)
+            for members in sites.values():
+                for k in range(1, min(len(members), max_machines) + 1):
+                    extras.append(tuple(members[:k]))
+            # Unions of the strongest sites' prefixes, widest pairing first.
+            site_order = sorted(
+                sites,
+                key=lambda s: info.pool.predicted_speed_conservative(sites[s][0]),
+                reverse=True,
+            )
+            # Small-subset unions dig deeper than prefixes: the best
+            # two-site set often pairs each site's workhorse with a slow
+            # *edge* machine that absorbs the WAN border cost on a tiny
+            # strip — a member no prefix of either ordering reaches.  The
+            # subset depth is fixed: breadth governs how many sites pair,
+            # not how deep each site's roster goes.
+            depth = 4
+            for i, first in enumerate(site_order[: self.breadth]):
+                for second in site_order[i + 1 : self.breadth]:
+                    a, b = sites[first], sites[second]
+                    for ka in range(1, len(a) + 1):
+                        for kb in range(1, len(b) + 1):
+                            if ka + kb <= max_machines:
+                                extras.append(tuple(a[:ka] + b[:kb]))
+                    for na in range(1, depth + 1):
+                        for sub_a in combinations(a[:depth], na):
+                            for nb in range(1, depth + 1):
+                                if na + nb > max_machines:
+                                    continue
+                                for sub_b in combinations(b[:depth], nb):
+                                    extras.append(sub_a + sub_b)
+        return extras

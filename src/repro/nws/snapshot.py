@@ -136,6 +136,26 @@ class ForecastSnapshot:
             self._transfer[key] = value
         return value
 
+    def export_forecasts(self) -> dict[str, dict[str, float]]:
+        """The eagerly-captured machine forecasts as plain serialisable data.
+
+        ``{machine: {"availability": ..., "availability_error": ...,
+        "speed": ...}}`` — exactly the floats the pool's prediction
+        interface returned at the snapshot instant.  The scheduling arena
+        freezes these into instance files so a standalone verifier can
+        re-derive conservative speeds without a live NWS; round-tripping
+        through JSON preserves them bit-for-bit (``repr``-based shortest
+        round-trip).
+        """
+        return {
+            name: {
+                "availability": self.availability[name],
+                "availability_error": self.availability_error[name],
+                "speed": self.speed[name],
+            }
+            for name in self.machines
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ForecastSnapshot({len(self.machines)} machines at "

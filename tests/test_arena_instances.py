@@ -1,0 +1,185 @@
+"""Arena instance dataset: generation, validation, JSONL persistence.
+
+The arena's contract starts here: instances are pure functions of their
+seeds, their JSON form round-trips bit-for-bit (shortest-repr floats),
+and every malformed record is a ``ValueError`` that names the line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.arena import (
+    ALLOCATION_SCHEMA,
+    INSTANCE_SCHEMA,
+    ArenaAllocation,
+    ArenaInstance,
+    build_world,
+    generate_instances,
+    load_allocations,
+    load_instances,
+    save_allocations,
+    save_instances,
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return generate_instances("sdsc8", 2, seed=11, sizes=(400,), iterations=10)
+
+
+class TestGeneration:
+    def test_deterministic_from_seed(self, instances):
+        again = generate_instances("sdsc8", 2, seed=11, sizes=(400,), iterations=10)
+        assert again == instances
+
+    def test_stratified_ids_and_worlds(self, instances):
+        assert [i.instance_id for i in instances] == [
+            "sdsc8-s11-000", "sdsc8-s11-001",
+        ]
+        # Each instance gets its own world/NWS seeds — distinct load states.
+        assert instances[0].world["seed"] != instances[1].world["seed"]
+        assert instances[0].world["nws_seed"] != instances[1].world["nws_seed"]
+
+    def test_synthetic_class_size(self):
+        inst = generate_instances("synth14", 1, seed=3, sizes=(300,), iterations=5)[0]
+        assert len(inst.machines) == 14
+        assert len(inst.latency_s) == 14
+        assert len(inst.bandwidth_bps) == 14
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown instance class"):
+            generate_instances("nope", 1)
+
+    def test_bad_count_and_sizes_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            generate_instances("sdsc8", 0)
+        with pytest.raises(ValueError, match="sizes"):
+            generate_instances("sdsc8", 1, sizes=())
+
+    def test_world_rebuild_matches_frozen_forecasts(self, instances):
+        """Worlds are reproducible: a rebuilt pool re-derives the frozen state."""
+        from repro.core.resources import ResourcePool
+
+        inst = instances[0]
+        testbed, nws = build_world(inst.world)
+        pool = ResourcePool(testbed.topology, nws)
+        forecasts = pool.snapshot().export_forecasts()
+        for m in inst.machines:
+            assert forecasts[m.name]["availability"] == m.availability
+            assert forecasts[m.name]["availability_error"] == m.availability_error
+
+
+class TestRoundTrip:
+    def test_instances_round_trip_exact(self, tmp_path, instances):
+        path = tmp_path / "instances.jsonl"
+        save_instances(path, instances)
+        loaded = load_instances(path)
+        assert loaded == instances
+
+    def test_json_dict_schema_and_infinity(self, instances):
+        payload = instances[0].to_json_dict()
+        assert payload["schema"] == INSTANCE_SCHEMA
+        # Diagonal bandwidth is infinite and survives JSON (allow_nan default).
+        text = json.dumps(payload)
+        back = ArenaInstance.from_json_dict(json.loads(text))
+        assert back == instances[0]
+        assert math.isinf(back.bandwidth_bps[0][0])
+
+    def test_allocations_round_trip_exact(self, tmp_path, instances):
+        allocations = [
+            ArenaAllocation(
+                instance_id=instances[0].instance_id,
+                policy="greedy",
+                machines=("a", "b"),
+                points=(100000.0, 60000.0),
+                claimed_objective=1.2345678901234567,
+            ),
+            ArenaAllocation(
+                instance_id=instances[1].instance_id,
+                policy="static",
+                machines=("a",),
+                points=(160000.0,),
+                claimed_objective=None,
+            ),
+        ]
+        path = tmp_path / "allocs.jsonl"
+        save_allocations(path, allocations)
+        loaded = load_allocations(path)
+        assert loaded == allocations
+        assert loaded[0].claimed_objective == 1.2345678901234567
+
+    def test_refuses_empty_writes(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_instances(tmp_path / "x.jsonl", [])
+        with pytest.raises(ValueError, match="empty"):
+            save_allocations(tmp_path / "x.jsonl", [])
+
+
+class TestLoaderErrors:
+    def test_malformed_json_names_the_line(self, tmp_path, instances):
+        path = tmp_path / "bad.jsonl"
+        lines = [json.dumps(instances[0].to_json_dict()), "{not json"]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_instances(path)
+
+    def test_wrong_schema_rejected(self, tmp_path, instances):
+        payload = instances[0].to_json_dict()
+        payload["schema"] = "repro.arena.instance/v0"
+        path = tmp_path / "schema.jsonl"
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ValueError, match="unsupported instance schema"):
+            load_instances(path)
+
+    def test_allocation_schema_checked(self, tmp_path):
+        path = tmp_path / "allocs.jsonl"
+        path.write_text(json.dumps({"schema": "nope"}) + "\n")
+        with pytest.raises(ValueError, match=ALLOCATION_SCHEMA.replace("/", "/")):
+            load_allocations(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no instance records"):
+            load_instances(path)
+
+
+class TestValidation:
+    def _mutated(self, instance, **changes):
+        return dataclasses.replace(instance, **changes)
+
+    def test_duplicate_machine_names(self, instances):
+        inst = instances[0]
+        machines = (inst.machines[0],) + inst.machines[:-1]
+        with pytest.raises(ValueError, match="duplicate machine names"):
+            self._mutated(inst, machines=machines).validate()
+
+    def test_availability_bounds(self, instances):
+        inst = instances[0]
+        bad = dataclasses.replace(inst.machines[0], availability=1.5)
+        with pytest.raises(ValueError, match="availability outside"):
+            self._mutated(inst, machines=(bad,) + inst.machines[1:]).validate()
+
+    def test_matrix_shape(self, instances):
+        inst = instances[0]
+        with pytest.raises(ValueError, match="latency_s must be a"):
+            self._mutated(inst, latency_s=inst.latency_s[:-1]).validate()
+
+    def test_problem_keys_required(self, instances):
+        inst = instances[0]
+        problem = dict(inst.problem)
+        del problem["flop_per_point"]
+        with pytest.raises(ValueError, match="flop_per_point"):
+            self._mutated(inst, problem=problem).validate()
+
+    def test_metric_must_be_execution_time(self, instances):
+        inst = instances[0]
+        params = dict(inst.params)
+        params["metric"] = "cost"
+        with pytest.raises(ValueError, match="unsupported metric"):
+            self._mutated(inst, params=params).validate()

@@ -1,0 +1,210 @@
+"""Property-based arena invariants (Hypothesis).
+
+Three families:
+
+- **Round-trip** — any structurally valid instance or allocation survives
+  JSON serialisation bit-identically, including awkward floats (Python's
+  shortest-repr float round-trip is exact, and ``inf`` is legal JSON here
+  as in :mod:`repro.sim.trace_io`).
+- **Mutation rejection** — take a feasible allocation and break exactly
+  one invariant (overflow a capacity, kill a route, drop work): the
+  verifier must reject it, every time, with the matching reason.
+- **Regret sign** — over the real policy portfolio on real instances,
+  regret against the exhaustive oracle is never negative, and the oracle's
+  own regret is exactly 0.0 on pools within the 2^12 - 1 bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arena import (
+    ArenaAllocation,
+    ArenaInstance,
+    MachineState,
+    generate_instances,
+    run_policies,
+    score_allocations,
+    verify_allocation,
+)
+
+# -- strategies -------------------------------------------------------------
+
+_name = st.sampled_from(["m0", "m1", "m2", "m3"])
+_finite = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _instances(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    names = [f"m{i}" for i in range(n)]
+    machines = tuple(
+        MachineState(
+            name=names[i],
+            site=draw(st.sampled_from(["sdsc", "pcl", "ucsd"])),
+            arch=draw(st.sampled_from(["alpha", "sparc", "rs6000"])),
+            speed_mflops=draw(_finite),
+            memory_available_mb=draw(
+                st.floats(min_value=0.0, max_value=1e4,
+                          allow_nan=False, allow_infinity=False)
+            ),
+            availability=draw(st.floats(min_value=0.0, max_value=1.0)),
+            availability_error=draw(
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+            ),
+        )
+        for i in range(n)
+    )
+    entry = st.floats(min_value=0.0, max_value=1e10,
+                      allow_nan=False, allow_infinity=False)
+    latency = tuple(
+        tuple(0.0 if a == b else draw(entry) for b in range(n)) for a in range(n)
+    )
+    bandwidth = tuple(
+        tuple(float("inf") if a == b else draw(entry) for b in range(n))
+        for a in range(n)
+    )
+    return ArenaInstance(
+        instance_id=draw(st.sampled_from(["p-000", "p-001", "p-002"])),
+        instance_class="sdsc8",
+        world={"generator": "sdsc", "seed": 1, "nws_seed": 2, "warmup_s": 0.0,
+               "n_hosts": 8, "n_segments": None},
+        machines=machines,
+        latency_s=latency,
+        bandwidth_bps=bandwidth,
+        problem={"n": draw(st.integers(min_value=1, max_value=2000)),
+                 "iterations": draw(st.integers(min_value=1, max_value=100)),
+                 "flop_per_point": draw(_finite),
+                 "bytes_per_point": draw(_finite),
+                 "border_bytes_per_point": draw(_finite),
+                 "sync_overhead_s": draw(
+                     st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+                 )},
+    )
+
+
+@st.composite
+def _allocations(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    return ArenaAllocation(
+        instance_id="p-000",
+        policy=draw(st.sampled_from(["greedy", "static", "x"])),
+        machines=tuple(f"m{i}" for i in range(n)),
+        points=tuple(draw(_finite) for _ in range(n)),
+        claimed_objective=draw(st.one_of(st.none(), _finite)),
+    )
+
+
+class TestRoundTripProperties:
+    @given(instance=_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_instance_json_round_trip_bit_identical(self, instance):
+        text = json.dumps(instance.to_json_dict())
+        assert ArenaInstance.from_json_dict(json.loads(text)) == instance
+
+    @given(allocation=_allocations())
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_json_round_trip_bit_identical(self, allocation):
+        text = json.dumps(allocation.to_json_dict())
+        assert ArenaAllocation.from_json_dict(json.loads(text)) == allocation
+
+
+# -- mutation rejection -----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def real_world():
+    """One real instance plus its exhaustive oracle allocation (feasible)."""
+    instances = generate_instances("sdsc8", 1, seed=77, sizes=(500,), iterations=10)
+    allocations = run_policies(instances, ("exhaustive",))
+    report = verify_allocation(instances[0], allocations[0])
+    assert report.feasible
+    return instances[0], allocations[0]
+
+
+class TestMutationRejection:
+    @given(scale=st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+           index=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_work_drop_always_rejected(self, real_world, scale, index):
+        instance, alloc = real_world
+        i = index % len(alloc.points)
+        delta = alloc.points[i] * scale
+        if delta == 0.0:
+            return
+        points = list(alloc.points)
+        points[i] = points[i] + delta  # conservation broken by construction
+        mutated = dataclasses.replace(alloc, points=tuple(points))
+        report = verify_allocation(instance, mutated)
+        assert not report.feasible
+        assert "work-dropped" in report.reasons
+
+    @given(shrink=st.floats(min_value=1e-6, max_value=0.5, allow_nan=False),
+           index=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_overflow_always_rejected(self, real_world, shrink, index):
+        instance, alloc = real_world
+        i = index % len(alloc.machines)
+        victim = alloc.machines[i]
+        # Shrink the victim's memory below its strip's footprint.
+        footprint_mb = (
+            alloc.points[i] * instance.problem["bytes_per_point"] / 1e6
+        )
+        machines = tuple(
+            dataclasses.replace(m, memory_available_mb=footprint_mb * shrink)
+            if m.name == victim else m
+            for m in instance.machines
+        )
+        mutated_instance = dataclasses.replace(instance, machines=machines)
+        report = verify_allocation(mutated_instance, alloc)
+        assert not report.feasible
+        assert f"capacity-overflow:{victim}" in report.reasons
+
+    @given(index=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=20, deadline=None)
+    def test_unroutable_always_rejected(self, real_world, index):
+        instance, alloc = real_world
+        if len(alloc.machines) < 2:
+            return
+        i = index % (len(alloc.machines) - 1)
+        a = instance.machine_names.index(alloc.machines[i])
+        b = instance.machine_names.index(alloc.machines[i + 1])
+        bandwidth = [list(row) for row in instance.bandwidth_bps]
+        bandwidth[a][b] = 0.0  # dead link on a strip border
+        mutated_instance = dataclasses.replace(
+            instance, bandwidth_bps=tuple(tuple(row) for row in bandwidth)
+        )
+        report = verify_allocation(mutated_instance, alloc)
+        assert not report.feasible
+        assert any(r.startswith("unroutable:") for r in report.reasons)
+
+
+# -- regret sign ------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def scored_portfolio():
+    instances = generate_instances("sdsc8", 2, seed=13, sizes=(400,), iterations=10)
+    allocations = run_policies(
+        instances, ("greedy", "exhaustive", "seeded", "locality")
+    )
+    return score_allocations(instances, allocations)
+
+
+class TestRegretSign:
+    def test_regret_never_negative(self, scored_portfolio):
+        for entry in scored_portfolio.detail:
+            if entry["regret"] is not None:
+                assert entry["regret"] >= 0.0, entry
+
+    def test_exhaustive_regret_exactly_zero_within_bound(self, scored_portfolio):
+        """On pools <= 12 machines the oracle IS the enumeration: regret 0."""
+        score = scored_portfolio.score("sdsc8", "exhaustive")
+        assert score.regrets and score.mean_regret == 0.0
+        assert score.max_regret == 0.0
+        assert score.wins == score.scored

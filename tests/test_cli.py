@@ -85,3 +85,55 @@ class TestMain:
         out = capsys.readouterr().out
         assert "NWS-A1" in out
         assert "ensemble regret" in out
+
+
+class TestArenaCLI:
+    def test_arena_registered_with_actions(self):
+        args = build_parser().parse_args(
+            ["arena", "generate", "--classes", "sdsc8", "--per-class", "2",
+             "--sizes", "400", "--iterations", "5"]
+        )
+        assert args.action == "generate"
+        assert args.classes == "sdsc8"
+        assert args.per_class == 2
+        assert args.sizes == (400,)
+
+    def test_arena_smoke_flag(self):
+        args = build_parser().parse_args(["arena", "--smoke"])
+        assert args.smoke and args.action is None
+
+    def test_arena_bad_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arena", "destroy"])
+
+    def test_arena_requires_action_or_smoke(self):
+        with pytest.raises(SystemExit, match="needs an action"):
+            main(["arena"])
+
+    def test_arena_score_requires_instances(self):
+        with pytest.raises(SystemExit, match="requires --instances"):
+            main(["arena", "score"])
+
+    def test_arena_file_pipeline(self, tmp_path, capsys):
+        """generate -> score -> verify -> report over real JSONL files."""
+        inst = str(tmp_path / "instances.jsonl")
+        alloc = str(tmp_path / "allocations.jsonl")
+        assert main([
+            "arena", "generate", "--classes", "sdsc8", "--per-class", "1",
+            "--sizes", "400", "--iterations", "5", "--out", inst,
+        ]) == 0
+        assert "1 instances" in capsys.readouterr().out
+        assert main([
+            "arena", "score", "--instances", inst,
+            "--policies", "greedy,exhaustive", "--out", alloc,
+        ]) == 0
+        assert "regret vs exhaustive oracle" in capsys.readouterr().out
+        assert main([
+            "arena", "verify", "--instances", inst, "--allocations", alloc,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 allocations verified, 0 rejected" in out
+        assert main([
+            "arena", "report", "--instances", inst, "--allocations", alloc,
+        ]) == 0
+        assert "regret vs exhaustive oracle" in capsys.readouterr().out

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.actuator import RecordingActuator
-from repro.core.coordinator import AppLeSAgent
+from repro.core.coordinator import AppLeSAgent, PruningStats
 from repro.core.hat import (
     CommunicationCharacteristics,
     HeterogeneousApplicationTemplate,
@@ -15,8 +15,15 @@ from repro.core.hat import (
 from repro.core.infopool import InformationPool
 from repro.core.planner import TimeBalancedPlanner
 from repro.core.resources import ResourcePool
-from repro.core.selector import ResourceSelector
+from repro.core.selector import LocalitySelector, ResourceSelector, SeededSelector
 from repro.core.userspec import UserSpecification
+from repro.sim import nile_testbed
+
+
+@pytest.fixture(scope="module")
+def nile_bed4():
+    """A 4-site NILE configuration: 16 hosts, above the exhaustive bound."""
+    return nile_testbed(seed=1996, nsites=4)
 
 
 def make_info(testbed, userspec=None, nws=None, arch_limited=None):
@@ -182,3 +189,80 @@ class TestCoordinator:
                 return 0.0
 
         assert share(dyn_best, "rs6000a") < share(nom_best, "rs6000a")
+
+
+class TestSelectorRegimes:
+    def test_invalid_regime_rejected(self):
+        with pytest.raises(ValueError, match="regime must be one of"):
+            ResourceSelector(regime="optimal")
+
+    def test_exhaustive_regime_over_bound_names_machine_count(self, nile_bed4):
+        """Forcing exhaustive enumeration above 2^exhaustive_limit - 1 is a
+        loud error that says how many machines were feasible, not a silent
+        greedy fallback."""
+        sel = ResourceSelector(regime="exhaustive")
+        n = len(nile_bed4.host_names)
+        assert n > 12
+        with pytest.raises(ValueError) as err:
+            sel.candidate_sets(make_info(nile_bed4))
+        message = str(err.value)
+        assert f"{n} feasible" in message
+        assert "2^12 - 1" in message
+        assert "regime='greedy'" in message
+
+    def test_exhaustive_regime_honours_raised_limit(self, nile_bed4):
+        n = len(nile_bed4.host_names)
+        sel = ResourceSelector(
+            regime="exhaustive", exhaustive_limit=n, max_sets=2**n - 1
+        )
+        sets = sel.candidate_sets(make_info(nile_bed4))
+        assert len(sets) == 2**n - 1
+
+    def test_greedy_regime_on_small_pool(self, testbed):
+        """regime='greedy' skips enumeration even where auto would not."""
+        greedy = ResourceSelector(regime="greedy").candidate_sets(make_info(testbed))
+        auto = ResourceSelector().candidate_sets(make_info(testbed))
+        assert len(greedy) < len(auto) == 255
+
+
+class TestAdaptiveSelectors:
+    def test_extra_sets_superset_of_greedy_ladder(self, nile_bed4):
+        """Seeded/locality candidates extend the greedy ladder, never drop
+        from it — regret against the ladder can only shrink."""
+        info = make_info(nile_bed4)
+        ladder = set(ResourceSelector(regime="greedy").candidate_sets(info))
+        for cls in (SeededSelector, LocalitySelector):
+            assert ladder <= set(cls().candidate_sets(info)), cls.__name__
+        # Locality's cross-site unions exist even with nothing observed;
+        # seeded grows once it has a winner to build neighbourhoods around.
+        assert len(set(LocalitySelector().candidate_sets(info))) > len(ladder)
+        seeded = SeededSelector()
+        seeded.observe(tuple(sorted(nile_bed4.host_names)[:3]))
+        assert len(set(seeded.candidate_sets(info))) > len(ladder)
+
+    def test_observe_replays_previous_winner(self, nile_bed4):
+        info = make_info(nile_bed4)
+        sel = SeededSelector()
+        winner = tuple(sorted(nile_bed4.host_names)[:2])
+        sel.observe(winner)
+        assert winner in sel.candidate_sets(info)
+
+    def test_observe_adapts_breadth_from_pruning(self):
+        sel = SeededSelector(breadth=4)
+        productive = PruningStats(candidates=10, planned=3, pruned=7, bounded=True)
+        sel.observe(("a",), productive)
+        assert sel.breadth == 5
+        starved = PruningStats(candidates=10, planned=9, pruned=1, bounded=True)
+        for _ in range(10):
+            sel.observe(("a",), starved)
+        # Narrowing stops at the floor: cross-site pairing needs >= 3 sites.
+        assert sel.breadth == sel.min_breadth == 3
+
+    def test_winner_memory_bounded_and_deduplicated(self):
+        sel = SeededSelector(memory=2)
+        sel.observe(("a",))
+        sel.observe(("b",))
+        sel.observe(("a",))
+        assert sel._winners == [("a",), ("b",)]
+        sel.observe(("c",))
+        assert sel._winners == [("c",), ("a",)]

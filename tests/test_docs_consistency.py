@@ -102,6 +102,37 @@ class TestDaemonDocumented:
         assert hasattr(args, "trace") and hasattr(args, "workers")
 
 
+class TestArenaDocumented:
+    """The scheduler arena must stay documented wherever schedulers are."""
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md", "DESIGN.md"])
+    def test_docs_cover_arena(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("repro.arena", "bench_arena_regret", "verifier",
+                       "exhaustive oracle"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md"])
+    def test_walkthrough_covers_every_action(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("arena generate", "arena score", "arena verify",
+                       "arena report", "arena --smoke"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    def test_design_states_verifier_independence(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "Independence is the design" in text
+        assert "repro.arena.instance/v1" in text
+
+    def test_arena_subcommand_exists(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["arena", "--smoke"])
+        assert args.experiment == "arena"
+        assert args.smoke is True
+        assert hasattr(args, "trace") and hasattr(args, "quick")
+
+
 class TestModulesReferencedExist:
     @pytest.mark.parametrize("doc", ["DESIGN.md", "docs/PAPER_MAP.md"])
     def test_repro_module_paths_resolve(self, doc):

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.arena import run_regret_bench
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.multiapp_exp import run_multiapp
@@ -59,6 +60,13 @@ def test_fig5_quick_table_matches_golden():
 def test_fig6_quick_table_matches_golden():
     result = run_fig6(sizes=(3000, 4200), iterations=10, seed=1996, warmup_s=300.0)
     _check("fig6_quick", result.table().render())
+
+
+def test_arena_quick_table_matches_golden():
+    _, _, result = run_regret_bench(
+        classes=("sdsc8",), per_class=2, seed=1996, sizes=(400,), iterations=10,
+    )
+    _check("arena_quick", result.table())
 
 
 def test_multiapp_quick_table_matches_golden():
