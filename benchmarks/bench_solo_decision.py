@@ -1,0 +1,230 @@
+"""Solo-decision throughput: scalar fast path vs the one-shot tensor sweep.
+
+PR2's scalar fast path (forecast snapshot + memoised models + lower-bound
+pruning) still plans every unpruned candidate one ``plan()`` call at a
+time — ~2500 scalar plans for one exhaustive 12-machine decision.  The
+vectorised solo decision (:mod:`repro.core.sweep` +
+``AppLeSAgent._schedule_vectorised``) stacks all candidate sets into one
+membership-mask matrix and evaluates them in a single
+``evaluate_strip_batch`` call, then replays the canonical incumbent/
+pruning order over the precomputed objectives.
+
+Three arms per pool, each a complete ``agent.schedule()``:
+
+- ``reference``  — ``REPRO_NO_FASTPATH`` semantics (no snapshot, no
+  pruning, no vectorisation): the ground truth everything must match.
+- ``scalar``     — the PR2 fast path with ``REPRO_NO_SOLO_VECTOR``
+  semantics: pruned, memoised, but planned candidate-by-candidate.
+- ``vector``     — the fast path with the one-shot tensor sweep.
+
+Pools: sdsc_pcl (8 hosts, 255 candidates), nile (12 hosts, 4095) and a
+14-host synthetic metacomputer (16383) — all forced exhaustive, so the
+sweep width doubles per extra host.  Every arm asserts decision
+equivalence against the reference: same resource set, allocations and
+objective — the speedup is free only because it changes nothing.
+
+The bench also times a small arena regret run
+(:func:`repro.arena.run_regret_bench`), whose per-policy wall-clock
+column rides the same vectorised solo path, and records it alongside.
+
+Results go to ``benchmarks/results/solo_decision.txt`` and merge into
+``benchmarks/results/perf_suite.json`` under ``solo_decision``.
+
+Set ``SOLO_DECISION_QUICK=1`` (or ``PERF_SUITE_QUICK=1``) for the reduced
+CI smoke run; only the full run asserts the >=3x vector-over-scalar
+target on the exhaustive 12-machine decision, where timing is stable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.arena import run_regret_bench
+from repro.core.selector import ResourceSelector
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.sim.testbeds import (
+    nile_testbed,
+    sdsc_pcl_testbed,
+    synthetic_metacomputer,
+)
+from repro.sim.warmcache import clear_warm_cache, warmed_state
+from repro.util import perf
+
+QUICK = any(
+    os.environ.get(var, "").strip().lower() in ("1", "true", "yes")
+    for var in ("SOLO_DECISION_QUICK", "PERF_SUITE_QUICK")
+)
+
+SEED = 7
+WARMUP_S = 600.0
+
+# (label, builder, builder_kwargs, hosts) — all swept exhaustively.
+POOLS = [
+    ("sdsc_pcl", sdsc_pcl_testbed, {}, 8),
+    ("nile", nile_testbed, {}, 12),
+    ("synth14", synthetic_metacomputer, {"n_hosts": 14}, 14),
+]
+
+ARMS = ("reference", "scalar", "vector")
+
+
+def _problem() -> JacobiProblem:
+    if QUICK:
+        return JacobiProblem(n=600, iterations=20)
+    return JacobiProblem(n=1000, iterations=50)
+
+
+def _decide(builder, kwargs, hosts, problem, arm):
+    """One timed solo decision: (decision, seconds).  Warm-up is setup."""
+    testbed, nws = warmed_state(
+        builder, seed=SEED, warmup_s=WARMUP_S, builder_kwargs=kwargs
+    )
+    selector = ResourceSelector(
+        exhaustive_limit=max(12, hosts),
+        max_sets=2**hosts - 1,
+        regime="exhaustive",
+    )
+    fast = arm != "reference"
+    with perf.fastpath(fast), perf.solo_vector(arm == "vector"):
+        agent = make_jacobi_agent(testbed, problem, nws=nws, selector=selector)
+        t0 = time.perf_counter()
+        decision = agent.schedule()
+        elapsed = time.perf_counter() - t0
+    return decision, elapsed
+
+
+def _signature(decision):
+    """The observable outcome: objective, prediction, allocations."""
+    return (
+        decision.best_objective,
+        decision.best.predicted_time,
+        tuple((a.machine, a.work_units) for a in decision.best.allocations),
+    )
+
+
+def bench_solo_decision(report, merge_json):
+    problem = _problem()
+    repeats = 1 if QUICK else 3
+    rows = []
+    for label, builder, kwargs, hosts in POOLS:
+        clear_warm_cache()
+        timings: dict[str, float] = {}
+        decisions: dict[str, object] = {}
+        for arm in ARMS:
+            # One untimed decision absorbs first-run effects (snapshot
+            # allocation, import latencies); timed runs follow back-to-back.
+            _decide(builder, kwargs, hosts, problem, arm)
+            best = float("inf")
+            for _ in range(repeats):
+                dec, dt = _decide(builder, kwargs, hosts, problem, arm)
+                best = min(best, dt)
+                decisions[arm] = dec
+            timings[arm] = best
+
+        # Decision equivalence: all three arms agree bit-for-bit, and only
+        # the vector arm actually took the one-shot tensor sweep.
+        ref_sig = _signature(decisions["reference"])
+        for arm in ("scalar", "vector"):
+            assert _signature(decisions[arm]) == ref_sig, (label, arm)
+        assert decisions["vector"].vectorised, label
+        assert not decisions["scalar"].vectorised, label
+        assert not decisions["reference"].vectorised, label
+        # Scalar and vector arms share bounds, so they prune identically.
+        assert decisions["vector"].pruning == decisions["scalar"].pruning, label
+
+        rows.append(
+            {
+                "pool": label,
+                "hosts": hosts,
+                "candidates": decisions["vector"].candidates_considered,
+                "reference_s": timings["reference"],
+                "scalar_s": timings["scalar"],
+                "vector_s": timings["vector"],
+                "reference_dps": 1.0 / timings["reference"],
+                "scalar_dps": 1.0 / timings["scalar"],
+                "vector_dps": 1.0 / timings["vector"],
+                "vector_over_scalar": timings["scalar"] / timings["vector"],
+                "pruned": decisions["vector"].pruning.pruned
+                if decisions["vector"].pruning
+                else 0,
+            }
+        )
+
+    # Arena regret wall-clock: the per-policy seconds column rides the
+    # same vectorised solo path the rows above measure in isolation.
+    if QUICK:
+        _, _, arena = run_regret_bench(
+            classes=("sdsc8",), per_class=2, seed=2024, sizes=(400,),
+            iterations=10,
+        )
+    else:
+        _, _, arena = run_regret_bench(
+            classes=("sdsc8", "synth14"), per_class=3, seed=2024,
+            sizes=(400, 700), iterations=20,
+        )
+    arena_seconds: dict[str, dict[str, float]] = {}
+    for (klass, policy), elapsed in sorted(arena.seconds.items()):
+        arena_seconds.setdefault(klass, {})[policy] = elapsed
+
+    lines = [
+        "Solo-decision throughput: scalar fast path vs one-shot tensor sweep",
+        f"(quick_mode={QUICK}, problem n={problem.n} x {problem.iterations}"
+        f" iters, min of {repeats} runs, all pools exhaustive)",
+        "",
+        f"{'pool':<10}{'hosts':>6}{'cands':>7}{'ref/s':>8}{'scalar/s':>10}"
+        f"{'vector/s':>10}{'vec/scalar':>12}{'pruned':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['pool']:<10}{r['hosts']:>6}{r['candidates']:>7}"
+            f"{r['reference_dps']:>8.2f}{r['scalar_dps']:>10.2f}"
+            f"{r['vector_dps']:>10.2f}{r['vector_over_scalar']:>11.2f}x"
+            f"{r['pruned']:>8}"
+        )
+    lines.append("")
+    lines.append("arena regret wall-clock (s per policy over the class):")
+    for klass in sorted(arena_seconds):
+        for policy in sorted(arena_seconds[klass]):
+            lines.append(
+                f"  {klass:<8}{policy:<12}{arena_seconds[klass][policy]:.2f}"
+            )
+    data = {
+        "quick_mode": QUICK,
+        "problem": {"n": problem.n, "iterations": problem.iterations},
+        "repeats": repeats,
+        "pools": rows,
+        "arena_seconds": arena_seconds,
+    }
+    report("solo_decision", "\n".join(lines), data)
+    merge_json("perf_suite", {"solo_decision": data})
+
+    # Smoke assertions hold in any mode.
+    for r in rows:
+        assert r["vector_s"] > 0 and r["scalar_s"] > 0 and r["reference_s"] > 0
+    exhaustive_12 = next(r for r in rows if r["hosts"] == 12)
+    assert exhaustive_12["candidates"] == 4095
+    assert arena.seconds, "arena run should have recorded per-policy seconds"
+    if not QUICK:
+        # The headline acceptance target: the one-shot tensor sweep is
+        # >=3x the scalar fast path on exhaustive 12-machine decisions,
+        # measured only at full scale where timing is stable.
+        assert exhaustive_12["vector_over_scalar"] >= 3.0, exhaustive_12
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv[1:]:
+        os.environ["SOLO_DECISION_QUICK"] = "1"
+        QUICK = True
+
+    from conftest import RESULTS_DIR, merge_json_results  # noqa: F401
+
+    def _report(name, text, data=None):
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    bench_solo_decision(_report, merge_json_results)

@@ -29,7 +29,7 @@ from repro.arena.instances import (
     ArenaInstance,
     generate_instances,
 )
-from repro.arena.policies import POLICY_NAMES, run_policies
+from repro.arena.policies import POLICY_NAMES, run_policies_timed
 from repro.arena.verifier import verify_allocation
 from repro.core.planner import fractional_time_floor
 from repro.util.tables import Table
@@ -83,11 +83,18 @@ class PolicyScore:
 
 @dataclass
 class RegretResult:
-    """One regret-bench run: per-pair scores plus per-instance detail."""
+    """One regret-bench run: per-pair scores plus per-instance detail.
+
+    ``seconds`` maps ``(instance_class, policy)`` to the wall-clock cost
+    of that policy's decisions over the class's instances (empty when the
+    scoring came from frozen JSONL files — pure scoring has no decision
+    wall-clock to report).
+    """
 
     scores: list[PolicyScore]
     detail: list[dict]
     floors: dict[str, float]
+    seconds: dict[tuple[str, str], float] = field(default_factory=dict)
 
     def score(self, instance_class: str, policy: str) -> PolicyScore:
         for s in self.scores:
@@ -95,22 +102,27 @@ class RegretResult:
                 return s
         raise KeyError((instance_class, policy))
 
-    def table(self) -> str:
-        table = Table(
-            [
-                "class",
-                "policy",
-                "instances",
-                "feasible",
-                "wins",
-                "mean regret %",
-                "max regret %",
-                "mean objective s",
-            ],
-            title="Arena: regret vs exhaustive oracle",
-        )
+    def table(self, mask_seconds: bool = False) -> str:
+        """The scoreboard.  A ``seconds`` column appears whenever timings
+        were recorded; ``mask_seconds=True`` keeps the column but renders
+        ``-`` placeholders, so golden-table tests can pin the shape without
+        pinning volatile wall-clock values."""
+        headers = [
+            "class",
+            "policy",
+            "instances",
+            "feasible",
+            "wins",
+            "mean regret %",
+            "max regret %",
+            "mean objective s",
+        ]
+        timed = bool(self.seconds)
+        if timed:
+            headers.append("seconds")
+        table = Table(headers, title="Arena: regret vs exhaustive oracle")
         for s in self.scores:
-            table.add(
+            row = [
                 s.instance_class,
                 s.policy,
                 s.scored,
@@ -121,7 +133,15 @@ class RegretResult:
                 "inf"
                 if s.mean_objective == float("inf")
                 else f"{s.mean_objective:.2f}",
-            )
+            ]
+            if timed:
+                elapsed = self.seconds.get((s.instance_class, s.policy))
+                row.append(
+                    "-"
+                    if mask_seconds or elapsed is None
+                    else f"{elapsed:.2f}"
+                )
+            table.add(*row)
         lines = [table.render(), ""]
         for klass in sorted(self.floors):
             lines.append(
@@ -131,9 +151,13 @@ class RegretResult:
         return "\n".join(lines)
 
     def as_json(self) -> dict:
+        seconds: dict[str, dict[str, float]] = {}
+        for (klass, policy), elapsed in sorted(self.seconds.items()):
+            seconds.setdefault(klass, {})[policy] = elapsed
         return {
             "scores": [s.as_json() for s in self.scores],
             "floors": dict(self.floors),
+            "seconds": seconds,
             "detail": self.detail,
         }
 
@@ -242,5 +266,7 @@ def run_regret_bench(
                 klass, per_class, seed=seed, iterations=iterations, **kwargs
             )
         )
-    allocations = run_policies(instances, policies)
-    return instances, allocations, score_allocations(instances, allocations)
+    allocations, seconds = run_policies_timed(instances, policies)
+    result = score_allocations(instances, allocations)
+    result.seconds.update(seconds)
+    return instances, allocations, result

@@ -35,6 +35,8 @@ benefits from instances ``0..k-1``.
 
 from __future__ import annotations
 
+import time
+
 from repro.arena.instances import ArenaAllocation, ArenaInstance, build_world
 from repro.core.infopool import InformationPool
 from repro.core.resources import ResourcePool
@@ -49,6 +51,7 @@ __all__ = [
     "PolicyRunner",
     "make_policy",
     "run_policies",
+    "run_policies_timed",
 ]
 
 POLICY_NAMES = ("static", "greedy", "exhaustive", "seeded", "locality")
@@ -210,13 +213,33 @@ def run_policies(
     selectors see a class's instances as a stream, the way a long-running
     scheduling service would.
     """
+    allocations, _ = run_policies_timed(instances, policies)
+    return allocations
+
+
+def run_policies_timed(
+    instances: list[ArenaInstance], policies: tuple[str, ...] = POLICY_NAMES
+) -> tuple[list[ArenaAllocation], dict[tuple[str, str], float]]:
+    """:func:`run_policies` plus wall-clock seconds per (class, policy).
+
+    Timing wraps each ``runner.run`` call — world rebuild, candidate
+    enumeration, and the solo ``schedule()`` the agent policies make (the
+    vectorised one-shot sweep when the configuration supports it) — and
+    accumulates per ``(instance_class, policy)``, so the regret bench can
+    report what each policy's decisions actually cost.
+    """
     allocations: list[ArenaAllocation] = []
+    seconds: dict[tuple[str, str], float] = {}
     for name in policies:
         runner = make_policy(name)
         for instance in instances:
             if name == "exhaustive" and len(instance.machines) > EXHAUSTIVE_CEILING:
                 continue
+            t0 = time.perf_counter()
             answer = runner.run(instance)
+            elapsed = time.perf_counter() - t0
+            key = (instance.instance_class, name)
+            seconds[key] = seconds.get(key, 0.0) + elapsed
             if answer is not None:
                 allocations.append(answer)
-    return allocations
+    return allocations, seconds

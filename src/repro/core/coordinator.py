@@ -22,6 +22,22 @@ objective) and pruning only fires when the bound exceeds the incumbent by
 a relative epsilon, so the chosen schedule is bit-identical to the
 reference exhaustive loop; pruned rows stay in ``evaluations`` (objective
 ``inf``) and the counts are reported in :class:`PruningStats`.
+
+Vectorised solo decision (off under ``REPRO_NO_SOLO_VECTOR=1``, and
+implied off by ``REPRO_NO_FASTPATH=1``): when the Planner opts in through
+``batch_planner(info)`` (the strip planner's ``batch_inputs`` /
+``lower_bounds`` surface) and the Estimator exposes
+``objective_from_prediction``, ``schedule()`` stacks *all* candidate sets
+into one membership-mask matrix, evaluates them in a single
+:func:`~repro.jacobi.apples.evaluate_strip_batch` call (a one-job batch),
+and replays the incumbent/pruning order over the precomputed objectives
+with the canonical :func:`~repro.core.sweep.replay_sweep`.  The batched
+kernels replicate the scalar planner's float semantics
+operation-for-operation and surrender any row they cannot certify back to
+the scalar planner, the winner is materialised by the scalar planner and
+cross-checked, and the sweep control flow is shared with the scalar loop
+— so :class:`ScheduleDecision`, :class:`PruningStats`, and the obs event
+stream are bit-identical to the reference loop under both gate modes.
 """
 
 from __future__ import annotations
@@ -35,6 +51,16 @@ from repro.core.infopool import InformationPool
 from repro.core.planner import Planner
 from repro.core.schedule import Schedule
 from repro.core.selector import ResourceSelector
+from repro.core.sweep import (
+    PRUNE_RELATIVE_EPS,
+    BatchedObjective,
+    PruningStats,
+    SweepResult,
+    materialise_winner,
+    objective_bounds,
+    replay_sweep,
+    resolve_batch_planner,
+)
 from repro.obs.trace import get_tracer
 from repro.util import perf
 
@@ -63,12 +89,9 @@ def record_pruning_stats(metrics: Any, stats: "PruningStats") -> None:
     if stats.bounded:
         metrics.histogram("core.pruned_fraction").observe(stats.pruned_fraction)
 
-# Prune only when the lower bound beats the incumbent by this relative
-# margin.  Bounds are admissible in exact arithmetic; the margin is far
-# above any accumulated ulp noise (~1e-16 relative) yet far below real
-# candidate separations, so it can only *disable* pruning near exact ties —
-# never change the winner.
-_PRUNE_RELATIVE_EPS = 1e-12
+# The canonical epsilon now lives in repro.core.sweep; the underscored
+# alias predates the shared module and is kept for importers.
+_PRUNE_RELATIVE_EPS = PRUNE_RELATIVE_EPS
 
 
 @dataclass(frozen=True)
@@ -78,6 +101,11 @@ class CandidateEvaluation:
     ``pruned`` rows were skipped by the fast path's admissible lower bound
     (``lower_bound`` > incumbent objective); their schedule is None and the
     objective ``inf``, mirroring an infeasible row for ranking purposes.
+
+    The vectorised solo path scores most candidates straight from the
+    batched prediction without materialising their Schedules, so a
+    feasible row may carry ``schedule=None`` with a finite objective (the
+    winner's Schedule is always materialised).
     """
 
     resource_set: tuple[str, ...]
@@ -88,37 +116,8 @@ class CandidateEvaluation:
 
     @property
     def feasible(self) -> bool:
-        """Whether the Planner produced a schedule for this set."""
-        return self.schedule is not None
-
-
-@dataclass(frozen=True)
-class PruningStats:
-    """Candidate-search statistics from one Coordinator decision.
-
-    Attributes
-    ----------
-    candidates:
-        Total candidate resource sets the Resource Selector produced.
-    planned:
-        How many were actually run through the Planner.
-    pruned:
-        How many were skipped because their admissible lower bound could
-        not beat the incumbent objective.
-    bounded:
-        Whether lower bounds were available at all (planner + estimator
-        both support them and the fast path was enabled).
-    """
-
-    candidates: int
-    planned: int
-    pruned: int
-    bounded: bool
-
-    @property
-    def pruned_fraction(self) -> float:
-        """Fraction of the candidate space skipped (0.0 when unbounded)."""
-        return self.pruned / self.candidates if self.candidates else 0.0
+        """Whether the Planner could produce a schedule for this set."""
+        return self.schedule is not None or self.objective < float("inf")
 
 
 @dataclass
@@ -140,6 +139,9 @@ class ScheduleDecision:
     pruning:
         Candidate-search statistics (None when produced by code predating
         the fast path).
+    vectorised:
+        Whether the one-shot candidate tensor sweep answered this decision
+        (False on the reference and scalar fast paths).
     """
 
     best: Schedule
@@ -147,6 +149,7 @@ class ScheduleDecision:
     evaluations: list[CandidateEvaluation] = field(default_factory=list)
     metric: str = "execution_time"
     pruning: PruningStats | None = None
+    vectorised: bool = False
 
     @property
     def candidates_considered(self) -> int:
@@ -233,6 +236,10 @@ class AppLeSAgent:
         self.estimator = estimator
         self.actuator = actuator if actuator is not None else RecordingActuator()
         self._fast = perf.fastpath_enabled()
+        # The one-shot candidate tensor sweep is layered under the master
+        # fast path: REPRO_NO_SOLO_VECTOR=1 keeps the scalar fast path
+        # (pruned one-at-a-time planning) for honest A/B measurement.
+        self._vector = self._fast and perf.solo_vector_enabled()
 
     def _lower_bounds(
         self, candidate_sets: list[tuple[str, ...]]
@@ -288,6 +295,12 @@ class AppLeSAgent:
             if begin is not None:
                 begin(self.info)
             try:
+                if self._vector and hasattr(
+                    self.estimator, "objective_from_prediction"
+                ):
+                    bp = resolve_batch_planner(self.planner, self.info)
+                    if bp is not None:
+                        return self._schedule_vectorised(candidate_sets, bp)
                 bounds = self._lower_bounds(candidate_sets)
                 return self._schedule_loop(candidate_sets, bounds)
             finally:
@@ -333,6 +346,26 @@ class AppLeSAgent:
                 record_pruning_stats(tracer.metrics, stats)
         return decision
 
+    @staticmethod
+    def _incumbent_hook(span: Any | None, t_dec: float | None):
+        """The ``core.incumbent`` event emitter for :func:`replay_sweep`.
+
+        The seed incumbent carries a ``seeded=True`` attribute and ordinary
+        improvements carry none at all — preserved exactly, because obs
+        bit-identity is asserted attribute-for-attribute.
+        """
+        if span is None:
+            return None
+
+        def on_incumbent(idx: int, obj: float, seeded: bool) -> None:
+            if seeded:
+                span.event("core.incumbent", t=t_dec, idx=idx,
+                           objective=obj, seeded=True)
+            else:
+                span.event("core.incumbent", t=t_dec, idx=idx, objective=obj)
+
+        return on_incumbent
+
     def _candidate_sweep(
         self,
         candidate_sets: list[tuple[str, ...]],
@@ -340,79 +373,146 @@ class AppLeSAgent:
         span: Any | None,
         t_dec: float | None,
     ) -> ScheduleDecision:
-        evaluations: list[CandidateEvaluation] = []
-        best: Schedule | None = None
-        best_obj = float("inf")
-        best_idx = -1
-        pruned = 0
+        schedules: dict[int, Schedule | None] = {}
+        objectives: dict[int, float] = {}
 
-        # Warm start: evaluate the candidate with the smallest lower bound
-        # first so the sweep below starts with a strong incumbent and can
-        # prune from candidate #0.  The winner is still chosen as the
-        # minimum objective with ties broken by original index — exactly
-        # the reference loop's first-strict-minimum — so evaluating one
-        # candidate out of order cannot change the decision.
-        seeded: dict[int, CandidateEvaluation] = {}
-        if bounds is not None and len(candidate_sets) > 1:
-            seed_idx = min(range(len(candidate_sets)), key=bounds.__getitem__)
-            rset = candidate_sets[seed_idx]
-            sched = self.planner.plan(rset, self.info)
-            if sched is None:
-                seeded[seed_idx] = CandidateEvaluation(rset, None, float("inf"))
-            else:
-                obj = self.estimator.objective(sched, self.info)
-                seeded[seed_idx] = CandidateEvaluation(rset, sched, obj)
-                if obj < float("inf"):
-                    best, best_obj, best_idx = sched, obj, seed_idx
-                    if span is not None:
-                        span.event("core.incumbent", t=t_dec, idx=seed_idx,
-                                   objective=obj, seeded=True)
+        def objective(idx: int) -> float:
+            sched = self.planner.plan(candidate_sets[idx], self.info)
+            schedules[idx] = sched
+            obj = (
+                float("inf")
+                if sched is None
+                else self.estimator.objective(sched, self.info)
+            )
+            objectives[idx] = obj
+            return obj
 
-        for idx, rset in enumerate(candidate_sets):
-            pre = seeded.get(idx)
-            if pre is not None:
-                evaluations.append(pre)
-                continue
-            if bounds is not None:
-                lb = bounds[idx]
-                # Prune only with a finite incumbent and a clear margin:
-                # admissible bound above the incumbent means this set cannot
-                # win, and a strict `<` incumbent update means skipping a
-                # tie never changes the first-minimum winner either.
-                if best_obj < float("inf") and lb >= best_obj * (1.0 + _PRUNE_RELATIVE_EPS):
-                    evaluations.append(
-                        CandidateEvaluation(
-                            rset, None, float("inf"), pruned=True, lower_bound=lb
-                        )
-                    )
-                    pruned += 1
-                    continue
-            sched = self.planner.plan(rset, self.info)
-            if sched is None:
-                evaluations.append(CandidateEvaluation(rset, None, float("inf")))
-                continue
-            obj = self.estimator.objective(sched, self.info)
-            evaluations.append(CandidateEvaluation(rset, sched, obj))
-            if obj < best_obj or (obj == best_obj and idx < best_idx):
-                best, best_obj, best_idx = sched, obj, idx
-                if span is not None:
-                    span.event("core.incumbent", t=t_dec, idx=idx, objective=obj)
-        if best is None:
+        result = replay_sweep(
+            len(candidate_sets), bounds, objective,
+            self._incumbent_hook(span, t_dec),
+        )
+        if result.best_idx < 0:
             raise RuntimeError(
                 f"no feasible schedule across {len(candidate_sets)} candidate resource sets"
             )
+        evaluations: list[CandidateEvaluation] = []
+        for idx, rset in enumerate(candidate_sets):
+            if result.pruned[idx]:
+                evaluations.append(
+                    CandidateEvaluation(
+                        rset, None, float("inf"),
+                        pruned=True, lower_bound=bounds[idx],
+                    )
+                )
+            else:
+                evaluations.append(
+                    CandidateEvaluation(rset, schedules[idx], objectives[idx])
+                )
         return ScheduleDecision(
-            best=best,
-            best_objective=best_obj,
+            best=schedules[result.best_idx],
+            best_objective=result.best_objective,
             evaluations=evaluations,
             metric=self.info.userspec.performance_metric,
-            pruning=PruningStats(
-                candidates=len(candidate_sets),
-                planned=len(candidate_sets) - pruned,
-                pruned=pruned,
-                bounded=bounds is not None,
-            ),
+            pruning=result.stats(bounds is not None),
         )
+
+    def _schedule_vectorised(
+        self, candidate_sets: list[tuple[str, ...]], batch_planner: Any
+    ) -> ScheduleDecision:
+        """One-shot candidate tensor sweep: the whole decision in one batch.
+
+        Stacks every candidate set into a membership-mask matrix, evaluates
+        all of them in a single one-job ``evaluate_strip_batch`` call, then
+        replays the canonical sweep over the precomputed objectives.  Rows
+        the batched core surrendered are planned by the scalar planner on
+        demand; the winner is materialised by the scalar planner and
+        cross-checked.  Runs inside the decision scope ``schedule()``
+        already opened, so all snapshot/model/plan memos are shared with
+        any scalar fallbacks.
+        """
+        # Deferred import: repro.jacobi builds on repro.core.
+        import numpy as np
+
+        from repro.jacobi.apples import evaluate_strip_batch, member_masks_over
+
+        info = self.info
+        names = info.pool.machine_names()
+        name_masks = member_masks_over(candidate_sets, names)
+        bounds = objective_bounds(
+            self, batch_planner, candidate_sets, member_mask=name_masks
+        )
+        inputs = batch_planner.batch_inputs(info)
+        name_index = {m: k for k, m in enumerate(names)}
+        perm = np.array([name_index[m] for m in inputs.rank_names])
+        (ev,) = evaluate_strip_batch([(inputs, name_masks[:, perm])])
+
+        tracer = get_tracer()
+        traced = tracer.enabled
+        nws = info.pool.nws
+        t_dec = float(nws.now) if nws is not None else None
+        with tracer.span(
+            "core.decision",
+            layer="core",
+            t=t_dec,
+            metric=info.userspec.performance_metric,
+            candidates=len(candidate_sets),
+            bounded=bounds is not None,
+        ) as span:
+            objective = BatchedObjective(self, candidate_sets, inputs, ev)
+            result = replay_sweep(
+                len(candidate_sets), bounds, objective,
+                self._incumbent_hook(span if traced else None, t_dec),
+            )
+            best = materialise_winner(self, candidate_sets, result)
+            stats = result.stats(bounds is not None)
+            decision = ScheduleDecision(
+                best=best,
+                best_objective=result.best_objective,
+                evaluations=self._batched_evaluations(
+                    candidate_sets, bounds, result, objective, best
+                ),
+                metric=info.userspec.performance_metric,
+                pruning=stats,
+                vectorised=True,
+            )
+            if traced:
+                span.attrs.update(
+                    best_objective=decision.best_objective,
+                    planned=stats.planned,
+                    pruned=stats.pruned,
+                )
+                record_pruning_stats(tracer.metrics, stats)
+        return decision
+
+    @staticmethod
+    def _batched_evaluations(
+        candidate_sets: list[tuple[str, ...]],
+        bounds: Sequence[float] | None,
+        result: SweepResult,
+        objective: BatchedObjective,
+        best: Schedule,
+    ) -> list[CandidateEvaluation]:
+        """Per-candidate rows of a vectorised decision, in candidate order.
+
+        Pruned rows mirror the scalar fast path exactly; evaluated rows
+        carry the batched objective with ``schedule=None`` unless the
+        scalar planner ran for them (surrendered rows and the winner).
+        """
+        evaluations: list[CandidateEvaluation] = []
+        for idx, rset in enumerate(candidate_sets):
+            if result.pruned[idx]:
+                evaluations.append(
+                    CandidateEvaluation(
+                        rset, None, float("inf"),
+                        pruned=True, lower_bound=bounds[idx],
+                    )
+                )
+                continue
+            sched = best if idx == result.best_idx else objective.schedules.get(idx)
+            evaluations.append(
+                CandidateEvaluation(rset, sched, objective.memo[idx])
+            )
+        return evaluations
 
     def run(self, t0: float = 0.0) -> tuple[ScheduleDecision, Any]:
         """Blueprint steps 1–4: schedule, then actuate the winner at ``t0``."""

@@ -41,7 +41,7 @@ class Fig34Result:
         )
         machines = sorted(
             set(self.apples_rows) | set(self.static_rows),
-            key=lambda m: -self.static_rows.get(m, 0),
+            key=lambda m: (-self.static_rows.get(m, 0), m),
         )
         for m in machines:
             a = self.apples_rows.get(m, 0)

@@ -345,14 +345,14 @@ class JacobiPlanner:
         single_lb = np.where(mask, single[None, :], np.inf).min(axis=1)
 
         # Multi-machine relaxation: per-set per-member border-cost floors.
-        exchange = self.problem.border_exchange_bytes()
-        pair = np.full((n, n), np.inf)
-        for a in range(n):
-            if not usable[a]:
-                continue
-            for b in range(n):
-                if a != b and usable[b]:
-                    pair[a, b] = model._transfer_time(names[a], names[b], exchange)
+        # The pairwise matrix is shared with batch_inputs via the model's
+        # memo; only member columns are read below (mask excludes unusable
+        # machines), so the diagonal is the single entry that differs from
+        # a neighbour cost — a machine is never its own strip neighbour,
+        # and an inf diagonal keeps singleton members on the singleton
+        # relaxation exactly as the original per-pair loop did.
+        pair = model.comm_cost_matrix(names).copy()
+        np.fill_diagonal(pair, np.inf)
         # floors[i, m] = min border exchange from m to any other member of
         # set i (inf for singleton members — the singleton bound covers
         # them, and inf marks them unusable in the water-fill).
@@ -446,6 +446,11 @@ class JacobiPlanner:
         _finish(schedule)
         return schedule
 
+    def batch_planner(self, info: InformationPool) -> "JacobiPlanner":
+        """Opt in to the one-shot batched sweep: the strip planner batches
+        itself (see :func:`repro.core.sweep.resolve_batch_planner`)."""
+        return self
+
     def batch_inputs(self, info: InformationPool) -> "StripBatchInputs":
         """Rank-space arrays for :func:`evaluate_strip_batch`.
 
@@ -455,8 +460,16 @@ class JacobiPlanner:
         order so batched candidate masks can be evaluated without any
         per-candidate queries.  Values come from the same decision-scoped
         model (and snapshot memo) the scalar path uses, so they are the
-        *same floats*.
+        *same floats*; inside a decision the whole bundle is memoised, so
+        repeated stagings at one pool state (the daemon's reuse layer)
+        rebuild nothing.
         """
+        cache = info.decision_cache
+        key = ("jacobi-batch-inputs", id(self))
+        if cache is not None:
+            memo = cache.memo.get(key)
+            if memo is not None:
+                return memo
         model = self._model(info)
         rank_names = locality_order(info.pool, info.pool.machine_names())
         rates = np.array([model.point_rate(m) for m in rank_names])
@@ -468,7 +481,7 @@ class JacobiPlanner:
         avail_mb = np.array(
             [info.pool.machine_info(m).memory_available_mb for m in rank_names]
         )
-        return StripBatchInputs(
+        inputs = StripBatchInputs(
             planner=self,
             rank_names=tuple(rank_names),
             rates=rates,
@@ -484,6 +497,9 @@ class JacobiPlanner:
             risks=np.asarray(_member_risks(rank_names, info)),
             account_memory=self.account_memory,
         )
+        if cache is not None:
+            cache.memo[key] = inputs
+        return inputs
 
 
 @dataclass(frozen=True)
@@ -600,28 +616,56 @@ def evaluate_strip_batch(
         if len(inputs.rank_names) != n or masks.shape[1] != n:
             raise ValueError("all jobs must share one machine universe size")
 
-    job_rates = np.stack([inputs.rates for inputs, _ in jobs])
-    job_caps = np.stack(
-        [
+    if len(jobs) == 1:
+        # Single-job lane (the Coordinator's vectorised solo decision):
+        # no cross-job stacking — per-job arrays are viewed with a length-1
+        # leading axis instead of copied through np.stack, and the row→job
+        # map is all zeros.  Same arrays, same floats, less batching tax.
+        inputs, masks = jobs[0]
+        job_rates = inputs.rates[None]
+        job_caps = (
             inputs.caps if inputs.caps is not None else np.full(n, np.inf)
-            for inputs, _ in jobs
-        ]
-    )
-    job_avail = np.stack([inputs.avail_mb for inputs, _ in jobs])
-    job_pair = np.stack([inputs.pair for inputs, _ in jobs])
-    job_risks = np.stack([inputs.risks for inputs, _ in jobs])
-    job_sync = np.array([inputs.sync_overhead_s for inputs, _ in jobs])
-    job_total = np.array([inputs.total_points for inputs, _ in jobs])
-    job_grid = np.array([inputs.grid_n for inputs, _ in jobs], dtype=np.int64)
-    job_bytes = np.array([inputs.bytes_per_point for inputs, _ in jobs])
-    job_iters = np.array([float(inputs.iterations) for inputs, _ in jobs])
-    job_ra = np.array([inputs.risk_aversion for inputs, _ in jobs])
-    job_memory = np.array([inputs.account_memory for inputs, _ in jobs])
+        )[None]
+        job_avail = inputs.avail_mb[None]
+        job_pair = inputs.pair[None]
+        job_risks = inputs.risks[None]
+        job_sync = np.array([inputs.sync_overhead_s])
+        job_total = np.array([inputs.total_points])
+        job_grid = np.array([inputs.grid_n], dtype=np.int64)
+        job_bytes = np.array([inputs.bytes_per_point])
+        job_iters = np.array([float(inputs.iterations)])
+        job_ra = np.array([inputs.risk_aversion])
+        job_memory = np.array([inputs.account_memory])
+        all_masks = np.asarray(masks, dtype=bool)
+        job_of = np.zeros(len(all_masks), dtype=np.int64)
+    else:
+        job_rates = np.stack([inputs.rates for inputs, _ in jobs])
+        job_caps = np.stack(
+            [
+                inputs.caps if inputs.caps is not None else np.full(n, np.inf)
+                for inputs, _ in jobs
+            ]
+        )
+        job_avail = np.stack([inputs.avail_mb for inputs, _ in jobs])
+        job_pair = np.stack([inputs.pair for inputs, _ in jobs])
+        job_risks = np.stack([inputs.risks for inputs, _ in jobs])
+        job_sync = np.array([inputs.sync_overhead_s for inputs, _ in jobs])
+        job_total = np.array([inputs.total_points for inputs, _ in jobs])
+        job_grid = np.array([inputs.grid_n for inputs, _ in jobs], dtype=np.int64)
+        job_bytes = np.array([inputs.bytes_per_point for inputs, _ in jobs])
+        job_iters = np.array([float(inputs.iterations) for inputs, _ in jobs])
+        job_ra = np.array([inputs.risk_aversion for inputs, _ in jobs])
+        job_memory = np.array([inputs.account_memory for inputs, _ in jobs])
 
-    all_masks = np.concatenate([np.asarray(masks, dtype=bool) for _, masks in jobs])
-    job_of = np.concatenate(
-        [np.full(len(masks), j, dtype=np.int64) for j, (_, masks) in enumerate(jobs)]
-    )
+        all_masks = np.concatenate(
+            [np.asarray(masks, dtype=bool) for _, masks in jobs]
+        )
+        job_of = np.concatenate(
+            [
+                np.full(len(masks), j, dtype=np.int64)
+                for j, (_, masks) in enumerate(jobs)
+            ]
+        )
 
     total_rows = all_masks.shape[0]
     feasible = np.zeros(total_rows, dtype=bool)
@@ -1184,6 +1228,19 @@ class PreferencePlanner:
         return [
             self.planners[family] for family in families if family in self.planners
         ]
+
+    def batch_planner(self, info: InformationPool) -> "Planner | None":  # noqa: F821
+        """The single active family's batch planner, when there is one.
+
+        With several active families the dispatcher's predicted time is a
+        min across them, which the one-shot batched sweep cannot replay —
+        so only a lone batch-capable family opts the configuration in.
+        """
+        active = self._active_planners(info)
+        if len(active) != 1:
+            return None
+        hook = getattr(active[0], "batch_planner", None)
+        return hook(info) if hook is not None else None
 
     def lower_bounds(
         self, candidate_sets: Sequence[Sequence[str]], info: InformationPool

@@ -102,6 +102,7 @@ class StripCostModel:
         self._rate_memo: dict[str, float] = {}
         self._ptime_memo: dict[str, float] = {}
         self._cap_memo: dict[str, float] = {}
+        self._pair_memo: dict[tuple[str, ...], np.ndarray] = {}
         # Read once at construction, like the Coordinator: under
         # REPRO_NO_FASTPATH=1 the per-machine loops below run exactly as
         # the seed implementation wrote them.
@@ -256,8 +257,19 @@ class StripCostModel:
 
         See :func:`pairwise_transfer_matrix`; this binds the model's own
         exchange volume and transfer source (snapshot memo when present).
+        Memoised per name order while frozen at a snapshot — the strip
+        planner's pruning bounds and batch inputs both gather from it, so
+        one decision builds each matrix once.  Callers must treat the
+        returned array as read-only (copy before mutating).
         """
-        return pairwise_transfer_matrix(self, names)
+        if self.snapshot is None:
+            return pairwise_transfer_matrix(self, names)
+        key = tuple(names)
+        pair = self._pair_memo.get(key)
+        if pair is None:
+            pair = pairwise_transfer_matrix(self, names)
+            self._pair_memo[key] = pair
+        return pair
 
 
 def pairwise_transfer_matrix(

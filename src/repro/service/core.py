@@ -50,11 +50,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.coordinator import (
-    _PRUNE_RELATIVE_EPS,
-    AppLeSAgent,
-    PruningStats,
-    record_pruning_stats,
+from repro.core.coordinator import AppLeSAgent, record_pruning_stats
+from repro.core.sweep import (
+    BatchedObjective,
+    materialise_winner,
+    objective_bounds,
+    replay_sweep,
+    resolve_batch_planner,
 )
 from repro.obs.trace import get_tracer
 from repro.core.resources import ResourcePool
@@ -63,7 +65,6 @@ import numpy as np
 
 from repro.jacobi.apples import (
     JacobiPlanner,
-    PreferencePlanner,
     evaluate_strip_batch,
     make_jacobi_agent,
     member_masks_over,
@@ -186,10 +187,24 @@ class SchedulingService:
                 else:
                     for i in group:
                         agent = self._agent(requests[i])
-                        answers[i] = ServiceAnswer.from_decision(
-                            agent.schedule(), at=at
-                        )
+                        decision = agent.schedule()
+                        if tracer.enabled:
+                            self._count_solo(tracer, decision.vectorised)
+                        answers[i] = ServiceAnswer.from_decision(decision, at=at)
         return [a for a in answers if a is not None]
+
+    @staticmethod
+    def _count_solo(tracer, vectorised: bool) -> None:
+        """Count one solo ``schedule()`` answer by the path that made it.
+
+        ``service.solo_vectorised`` vs ``service.solo_scalar``: every
+        decision the service answers through a single agent — the
+        reference sequential loop and the scalar-config fallback — lands
+        in one of the two, so the daemon's obs stream shows exactly how
+        many decisions the one-shot tensor sweep served.
+        """
+        name = "service.solo_vectorised" if vectorised else "service.solo_scalar"
+        tracer.metrics.counter(name).inc()
 
     # -- internals --------------------------------------------------------
     def _advance(self, at: float) -> None:
@@ -242,13 +257,14 @@ class SchedulingService:
 
     @staticmethod
     def _strip_planner(agent: AppLeSAgent) -> JacobiPlanner | None:
-        """The single active strip planner, when the config is batchable."""
-        if not isinstance(agent.planner, PreferencePlanner):
-            return None
-        active = agent.planner._active_planners(agent.info)
-        if len(active) == 1 and isinstance(active[0], JacobiPlanner):
-            return active[0]
-        return None
+        """The single active strip planner, when the config is batchable.
+
+        Resolved through the same ``batch_planner`` hook the Coordinator's
+        vectorised solo path uses, so "which configurations vectorise" has
+        exactly one answer across solo and batched entry points.
+        """
+        planner = resolve_batch_planner(agent.planner, agent.info)
+        return planner if isinstance(planner, JacobiPlanner) else None
 
     def _decide_group(self, requests, group, at, answers) -> None:
         """Answer one instant's requests through the batched core."""
@@ -293,11 +309,15 @@ class SchedulingService:
                 if not batchable:
                     # Sequential answer under the shared snapshot — still
                     # one solo decision, bit-identical by snapshot purity.
+                    # The agent's own vectorised path may still engage here
+                    # (e.g. a service gate the solo gate doesn't share);
+                    # count whichever path answered.
                     if tracer.enabled:
                         tracer.metrics.counter("service.scalar_configs").inc()
-                    answer = ServiceAnswer.from_decision(
-                        agent.schedule(snapshot=snapshot), at=at
-                    )
+                    decision = agent.schedule(snapshot=snapshot)
+                    if tracer.enabled:
+                        self._count_solo(tracer, decision.vectorised)
+                    answer = ServiceAnswer.from_decision(decision, at=at)
                     state.answers[key] = answer
                     for i in idxs:
                         answers[i] = answer
@@ -368,6 +388,10 @@ class SchedulingService:
                     if end is not None:
                         end(agent.info)
             state.answers[key] = answer
+            if tracer.enabled:
+                # Each batched config is one solo decision answered by the
+                # vectorised core — same instrument as the scalar branch.
+                self._count_solo(tracer, True)
             for i in idxs:
                 answers[i] = answer
 
@@ -375,103 +399,27 @@ class SchedulingService:
     def _bounds(agent, planner, csets, name_masks) -> list[float] | None:
         """``AppLeSAgent._lower_bounds`` with the membership matrix reused.
 
-        For a batchable config the dispatcher has exactly one active
-        family, so its bounds array is the strip planner's own — computed
-        here with the precomputed masks, then mapped through the
-        estimator's objective bound exactly like the Coordinator does.
+        Delegates to the canonical :func:`repro.core.sweep.objective_bounds`
+        — the same helper the Coordinator's vectorised solo path uses.
         """
-        estimator_bound = getattr(agent.estimator, "objective_lower_bound", None)
-        if estimator_bound is None:
-            return None
-        time_bounds = planner.lower_bounds(csets, agent.info, member_mask=name_masks)
-        if time_bounds is None or len(time_bounds) != len(csets):
-            return None
-        return [
-            estimator_bound(float(tb), rset, agent.info)
-            for tb, rset in zip(time_bounds, csets)
-        ]
+        return objective_bounds(agent, planner, csets, member_mask=name_masks)
 
     def _sweep(self, agent, csets, bounds, inputs, ev, at) -> ServiceAnswer:
         """Replay the Coordinator's prune-and-choose loop on batched results.
 
-        Mirrors ``AppLeSAgent._schedule_loop`` decision-for-decision: the
-        same seed candidate, the same incumbent updates (strict minimum,
-        ties to the earlier index), the same pruning predicate with the
-        same epsilon — but objectives come from the batched evaluation
-        instead of per-candidate ``plan()`` calls.  Rows the batched core
-        surrendered (``fallback``) are planned by the scalar planner here,
-        inside the same decision scope.
+        One call into the canonical sweep core
+        (:mod:`repro.core.sweep`): a :class:`BatchedObjective` scores each
+        candidate from the batched evaluation (planning surrendered rows
+        with the scalar planner, inside the same decision scope),
+        :func:`replay_sweep` reproduces the seed/incumbent/pruning
+        sequence, and :func:`materialise_winner` plans and cross-checks
+        the winner — the identical code path the vectorised solo
+        ``schedule()`` runs, so solo and batched answers cannot drift.
         """
-        estimator = agent.estimator
-        info = agent.info
-        rank_names = inputs.rank_names
-        memo: dict[int, float] = {}
-
-        def objective(idx: int) -> float:
-            obj = memo.get(idx)
-            if obj is not None:
-                return obj
-            if ev.fallback[idx]:
-                sched = agent.planner.plan(csets[idx], info)
-                obj = (
-                    float("inf")
-                    if sched is None
-                    else estimator.objective(sched, info)
-                )
-            elif ev.feasible[idx]:
-                kept = [nm for nm, k in zip(rank_names, ev.kept[idx]) if k]
-                obj = estimator.objective_from_prediction(
-                    float(ev.predicted[idx]), kept, info
-                )
-            else:
-                obj = float("inf")  # plan() returned None
-            memo[idx] = obj
-            return obj
-
-        best_obj = float("inf")
-        best_idx = -1
-        pruned = 0
-        seed_idx = -1
-        if bounds is not None and len(csets) > 1:
-            seed_idx = min(range(len(csets)), key=bounds.__getitem__)
-            obj = objective(seed_idx)
-            if obj < float("inf"):
-                best_obj, best_idx = obj, seed_idx
-
-        for idx in range(len(csets)):
-            if idx == seed_idx:
-                continue
-            if bounds is not None:
-                lb = bounds[idx]
-                if best_obj < float("inf") and lb >= best_obj * (
-                    1.0 + _PRUNE_RELATIVE_EPS
-                ):
-                    pruned += 1
-                    continue
-            obj = objective(idx)
-            if obj < best_obj or (obj == best_obj and idx < best_idx):
-                best_obj, best_idx = obj, idx
-
-        if best_idx < 0:
-            raise RuntimeError(
-                f"no feasible schedule across {len(csets)} candidate resource sets"
-            )
-
-        # Materialise the winner with the scalar planner and cross-check:
-        # the service never answers with a number the scalar path would
-        # not have produced.
-        best = agent.planner.plan(csets[best_idx], info)
-        if best is None or estimator.objective(best, info) != best_obj:
-            raise RuntimeError(
-                "batched objective diverged from the scalar planner for "
-                f"candidate {csets[best_idx]!r} — fast-path defect"
-            )
-        stats = PruningStats(
-            candidates=len(csets),
-            planned=len(csets) - pruned,
-            pruned=pruned,
-            bounded=bounds is not None,
-        )
+        objective = BatchedObjective(agent, csets, inputs, ev)
+        result = replay_sweep(len(csets), bounds, objective)
+        best = materialise_winner(agent, csets, result)
+        stats = result.stats(bounds is not None)
         tracer = get_tracer()
         if tracer.enabled:
             # Batched decisions land in the same instruments as solo ones —
@@ -480,12 +428,12 @@ class SchedulingService:
             tracer.event(
                 "service.decision", layer="service", t=at,
                 candidates=stats.candidates, pruned=stats.pruned,
-                best_objective=best_obj,
+                best_objective=result.best_objective,
             )
         return ServiceAnswer(
             best=best,
-            best_objective=best_obj,
-            metric=info.userspec.performance_metric,
+            best_objective=result.best_objective,
+            metric=agent.info.userspec.performance_metric,
             pruning=stats,
             at=at,
         )

@@ -26,9 +26,26 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-__all__ = ["fastpath_enabled", "set_fastpath", "fastpath"]
+__all__ = [
+    "fastpath_enabled",
+    "set_fastpath",
+    "fastpath",
+    "solo_vector_enabled",
+    "set_solo_vector",
+    "solo_vector",
+]
 
 _FASTPATH = os.environ.get("REPRO_NO_FASTPATH", "").strip().lower() not in (
+    "1", "true", "yes", "on",
+)
+
+# The vectorised *solo* decision (one-shot candidate tensor sweep inside
+# AppLeSAgent.schedule) has its own switch layered under the master one:
+# REPRO_NO_SOLO_VECTOR=1 keeps the PR2 scalar fast path (snapshot scope +
+# lower-bound pruning, candidates planned one at a time) while leaving
+# every other optimisation on.  Benchmarks use it to measure the scalar
+# and vectorised arms against each other honestly.
+_SOLO_VECTOR = os.environ.get("REPRO_NO_SOLO_VECTOR", "").strip().lower() not in (
     "1", "true", "yes", "on",
 )
 
@@ -54,3 +71,30 @@ def fastpath(enabled: bool):
         yield
     finally:
         set_fastpath(previous)
+
+
+def solo_vector_enabled() -> bool:
+    """Whether newly-constructed agents may vectorise their solo sweep.
+
+    Only meaningful with the master fast path on: ``REPRO_NO_FASTPATH=1``
+    disables the scalar fast path *and* this layer.
+    """
+    return _SOLO_VECTOR
+
+
+def set_solo_vector(enabled: bool) -> bool:
+    """Set the solo-vectorisation switch; returns the new value."""
+    global _SOLO_VECTOR
+    _SOLO_VECTOR = bool(enabled)
+    return _SOLO_VECTOR
+
+
+@contextmanager
+def solo_vector(enabled: bool):
+    """Temporarily force the solo-vectorisation switch."""
+    previous = _SOLO_VECTOR
+    set_solo_vector(enabled)
+    try:
+        yield
+    finally:
+        set_solo_vector(previous)

@@ -133,6 +133,29 @@ class TestArenaDocumented:
         assert hasattr(args, "trace") and hasattr(args, "quick")
 
 
+class TestSoloVectorDocumented:
+    """The unified vectorised decision core and its kill switch."""
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md", "DESIGN.md"])
+    def test_docs_cover_vectorised_solo_decision(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("REPRO_NO_SOLO_VECTOR", "repro.core.sweep",
+                       "bench_solo_decision"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    def test_readme_names_the_counters_and_suite(self):
+        text = (ROOT / "README.md").read_text()
+        for needle in ("service.solo_vectorised", "service.solo_scalar",
+                       "test_solo_vector_equivalence"):
+            assert needle in text, f"README does not document {needle}"
+
+    def test_gate_flags_exist(self):
+        from repro.util import perf
+
+        assert hasattr(perf, "solo_vector")
+        assert hasattr(perf, "solo_vector_enabled")
+
+
 class TestModulesReferencedExist:
     @pytest.mark.parametrize("doc", ["DESIGN.md", "docs/PAPER_MAP.md"])
     def test_repro_module_paths_resolve(self, doc):

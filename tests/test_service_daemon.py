@@ -485,6 +485,47 @@ class TestObservability:
         assert metrics["daemon.shed"]["value"] == 2
         assert metrics["daemon.rejected"]["value"] == 1
 
+    def test_solo_decision_path_counters(self):
+        """Every answered request is attributed to exactly one decision
+        path: ``service.solo_vectorised`` (the one-shot tensor sweep /
+        batched core) or ``service.solo_scalar`` (the per-candidate
+        loop).  Which side fires follows the ambient gate the suite runs
+        under — the counters are how operators see the split."""
+        requests = [_request(k) for k in range(4)]
+        with tracing() as tr:
+            daemon = SchedulingDaemon([_spec()], queue_capacity=16)
+            tickets = daemon.submit_many("sdsc", requests)
+            daemon.pump()
+        assert all(t.result(0.0).status == ANSWERED for t in tickets)
+        metrics = tr.metrics.as_dict()
+        vectorised = metrics.get("service.solo_vectorised", {}).get("value", 0)
+        scalar = metrics.get("service.solo_scalar", {}).get("value", 0)
+        assert vectorised + scalar == len(requests)
+        if perf.fastpath_enabled():
+            # Strip-only requests all ride the batched/vectorised core.
+            assert vectorised == len(requests) and scalar == 0
+        else:
+            assert scalar == len(requests) and vectorised == 0
+
+    def test_scalar_config_counts_as_scalar_solo(self):
+        """A configuration the batched core cannot take (two active
+        decomposition families) is answered by a solo scalar decision —
+        and counted as one."""
+        spec = UserSpecification(decomposition_preference=("strip", "blocked"))
+        request = DecisionRequest(
+            problem=JacobiProblem(n=600, iterations=10), userspec=spec, at=AT
+        )
+        with tracing() as tr:
+            daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+            ticket = daemon.submit("sdsc", request)
+            daemon.pump()
+        assert ticket.result(0.0).status == ANSWERED
+        metrics = tr.metrics.as_dict()
+        assert metrics["service.solo_scalar"]["value"] == 1
+        assert "service.solo_vectorised" not in metrics
+        if perf.fastpath_enabled():
+            assert metrics["service.scalar_configs"]["value"] == 1
+
 
 # -- load generator -------------------------------------------------------
 class TestLoadGenerator:

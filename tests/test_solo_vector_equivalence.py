@@ -1,0 +1,203 @@
+"""Differential suite: vectorised solo decision ≡ scalar fast path ≡ reference.
+
+The one-shot tensor sweep (``AppLeSAgent._schedule_vectorised``) claims to
+change *nothing observable* about a solo decision.  These tests force each
+arm explicitly — ``reference`` (``REPRO_NO_FASTPATH`` semantics),
+``scalar`` (the PR2 fast path with ``REPRO_NO_SOLO_VECTOR`` semantics) and
+``vector`` — around agent construction, so all three read the same
+forecasts, and assert bit-identity:
+
+- winner resource set, allocations, predicted time, objective — across
+  all three arms (the reference loop is the ground truth);
+- evaluation order (the ``core.incumbent`` event sequence), pruned rows
+  and :class:`PruningStats` — between the two bounded arms, which share
+  the seeded sweep (the reference loop is unbounded by design);
+- the vector arm really took the tensor path (``decision.vectorised``)
+  and the scalar arm really did not.
+
+A Hypothesis property drives random pools, seeds, problem shapes and user
+specifications through the same oracle; CI runs this file in both ambient
+gate modes, which must not matter because every arm pins its own gates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.userspec import UserSpecification
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.nws import NetworkWeatherService
+from repro.obs.trace import tracing
+from repro.sim import casa_testbed, nile_testbed, sdsc_pcl_testbed
+from repro.util import perf
+
+BUILDERS = {
+    "sdsc_pcl": sdsc_pcl_testbed,
+    "casa": casa_testbed,
+}
+
+ARMS = {
+    "reference": (False, False),
+    "scalar": (True, False),
+    "vector": (True, True),
+}
+
+
+def _decide(testbed, nws, problem, arm, userspec=None, account_memory=True):
+    """One decision with the (fastpath, solo_vector) gates pinned."""
+    fast, vector = ARMS[arm]
+    with perf.fastpath(fast), perf.solo_vector(vector), tracing() as tr:
+        agent = make_jacobi_agent(
+            testbed, problem, nws=nws, userspec=userspec,
+            account_memory=account_memory,
+        )
+        decision = agent.schedule()
+    incumbents = [
+        (r["fields"]["idx"], r["fields"]["objective"],
+         r["fields"].get("seeded", False))
+        for r in tr.records()
+        if r["kind"] == "event" and r["name"] == "core.incumbent"
+    ]
+    return decision, incumbents
+
+
+def _winner(decision):
+    return (
+        decision.best.resource_set,
+        tuple((a.machine, a.work_units, a.footprint_mb)
+              for a in decision.best.allocations),
+        decision.best.predicted_time,
+        decision.best_objective,
+        decision.candidates_considered,
+    )
+
+
+def _pruned_rows(decision):
+    return tuple(ev.pruned for ev in decision.evaluations)
+
+
+def _assert_equivalent(testbed, nws, problem, userspec=None, account_memory=True):
+    ref, _ = _decide(testbed, nws, problem, "reference", userspec, account_memory)
+    scalar, scalar_inc = _decide(
+        testbed, nws, problem, "scalar", userspec, account_memory
+    )
+    vector, vector_inc = _decide(
+        testbed, nws, problem, "vector", userspec, account_memory
+    )
+
+    # The reference loop is the oracle for the *decision*.
+    assert _winner(scalar) == _winner(ref)
+    assert _winner(vector) == _winner(ref)
+    assert not ref.vectorised and not scalar.vectorised
+
+    # The two bounded arms replay the identical seeded sweep: same
+    # incumbent (evaluation) order, same pruned rows, same statistics.
+    assert vector_inc == scalar_inc
+    assert _pruned_rows(vector) == _pruned_rows(scalar)
+    assert vector.pruning == scalar.pruning
+    return ref, scalar, vector
+
+
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    bed_name=st.sampled_from(sorted(BUILDERS)),
+    tb_seed=st.integers(min_value=1, max_value=2**16),
+    nws_seed=st.integers(min_value=1, max_value=2**16),
+    n=st.sampled_from([500, 800, 1100]),
+    iterations=st.integers(min_value=10, max_value=60),
+    max_machines=st.one_of(st.none(), st.integers(min_value=2, max_value=6)),
+    account_memory=st.booleans(),
+)
+def test_property_random_pools_and_specs(
+    bed_name, tb_seed, nws_seed, n, iterations, max_machines, account_memory
+):
+    testbed = BUILDERS[bed_name](seed=tb_seed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=nws_seed)
+    nws.warmup(600.0)
+    problem = JacobiProblem(n=n, iterations=iterations)
+    userspec = (
+        UserSpecification() if max_machines is None
+        else UserSpecification(max_machines=max_machines)
+    )
+    _, _, vector = _assert_equivalent(
+        testbed, nws, problem, userspec, account_memory
+    )
+    # Strip-only configurations always batch: the vector arm must have
+    # actually exercised the tensor path, or this suite tests nothing.
+    assert vector.vectorised
+
+
+def test_exhaustive_twelve_machine_pool():
+    """The headline pool: nile's 4095-candidate exhaustive sweep."""
+    testbed = nile_testbed(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    _, _, vector = _assert_equivalent(
+        testbed, nws, JacobiProblem(n=1000, iterations=40)
+    )
+    assert vector.vectorised
+    assert vector.candidates_considered == 2**12 - 1
+
+
+def test_incumbent_stream_seeds_exactly_once():
+    testbed = sdsc_pcl_testbed(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    _, incumbents = _decide(
+        testbed, nws, JacobiProblem(n=600, iterations=20), "vector"
+    )
+    assert incumbents, "a feasible decision must announce incumbents"
+    assert incumbents[0][2] is True  # the warm start
+    assert all(seeded is False for _, _, seeded in incumbents[1:])
+    objectives = [obj for _, obj, _ in incumbents]
+    assert objectives == sorted(objectives, reverse=True)
+
+
+def test_multi_family_configuration_declines_to_vectorise():
+    """With both decomposition families active the dispatcher cannot name
+    a single batch planner, so the vector gate falls back to the scalar
+    sweep — and the decision is still bit-identical to the reference."""
+    testbed = sdsc_pcl_testbed(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    problem = JacobiProblem(n=600, iterations=20)
+    spec = UserSpecification(decomposition_preference=("strip", "blocked"))
+
+    ref, _ = _decide(testbed, nws, problem, "reference", spec)
+    vector, _ = _decide(testbed, nws, problem, "vector", spec)
+    assert not vector.vectorised
+    assert _winner(vector) == _winner(ref)
+
+
+def test_vector_rows_expose_winner_schedule():
+    """`evaluations` rows from the tensor path keep the explain() contract:
+    the winner row holds the materialised schedule, pruned rows hold
+    their bound, and certified rows carry a finite objective."""
+    testbed = sdsc_pcl_testbed(seed=1996)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+    nws.warmup(600.0)
+    decision, _ = _decide(
+        testbed, nws, JacobiProblem(n=600, iterations=20), "vector"
+    )
+    assert decision.vectorised
+    rows = decision.evaluations
+    winners = [ev for ev in rows if ev.schedule is decision.best]
+    assert len(winners) == 1
+    assert winners[0].objective == decision.best_objective
+    for ev in rows:
+        if ev.pruned:
+            assert ev.lower_bound is not None
+            assert ev.schedule is None
+        elif ev is not winners[0]:
+            assert ev.feasible == (ev.objective < float("inf"))
+    assert "pruned by lower bound" in decision.explain()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
