@@ -36,7 +36,7 @@ QUICK = any(
 )
 
 SEED = 2024
-CLASSES = ("sdsc8", "synth14")
+CLASSES = ("sdsc8", "synth14", "contended14")
 
 
 def bench_arena_regret(report, merge_json):

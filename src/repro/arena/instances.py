@@ -57,10 +57,15 @@ ALLOCATION_SCHEMA = "repro.arena.allocation/v1"
 #: 8-host SDSC/PCL testbed (exhaustive enumeration reaches it), ``synth14``
 #: a 14-host synthetic metacomputer — beyond the selector's 2^12 - 1
 #: exhaustive bound, where the greedy ladder used to be an unmeasured
-#: fallback.
+#: fallback.  ``contended14`` is ``synth14`` with a second concurrent
+#: request: a greedy *contender* schedules first and occupies the machines
+#: it wins, so the captured decision problem sees a pool already carrying
+#: reserved load — the regime the reservation layer's conflict detection
+#: lives in.
 INSTANCE_CLASSES: dict[str, dict] = {
     "sdsc8": {"generator": "sdsc", "n_hosts": 8, "n_segments": None},
     "synth14": {"generator": "synthetic", "n_hosts": 14, "n_segments": 3},
+    "contended14": {"generator": "contended", "n_hosts": 14, "n_segments": 3},
 }
 
 #: Default problem edge lengths cycled across the instances of one class.
@@ -299,10 +304,54 @@ def build_world(world: dict) -> tuple[Testbed, NetworkWeatherService]:
             int(world["n_segments"]),
             seed=int(world["seed"]),
         )
+    elif generator == "contended":
+        return _build_contended_world(world)
     else:
         raise ValueError(f"unknown world generator {generator!r}")
     nws = NetworkWeatherService.for_testbed(testbed, seed=int(world["nws_seed"]))
     nws.warmup(float(world["warmup_s"]))
+    return testbed, nws
+
+
+def _build_contended_world(world: dict) -> tuple[Testbed, NetworkWeatherService]:
+    """Two concurrent requests: a greedy contender books the pool first.
+
+    The contender schedules its own problem on the freshly-warmed pool and
+    occupies the machines it wins (through the same
+    :class:`~repro.sim.load.IntervalLoad` substrate scheduled applications
+    use), then the NWS sensors observe the occupied pool for ``observe_s``
+    before the decision instant.  Every step is a pure function of the
+    world's seeds, so rebuilds stay bit-identical.
+    """
+    # Imported here: the plain world generators must not pull the agent
+    # stack into the arena's import graph.
+    from repro.core.selector import ResourceSelector
+    from repro.jacobi.apples import make_jacobi_agent
+    from repro.sim.jobs import make_injectable
+
+    testbed = synthetic_metacomputer(
+        int(world["n_hosts"]),
+        int(world["n_segments"]),
+        seed=int(world["seed"]),
+    )
+    injectors = make_injectable(testbed)
+    nws = NetworkWeatherService.for_testbed(testbed, seed=int(world["nws_seed"]))
+    nws.warmup(float(world["warmup_s"]))
+    contender = JacobiProblem(
+        n=int(world["contender_n"]),
+        iterations=int(world["contender_iterations"]),
+    )
+    agent = make_jacobi_agent(
+        testbed, contender, nws,
+        selector=ResourceSelector(regime="greedy"),
+    )
+    decision = agent.schedule()
+    now = nws.now
+    level = float(world["contender_level"])
+    hold = float(world["contender_hold_s"])
+    for name in decision.best.resource_set:
+        injectors[name].occupy(now, now + hold, level)
+    nws.advance_to(now + float(world["observe_s"]))
     return testbed, nws
 
 
@@ -398,6 +447,14 @@ def generate_instances(
             "nws_seed": seed + 1009 + k,
             "warmup_s": 300.0 + 60.0 * (k % 5),
         }
+        if spec["generator"] == "contended":
+            world.update(
+                contender_n=500 + 100 * (k % 3),
+                contender_iterations=300,
+                contender_hold_s=1800.0,
+                contender_level=0.35,
+                observe_s=120.0,
+            )
         testbed, nws = build_world(world)
         problem = JacobiProblem(n=sizes[k % len(sizes)], iterations=iterations)
         instances.append(

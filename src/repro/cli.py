@@ -27,6 +27,9 @@ Experiments
                policy portfolio, verify emitted allocations, report
                regret vs the exhaustive oracle (``--smoke`` runs the
                short self-checking preset).
+``reserve``    Request-driven reservations: submit requests, expand +
+               book them on the pool timeline, repair incrementally,
+               report (``--smoke`` runs the short self-checking preset).
 ``obs-report`` Summarise (or diff) a JSONL trace written by ``--trace``.
 
 Every experiment accepts ``--trace PATH`` (write a ``repro.obs`` trace of
@@ -457,6 +460,217 @@ def _arena_smoke(args: argparse.Namespace) -> str:
     )
 
 
+def _reserve_world(pool: str, seed: int) -> dict:
+    """The arena-style world spec the reservation planner rebuilds from."""
+    worlds = {
+        "sdsc": {"generator": "sdsc", "n_hosts": 8, "n_segments": None},
+        "synth": {"generator": "synthetic", "n_hosts": 14, "n_segments": 3},
+    }
+    spec = worlds.get(pool)
+    if spec is None:
+        raise SystemExit(f"unknown pool {pool!r}; available: {sorted(worlds)}")
+    return {**spec, "seed": seed, "nws_seed": seed + 1, "warmup_s": 600.0}
+
+
+def _booking_table(ledger) -> str:
+    header = f"{'booking':<26}{'prio':>5}{'start':>10}{'end':>10}  machines"
+    lines = [header]
+    for b in ledger.bookings:
+        lines.append(
+            f"{b.booking_id:<26}{b.priority:>5}{b.start:>10.1f}"
+            f"{b.end:>10.1f}  {','.join(b.machines)}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_reserve(args: argparse.Namespace) -> str:
+    """Drive the reservation layer: submit / plan / repair / report.
+
+    Like the arena, the four actions share one file contract — requests
+    and bookings are plain JSONL — so ``repair`` and ``report`` work on
+    ledgers produced by processes this one has never imported.
+    """
+    from repro import reserve
+
+    if args.smoke:
+        return _reserve_smoke(args)
+    if args.action is None:
+        raise SystemExit(
+            "reserve needs an action (submit / plan / repair / report) "
+            "or --smoke"
+        )
+
+    if args.action == "submit":
+        requests = reserve.seeded_requests(args.count, seed=args.seed)
+        out = args.out or "reserve_requests.jsonl"
+        reserve.save_requests(out, requests)
+        lines = [f"wrote {len(requests)} requests to {out}", ""]
+        for r in requests:
+            cap = "*" if r.max_machines is None else r.max_machines
+            lines.append(
+                f"{r.request_id}  prio={r.priority} n={r.problem.n} "
+                f"x{r.repeat_count} machines {r.min_machines}..{cap} "
+                f"window [{r.earliest_start:g}, {r.deadline:g})"
+            )
+        return "\n".join(lines)
+
+    if args.requests is None:
+        raise SystemExit(f"reserve {args.action} requires --requests PATH")
+    requests = reserve.load_requests(args.requests)
+    world = _reserve_world(args.pool, args.seed)
+
+    if args.action == "plan":
+        planner = reserve.ReservationPlanner(world=world, label=args.pool)
+        outcome = planner.plan(requests)
+        out = args.out or "reserve_bookings.jsonl"
+        reserve.save_bookings(out, outcome.ledger)
+        lines = [_booking_table(outcome.ledger), ""]
+        for request_id, occ in outcome.rejected:
+            lines.append(f"rejected {request_id}#{occ}: no feasible candidate")
+        lines.append(
+            f"booked {len(outcome.booked)}  rejected {len(outcome.rejected)}"
+            f"  decisions {outcome.decisions}  expansions {outcome.expansions}"
+        )
+        lines.append(f"wrote {len(outcome.ledger)} bookings to {out}")
+        return "\n".join(lines)
+
+    if args.bookings is None:
+        raise SystemExit(f"reserve {args.action} requires --bookings PATH")
+    ledger = reserve.load_bookings(args.bookings)
+
+    if args.action == "repair":
+        planner = reserve.ReservationPlanner(world=world, label=args.pool)
+        new = reserve.load_requests(args.new) if args.new else []
+        outcome = planner.repair(
+            ledger,
+            new_requests=new,
+            invalidate=tuple(args.invalidate),
+            requests=requests,
+        )
+        out = args.out or "reserve_bookings.jsonl"
+        reserve.save_bookings(out, ledger)
+        lines = [_booking_table(ledger), ""]
+        for a in outcome.actions:
+            if a.booking_id:
+                lines.append(
+                    f"repaired {a.booking_id} -> {a.replacement_id} "
+                    f"via {a.strategy}"
+                )
+            else:
+                lines.append(
+                    f"placed {a.replacement_id} for new request "
+                    f"{a.request_id}#{a.occurrence}"
+                )
+        for request_id, occ in outcome.rejected:
+            lines.append(f"rejected {request_id}#{occ}: no feasible candidate")
+        lines.append(
+            f"repaired {len(outcome.repaired)}  placed {len(outcome.booked)}"
+            f"  untouched {len(outcome.untouched)}"
+            f"  decisions {outcome.stats.decisions}"
+        )
+        lines.append(f"wrote {len(ledger)} bookings to {out}")
+        return "\n".join(lines)
+
+    # report: verify the ledger purely from the two files.
+    problems = reserve.verify_ledger(ledger, requests)
+    lines = [_booking_table(ledger), ""]
+    if problems:
+        lines.extend(f"PROBLEM: {p}" for p in problems)
+        lines.append(f"{len(ledger)} bookings, {len(problems)} problem(s)")
+    else:
+        lines.append(f"{len(ledger)} bookings verified: conflict-free, "
+                     "every one inside its request's windows")
+    return "\n".join(lines)
+
+
+def _reserve_smoke(args: argparse.Namespace) -> str:
+    """Tiny end-to-end self-check (run it under both gate modes in CI).
+
+    Plans the seeded workload on the 8-host SDSC world, round-trips both
+    JSONL formats, verifies the ledger, then injects an urgent request and
+    checks the repair contract: the repaired ledger verifies clean, every
+    untouched booking is *the same object* (bit-identity for free), and
+    repair spends strictly fewer decisions than a from-scratch replan.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro import reserve
+
+    world = _reserve_world("sdsc", args.seed)
+    requests = reserve.seeded_requests(6, seed=2026)
+
+    planner = reserve.ReservationPlanner(world=world, label="sdsc")
+    outcome = planner.plan(requests)
+    if not outcome.booked:
+        raise SystemExit("smoke: plan booked nothing")
+    problems = reserve.verify_ledger(outcome.ledger, requests)
+    if problems:
+        raise SystemExit("smoke: planned ledger rejected:\n"
+                         + "\n".join(problems))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        req_path = Path(tmp) / "requests.jsonl"
+        book_path = Path(tmp) / "bookings.jsonl"
+        reserve.save_requests(req_path, requests)
+        if reserve.load_requests(req_path) != requests:
+            raise SystemExit("smoke: request JSONL round-trip diverged")
+        reserve.save_bookings(book_path, outcome.ledger)
+        if reserve.load_bookings(book_path).bookings != outcome.ledger.bookings:
+            raise SystemExit("smoke: booking JSONL round-trip diverged")
+
+    # An urgent (stronger-priority) request spanning the booked horizon.
+    first = min(b.start for b in outcome.ledger.bookings)
+    last = max(b.end for b in outcome.ledger.bookings)
+    urgent = reserve.ReservationRequest(
+        request_id="urgent-000",
+        problem=requests[0].problem,
+        earliest_start=first,
+        deadline=last + 1800.0,
+        min_machines=2,
+        priority=1,
+    )
+    before = {b.booking_id: b for b in outcome.ledger.bookings}
+    repair = planner.repair(outcome.ledger, new_requests=[urgent])
+    if not repair.booked:
+        raise SystemExit("smoke: urgent request not placed by repair")
+    problems = reserve.verify_ledger(outcome.ledger, requests + [urgent])
+    if problems:
+        raise SystemExit("smoke: repaired ledger rejected:\n"
+                         + "\n".join(problems))
+    for bid in repair.untouched:
+        if outcome.ledger.get(bid) is not before[bid]:
+            raise SystemExit(
+                f"smoke: repair rebuilt untouched booking {bid!r}"
+            )
+
+    # Differential: a from-scratch replan of all 7 requests must accept
+    # the same occurrence set while spending far more decisions.
+    replan = reserve.ReservationPlanner(world=world, label="sdsc").plan(
+        requests + [urgent]
+    )
+    ours = {(b.request_id, b.occurrence) for b in outcome.ledger.bookings}
+    theirs = {(b.request_id, b.occurrence) for b in replan.ledger.bookings}
+    if ours != theirs:
+        raise SystemExit(
+            f"smoke: repair booked {sorted(ours)} but a from-scratch "
+            f"replan books {sorted(theirs)}"
+        )
+    if repair.stats.decisions >= replan.decisions:
+        raise SystemExit(
+            f"smoke: repair spent {repair.stats.decisions} decisions, "
+            f"replan only {replan.decisions} — repair must be cheaper"
+        )
+    return (
+        _booking_table(outcome.ledger)
+        + f"\n\nsmoke: {len(outcome.booked)} bookings planned, urgent "
+        f"request repaired in with {len(repair.untouched)} untouched "
+        f"bookings object-identical; repair spent "
+        f"{repair.stats.decisions} decisions vs {replan.decisions} for a "
+        "from-scratch replan; JSONL round-trips exact"
+    )
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> str:
     data = read_trace(args.trace)
     if args.diff is not None:
@@ -655,6 +869,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "decisions, regret >= 0, oracle regret 0 "
                         "(CI health check; run under both gate modes)")
 
+    p = sub.add_parser(
+        "reserve",
+        help="request-driven reservations: expand, book, repair",
+    )
+    common(p)
+    p.add_argument("action", nargs="?", default=None,
+                   choices=("submit", "plan", "repair", "report"),
+                   help="write the seeded request workload / expand + book "
+                        "requests on the pool timeline / patch a saved "
+                        "ledger incrementally / verify saved bookings")
+    p.add_argument("--pool", default="sdsc",
+                   help="world to plan on (sdsc, synth; default sdsc)")
+    p.add_argument("--count", type=int, default=6,
+                   help="requests generated by submit (default 6)")
+    p.add_argument("--requests", metavar="PATH", default=None,
+                   help="request JSONL file (input to plan/repair/report)")
+    p.add_argument("--bookings", metavar="PATH", default=None,
+                   help="booking JSONL file (input to repair/report)")
+    p.add_argument("--new", metavar="PATH", default=None,
+                   help="JSONL of newly-arrived requests folded in by repair")
+    p.add_argument("--invalidate", metavar="BOOKING_ID", action="append",
+                   default=[],
+                   help="booking id whose forecasts went stale; repaired "
+                        "rather than replanned (repeatable)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output path (submit: requests JSONL, plan/repair: "
+                        "bookings JSONL)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny self-checking end-to-end run: plan the seeded "
+                        "workload, repair in an urgent request, untouched "
+                        "bookings object-identical, repair cheaper than "
+                        "replan (CI health check; run under both gate modes)")
+
     p = sub.add_parser("obs-report",
                        help="summarise (or diff) a trace written by --trace")
     p.add_argument("trace", help="path to a repro.obs JSONL trace")
@@ -681,6 +928,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.experiment == "arena":
             _apply_quick(args, "arena", parser.parse_args(["arena"]))
             print(_cmd_arena(args))
+            return 0
+        if args.experiment == "reserve":
+            print(_cmd_reserve(args))
             return 0
         if args.experiment == "all":
             for name in _COMMANDS:

@@ -43,7 +43,14 @@ __all__ = ["RescheduleEvent", "AdaptiveResult", "AdaptiveJacobiRunner",
 
 @dataclass(frozen=True)
 class RescheduleEvent:
-    """One accepted redistribution."""
+    """One accepted redistribution.
+
+    ``repaired`` records *how* the adopted candidate was found: ``True``
+    when it came from the incremental repair sweep (a
+    :class:`~repro.reserve.repair.RepairSweep` over the seeded-selector
+    neighbourhood of the incumbent), ``False`` when it came from a full
+    blueprint re-run.
+    """
 
     time: float
     after_iteration: int
@@ -51,6 +58,7 @@ class RescheduleEvent:
     new_machines: tuple[str, ...]
     migration_s: float
     predicted_gain_s: float
+    repaired: bool = False
 
 
 @dataclass
@@ -66,6 +74,11 @@ class AdaptiveResult:
     def reschedule_count(self) -> int:
         """Number of accepted redistributions."""
         return len(self.reschedules)
+
+    @property
+    def repaired_count(self) -> int:
+        """Accepted redistributions that came from the repair sweep."""
+        return sum(1 for e in self.reschedules if e.repaired)
 
     @property
     def migration_time(self) -> float:
@@ -124,6 +137,14 @@ class AdaptiveJacobiRunner:
         Accept a redistribution only if
         ``old_remaining - (new_remaining + migration) >
         min_gain_fraction * old_remaining``.
+    repair:
+        When ``True`` (the default), mid-run rescheduling checks use a
+        :class:`~repro.reserve.repair.RepairSweep` — a seeded-selector
+        sweep over the neighbourhood of the incumbent resource set —
+        instead of re-running the full blueprint.  The initial schedule
+        always comes from the full blueprint; only the *periodic checks*
+        are repaired.  Accepted events carry ``repaired=True`` so
+        accounting can tell the two paths apart.
     """
 
     def __init__(
@@ -133,6 +154,7 @@ class AdaptiveJacobiRunner:
         nws: NetworkWeatherService,
         check_every: int = 25,
         min_gain_fraction: float = 0.1,
+        repair: bool = True,
         **agent_kwargs,
     ) -> None:
         check_positive("check_every", check_every)
@@ -143,7 +165,21 @@ class AdaptiveJacobiRunner:
         self.nws = nws
         self.check_every = int(check_every)
         self.min_gain_fraction = min_gain_fraction
+        self.repair = bool(repair)
         self.agent = make_jacobi_agent(testbed, problem, nws, **agent_kwargs)
+        self._sweep = None
+        if self.repair:
+            # Imported lazily: repro.reserve.repair itself imports
+            # repro.jacobi.apples, so a module-level import here would be
+            # circular through the package __init__s.
+            from repro.reserve.repair import RepairSweep
+
+            sweep_kwargs = {
+                k: v
+                for k, v in agent_kwargs.items()
+                if k in ("userspec", "account_memory")
+            }
+            self._sweep = RepairSweep(testbed, problem, nws, **sweep_kwargs)
 
     def _remaining_prediction(self, schedule: Schedule, remaining: int) -> float:
         """Predicted seconds for ``remaining`` iterations of ``schedule``
@@ -156,6 +192,10 @@ class AdaptiveJacobiRunner:
         """Run all iterations, rescheduling when prediction says it pays."""
         self.nws.advance_to(t0)
         schedule = self.agent.schedule().best
+        if self._sweep is not None:
+            # Seed the repair sweep's winner memory with the blueprint's
+            # choice so its neighbourhood is centred on the incumbent.
+            self._sweep.observe(schedule.resource_set)
         # Assignments are a pure function of the schedule, so build them once
         # per schedule rather than once per chunk; the executor re-derives
         # its tables per call, so successive chunks stay exact.
@@ -179,7 +219,10 @@ class AdaptiveJacobiRunner:
                 break
 
             self.nws.advance_to(t)
-            candidate = self.agent.schedule().best
+            if self._sweep is not None:
+                candidate = self._sweep.decide().best
+            else:
+                candidate = self.agent.schedule().best
             remaining = self.problem.iterations - done
             keep_pred = self._remaining_prediction(schedule, remaining)
             move_pred = self._remaining_prediction(candidate, remaining)
@@ -199,6 +242,7 @@ class AdaptiveJacobiRunner:
                         new_machines=candidate.resource_set,
                         migration_s=migration,
                         predicted_gain_s=gain,
+                        repaired=self._sweep is not None,
                     )
                 )
                 tracer = get_tracer()
@@ -209,6 +253,7 @@ class AdaptiveJacobiRunner:
                         predicted_gain_s=gain,
                         old_machines=len(schedule.resource_set),
                         new_machines=len(candidate.resource_set),
+                        repaired=self._sweep is not None,
                     )
                     tracer.metrics.counter("core.reschedules").inc()
                 t += migration  # pay for the data movement

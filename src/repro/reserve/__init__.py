@@ -1,0 +1,73 @@
+"""Request-driven reservations over the scheduling service.
+
+The DSN-style layer (Johnston et al.) above :mod:`repro.service`: users
+declare :class:`ReservationRequest`\\ s — deadlines, preferred windows,
+repetition patterns, machine-count bounds, priority classes — and the
+subsystem expands them into timed allocations over the existing decision
+machinery, books them on a shared-pool timeline with exact conflict
+detection, and *repairs* incrementally instead of re-planning from
+scratch.
+
+- :mod:`repro.reserve.requests` — the request schema + JSONL round-trip
+  and the seeded rolling-horizon workload generator.
+- :mod:`repro.reserve.expand` — request → candidate timed allocations,
+  driving ``SchedulingService.decide`` at candidate instants; every
+  booking carries a frozen arena instance the standalone verifier
+  re-scores bit-for-bit.
+- :mod:`repro.reserve.ledger` — bookings on the timeline, machine-overlap
+  and verifier-feasibility conflicts, :func:`verify_ledger` acceptance.
+- :mod:`repro.reserve.repair` — greedy planning plus the incremental
+  repair ladder (shift-within-window, shrink-toward-min, re-expand,
+  bump-by-priority) and the adaptive runner's :class:`RepairSweep`.
+"""
+
+from repro.reserve.expand import Expander, ExpandStats
+from repro.reserve.ledger import (
+    BOOKING_SCHEMA,
+    Booking,
+    Conflict,
+    ReservationLedger,
+    load_bookings,
+    save_bookings,
+    verify_ledger,
+)
+from repro.reserve.repair import (
+    STRATEGIES,
+    PlanOutcome,
+    RepairAction,
+    RepairOutcome,
+    RepairStats,
+    RepairSweep,
+    ReservationPlanner,
+)
+from repro.reserve.requests import (
+    REQUEST_SCHEMA,
+    ReservationRequest,
+    load_requests,
+    save_requests,
+    seeded_requests,
+)
+
+__all__ = [
+    "REQUEST_SCHEMA",
+    "BOOKING_SCHEMA",
+    "STRATEGIES",
+    "ReservationRequest",
+    "Booking",
+    "Conflict",
+    "ReservationLedger",
+    "Expander",
+    "ExpandStats",
+    "ReservationPlanner",
+    "PlanOutcome",
+    "RepairAction",
+    "RepairOutcome",
+    "RepairStats",
+    "RepairSweep",
+    "verify_ledger",
+    "save_requests",
+    "load_requests",
+    "save_bookings",
+    "load_bookings",
+    "seeded_requests",
+]

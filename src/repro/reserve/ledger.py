@@ -1,0 +1,401 @@
+"""The reservation ledger: booked allocations on a shared pool timeline.
+
+A :class:`Booking` is one placed occurrence of a
+:class:`~repro.reserve.requests.ReservationRequest`: a ``[start, end)``
+interval, the machines and grid points of the decided allocation, the
+decision's objective, and — the load-bearing part — the frozen
+:class:`~repro.arena.instances.ArenaInstance` captured at the decision
+instant.  Conflict detection reuses the arena verifier's feasibility
+arrays instead of inventing new physics:
+
+- **machine overlap** is exact interval arithmetic: two bookings sharing
+  a machine with overlapping ``[start, end)`` intervals conflict (a
+  reserved machine is exclusively held, the DSN antenna model);
+- **capacity, memory, routability** per booking come from
+  :func:`repro.arena.verifier.verify_allocation` over the embedded
+  instance — the same shape / work-conservation / memory-capacity /
+  zero-rate / unroutable checks every arena allocation faces, scored by
+  code that imports no scheduler machinery.
+
+:func:`verify_ledger` is the standalone acceptance check the differential
+repair harness runs: every booking verifier-feasible, every pair
+machine-disjoint in time, every booking inside its request's window.
+
+Bookings serialise to JSONL like every other frozen artifact in the repo
+(one self-describing object per line, ``ValueError`` on malformed input,
+bit-identical round-trips).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, replace
+
+from repro.arena.instances import ArenaAllocation, ArenaInstance
+from repro.arena.verifier import verify_allocation
+from repro.obs.trace import get_tracer
+from repro.reserve.requests import ReservationRequest
+
+__all__ = [
+    "BOOKING_SCHEMA",
+    "Booking",
+    "Conflict",
+    "ReservationLedger",
+    "save_bookings",
+    "load_bookings",
+    "verify_ledger",
+]
+
+BOOKING_SCHEMA = "repro.reserve.booking/v1"
+
+
+@dataclass(frozen=True)
+class Booking:
+    """One placed occurrence: a timed allocation plus its frozen evidence.
+
+    ``instance`` holds the pool's forecast state at the decision instant;
+    ``objective`` is the decision's risk-adjusted claim, which
+    :func:`repro.arena.verifier.verify_allocation` re-derives bit-for-bit
+    from the instance alone (the expansion engine refuses to book a
+    divergence).  A booking is immutable: repair replaces bookings, it
+    never edits them — which is what makes "untouched bookings are
+    bit-identical" a checkable property rather than a hope.
+    """
+
+    booking_id: str
+    request_id: str
+    occurrence: int
+    priority: int
+    start: float
+    end: float
+    machines: tuple[str, ...]
+    points: tuple[float, ...]
+    objective: float
+    instance: ArenaInstance
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty booking interval [{self.start}, {self.end})")
+        if not self.machines or len(self.machines) != len(self.points):
+            raise ValueError("machines and points must be non-empty and aligned")
+        if len(set(self.machines)) != len(self.machines):
+            raise ValueError(f"duplicate machines in booking: {self.machines}")
+        if self.occurrence < 0:
+            raise ValueError("occurrence must be >= 0")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Half-open interval overlap with ``[start, end)``."""
+        return self.start < end and start < self.end
+
+    def allocation(self) -> ArenaAllocation:
+        """The booking as an arena allocation (for the standalone verifier)."""
+        return ArenaAllocation(
+            instance_id=self.instance.instance_id,
+            policy="reserve",
+            machines=self.machines,
+            points=self.points,
+            claimed_objective=self.objective,
+        )
+
+    def shifted(self, start: float) -> "Booking":
+        """The same booking moved to ``start`` (duration and arrays kept).
+
+        The shift-within-window repair strategy: the allocation, its
+        frozen instance and its duration estimate are untouched — only the
+        interval moves, so the verifier verdict is unchanged by
+        construction.
+        """
+        return replace(self, start=start, end=start + self.duration)
+
+    # -- serialisation ------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": BOOKING_SCHEMA,
+            "booking_id": self.booking_id,
+            "request_id": self.request_id,
+            "occurrence": self.occurrence,
+            "priority": self.priority,
+            "start": self.start,
+            "end": self.end,
+            "machines": list(self.machines),
+            "points": list(self.points),
+            "objective": self.objective,
+            "instance": self.instance.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "Booking":
+        if not isinstance(payload, dict):
+            raise ValueError("booking record must be a JSON object")
+        schema = payload.get("schema")
+        if schema != BOOKING_SCHEMA:
+            raise ValueError(
+                f"unsupported booking schema {schema!r} (want {BOOKING_SCHEMA})"
+            )
+        try:
+            return cls(
+                booking_id=str(payload["booking_id"]),
+                request_id=str(payload["request_id"]),
+                occurrence=int(payload["occurrence"]),
+                priority=int(payload["priority"]),
+                start=float(payload["start"]),
+                end=float(payload["end"]),
+                machines=tuple(str(m) for m in payload["machines"]),
+                points=tuple(float(p) for p in payload["points"]),
+                objective=float(payload["objective"]),
+                instance=ArenaInstance.from_json_dict(payload["instance"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed booking record: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One detected violation on the shared timeline."""
+
+    kind: str  # "machine-overlap" or "infeasible:<reason>"
+    booking_ids: tuple[str, ...]
+    machines: tuple[str, ...] = ()
+    detail: str = ""
+
+
+class ReservationLedger:
+    """Booked allocations over one pool, in submission order.
+
+    The ledger is pure bookkeeping: it holds immutable bookings, answers
+    interval queries (``busy_machines``), and detects conflicts exactly.
+    It never decides anything — placement and repair live in
+    :mod:`repro.reserve.expand` / :mod:`repro.reserve.repair`.
+
+    ``book()`` refuses conflicting bookings unless ``force=True`` — the
+    forced path exists so tests and benchmarks can create the conflicted
+    worlds repair is then asked to fix.
+    """
+
+    def __init__(self, bookings: list[Booking] | None = None) -> None:
+        self._bookings: dict[str, Booking] = {}
+        self._seq = 0
+        for b in bookings or []:
+            self.book(b, force=True)
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._bookings)
+
+    def __contains__(self, booking_id: str) -> bool:
+        return booking_id in self._bookings
+
+    @property
+    def bookings(self) -> tuple[Booking, ...]:
+        """All bookings, in insertion order."""
+        return tuple(self._bookings.values())
+
+    def get(self, booking_id: str) -> Booking:
+        try:
+            return self._bookings[booking_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown booking {booking_id!r} (have {sorted(self._bookings)})"
+            ) from None
+
+    def next_booking_id(self, request: ReservationRequest, occurrence: int) -> str:
+        """A fresh booking identity (sequence-numbered, never reused)."""
+        while True:
+            self._seq += 1
+            candidate = f"{request.request_id}#{occurrence}@{self._seq}"
+            if candidate not in self._bookings:
+                return candidate
+
+    # -- timeline queries ---------------------------------------------------
+    def overlapping(
+        self, start: float, end: float, exclude: frozenset[str] | set[str] = frozenset()
+    ) -> list[Booking]:
+        """Bookings intersecting ``[start, end)`` (minus ``exclude`` ids)."""
+        return [
+            b
+            for b in self._bookings.values()
+            if b.booking_id not in exclude and b.overlaps(start, end)
+        ]
+
+    def busy_machines(
+        self, start: float, end: float, exclude: frozenset[str] | set[str] = frozenset()
+    ) -> frozenset[str]:
+        """Machines held by any booking intersecting ``[start, end)``."""
+        busy: set[str] = set()
+        for b in self.overlapping(start, end, exclude):
+            busy.update(b.machines)
+        return frozenset(busy)
+
+    # -- mutation -----------------------------------------------------------
+    def book(self, booking: Booking, force: bool = False) -> Booking:
+        """Admit one booking; refuse (``ValueError``) on conflict unless forced."""
+        if booking.booking_id in self._bookings:
+            raise ValueError(f"duplicate booking id {booking.booking_id!r}")
+        if not force:
+            clashes = self.conflicts_with(booking)
+            if clashes:
+                raise ValueError(
+                    f"booking {booking.booking_id!r} conflicts: "
+                    + "; ".join(c.kind for c in clashes)
+                )
+        self._bookings[booking.booking_id] = booking
+        return booking
+
+    def remove(self, booking_id: str) -> Booking:
+        """Drop and return one booking."""
+        booking = self.get(booking_id)
+        del self._bookings[booking_id]
+        return booking
+
+    # -- conflict detection -------------------------------------------------
+    def conflicts_with(self, booking: Booking) -> list[Conflict]:
+        """Machine-overlap conflicts ``booking`` would have against the ledger."""
+        conflicts = []
+        for other in self.overlapping(booking.start, booking.end,
+                                      exclude={booking.booking_id}):
+            shared = tuple(m for m in booking.machines if m in other.machines)
+            if shared:
+                conflicts.append(
+                    Conflict(
+                        kind="machine-overlap",
+                        booking_ids=(booking.booking_id, other.booking_id),
+                        machines=shared,
+                        detail=(
+                            f"[{booking.start:g}, {booking.end:g}) x "
+                            f"[{other.start:g}, {other.end:g})"
+                        ),
+                    )
+                )
+        return conflicts
+
+    def conflicts(self) -> list[Conflict]:
+        """Every violation in the ledger, exactly.
+
+        Pairwise machine overlaps (each conflicting pair reported once)
+        plus per-booking verifier verdicts over the frozen instances —
+        capacity, memory, routability per instant, by the arena's
+        standalone arithmetic.
+        """
+        found: list[Conflict] = []
+        ordered = list(self._bookings.values())
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if not a.overlaps(b.start, b.end):
+                    continue
+                shared = tuple(m for m in a.machines if m in b.machines)
+                if shared:
+                    found.append(
+                        Conflict(
+                            kind="machine-overlap",
+                            booking_ids=(a.booking_id, b.booking_id),
+                            machines=shared,
+                            detail=(
+                                f"[{a.start:g}, {a.end:g}) x "
+                                f"[{b.start:g}, {b.end:g})"
+                            ),
+                        )
+                    )
+        for b in ordered:
+            report = verify_allocation(b.instance, b.allocation())
+            if not report.feasible:
+                found.append(
+                    Conflict(
+                        kind=f"infeasible:{report.reason}",
+                        booking_ids=(b.booking_id,),
+                        machines=b.machines,
+                    )
+                )
+        tracer = get_tracer()
+        if tracer.enabled and found:
+            tracer.metrics.counter("reserve.conflict").inc(len(found))
+            for c in found:
+                tracer.event(
+                    "reserve.conflict", layer="reserve",
+                    kind=c.kind, bookings=list(c.booking_ids),
+                )
+        return found
+
+
+# -- standalone acceptance check --------------------------------------------
+def verify_ledger(
+    ledger: ReservationLedger,
+    requests: dict[str, ReservationRequest] | list | tuple | None = None,
+) -> list[str]:
+    """Every reason the ledger is not acceptable (empty list = accepted).
+
+    The differential repair harness's referee: feasibility comes from the
+    standalone arena verifier over each booking's frozen instance,
+    exclusivity from exact interval arithmetic, and — when the original
+    requests are supplied (a mapping by id, or any iterable of them) —
+    window/deadline/machine-count compliance from the request constraints
+    themselves.
+    """
+    problems = [
+        f"{c.kind}: {', '.join(c.booking_ids)}"
+        + (f" on {', '.join(c.machines)}" if c.machines else "")
+        for c in ledger.conflicts()
+    ]
+    if requests is not None:
+        if not isinstance(requests, dict):
+            requests = {r.request_id: r for r in requests}
+        for b in ledger.bookings:
+            request = requests.get(b.request_id)
+            if request is None:
+                problems.append(f"unknown-request: {b.booking_id}")
+                continue
+            earliest, deadline = request.occurrence_interval(b.occurrence)
+            if b.start < earliest or b.end > deadline:
+                problems.append(
+                    f"outside-window: {b.booking_id} "
+                    f"[{b.start:g}, {b.end:g}) not in "
+                    f"[{earliest:g}, {deadline:g}]"
+                )
+            if not any(
+                start <= b.start < end
+                for start, end in request.occurrence_windows(b.occurrence)
+            ):
+                problems.append(f"outside-preferred-window: {b.booking_id}")
+            if len(b.machines) < request.min_machines:
+                problems.append(f"below-min-machines: {b.booking_id}")
+            if (
+                request.max_machines is not None
+                and len(b.machines) > request.max_machines
+            ):
+                problems.append(f"above-max-machines: {b.booking_id}")
+    return problems
+
+
+# -- JSONL persistence ------------------------------------------------------
+def save_bookings(path: str | pathlib.Path, ledger: ReservationLedger) -> None:
+    """Write the ledger to ``path``, one booking object per line."""
+    bookings = ledger.bookings
+    if not bookings:
+        raise ValueError("refusing to write an empty ledger")
+    lines = [json.dumps(b.to_json_dict()) for b in bookings]
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_bookings(path: str | pathlib.Path) -> ReservationLedger:
+    """Read a booking JSONL file back into a ledger (``ValueError`` on
+    malformed lines; conflicts are preserved, not silently repaired)."""
+    records = []
+    text = pathlib.Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not a JSON booking record") from exc
+        try:
+            records.append(Booking.from_json_dict(payload))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    if not records:
+        raise ValueError(f"{path}: no booking records found")
+    return ReservationLedger(records)

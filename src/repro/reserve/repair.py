@@ -1,0 +1,551 @@
+"""Planning and incremental repair over the reservation ledger.
+
+The second half of request-driven scheduling: once requests are expanded
+and booked, the world keeps moving — new requests arrive, forecasts go
+stale, forced bookings conflict.  A from-scratch re-plan re-decides every
+occurrence; :meth:`ReservationPlanner.repair` instead isolates the
+*affected* bookings and walks a strategy ladder per booking, cheapest
+first:
+
+1. **shift-within-window** — slide the booking (arrays, machines and
+   duration untouched) to the earliest free slot inside its occurrence
+   windows.  Zero decisions.
+2. **shrink-toward-min** — re-decide at the original instant restricted
+   to the booking's surviving (un-contested) machines, if at least
+   ``min_machines`` survive.  One decision.
+3. **re-expand** — full expansion of the occurrence against the current
+   ledger.  ``instants_per_window`` decisions.  Invalidated bookings go
+   straight here: their frozen evidence is stale by assumption.
+4. **bump-by-priority** — evict one strictly lower-priority conflicting
+   booking, place, and push the evictee back onto the worklist (each
+   booking is evicted at most once per repair, and a bump chain strictly
+   descends the priority order, so cascades terminate).
+
+Everything the ladder never touches stays *the same object* — repair
+replaces bookings, it never mutates them — which is the property the
+differential harness checks with ``is``-identity rather than tolerance.
+
+:class:`RepairSweep` is the same idea at a different layer: the
+:class:`~repro.jacobi.adaptive.AdaptiveJacobiRunner`'s mid-run
+reschedules re-decide over a :class:`~repro.core.selector.SeededSelector`
+neighbourhood of the incumbent winner instead of re-running the full
+blueprint enumeration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.selector import SeededSelector
+from repro.core.userspec import UserSpecification
+from repro.jacobi.apples import make_jacobi_agent
+from repro.jacobi.grid import JacobiProblem
+from repro.nws.service import NetworkWeatherService
+from repro.obs.trace import get_tracer
+from repro.reserve.expand import Expander
+from repro.reserve.ledger import Booking, ReservationLedger
+from repro.reserve.requests import ReservationRequest
+from repro.sim.testbeds import Testbed
+
+__all__ = [
+    "STRATEGIES",
+    "RepairAction",
+    "RepairStats",
+    "PlanOutcome",
+    "RepairOutcome",
+    "ReservationPlanner",
+    "RepairSweep",
+]
+
+#: The repair ladder, cheapest first (documented order == attempted order).
+STRATEGIES = (
+    "shift-within-window",
+    "shrink-toward-min",
+    "re-expand",
+    "bump-by-priority",
+)
+
+#: Strategy label for brand-new requests placed during repair.
+_NEW = "expand-new"
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One booking the repair (or plan) pass placed."""
+
+    booking_id: str  # the original booking; "" for new-request placements
+    request_id: str
+    occurrence: int
+    strategy: str
+    replacement_id: str
+
+
+@dataclass
+class RepairStats:
+    """What one repair pass did, and what it cost."""
+
+    conflicts_found: int = 0
+    invalidated: int = 0
+    shifted: int = 0
+    shrunk: int = 0
+    reexpanded: int = 0
+    bumped: int = 0
+    placed_new: int = 0
+    rejected: int = 0
+    decisions: int = 0
+    expansions: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass
+class PlanOutcome:
+    """Result of a from-scratch :meth:`ReservationPlanner.plan`."""
+
+    ledger: ReservationLedger
+    booked: tuple[str, ...]
+    rejected: tuple[tuple[str, int], ...]
+    decisions: int
+    expansions: int
+
+
+@dataclass
+class RepairOutcome:
+    """Result of one :meth:`ReservationPlanner.repair` pass."""
+
+    ledger: ReservationLedger
+    actions: tuple[RepairAction, ...]
+    rejected: tuple[tuple[str, int], ...]
+    untouched: tuple[str, ...]
+    stats: RepairStats = field(default_factory=RepairStats)
+
+    @property
+    def repaired(self) -> dict[str, str]:
+        """``original booking id -> strategy`` for every repaired booking."""
+        return {
+            a.booking_id: a.strategy for a in self.actions if a.strategy != _NEW
+        }
+
+    @property
+    def booked(self) -> tuple[str, ...]:
+        """Booking ids placed for brand-new requests."""
+        return tuple(a.replacement_id for a in self.actions if a.strategy == _NEW)
+
+
+class ReservationPlanner:
+    """Greedy booking plus incremental repair over one world.
+
+    The planner owns an :class:`~repro.reserve.expand.Expander` (and hence
+    one rebuildable world) and a registry of the requests it has seen —
+    repair needs each booking's original constraints, so bookings of
+    unregistered requests cannot be repaired (``ValueError``).
+
+    Booking order is (priority class, submission order): the strongest
+    class plans first, matching the DSN practice the repair ladder's
+    bump strategy mirrors.
+    """
+
+    def __init__(
+        self,
+        world: dict | None = None,
+        factory=None,
+        instants_per_window: int = 3,
+        label: str = "reserve",
+    ) -> None:
+        self.expander = Expander(
+            world=world,
+            factory=factory,
+            instants_per_window=instants_per_window,
+            label=label,
+        )
+        self.requests: dict[str, ReservationRequest] = {}
+
+    def register(self, requests) -> None:
+        """Admit requests to the registry (idempotent; ``ValueError`` when
+        an id is reused for a *different* request)."""
+        for r in requests:
+            known = self.requests.get(r.request_id)
+            if known is not None and known != r:
+                raise ValueError(
+                    f"request id {r.request_id!r} already registered "
+                    f"with different content"
+                )
+            self.requests[r.request_id] = r
+
+    # -- from-scratch planning ----------------------------------------------
+    def plan(
+        self,
+        requests: list[ReservationRequest],
+        ledger: ReservationLedger | None = None,
+    ) -> PlanOutcome:
+        """Book every occurrence of ``requests`` greedily into ``ledger``."""
+        self.register(requests)
+        if ledger is None:
+            ledger = ReservationLedger()
+        d0 = self.expander.stats.decisions
+        e0 = self.expander.stats.expansions
+        booked: list[str] = []
+        rejected: list[tuple[str, int]] = []
+        order = sorted(
+            range(len(requests)), key=lambda i: (requests[i].priority, i)
+        )
+        for i in order:
+            request = requests[i]
+            for occ in range(request.repeat_count):
+                booking = self.expander.expand(request, occ, ledger)
+                if booking is None:
+                    rejected.append((request.request_id, occ))
+                else:
+                    ledger.book(booking)
+                    booked.append(booking.booking_id)
+        return PlanOutcome(
+            ledger=ledger,
+            booked=tuple(booked),
+            rejected=tuple(rejected),
+            decisions=self.expander.stats.decisions - d0,
+            expansions=self.expander.stats.expansions - e0,
+        )
+
+    # -- incremental repair --------------------------------------------------
+    def repair(
+        self,
+        ledger: ReservationLedger,
+        new_requests: list[ReservationRequest] | tuple = (),
+        invalidate: tuple[str, ...] | list[str] = (),
+        requests: list[ReservationRequest] | tuple = (),
+    ) -> RepairOutcome:
+        """Patch ``ledger`` in place; untouched bookings stay identical.
+
+        The affected set is the union of (a) losers of detected conflicts
+        — the lower-priority booking of each overlapping pair, ties to the
+        later-booked one — plus verifier-infeasible bookings, (b) the
+        explicitly ``invalidate``\\ d booking ids (stale forecast
+        evidence), and (c) every occurrence of ``new_requests``.  Only
+        those enter the strategy ladder; nothing else is read, moved, or
+        rebuilt.  ``requests`` registers known requests for bookings made
+        elsewhere (e.g. a ledger loaded from JSONL).
+        """
+        tracer = get_tracer()
+        self.register(requests)
+        self.register(new_requests)
+        stats = RepairStats()
+        d0 = self.expander.stats.decisions
+        e0 = self.expander.stats.expansions
+        with tracer.span(
+            "reserve.repair", layer="reserve",
+            bookings=len(ledger), new=len(tuple(new_requests)),
+            invalidated=len(tuple(invalidate)),
+        ):
+            outcome = self._repair(ledger, new_requests, invalidate, stats)
+        stats.decisions = self.expander.stats.decisions - d0
+        stats.expansions = self.expander.stats.expansions - e0
+        if tracer.enabled:
+            for action in outcome.actions:
+                tracer.metrics.counter(
+                    f"reserve.repaired.{action.strategy}"
+                ).inc()
+        return outcome
+
+    def _repair(
+        self,
+        ledger: ReservationLedger,
+        new_requests,
+        invalidate,
+        stats: RepairStats,
+    ) -> RepairOutcome:
+        invalid_ids = set(invalidate)
+        for bid in invalid_ids:
+            ledger.get(bid)  # KeyError on unknown ids, before any mutation
+        order_index = {
+            b.booking_id: i for i, b in enumerate(ledger.bookings)
+        }
+
+        # (a) conflict losers + infeasible bookings.
+        affected: dict[str, str] = {}
+        conflicts = ledger.conflicts()
+        stats.conflicts_found = len(conflicts)
+        for c in conflicts:
+            if c.kind == "machine-overlap":
+                a, b = (ledger.get(bid) for bid in c.booking_ids)
+                loser = max(
+                    (a, b),
+                    key=lambda x: (x.priority, order_index[x.booking_id]),
+                )
+                affected.setdefault(loser.booking_id, "conflict")
+            else:
+                affected.setdefault(c.booking_ids[0], "infeasible")
+        # (b) explicit invalidations override: stale evidence forces
+        # re-expansion even if the booking also lost a conflict.
+        for bid in invalid_ids:
+            affected[bid] = "invalidated"
+        stats.invalidated = len(invalid_ids)
+
+        # Snapshot the pre-repair objects: ``untouched`` is decided at the
+        # end by object identity, because the worklist can grow past the
+        # initial affected set (bump evictions) and a shifted replacement
+        # keeps its booking id.
+        before = {b.booking_id: b for b in ledger.bookings}
+
+        counter = itertools.count()
+        heap: list = []
+
+        def push_booking(booking: Booking, why: str) -> None:
+            seq = order_index.setdefault(booking.booking_id, len(order_index))
+            heapq.heappush(
+                heap,
+                (booking.priority, seq, next(counter), "booking", (booking, why)),
+            )
+
+        for bid, why in affected.items():
+            push_booking(ledger.remove(bid), why)
+        for i, request in enumerate(new_requests):
+            for occ in range(request.repeat_count):
+                heapq.heappush(
+                    heap,
+                    (
+                        request.priority,
+                        len(order_index) + i,
+                        next(counter),
+                        "request",
+                        (request, occ),
+                    ),
+                )
+
+        bumped: set[str] = set()
+        actions: list[RepairAction] = []
+        rejected: list[tuple[str, int]] = []
+        while heap:
+            _, _, _, kind, payload = heapq.heappop(heap)
+            if kind == "booking":
+                booking, why = payload
+                request = self.requests.get(booking.request_id)
+                if request is None:
+                    raise ValueError(
+                        f"cannot repair booking {booking.booking_id!r}: "
+                        f"request {booking.request_id!r} is not registered "
+                        f"(pass it via requests=)"
+                    )
+                action = self._repair_booking(
+                    booking, request, why, ledger, stats, bumped, push_booking
+                )
+                if action is None:
+                    stats.rejected += 1
+                    rejected.append((booking.request_id, booking.occurrence))
+                else:
+                    actions.append(action)
+            else:
+                request, occ = payload
+                placed = self._place(
+                    request, occ, ledger, stats, bumped, push_booking
+                )
+                if placed is None:
+                    stats.rejected += 1
+                    rejected.append((request.request_id, occ))
+                else:
+                    replacement, strategy = placed
+                    stats.placed_new += 1
+                    actions.append(
+                        RepairAction(
+                            booking_id="",
+                            request_id=request.request_id,
+                            occurrence=occ,
+                            strategy=_NEW,
+                            replacement_id=replacement.booking_id,
+                        )
+                    )
+        untouched = tuple(
+            b.booking_id
+            for b in ledger.bookings
+            if before.get(b.booking_id) is b
+        )
+        return RepairOutcome(
+            ledger=ledger,
+            actions=tuple(actions),
+            rejected=tuple(rejected),
+            untouched=untouched,
+            stats=stats,
+        )
+
+    # -- the strategy ladder -------------------------------------------------
+    def _repair_booking(
+        self,
+        booking: Booking,
+        request: ReservationRequest,
+        why: str,
+        ledger: ReservationLedger,
+        stats: RepairStats,
+        bumped: set[str],
+        push_booking,
+    ) -> RepairAction | None:
+        occ = booking.occurrence
+
+        def action(strategy: str, replacement: Booking) -> RepairAction:
+            return RepairAction(
+                booking_id=booking.booking_id,
+                request_id=booking.request_id,
+                occurrence=occ,
+                strategy=strategy,
+                replacement_id=replacement.booking_id,
+            )
+
+        # Invalidated evidence and verifier-infeasible bookings must not be
+        # shifted or shrunk — both strategies would re-book the very arrays
+        # under suspicion.  Straight to re-expansion.
+        if why == "conflict" or why == "bumped":
+            start = self._find_shift(booking, request, ledger)
+            if start is not None:
+                replacement = booking.shifted(start)
+                ledger.book(replacement)
+                stats.shifted += 1
+                return action(STRATEGIES[0], replacement)
+
+            deadline = request.occurrence_interval(occ)[1]
+            survivors = frozenset(booking.machines) - ledger.busy_machines(
+                booking.start, deadline
+            )
+            if len(survivors) >= request.min_machines:
+                replacement = self.expander.expand(
+                    request, occ, ledger,
+                    accessible=survivors, instants=(booking.start,),
+                )
+                if replacement is not None:
+                    ledger.book(replacement)
+                    stats.shrunk += 1
+                    return action(STRATEGIES[1], replacement)
+
+        replacement = self.expander.expand(request, occ, ledger)
+        if replacement is not None:
+            ledger.book(replacement)
+            stats.reexpanded += 1
+            return action(STRATEGIES[2], replacement)
+
+        placed = self._bump(request, occ, ledger, bumped, push_booking)
+        if placed is not None:
+            stats.bumped += 1
+            return action(STRATEGIES[3], placed)
+        return None
+
+    def _place(
+        self,
+        request: ReservationRequest,
+        occ: int,
+        ledger: ReservationLedger,
+        stats: RepairStats,
+        bumped: set[str],
+        push_booking,
+    ) -> tuple[Booking, str] | None:
+        """Place one new-request occurrence: expand, then bump if needed."""
+        booking = self.expander.expand(request, occ, ledger)
+        if booking is not None:
+            ledger.book(booking)
+            return booking, STRATEGIES[2]
+        placed = self._bump(request, occ, ledger, bumped, push_booking)
+        if placed is not None:
+            stats.bumped += 1
+            return placed, STRATEGIES[3]
+        return None
+
+    def _find_shift(
+        self,
+        booking: Booking,
+        request: ReservationRequest,
+        ledger: ReservationLedger,
+    ) -> float | None:
+        """Earliest in-window start where the booking's machines are free.
+
+        Candidate starts are the window starts, the booking's own start,
+        and the end instants of bookings sharing its machines — between
+        consecutive candidates the busy set cannot change, so checking
+        only these finds the earliest feasible slot exactly.
+        """
+        deadline = request.occurrence_interval(booking.occurrence)[1]
+        machines = frozenset(booking.machines)
+        for ws, we in request.occurrence_windows(booking.occurrence):
+            starts = {ws}
+            if ws <= booking.start < we:
+                starts.add(booking.start)
+            for other in ledger.overlapping(ws, deadline):
+                if machines & frozenset(other.machines) and ws <= other.end < we:
+                    starts.add(other.end)
+            for s in sorted(starts):
+                if s + booking.duration > deadline:
+                    continue
+                if ledger.busy_machines(s, s + booking.duration) & machines:
+                    continue
+                return s
+        return None
+
+    def _bump(
+        self,
+        request: ReservationRequest,
+        occ: int,
+        ledger: ReservationLedger,
+        bumped: set[str],
+        push_booking,
+    ) -> Booking | None:
+        """Evict one strictly weaker booking to make room, weakest first."""
+        earliest, deadline = request.occurrence_interval(occ)
+        victims = sorted(
+            (
+                b
+                for b in ledger.overlapping(earliest, deadline)
+                if b.priority > request.priority and b.booking_id not in bumped
+            ),
+            key=lambda b: (-b.priority, b.start),
+        )
+        for victim in victims:
+            ledger.remove(victim.booking_id)
+            booking = self.expander.expand(request, occ, ledger)
+            if booking is not None:
+                ledger.book(booking)
+                bumped.add(victim.booking_id)
+                push_booking(victim, "bumped")
+                return booking
+            ledger.book(victim)  # no help — restore and try the next
+        return None
+
+
+class RepairSweep:
+    """Seeded mid-run re-decision for the adaptive runner.
+
+    Wraps a full AppLeS agent whose selector is a
+    :class:`~repro.core.selector.SeededSelector`: the greedy ladder plus
+    the remembered winners' add-one/drop-one neighbourhood, instead of the
+    default exhaustive enumeration — the candidate space shrinks from
+    ``2^n - 1`` sets to ``O(n + breadth)`` while the acceptance arithmetic
+    (keep-vs-move predictions, migration cost) stays exactly the runner's.
+    Feed each adopted schedule back via :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        problem: JacobiProblem,
+        nws: NetworkWeatherService | None = None,
+        userspec: UserSpecification | None = None,
+        account_memory: bool = True,
+        breadth: int = 3,
+        memory: int = 4,
+    ) -> None:
+        self.selector = SeededSelector(breadth=breadth, memory=memory)
+        self.agent = make_jacobi_agent(
+            testbed,
+            problem,
+            nws,
+            userspec=userspec,
+            selector=self.selector,
+            account_memory=account_memory,
+        )
+
+    def observe(self, resource_set, stats=None) -> None:
+        """Seed the next sweep with an adopted schedule's resource set."""
+        self.selector.observe(resource_set, stats)
+
+    def decide(self):
+        """One seeded decision; the winner is fed back automatically."""
+        decision = self.agent.schedule()
+        self.observe(decision.best.resource_set, decision.pruning)
+        return decision

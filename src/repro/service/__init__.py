@@ -5,6 +5,11 @@ synthetic user-population load generator (:mod:`repro.service.loadgen`).
 
 from repro.service.core import SchedulingService
 from repro.service.daemon import (
+    ANSWERED,
+    BOOKED,
+    FAILED,
+    REJECTED,
+    SHED,
     DaemonReply,
     MicroBatcher,
     SchedulingDaemon,
@@ -22,4 +27,9 @@ __all__ = [
     "MicroBatcher",
     "DaemonReply",
     "Ticket",
+    "ANSWERED",
+    "BOOKED",
+    "SHED",
+    "REJECTED",
+    "FAILED",
 ]

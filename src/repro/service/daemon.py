@@ -59,6 +59,7 @@ matter how the traffic was split into batches.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import deque
@@ -76,6 +77,7 @@ from repro.util.validation import check_positive
 
 __all__ = [
     "ANSWERED",
+    "BOOKED",
     "SHED",
     "REJECTED",
     "FAILED",
@@ -87,6 +89,7 @@ __all__ = [
 ]
 
 ANSWERED = "answered"
+BOOKED = "booked"
 SHED = "shed"
 REJECTED = "rejected"
 FAILED = "failed"
@@ -97,13 +100,16 @@ class DaemonReply:
     """The daemon's terminal word on one ticket.
 
     ``status`` is one of :data:`ANSWERED` (``answer`` holds the
-    service's decision), :data:`SHED` (admission control refused a full
-    queue — back off and retry), :data:`REJECTED` (the request can never
-    be answered: behind the shard clock, unknown shard, daemon shutting
-    down — ``reason`` says why), or :data:`FAILED` (the shard errored
-    while answering; ``reason`` carries the exception text).
-    ``latency_s`` is wall-clock submit→resolve; ``batch_size`` is the
-    micro-batch the request rode in (0 when it never reached one).
+    service's decision), :data:`BOOKED` (a reservation-lane ticket:
+    ``bookings`` holds the placed :class:`~repro.reserve.ledger.Booking`
+    tuple, one per occurrence), :data:`SHED` (admission control refused a
+    full queue — back off and retry), :data:`REJECTED` (the request can
+    never be answered: behind the shard clock, unknown shard, no feasible
+    placement, daemon shutting down — ``reason`` says why), or
+    :data:`FAILED` (the shard errored while answering; ``reason`` carries
+    the exception text).  ``latency_s`` is wall-clock submit→resolve;
+    ``batch_size`` is the micro-batch the request rode in (0 when it
+    never reached one).
     """
 
     status: str
@@ -112,6 +118,7 @@ class DaemonReply:
     latency_s: float = 0.0
     batch_size: int = 0
     shard: str = ""
+    bookings: tuple = ()
 
 
 class Ticket:
@@ -151,6 +158,7 @@ class Ticket:
         answer: ServiceAnswer | None = None,
         reason: str | None = None,
         batch_size: int = 0,
+        bookings: tuple = (),
     ) -> None:
         self._reply = DaemonReply(
             status=status,
@@ -159,6 +167,7 @@ class Ticket:
             latency_s=time.perf_counter() - self.submitted_wall,
             batch_size=batch_size,
             shard=self.shard,
+            bookings=bookings,
         )
         self._event.set()
 
@@ -330,14 +339,21 @@ class _Shard:
         self._world = world
         self.queue_capacity = queue_capacity
         self.queue: deque[tuple[Ticket, float]] = deque()  # (ticket, enqueue wall)
+        # Reservation lane: a priority heap of (priority class, admission
+        # seq, ticket) — lower class numbers plan first.
+        self.reservations: list[tuple[int, int, Ticket]] = []
+        self.reservation_seq = 0
         self.cond = threading.Condition()
         self.clock = 0.0  # latest admitted decision instant (sim time)
         self.in_flight = 0
         self.service: SchedulingService | None = None
+        self.planner = None  # lazily built ReservationPlanner
+        self.ledger = None  # the shard's ReservationLedger
         self.thread: threading.Thread | None = None
         self.stats = {
             "submitted": 0, "answered": 0, "shed": 0,
             "rejected": 0, "failed": 0, "batches": 0, "max_batch": 0,
+            "reservations": 0, "booked": 0,
         }
 
     def ensure_service(self) -> SchedulingService:
@@ -351,6 +367,26 @@ class _Shard:
                 testbed, nws, reuse=perf.fastpath_enabled()
             )
         return self.service
+
+    def ensure_reservation_lane(self):
+        """The shard's planner + ledger (lazily built, spec shards only).
+
+        The planner expands over a *private* spec-built world — planning
+        at reservation instants must never advance the decision lane's
+        shared NWS clock, and the spec's seed determinism makes the
+        private replica bit-identical to the decision world anyway.
+        Imported lazily: :mod:`repro.reserve` sits above this module.
+        """
+        if self.planner is None:
+            assert self.spec is not None
+            from repro.reserve.ledger import ReservationLedger
+            from repro.reserve.repair import ReservationPlanner
+
+            self.planner = ReservationPlanner(
+                factory=self.spec.build, label=self.name
+            )
+            self.ledger = ReservationLedger()
+        return self.planner, self.ledger
 
 
 class SchedulingDaemon:
@@ -372,6 +408,13 @@ class SchedulingDaemon:
         pumping thread).  ``> 1`` dispatches batches through a persistent
         process pool via the :mod:`repro.runner` machinery — shards must
         then be spec-built so their worlds can be rebuilt in workers.
+    reservation_capacity:
+        Bound on each shard's reservation lane; overflow is shed.  The
+        lane admits :class:`~repro.reserve.requests.ReservationRequest`\\ s
+        via :meth:`submit_reservation`, plans them in priority-class
+        order against the shard's ledger (incremental repair, never a
+        from-scratch re-plan), and resolves tickets with
+        :data:`BOOKED`.  Decision traffic always pre-empts the lane.
     """
 
     def __init__(
@@ -380,8 +423,11 @@ class SchedulingDaemon:
         queue_capacity: int = 256,
         batcher: MicroBatcher | None = None,
         workers: int = 1,
+        reservation_capacity: int = 64,
     ) -> None:
         check_positive("queue_capacity", queue_capacity)
+        check_positive("reservation_capacity", reservation_capacity)
+        self.reservation_capacity = int(reservation_capacity)
         proto = batcher if batcher is not None else MicroBatcher()
         self._batcher_args = (
             proto.max_batch, proto.target_batch, proto.max_linger_s, proto._alpha
@@ -466,6 +512,56 @@ class SchedulingDaemon:
         """Submit several requests to one shard, preserving order."""
         return [self.submit(shard, r) for r in requests]
 
+    def submit_reservation(self, shard: str, request) -> Ticket:
+        """Queue one :class:`ReservationRequest` on the shard's lane.
+
+        Admission mirrors :meth:`submit`: shutdown rejects, a full lane
+        sheds, both synchronously.  There is no stale-instant rejection —
+        the lane plans over a private world it can rebuild at any
+        instant, so the decision clock does not constrain reservations.
+        Requires a :class:`ShardSpec`-built shard (``ValueError``
+        otherwise: a live borrowed world cannot be rebuilt privately).
+        """
+        try:
+            sh = self.shards[shard]
+        except KeyError:
+            raise KeyError(
+                f"unknown shard {shard!r} (have: {sorted(self.shards)})"
+            ) from None
+        if sh.spec is None:
+            raise ValueError(
+                f"shard {shard!r} holds a live world; the reservation lane "
+                f"needs ShardSpec-built shards (their worlds rebuild from "
+                f"seeds for conflict-free planning)"
+            )
+        ticket = Ticket(request, shard)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("daemon.reservations").inc()
+        with sh.cond:
+            if self._stopped or self._draining:
+                sh.stats["rejected"] += 1
+                ticket._resolve(REJECTED, reason="shutdown")
+            elif len(sh.reservations) >= self.reservation_capacity:
+                sh.stats["shed"] += 1
+                ticket._resolve(SHED, reason="reservation-lane-full")
+            else:
+                sh.reservation_seq += 1
+                sh.stats["reservations"] += 1
+                heapq.heappush(
+                    sh.reservations,
+                    (request.priority, sh.reservation_seq, ticket),
+                )
+                sh.cond.notify_all()
+        if tracer.enabled:
+            reply = ticket._reply
+            if reply is not None:
+                tracer.metrics.counter(f"daemon.{reply.status}").inc()
+            tracer.metrics.gauge(f"daemon.reservation_depth.{shard}").set(
+                len(sh.reservations)
+            )
+        return ticket
+
     # -- always-on mode ----------------------------------------------------
     def start(self) -> None:
         """Spawn one worker thread per shard (idempotent)."""
@@ -503,6 +599,10 @@ class SchedulingDaemon:
                         ticket, _ = sh.queue.popleft()
                         sh.stats["rejected"] += 1
                         ticket._resolve(REJECTED, reason="shutdown")
+                    while sh.reservations:
+                        _, _, ticket = heapq.heappop(sh.reservations)
+                        sh.stats["rejected"] += 1
+                        ticket._resolve(REJECTED, reason="shutdown")
                 sh.cond.notify_all()
         if self._started:
             for sh in self.shards.values():
@@ -522,7 +622,7 @@ class SchedulingDaemon:
         deadline = None if timeout is None else time.perf_counter() + timeout
         for sh in self.shards.values():
             with sh.cond:
-                while sh.queue or sh.in_flight:
+                while sh.queue or sh.reservations or sh.in_flight:
                     remaining = (
                         None if deadline is None
                         else deadline - time.perf_counter()
@@ -556,6 +656,12 @@ class SchedulingDaemon:
                     break
                 self._process(sh, batch)
                 answered += len(batch)
+            while True:
+                ticket = self._take_reservation(sh)
+                if ticket is None:
+                    break
+                self._process_reservation(sh, ticket)
+                answered += 1
         return answered
 
     # -- internals ---------------------------------------------------------
@@ -575,11 +681,22 @@ class SchedulingDaemon:
             sh.in_flight += len(batch)
             return batch
 
-    def _take(self, sh: _Shard) -> list[tuple[Ticket, float]] | None:
+    def _take_reservation(self, sh: _Shard) -> Ticket | None:
+        """Pop the strongest queued reservation, if any."""
+        with sh.cond:
+            if not sh.reservations:
+                return None
+            _, _, ticket = heapq.heappop(sh.reservations)
+            sh.in_flight += 1
+            return ticket
+
+    def _take(self, sh: _Shard) -> tuple[str, Any] | None:
         """Worker-thread blocking take, honouring the micro-batch policy.
 
-        Returns ``None`` when the daemon stopped and this shard's work is
-        done (its queue is empty, or was rejected by ``shutdown``).
+        Returns ``("batch", tickets)`` for decision work,
+        ``("reservation", ticket)`` when only the reservation lane has
+        work (decision traffic always pre-empts the lane), or ``None``
+        when the daemon stopped and this shard's work is done.
         """
         batcher = self._batchers[sh.name]
         with sh.cond:
@@ -594,8 +711,12 @@ class SchedulingDaemon:
                         take = min(len(sh.queue), batcher.max_batch)
                         batch = [sh.queue.popleft() for _ in range(take)]
                         sh.in_flight += len(batch)
-                        return batch
+                        return ("batch", batch)
                     sh.cond.wait(timeout=wait)
+                elif sh.reservations:
+                    _, _, ticket = heapq.heappop(sh.reservations)
+                    sh.in_flight += 1
+                    return ("reservation", ticket)
                 elif self._stopped:
                     return None
                 else:
@@ -603,10 +724,14 @@ class SchedulingDaemon:
 
     def _worker(self, sh: _Shard) -> None:
         while True:
-            batch = self._take(sh)
-            if batch is None:
+            work = self._take(sh)
+            if work is None:
                 return
-            self._process(sh, batch)
+            kind, payload = work
+            if kind == "batch":
+                self._process(sh, payload)
+            else:
+                self._process_reservation(sh, payload)
 
     def _process(self, sh: _Shard, batch: list[tuple[Ticket, float]]) -> None:
         """Answer one micro-batch and resolve its tickets."""
@@ -665,6 +790,62 @@ class SchedulingDaemon:
                 len(sh.queue)
             )
 
+    def _process_reservation(self, sh: _Shard, ticket: Ticket) -> None:
+        """Plan one reservation through the shard's repair engine.
+
+        One request per pass: each arrival is an incremental
+        ``repair(new_requests=[...])`` against the shard ledger, so
+        earlier bookings are never re-planned — at most shifted, shrunk
+        or bumped, exactly as the repair ladder allows.
+        """
+        request = ticket.request
+        tracer = get_tracer()
+        try:
+            planner, ledger = sh.ensure_reservation_lane()
+            with tracer.span(
+                "daemon.reservation", layer="daemon",
+                t=getattr(request, "earliest_start", None),
+                shard=sh.name, request=request.request_id,
+            ):
+                outcome = planner.repair(ledger, new_requests=[request])
+            booked = tuple(ledger.get(bid) for bid in outcome.booked)
+        except Exception as exc:  # resolve, never hang the caller
+            with sh.cond:
+                sh.stats["failed"] += 1
+                sh.in_flight -= 1
+                ticket._resolve(FAILED, reason=f"{type(exc).__name__}: {exc}")
+                sh.cond.notify_all()
+            if tracer.enabled:
+                tracer.metrics.counter("daemon.failed").inc()
+            return
+        with sh.cond:
+            sh.in_flight -= 1
+            if booked:
+                sh.stats["booked"] += 1
+                partial = len(booked) < request.repeat_count
+                ticket._resolve(
+                    BOOKED,
+                    bookings=booked,
+                    reason=(
+                        f"partial: {len(booked)}/{request.repeat_count}"
+                        if partial else None
+                    ),
+                )
+            else:
+                sh.stats["rejected"] += 1
+                ticket._resolve(REJECTED, reason="no-feasible-candidate")
+            sh.cond.notify_all()
+        if tracer.enabled:
+            reply = ticket._reply
+            if reply is not None:
+                tracer.metrics.counter(f"daemon.{reply.status}").inc()
+                tracer.metrics.histogram("daemon.latency_s").observe(
+                    reply.latency_s
+                )
+            tracer.metrics.gauge(f"daemon.reservation_depth.{sh.name}").set(
+                len(sh.reservations)
+            )
+
     # -- introspection -----------------------------------------------------
     def stats(self) -> dict[str, dict[str, Any]]:
         """Per-shard admission/answer counters (a snapshot copy)."""
@@ -673,6 +854,7 @@ class SchedulingDaemon:
             with sh.cond:
                 row = dict(sh.stats)
                 row["queue_depth"] = len(sh.queue)
+                row["reservation_depth"] = len(sh.reservations)
                 row["clock"] = sh.clock
             out[name] = row
         return out

@@ -118,5 +118,59 @@ class TestForcedReschedules:
             assert ev["clock"] == "sim"
             assert ev["fields"]["migration_s"] == pytest.approx(logged.migration_s)
             assert ev["fields"]["after_iteration"] == logged.after_iteration
+            assert ev["fields"]["repaired"] == logged.repaired
         metrics = tr.metrics.as_dict()
         assert metrics["core.reschedules"]["value"] == 2
+
+
+class TestRepairedAccounting:
+    """The ``repaired`` flag must follow the candidate-generation path."""
+
+    def test_default_events_are_repaired(self, testbed, monkeypatch):
+        runner = make_runner(testbed, iterations=50, check_every=20)
+        assert runner.repair and runner._sweep is not None
+        force_reschedules(runner, monkeypatch, migration_s=3.5)
+        result = runner.run(t0=300.0)
+        assert result.reschedule_count == 2
+        assert all(e.repaired for e in result.reschedules)
+        assert result.repaired_count == result.reschedule_count == 2
+
+    def test_repair_off_events_are_blueprint(self, testbed, monkeypatch):
+        runner = make_runner(testbed, iterations=50, check_every=20,
+                             repair=False)
+        assert not runner.repair and runner._sweep is None
+        force_reschedules(runner, monkeypatch, migration_s=3.5)
+        result = runner.run(t0=300.0)
+        assert result.reschedule_count == 2
+        assert not any(e.repaired for e in result.reschedules)
+        assert result.repaired_count == 0
+
+    @pytest.mark.parametrize("repair", [True, False])
+    def test_keep_then_move_call_order(self, testbed, monkeypatch, repair):
+        """Both paths make exactly two prediction calls per check, keep
+        first — the contract ``force_reschedules`` (and the ablation's
+        accounting) relies on."""
+        runner = make_runner(testbed, iterations=50, check_every=20,
+                             repair=repair)
+        calls = []
+        orig = runner._remaining_prediction
+
+        def spy(schedule, remaining):
+            calls.append(schedule.resource_set)
+            return orig(schedule, remaining)
+
+        monkeypatch.setattr(runner, "_remaining_prediction", spy)
+        runner.run(t0=300.0)
+        # Two checks (after iterations 20 and 40), two calls each.
+        assert len(calls) == 4
+
+    def test_repaired_flag_defaults_false(self):
+        event = RescheduleEvent(
+            time=1.0, after_iteration=10, old_machines=("a",),
+            new_machines=("b",), migration_s=0.5, predicted_gain_s=2.0,
+        )
+        assert event.repaired is False
+
+    def test_quiet_run_repaired_count_zero(self, testbed):
+        result = make_runner(testbed, iterations=50, check_every=20).run(t0=300.0)
+        assert result.repaired_count == 0

@@ -74,6 +74,52 @@ class TestGeneration:
             assert forecasts[m.name]["availability_error"] == m.availability_error
 
 
+class TestContendedClass:
+    @pytest.fixture(scope="class")
+    def contended(self):
+        return generate_instances(
+            "contended14", 2, seed=11, sizes=(400,), iterations=10
+        )
+
+    def test_deterministic_and_rebuildable(self, contended):
+        """The contender's schedule-and-occupy steps are seed-pure."""
+        again = generate_instances(
+            "contended14", 2, seed=11, sizes=(400,), iterations=10
+        )
+        assert again == contended
+        from repro.core.resources import ResourcePool
+
+        inst = contended[0]
+        testbed, nws = build_world(inst.world)
+        forecasts = ResourcePool(testbed.topology, nws).snapshot().export_forecasts()
+        for m in inst.machines:
+            assert forecasts[m.name]["availability"] == m.availability
+
+    def test_contender_occupancy_visible(self, contended):
+        """Some hosts must look busier than in the uncontended world."""
+        from repro.core.resources import ResourcePool
+
+        inst = contended[0]
+        plain = {
+            key: inst.world[key]
+            for key in ("n_hosts", "n_segments", "seed", "nws_seed", "warmup_s")
+        }
+        testbed, nws = build_world({"generator": "synthetic", **plain})
+        forecasts = ResourcePool(testbed.topology, nws).snapshot().export_forecasts()
+        lower = [
+            m.name
+            for m in inst.machines
+            if m.availability < forecasts[m.name]["availability"] - 1e-9
+        ]
+        assert lower, "contender occupancy invisible to the NWS"
+
+    def test_contended_world_keys_required(self, contended):
+        world = dict(contended[0].world)
+        del world["contender_n"]
+        with pytest.raises(KeyError):
+            build_world(world)
+
+
 class TestRoundTrip:
     def test_instances_round_trip_exact(self, tmp_path, instances):
         path = tmp_path / "instances.jsonl"

@@ -137,3 +137,82 @@ class TestArenaCLI:
             "arena", "report", "--instances", inst, "--allocations", alloc,
         ]) == 0
         assert "regret vs exhaustive oracle" in capsys.readouterr().out
+
+
+class TestReserveCLI:
+    def test_reserve_registered_with_actions(self):
+        args = build_parser().parse_args(
+            ["reserve", "plan", "--pool", "synth", "--requests", "r.jsonl",
+             "--out", "b.jsonl"]
+        )
+        assert args.experiment == "reserve"
+        assert args.action == "plan"
+        assert args.pool == "synth"
+        assert args.requests == "r.jsonl"
+
+    def test_reserve_smoke_flag(self):
+        args = build_parser().parse_args(["reserve", "--smoke"])
+        assert args.smoke and args.action is None
+
+    def test_reserve_invalidate_repeats(self):
+        args = build_parser().parse_args(
+            ["reserve", "repair", "--requests", "r", "--bookings", "b",
+             "--invalidate", "x#0@1", "--invalidate", "y#0@2"]
+        )
+        assert args.invalidate == ["x#0@1", "y#0@2"]
+
+    def test_reserve_bad_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reserve", "destroy"])
+
+    def test_reserve_requires_action_or_smoke(self):
+        with pytest.raises(SystemExit, match="needs an action"):
+            main(["reserve"])
+
+    def test_reserve_plan_requires_requests(self):
+        with pytest.raises(SystemExit, match="requires --requests"):
+            main(["reserve", "plan"])
+
+    def test_reserve_repair_requires_bookings(self, tmp_path, capsys):
+        req = str(tmp_path / "r.jsonl")
+        assert main(["reserve", "submit", "--count", "2", "--out", req]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="requires --bookings"):
+            main(["reserve", "repair", "--requests", req])
+
+    def test_reserve_unknown_pool_rejected(self, tmp_path):
+        req = str(tmp_path / "r.jsonl")
+        assert main(["reserve", "submit", "--count", "2", "--out", req]) == 0
+        with pytest.raises(SystemExit, match="unknown pool"):
+            main(["reserve", "plan", "--pool", "mars", "--requests", req])
+
+    def test_reserve_file_pipeline(self, tmp_path, capsys):
+        """submit -> plan -> report -> repair over real JSONL files."""
+        req = str(tmp_path / "requests.jsonl")
+        book = str(tmp_path / "bookings.jsonl")
+        assert main([
+            "reserve", "submit", "--count", "3", "--out", req,
+        ]) == 0
+        assert "wrote 3 requests" in capsys.readouterr().out
+        assert main([
+            "reserve", "plan", "--requests", req, "--out", book,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "booked 3" in out and "bookings to" in out
+        assert main([
+            "reserve", "report", "--requests", req, "--bookings", book,
+        ]) == 0
+        assert "verified: conflict-free" in capsys.readouterr().out
+        from repro.reserve import load_bookings
+
+        stale = load_bookings(book).bookings[0].booking_id
+        assert main([
+            "reserve", "repair", "--requests", req, "--bookings", book,
+            "--invalidate", stale, "--out", book,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"repaired {stale}" in out and "via re-expand" in out
+        assert main([
+            "reserve", "report", "--requests", req, "--bookings", book,
+        ]) == 0
+        assert "verified: conflict-free" in capsys.readouterr().out

@@ -156,6 +156,39 @@ class TestSoloVectorDocumented:
         assert hasattr(perf, "solo_vector_enabled")
 
 
+class TestReserveDocumented:
+    """The reservation layer must stay documented wherever it is used."""
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md", "DESIGN.md"])
+    def test_docs_cover_the_reservation_layer(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("ReservationRequest", "ReservationLedger",
+                       "repro.reserve", "reserve --smoke",
+                       "bench_request_repair"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/TUTORIAL.md"])
+    def test_walkthrough_covers_every_action(self, doc):
+        text = (ROOT / doc).read_text()
+        for needle in ("reserve submit", "reserve plan", "reserve repair",
+                       "reserve report"):
+            assert needle in text, f"{doc} does not document {needle}"
+
+    def test_design_names_the_repair_ladder(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for needle in ("shift-within-window", "shrink-toward-min",
+                       "re-expand", "bump-by-priority"):
+            assert needle in text, f"DESIGN.md does not name {needle}"
+
+    def test_reserve_subcommand_exists(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["reserve", "--smoke"])
+        assert args.experiment == "reserve"
+        assert args.smoke is True
+        assert hasattr(args, "pool") and hasattr(args, "invalidate")
+
+
 class TestModulesReferencedExist:
     @pytest.mark.parametrize("doc", ["DESIGN.md", "docs/PAPER_MAP.md"])
     def test_repro_module_paths_resolve(self, doc):

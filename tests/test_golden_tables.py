@@ -77,6 +77,14 @@ def test_arena_quick_table_matches_golden():
     }, "unmasked table should carry real per-policy seconds"
 
 
+def test_arena_contended_quick_table_matches_golden():
+    _, _, result = run_regret_bench(
+        classes=("contended14",), per_class=2, seed=1996, sizes=(400,),
+        iterations=10,
+    )
+    _check("arena_contended_quick", result.table(mask_seconds=True))
+
+
 def test_multiapp_quick_table_matches_golden():
     result = run_multiapp(
         n=1000, iterations_a=600, iterations_b=100, seed=1996, t_a=300.0,

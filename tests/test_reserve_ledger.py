@@ -1,0 +1,321 @@
+"""Reservation ledger: bookings, exact conflict detection, verification.
+
+Conflicts here are checked against hand-built bookings over a tiny
+hand-built arena instance, so every verdict is unambiguous: machine
+overlap is pure interval arithmetic, per-booking feasibility is the
+standalone arena verifier over the frozen instance, and
+:func:`verify_ledger` layers the request constraints on top.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arena import ArenaInstance, MachineState
+from repro.jacobi.grid import JacobiProblem
+from repro.reserve import (
+    BOOKING_SCHEMA,
+    Booking,
+    ReservationLedger,
+    ReservationRequest,
+    load_bookings,
+    save_bookings,
+    verify_ledger,
+)
+
+_MACHINES = (
+    MachineState(
+        name="alpha", site="sdsc", arch="alpha", speed_mflops=100.0,
+        memory_available_mb=64.0, availability=0.8, availability_error=0.1,
+    ),
+    MachineState(
+        name="beta", site="sdsc", arch="alpha", speed_mflops=50.0,
+        memory_available_mb=64.0, availability=0.9, availability_error=0.05,
+    ),
+)
+
+
+def tiny_instance(instance_id: str = "tiny-000") -> ArenaInstance:
+    inf = float("inf")
+    return ArenaInstance(
+        instance_id=instance_id,
+        instance_class="reserve:test",
+        world={"generator": "sdsc", "seed": 1, "nws_seed": 1, "warmup_s": 0.0,
+               "n_hosts": 8, "n_segments": None},
+        machines=_MACHINES,
+        latency_s=((0.0, 0.001), (0.001, 0.0)),
+        bandwidth_bps=((inf, 1e7), (1e7, inf)),
+        problem={"n": 100, "iterations": 10, "flop_per_point": 1e-3,
+                 "bytes_per_point": 8.0, "border_bytes_per_point": 8.0,
+                 "sync_overhead_s": 0.001},
+    )
+
+
+def booking(
+    booking_id: str,
+    start: float,
+    end: float,
+    machines: tuple[str, ...] = ("alpha",),
+    points: tuple[float, ...] | None = None,
+    priority: int = 2,
+    request_id: str = "r1",
+    occurrence: int = 0,
+) -> Booking:
+    if points is None:
+        # Work-conserving split of the tiny problem's 100x100 grid.
+        share = 10000.0 / len(machines)
+        points = tuple(share for _ in machines)
+    return Booking(
+        booking_id=booking_id,
+        request_id=request_id,
+        occurrence=occurrence,
+        priority=priority,
+        start=start,
+        end=end,
+        machines=machines,
+        points=points,
+        objective=1.0,
+        instance=tiny_instance(),
+    )
+
+
+class TestBooking:
+    def test_interval_and_duration(self):
+        b = booking("b1", 100.0, 250.0)
+        assert b.duration == 150.0
+        assert b.overlaps(249.9, 400.0)
+        assert not b.overlaps(250.0, 400.0)  # half-open
+        assert not b.overlaps(0.0, 100.0)
+
+    def test_shifted_keeps_everything_but_the_interval(self):
+        b = booking("b1", 100.0, 250.0, machines=("alpha", "beta"))
+        moved = b.shifted(500.0)
+        assert (moved.start, moved.end) == (500.0, 650.0)
+        assert moved.machines == b.machines
+        assert moved.points == b.points
+        assert moved.instance is b.instance
+        assert moved.booking_id == b.booking_id
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(start=200.0, end=200.0), "empty booking interval"),
+            (dict(machines=(), points=()), "non-empty and aligned"),
+            (dict(machines=("alpha",), points=(1.0, 2.0)), "aligned"),
+            (
+                dict(machines=("alpha", "alpha"), points=(1.0, 2.0)),
+                "duplicate machines",
+            ),
+        ],
+    )
+    def test_malformed_rejected(self, kwargs, match):
+        base = dict(
+            booking_id="b1", request_id="r1", occurrence=0, priority=2,
+            start=100.0, end=200.0, machines=("alpha",), points=(10000.0,),
+            objective=1.0, instance=tiny_instance(),
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=match):
+            Booking(**base)
+
+
+class TestLedger:
+    def test_book_and_query(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0, machines=("alpha",)))
+        ledger.book(booking("b2", 150.0, 300.0, machines=("beta",)))
+        assert len(ledger) == 2 and "b1" in ledger
+        assert ledger.busy_machines(180.0, 190.0) == {"alpha", "beta"}
+        assert ledger.busy_machines(250.0, 260.0) == {"beta"}
+        assert ledger.busy_machines(250.0, 260.0, exclude={"b2"}) == frozenset()
+
+    def test_refuses_conflicting_booking(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        with pytest.raises(ValueError, match="conflicts"):
+            ledger.book(booking("b2", 150.0, 250.0))
+        # Disjoint in time, or disjoint in machines: both fine.
+        ledger.book(booking("b3", 200.0, 250.0))
+        ledger.book(booking("b4", 150.0, 250.0, machines=("beta",)))
+
+    def test_force_admits_the_conflict(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        ledger.book(booking("b2", 150.0, 250.0), force=True)
+        kinds = [c.kind for c in ledger.conflicts()]
+        assert kinds == ["machine-overlap"]
+
+    def test_duplicate_id_rejected_even_forced(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        with pytest.raises(ValueError, match="duplicate booking id"):
+            ledger.book(booking("b1", 500.0, 600.0), force=True)
+
+    def test_remove_returns_the_booking(self):
+        ledger = ReservationLedger()
+        b = ledger.book(booking("b1", 100.0, 200.0))
+        assert ledger.remove("b1") is b
+        assert len(ledger) == 0
+        with pytest.raises(KeyError, match="unknown booking"):
+            ledger.remove("b1")
+
+    def test_next_booking_id_never_reuses(self):
+        ledger = ReservationLedger()
+        request = ReservationRequest(
+            request_id="r1",
+            problem=JacobiProblem(n=100, iterations=10),
+            earliest_start=0.0,
+            deadline=1000.0,
+        )
+        ids = {ledger.next_booking_id(request, 0) for _ in range(5)}
+        assert len(ids) == 5
+        assert all(i.startswith("r1#0@") for i in ids)
+
+
+class TestConflicts:
+    def test_pairwise_overlap_reported_once(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 300.0), force=True)
+        ledger.book(booking("b2", 200.0, 400.0), force=True)
+        ledger.book(booking("b3", 350.0, 500.0), force=True)
+        found = ledger.conflicts()
+        pairs = {c.booking_ids for c in found}
+        assert pairs == {("b1", "b2"), ("b2", "b3")}
+        assert all(c.machines == ("alpha",) for c in found)
+
+    def test_infeasible_booking_flagged_by_the_verifier(self):
+        ledger = ReservationLedger()
+        # Drops work: 100x100 grid but only 9999 points placed.
+        ledger.book(
+            booking("b1", 100.0, 200.0, points=(9999.0,)), force=True
+        )
+        kinds = [c.kind for c in ledger.conflicts()]
+        assert kinds == ["infeasible:work-dropped"]
+
+    def test_clean_ledger_has_no_conflicts(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        ledger.book(booking("b2", 200.0, 300.0))
+        assert ledger.conflicts() == []
+
+
+class TestVerifyLedger:
+    def _request(self, **overrides):
+        kwargs = dict(
+            request_id="r1",
+            problem=JacobiProblem(n=100, iterations=10),
+            earliest_start=0.0,
+            deadline=1000.0,
+        )
+        kwargs.update(overrides)
+        return ReservationRequest(**kwargs)
+
+    def test_accepts_clean_compliant_ledger(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        assert verify_ledger(ledger) == []
+        assert verify_ledger(ledger, [self._request()]) == []
+        assert verify_ledger(ledger, {"r1": self._request()}) == []
+
+    def test_unknown_request_reported(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0, request_id="ghost"))
+        problems = verify_ledger(ledger, [self._request()])
+        assert problems == ["unknown-request: b1"]
+
+    def test_window_violations_reported(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        problems = verify_ledger(
+            ledger, [self._request(earliest_start=150.0, deadline=1000.0)]
+        )
+        assert any(p.startswith("outside-window: b1") for p in problems)
+
+    def test_preferred_window_violations_reported(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        problems = verify_ledger(
+            ledger,
+            [self._request(preferred_windows=((500.0, 900.0),))],
+        )
+        assert "outside-preferred-window: b1" in problems
+
+    def test_machine_count_violations_reported(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        ledger.book(
+            booking(
+                "b2", 300.0, 400.0, machines=("alpha", "beta"),
+                request_id="r2",
+            )
+        )
+        problems = verify_ledger(
+            ledger,
+            [
+                self._request(min_machines=2),
+                self._request(request_id="r2", max_machines=1),
+            ],
+        )
+        assert "below-min-machines: b1" in problems
+        assert "above-max-machines: b2" in problems
+
+    def test_repetition_checks_the_shifted_interval(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 2100.0, 2200.0, occurrence=1))
+        request = self._request(
+            earliest_start=0.0, deadline=1000.0,
+            repeat_count=2, repeat_period_s=2000.0,
+        )
+        assert verify_ledger(ledger, [request]) == []
+
+
+class TestRoundTrip:
+    def _ledger(self):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 200.0))
+        ledger.book(booking("b2", 150.0, 250.0, machines=("beta",)))
+        return ledger
+
+    def test_jsonl_round_trip_exact(self, tmp_path):
+        path = tmp_path / "bookings.jsonl"
+        save_bookings(path, self._ledger())
+        loaded = load_bookings(path)
+        assert loaded.bookings == self._ledger().bookings
+
+    def test_rewrite_is_bit_identical(self, tmp_path):
+        path = tmp_path / "bookings.jsonl"
+        save_bookings(path, self._ledger())
+        first = path.read_bytes()
+        save_bookings(path, load_bookings(path))
+        assert path.read_bytes() == first
+
+    def test_conflicts_survive_the_round_trip(self, tmp_path):
+        ledger = ReservationLedger()
+        ledger.book(booking("b1", 100.0, 300.0), force=True)
+        ledger.book(booking("b2", 200.0, 400.0), force=True)
+        path = tmp_path / "conflicted.jsonl"
+        save_bookings(path, ledger)
+        loaded = load_bookings(path)
+        assert [c.kind for c in loaded.conflicts()] == ["machine-overlap"]
+
+    def test_schema_checked(self, tmp_path):
+        payload = booking("b1", 100.0, 200.0).to_json_dict()
+        assert payload["schema"] == BOOKING_SCHEMA
+        payload["schema"] = "nope"
+        path = tmp_path / "schema.jsonl"
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ValueError, match="unsupported booking schema"):
+            load_bookings(path)
+
+    def test_malformed_record_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        lines = [json.dumps(booking("b1", 100.0, 200.0).to_json_dict()), "{"]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_bookings(path)
+
+    def test_refuses_empty_ledger(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_bookings(tmp_path / "x.jsonl", ReservationLedger())

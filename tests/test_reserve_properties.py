@@ -1,0 +1,255 @@
+"""Property-based reservation invariants (Hypothesis).
+
+Three families over randomly generated requests and bookings (hand-built
+frozen instances, so the ledger arithmetic is isolated from the decision
+machinery):
+
+- **Round-trip** — any structurally valid request or booking survives
+  JSONL bit-identically (shortest-repr floats, exact integers);
+- **Exclusivity** — ``book()`` without ``force`` never admits a machine
+  overlap, and ``conflicts()`` equals a brute-force O(n²) interval check,
+  every time;
+- **Geometry** — occurrence windows always tile inside the occurrence
+  interval, shifted bookings preserve everything but the interval, and
+  ``busy_machines`` is exactly the union over overlapping bookings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arena import ArenaInstance, MachineState
+from repro.jacobi.grid import JacobiProblem
+from repro.reserve import (
+    Booking,
+    ReservationLedger,
+    ReservationRequest,
+    load_bookings,
+    load_requests,
+    save_bookings,
+    save_requests,
+)
+
+_INF = float("inf")
+_TINY = ArenaInstance(
+    instance_id="tiny-000",
+    instance_class="reserve:test",
+    world={"generator": "sdsc", "seed": 1, "nws_seed": 1, "warmup_s": 0.0,
+           "n_hosts": 8, "n_segments": None},
+    machines=(
+        MachineState(
+            name="alpha", site="sdsc", arch="alpha", speed_mflops=100.0,
+            memory_available_mb=64.0, availability=0.8,
+            availability_error=0.1,
+        ),
+        MachineState(
+            name="beta", site="sdsc", arch="alpha", speed_mflops=50.0,
+            memory_available_mb=64.0, availability=0.9,
+            availability_error=0.05,
+        ),
+    ),
+    latency_s=((0.0, 0.001), (0.001, 0.0)),
+    bandwidth_bps=((_INF, 1e7), (1e7, _INF)),
+    problem={"n": 100, "iterations": 10, "flop_per_point": 1e-3,
+             "bytes_per_point": 8.0, "border_bytes_per_point": 8.0,
+             "sync_overhead_s": 0.001},
+)
+
+# -- strategies -------------------------------------------------------------
+
+_time = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_span = st.floats(
+    min_value=1e-3, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _requests(draw):
+    earliest = draw(_time)
+    deadline = earliest + draw(_span)
+    windows = ()
+    if draw(st.booleans()):
+        lo = draw(st.floats(min_value=0.0, max_value=0.49))
+        hi = draw(st.floats(min_value=0.51, max_value=1.0))
+        span = deadline - earliest
+        windows = ((earliest + lo * span, earliest + hi * span),)
+    repeat = draw(st.integers(min_value=1, max_value=3))
+    min_machines = draw(st.integers(min_value=1, max_value=3))
+    max_extra = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=4)))
+    return ReservationRequest(
+        request_id=draw(st.uuids()).hex,
+        problem=JacobiProblem(
+            n=draw(st.integers(min_value=10, max_value=2000)),
+            iterations=draw(st.integers(min_value=1, max_value=100)),
+        ),
+        earliest_start=earliest,
+        deadline=deadline,
+        preferred_windows=windows,
+        repeat_count=repeat,
+        repeat_period_s=draw(_span) if repeat > 1 else 0.0,
+        min_machines=min_machines,
+        max_machines=None if max_extra is None else min_machines + max_extra,
+        priority=draw(st.integers(min_value=1, max_value=5)),
+        account_memory=draw(st.booleans()),
+    )
+
+
+@st.composite
+def _bookings(draw, ids=None):
+    machines = draw(
+        st.lists(
+            st.sampled_from(["alpha", "beta"]),
+            min_size=1, max_size=2, unique=True,
+        )
+    )
+    start = draw(_time)
+    booking_id = (
+        draw(st.uuids()).hex if ids is None else draw(st.sampled_from(ids))
+    )
+    share = 10000.0 / len(machines)
+    return Booking(
+        booking_id=booking_id,
+        request_id=draw(st.sampled_from(["r1", "r2", "r3"])),
+        occurrence=draw(st.integers(min_value=0, max_value=3)),
+        priority=draw(st.integers(min_value=1, max_value=5)),
+        start=start,
+        end=start + draw(_span),
+        machines=tuple(machines),
+        points=tuple(share for _ in machines),
+        objective=draw(_span),
+        instance=_TINY,
+    )
+
+
+_booking_lists = st.lists(
+    _bookings(ids=[f"b{i}" for i in range(8)]),
+    min_size=0, max_size=8,
+    unique_by=lambda b: b.booking_id,
+)
+
+
+# -- round-trip bit-identity ------------------------------------------------
+
+class TestRoundTrip:
+    @given(requests=st.lists(_requests(), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_request_jsonl_bit_identity(self, tmp_path_factory, requests):
+        path = tmp_path_factory.mktemp("req") / "requests.jsonl"
+        save_requests(path, requests)
+        first = path.read_bytes()
+        loaded = load_requests(path)
+        assert loaded == requests
+        save_requests(path, loaded)
+        assert path.read_bytes() == first
+
+    @given(bookings=_booking_lists.filter(lambda bs: bs))
+    @settings(max_examples=40, deadline=None)
+    def test_booking_jsonl_bit_identity(self, tmp_path_factory, bookings):
+        path = tmp_path_factory.mktemp("led") / "bookings.jsonl"
+        ledger = ReservationLedger(bookings)
+        save_bookings(path, ledger)
+        first = path.read_bytes()
+        loaded = load_bookings(path)
+        assert loaded.bookings == ledger.bookings
+        save_bookings(path, loaded)
+        assert path.read_bytes() == first
+
+    @given(request=_requests())
+    @settings(max_examples=40, deadline=None)
+    def test_request_json_text_round_trip(self, request):
+        back = ReservationRequest.from_json_dict(
+            json.loads(json.dumps(request.to_json_dict()))
+        )
+        assert back == request
+
+
+# -- exclusivity ------------------------------------------------------------
+
+def _brute_force_overlaps(bookings):
+    pairs = set()
+    for i, a in enumerate(bookings):
+        for b in bookings[i + 1:]:
+            if (
+                a.start < b.end
+                and b.start < a.end
+                and set(a.machines) & set(b.machines)
+            ):
+                pairs.add(frozenset((a.booking_id, b.booking_id)))
+    return pairs
+
+
+class TestExclusivity:
+    @given(bookings=_booking_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_conflicts_equal_brute_force(self, bookings):
+        ledger = ReservationLedger(list(bookings))
+        found = {
+            frozenset(c.booking_ids)
+            for c in ledger.conflicts()
+            if c.kind == "machine-overlap"
+        }
+        assert found == _brute_force_overlaps(list(bookings))
+
+    @given(bookings=_booking_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_unforced_booking_never_overlaps(self, bookings):
+        ledger = ReservationLedger()
+        for b in bookings:
+            try:
+                ledger.book(b)
+            except ValueError:
+                continue
+        assert _brute_force_overlaps(list(ledger.bookings)) == set()
+
+    @given(bookings=_booking_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_busy_machines_is_the_overlap_union(self, bookings):
+        ledger = ReservationLedger(list(bookings))
+        for probe in bookings:
+            want = set()
+            for b in bookings:
+                if b.start < probe.end and probe.start < b.end:
+                    want.update(b.machines)
+            assert ledger.busy_machines(probe.start, probe.end) == want
+
+
+# -- geometry ---------------------------------------------------------------
+
+class TestGeometry:
+    @given(request=_requests(), occurrence=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=60, deadline=None)
+    def test_windows_inside_the_interval(self, request, occurrence):
+        occurrence = occurrence % request.repeat_count
+        earliest, deadline = request.occurrence_interval(occurrence)
+        assert earliest < deadline
+        for start, end in request.occurrence_windows(occurrence):
+            assert earliest <= start < end <= deadline
+
+    @given(booking=_bookings(), start=_time)
+    @settings(max_examples=60, deadline=None)
+    def test_shift_preserves_everything_but_the_interval(self, booking, start):
+        moved = booking.shifted(start)
+        assert moved.start == start
+        # end is *defined* as start + duration; the recomputed duration
+        # itself may differ in the last ulp at extreme magnitudes.
+        assert moved.end == start + booking.duration
+        assert (
+            moved.machines, moved.points, moved.objective, moved.instance
+        ) == (booking.machines, booking.points, booking.objective,
+              booking.instance)
+
+    @given(request=_requests())
+    @settings(max_examples=40, deadline=None)
+    def test_decision_bridge_carries_the_exclusions(self, request):
+        dreq = request.decision_request(
+            request.earliest_start, exclude={"alpha"}
+        )
+        assert dreq.at == request.earliest_start
+        assert "alpha" in dreq.userspec.excluded_machines
+        assert dreq.userspec.max_machines == request.max_machines
+        assert dreq.account_memory == request.account_memory

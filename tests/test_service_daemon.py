@@ -577,3 +577,132 @@ class TestLoadGenerator:
             (r.problem.n, r.problem.iterations) for _, r in pop.requests(6)
         )
         assert submitted == expected
+
+
+# -- the reservation lane --------------------------------------------------
+
+
+def _reservation(k: int = 0, priority: int = 2, **overrides):
+    from repro.reserve import ReservationRequest
+
+    kwargs = dict(
+        request_id=f"res-{k:03d}",
+        problem=JacobiProblem(n=300 + 100 * (k % 2), iterations=10),
+        earliest_start=60.0 + 30.0 * k,
+        deadline=2400.0 + 30.0 * k,
+        priority=priority,
+    )
+    kwargs.update(overrides)
+    return ReservationRequest(**kwargs)
+
+
+class TestReservationLane:
+    def test_books_through_the_lane(self):
+        from repro.service.daemon import BOOKED
+
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        ticket = daemon.submit_reservation("sdsc", _reservation(0))
+        assert ticket._reply is None  # queued, not answered synchronously
+        daemon.pump()
+        reply = ticket.result(0.0)
+        assert reply.status == BOOKED
+        assert reply.bookings and reply.bookings[0].request_id == "res-000"
+        sh = daemon.shards["sdsc"]
+        assert len(sh.ledger) == 1
+        stats = daemon.stats()["sdsc"]
+        assert stats["reservations"] == 1 and stats["booked"] == 1
+        assert stats["reservation_depth"] == 0
+
+    def test_lane_ledger_stays_conflict_free(self):
+        from repro.reserve import verify_ledger
+        from repro.service.daemon import BOOKED
+
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        requests = [_reservation(k) for k in range(3)]
+        tickets = [
+            daemon.submit_reservation("sdsc", r) for r in requests
+        ]
+        daemon.pump()
+        assert all(t.result(0.0).status == BOOKED for t in tickets)
+        ledger = daemon.shards["sdsc"].ledger
+        assert len(ledger) == 3
+        assert verify_ledger(ledger, requests) == []
+
+    def test_priority_classes_plan_first(self):
+        from repro.service.daemon import BOOKED
+
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        weak = daemon.submit_reservation("sdsc", _reservation(0, priority=3))
+        strong = daemon.submit_reservation("sdsc", _reservation(1, priority=1))
+        daemon.pump()
+        assert weak.result(0.0).status == BOOKED
+        assert strong.result(0.0).status == BOOKED
+        # The class-1 request was planned first despite arriving second.
+        ledger = daemon.shards["sdsc"].ledger
+        assert [b.request_id for b in ledger.bookings] == [
+            "res-001", "res-000",
+        ]
+
+    def test_unplaceable_resolves_rejected(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        ticket = daemon.submit_reservation(
+            "sdsc", _reservation(0, min_machines=99)
+        )
+        daemon.pump()
+        reply = ticket.result(0.0)
+        assert reply.status == REJECTED
+        assert reply.reason == "no-feasible-candidate"
+        assert daemon.stats()["sdsc"]["rejected"] == 1
+
+    def test_full_lane_sheds_explicitly(self):
+        daemon = SchedulingDaemon(
+            [_spec()], queue_capacity=8, reservation_capacity=1
+        )
+        daemon.submit_reservation("sdsc", _reservation(0))
+        shed = daemon.submit_reservation("sdsc", _reservation(1))
+        reply = shed.result(0.0)
+        assert reply.status == SHED
+        assert reply.reason == "reservation-lane-full"
+        assert daemon.stats()["sdsc"]["shed"] == 1
+
+    def test_live_world_shard_refused(self):
+        testbed = sdsc_pcl_testbed(seed=1996)
+        nws = NetworkWeatherService.for_testbed(testbed, seed=7)
+        daemon = SchedulingDaemon({"live": (testbed, nws)}, queue_capacity=8)
+        with pytest.raises(ValueError, match="live world"):
+            daemon.submit_reservation("live", _reservation(0))
+
+    def test_unknown_shard_raises(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        with pytest.raises(KeyError, match="unknown shard"):
+            daemon.submit_reservation("nope", _reservation(0))
+
+    def test_shutdown_rejects_queued_reservations(self):
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        queued = daemon.submit_reservation("sdsc", _reservation(0))
+        daemon.shutdown(drain=False)
+        assert queued.result(0.0).status == REJECTED
+        assert queued.result(0.0).reason == "shutdown"
+        late = daemon.submit_reservation("sdsc", _reservation(1))
+        assert late.result(0.0).status == REJECTED
+
+    def test_threaded_lane_books(self):
+        from repro.service.daemon import BOOKED
+
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        daemon.start()
+        ticket = daemon.submit_reservation("sdsc", _reservation(0))
+        reply = ticket.result(30.0)
+        assert reply.status == BOOKED
+        daemon.shutdown(drain=True)
+        assert daemon.stats()["sdsc"]["booked"] == 1
+
+    def test_decision_lane_unaffected_by_reservations(self):
+        # The reservation lane plans over a private world: the decision
+        # lane's answers are bit-identical with and without lane traffic.
+        daemon = SchedulingDaemon([_spec()], queue_capacity=8)
+        daemon.submit_reservation("sdsc", _reservation(0))
+        mixed = daemon.submit("sdsc", _request(0))
+        daemon.pump()
+        reference = _service_answers([_request(0)])
+        assert _sig(mixed.result(0.0).answer) == _sig(reference[0])
